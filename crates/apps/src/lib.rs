@@ -1,0 +1,25 @@
+//! # netdir-apps — the DEN applications of Section 2
+//!
+//! The paper's motivation is that DEN applications need queries LDAP
+//! cannot express. This crate *is* those applications, built on the
+//! query languages:
+//!
+//! * [`qos`] — the policy decision engine of Example 2.1: given a packet
+//!   and the current time, find the actions of the matching policies such
+//!   that no higher-priority policy applies and no same-priority
+//!   exception applies. Composed from L2/L3 operators (`vd`, `dv`, `g`
+//!   with `min = min(min(...))`).
+//! * [`tops`] — the call-routing decision of Example 2.2: the call
+//!   appearances of the highest-priority query handling profile matching
+//!   the caller's request. Composed from hierarchical selection and
+//!   aggregate selection over the subscriber's personal subtree.
+//!
+//! Both modules ship a brute-force oracle used by the correctness
+//! experiments (E13/E14) to validate the query-composed implementations
+//! on randomized workloads.
+
+pub mod qos;
+pub mod tops;
+
+pub use qos::{PolicyDecision, PolicyEngine};
+pub use tops::{RoutingDecision, TopsRouter};

@@ -1,0 +1,116 @@
+//! E5/E6 — Theorems 6.1 and 6.2: aggregate selection stays linear.
+//!
+//! * Simple `g` selection: at most two scans of the input (Theorem 6.1).
+//! * Structural aggregate selection (`count($2)`, `min($2.a)`,
+//!   `count($2)=max(count($2))` — Figure 6): linear like the plain
+//!   operators (Theorem 6.2).
+//!
+//! ```sh
+//! cargo run --release -p netdir-bench --bin exp_agg
+//! ```
+
+use netdir_bench::{cells, measure, ratio_trend, setup, table};
+use netdir_filter::atomic::IntOp;
+use netdir_query::agg::CompiledAggFilter;
+use netdir_query::agg_simple::simple_agg_select;
+use netdir_query::ast::{AggAttribute, AggSelFilter, Aggregate, AttrRef, EntryAgg};
+use netdir_query::hs_stack::{hs_select, HsOp};
+
+fn main() {
+    let sizes = [2_000usize, 4_000, 8_000, 16_000, 32_000];
+
+    println!("E5 — Theorem 6.1: simple aggregate selection in ≤ 2 scans\n");
+    let filters: Vec<(&str, AggSelFilter)> = vec![
+        (
+            "count(weight) > 0 (single scan)",
+            AggSelFilter {
+                lhs: AggAttribute::Entry(EntryAgg::Agg(
+                    Aggregate::Count,
+                    AttrRef::Own("weight".into()),
+                )),
+                op: IntOp::Gt,
+                rhs: AggAttribute::Const(0),
+            },
+        ),
+        (
+            "max(weight) = max(max(weight)) (two scans)",
+            AggSelFilter {
+                lhs: AggAttribute::Entry(EntryAgg::Agg(
+                    Aggregate::Max,
+                    AttrRef::Own("weight".into()),
+                )),
+                op: IntOp::Eq,
+                rhs: AggAttribute::EntrySet(
+                    Aggregate::Max,
+                    Box::new(EntryAgg::Agg(Aggregate::Max, AttrRef::Own("weight".into()))),
+                ),
+            },
+        ),
+    ];
+    for (label, f) in &filters {
+        println!("filter: {label}");
+        table::header(&["entries", "in pages", "I/O", "I/O / pages", "selected"]);
+        let compiled = CompiledAggFilter::compile(f, false).expect("compiles");
+        for n in sizes {
+            let pager = setup::pager();
+            let (l1, _) = setup::red_blue_lists(&pager, n, 11);
+            let (out, io) = measure(&pager, || simple_agg_select(&pager, &l1, &compiled));
+            table::row(cells![
+                n,
+                l1.num_pages(),
+                io.total(),
+                format!("{:.2}", io.total() as f64 / l1.num_pages() as f64),
+                out.len(),
+            ]);
+        }
+        println!();
+    }
+
+    println!("E6 — Theorem 6.2: structural aggregate selection stays linear\n");
+    let structural: Vec<(&str, AggSelFilter)> = vec![
+        ("count($2) > 2", AggSelFilter {
+            lhs: AggAttribute::Entry(EntryAgg::CountWitnesses),
+            op: IntOp::Gt,
+            rhs: AggAttribute::Const(2),
+        }),
+        ("min($2.weight) < 10", AggSelFilter {
+            lhs: AggAttribute::Entry(EntryAgg::Agg(
+                Aggregate::Min,
+                AttrRef::Of2("weight".into()),
+            )),
+            op: IntOp::Lt,
+            rhs: AggAttribute::Const(10),
+        }),
+        ("count($2) = max(count($2))  [Figure 6]", AggSelFilter {
+            lhs: AggAttribute::Entry(EntryAgg::CountWitnesses),
+            op: IntOp::Eq,
+            rhs: AggAttribute::EntrySet(Aggregate::Max, Box::new(EntryAgg::CountWitnesses)),
+        }),
+    ];
+    for (label, f) in &structural {
+        println!("(d L1 L2 {label}):");
+        table::header(&["entries", "in pages", "I/O", "I/O / pages", "selected"]);
+        let compiled = CompiledAggFilter::compile(f, true).expect("compiles");
+        let mut points = Vec::new();
+        for n in sizes {
+            let pager = setup::pager();
+            let (l1, l2) = setup::red_blue_lists(&pager, n, 13);
+            let in_pages = l1.num_pages() + l2.num_pages();
+            let (out, io) = measure(&pager, || {
+                hs_select(&pager, HsOp::Descendants, &l1, &l2, None, &compiled)
+            });
+            points.push((in_pages as f64, io.total() as f64));
+            table::row(cells![
+                n,
+                in_pages,
+                io.total(),
+                format!("{:.2}", io.total() as f64 / in_pages as f64),
+                out.len(),
+            ]);
+        }
+        println!(
+            "   I/O ≈ {:.2} · pages — flat ratio ⇒ linear (Theorem 6.2)\n",
+            ratio_trend(&points)
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! E13/E14 — the DEN applications against their brute-force oracles.
+//!
+//! Correctness rates on seeded workloads plus the size/latency profile of
+//! the compiled decision queries.
+//!
+//! ```sh
+//! cargo run --release -p netdir-bench --bin exp_apps
+//! ```
+
+use netdir_apps::qos::{oracle_decide, PolicyEngine};
+use netdir_apps::tops::{oracle_route, TopsRouter};
+use netdir_bench::{cells, table};
+use netdir_index::IndexedDirectory;
+use netdir_model::Dn;
+use netdir_pager::Pager;
+use netdir_workloads::qos::QOS_BASE;
+use netdir_workloads::tops::CallRequest;
+use netdir_workloads::{qos_generate, tops_generate, Packet, QosParams, TopsParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    println!("E13 — QoS policy decisions vs oracle (Example 2.1)\n");
+    table::header(&[
+        "policies", "queries", "agree", "matched", "avg ms", "avg I/O",
+    ]);
+    for policies in [50usize, 200, 800] {
+        let dir = qos_generate(
+            QosParams {
+                policies,
+                profiles: policies / 2,
+                periods: 12,
+                actions: 10,
+                refs_per_policy: 3,
+                exception_rate: 0.3,
+                priority_levels: 4,
+            },
+            policies as u64,
+        );
+        let pager = Pager::new(4096, 64);
+        let idx = IndexedDirectory::build(&pager, &dir).expect("index");
+        let engine = PolicyEngine::new(&idx, &pager, Dn::parse(QOS_BASE).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 25;
+        let mut agree = 0;
+        let mut matched = 0;
+        let mut total_io = 0u64;
+        let start = Instant::now();
+        for _ in 0..trials {
+            let pkt = Packet::random(&mut rng);
+            pager.reset_io();
+            let got = engine.decide(&pkt).expect("decision");
+            total_io += pager.io().total();
+            let expect = oracle_decide(&dir, &pkt);
+            let g: Vec<_> = got.policies.iter().map(|e| e.dn().to_string()).collect();
+            let e: Vec<_> = expect.iter().map(|e| e.dn().to_string()).collect();
+            if g == e {
+                agree += 1;
+            }
+            if !g.is_empty() {
+                matched += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_millis() as f64 / trials as f64;
+        table::row(cells![
+            policies,
+            trials,
+            format!("{agree}/{trials}"),
+            matched,
+            format!("{elapsed:.1}"),
+            total_io / trials,
+        ]);
+        assert_eq!(agree, trials, "oracle disagreement!");
+    }
+
+    println!("\nE14 — TOPS call routing vs oracle (Example 2.2)\n");
+    table::header(&[
+        "subscribers", "calls", "agree", "reached", "avg ms", "avg I/O",
+    ]);
+    for subscribers in [25usize, 100, 400] {
+        let params = TopsParams {
+            subscribers,
+            qhps_per_subscriber: 4,
+            cas_per_qhp: 3,
+        };
+        let dir = tops_generate(params, subscribers as u64);
+        let pager = Pager::new(4096, 64);
+        let idx = IndexedDirectory::build(&pager, &dir).expect("index");
+        let router = TopsRouter::new(&idx, &pager);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40;
+        let mut agree = 0;
+        let mut reached = 0;
+        let mut total_io = 0u64;
+        let start = Instant::now();
+        for _ in 0..trials {
+            let req = CallRequest::random(&mut rng, subscribers);
+            pager.reset_io();
+            let got = router.route(&req).expect("routing");
+            total_io += pager.io().total();
+            let expect = oracle_route(&dir, &req);
+            let g: Vec<_> = got.appearances.iter().map(|e| e.dn().to_string()).collect();
+            let e: Vec<_> = expect.iter().map(|e| e.dn().to_string()).collect();
+            if g == e {
+                agree += 1;
+            }
+            if !g.is_empty() {
+                reached += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_millis() as f64 / trials as f64;
+        table::row(cells![
+            subscribers,
+            trials,
+            format!("{agree}/{trials}"),
+            reached,
+            format!("{elapsed:.1}"),
+            total_io / trials,
+        ]);
+        assert_eq!(agree, trials, "oracle disagreement!");
+    }
+    println!("\n   both applications agree with the prose semantics everywhere");
+}

@@ -1,0 +1,102 @@
+//! E12 — Section 8.3: distributed evaluation. How much does delegation
+//! ship over the network, as zones multiply?
+//!
+//! ```sh
+//! cargo run --release -p netdir-bench --bin exp_distributed
+//! ```
+
+use netdir_bench::{cells, table};
+use netdir_model::{Directory, Dn};
+use netdir_pager::Pager;
+use netdir_query::parse_query;
+use netdir_server::ClusterBuilder;
+use netdir_workloads::{dns_tree, synth_forest, SynthParams};
+
+fn zone_roots(dir: &Directory, depth: usize, count: usize) -> Vec<Dn> {
+    dir.iter_sorted()
+        .filter(|e| e.dn().depth() == depth)
+        .take(count)
+        .map(|e| e.dn().clone())
+        .collect()
+}
+
+fn main() {
+    println!("E12 — distributed evaluation: shipping vs. number of zones\n");
+
+    let dir = synth_forest(
+        SynthParams {
+            entries: 4_000,
+            max_depth: 8,
+            red_fraction: 0.3,
+            blue_fraction: 0.3,
+        },
+        41,
+    );
+    let queries = [
+        ("atomic sub", "(dc=synth ? sub ? kind=red)"),
+        (
+            "L1 children",
+            "(c (dc=synth ? sub ? kind=red) (dc=synth ? sub ? kind=blue))",
+        ),
+        (
+            "L2 agg",
+            "(g (dc=synth ? sub ? kind=red) max(weight) = max(max(weight)))",
+        ),
+    ];
+
+    for (label, text) in queries {
+        println!("query: {label}  —  {text}");
+        table::header(&[
+            "zones", "requests", "entries", "KB shipped", "answers",
+        ]);
+        let q = parse_query(text).unwrap();
+        for zones in [1usize, 2, 4, 8, 16] {
+            let mut builder = ClusterBuilder::new().server("root", Dn::parse("dc=synth").unwrap());
+            for (i, z) in zone_roots(&dir, 2, zones - 1).into_iter().enumerate() {
+                builder = builder.server(format!("z{i}"), z);
+            }
+            let cluster = builder.build(&dir);
+            let pager = Pager::new(4096, 48);
+            cluster.net().reset();
+            let hits = cluster.query_from("root", &pager, &q).expect("query");
+            let net = cluster.net().snapshot();
+            table::row(cells![
+                cluster.num_servers(),
+                net.requests,
+                net.entries_shipped,
+                format!("{:.1}", net.bytes_shipped as f64 / 1024.0),
+                hits.len(),
+            ]);
+        }
+        println!();
+    }
+
+    println!("delegation-depth sweep on a uniform dc-tree (fanout 4):");
+    table::header(&["cut depth", "zones", "requests", "entries shipped"]);
+    let dir = dns_tree(5, 4);
+    let q = parse_query("(dc=com ? sub ? level=5)").unwrap();
+    // Zone roots at DN depth 2/3/4 — one level below dc=com and deeper.
+    for depth in [2usize, 3, 4] {
+        let mut builder = ClusterBuilder::new().server("root", Dn::parse("dc=com").unwrap());
+        for (i, z) in zone_roots(&dir, depth, usize::MAX).into_iter().enumerate() {
+            builder = builder.server(format!("z{i}"), z);
+        }
+        let cluster = builder.build(&dir);
+        let pager = Pager::new(4096, 48);
+        cluster.net().reset();
+        let hits = cluster.query_from("root", &pager, &q).expect("query");
+        let net = cluster.net().snapshot();
+        table::row(cells![
+            depth,
+            cluster.num_servers(),
+            net.requests,
+            net.entries_shipped,
+        ]);
+        assert_eq!(hits.len(), 4usize.pow(5));
+    }
+    println!(
+        "\n   answers are identical at every partitioning (verified by \
+         the distributed integration tests); the table shows the network \
+         price of finer delegation"
+    );
+}

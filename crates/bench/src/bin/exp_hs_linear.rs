@@ -1,0 +1,72 @@
+//! E4 — Theorem 5.1: the stack algorithms' I/O is linear in the operand
+//! pages; the naive strawman is quadratic; report the crossover.
+//!
+//! ```sh
+//! cargo run --release -p netdir-bench --bin exp_hs_linear
+//! ```
+
+use netdir_bench::{baseline, cells, measure, ratio_trend, setup, table};
+use netdir_query::agg::CompiledAggFilter;
+use netdir_query::hs_stack::{hs_select, HsOp};
+
+fn main() {
+    println!("E4 — Theorem 5.1: linear I/O of ComputeHSPC/HSAD/HSADc\n");
+    let ops = [
+        (HsOp::Parents, "p"),
+        (HsOp::Children, "c"),
+        (HsOp::Ancestors, "a"),
+        (HsOp::Descendants, "d"),
+        (HsOp::AncestorsConstrained, "ac"),
+        (HsOp::DescendantsConstrained, "dc"),
+    ];
+    let sizes = [1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000];
+    let naive_cap = 4_000;
+    let filter = CompiledAggFilter::exists_witness();
+
+    for (op, sym) in ops {
+        println!("operator ({sym}):");
+        table::header(&[
+            "entries", "in pages", "stack I/O", "I/O per pg", "naive I/O", "naive/stack",
+        ]);
+        let mut points = Vec::new();
+        for n in sizes {
+            let pager = setup::pager();
+            let (l1, l2) = setup::red_blue_lists(&pager, n, 7);
+            let l3 = if op.is_constrained() {
+                // Blockers: reuse the red list (self-blocking shape of
+                // Example 5.3).
+                Some(l1.clone())
+            } else {
+                None
+            };
+            let in_pages = l1.num_pages() + l2.num_pages() + l3.as_ref().map_or(0, |l| l.num_pages());
+            let (out, io) = measure(&pager, || {
+                hs_select(&pager, op, &l1, &l2, l3.as_ref(), &filter)
+            });
+            let per_page = io.total() as f64 / in_pages as f64;
+            points.push((in_pages as f64, io.total() as f64));
+
+            let naive_io = if n <= naive_cap && !op.is_constrained() {
+                let (_, nio) = measure(&pager, || baseline::paged_naive_hs(&pager, op, &l1, &l2));
+                Some(nio.total())
+            } else {
+                None
+            };
+            table::row(cells![
+                n,
+                in_pages,
+                io.total(),
+                format!("{per_page:.2}"),
+                naive_io.map_or("—".into(), |x| x.to_string()),
+                naive_io.map_or("—".into(), |x| format!("{:.1}x", x as f64 / io.total() as f64)),
+            ]);
+            let _ = out;
+        }
+        let slope = ratio_trend(&points);
+        let first_ratio = points[0].1 / points[0].0;
+        println!(
+            "   I/O ≈ {slope:.2} · pages (first-point ratio {first_ratio:.2}) — \
+             flat ratio ⇒ linear, as Theorem 5.1 claims\n"
+        );
+    }
+}

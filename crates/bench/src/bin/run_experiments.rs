@@ -1,0 +1,40 @@
+//! Run every experiment binary in sequence — regenerates everything
+//! recorded in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p netdir-bench --bin run_experiments
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "exp_hs_linear",
+        "exp_agg",
+        "exp_er_nlogn",
+        "exp_query_tree",
+        "exp_rewrite_cost",
+        "exp_expressiveness",
+        "exp_distributed",
+        "exp_apps",
+        "exp_ablation",
+    ];
+    for name in experiments {
+        println!("\n════════════════════ {name} ════════════════════\n");
+        // Prefer a sibling binary (already built alongside this one);
+        // fall back to cargo so a bare `cargo run --bin run_experiments`
+        // works too.
+        let sibling = std::env::current_exe()
+            .ok()
+            .and_then(|exe| exe.parent().map(|d| d.join(name)))
+            .filter(|p| p.exists());
+        let status = match sibling {
+            Some(path) => Command::new(path).status(),
+            None => Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "netdir-bench", "--bin", name])
+                .status(),
+        }
+        .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+}

@@ -1,0 +1,113 @@
+//! The I/O cost model of Theorems 8.3 and 8.4.
+//!
+//! * **Theorem 8.3** — any L2 query evaluates in constant memory with I/O
+//!   `O(|Q| · |L|/B)`: `|Q|` = query-tree nodes, `|L|` = cumulative size of
+//!   the atomic sub-query outputs, `B` = blocking factor.
+//! * **Theorem 8.4** — any L3 query evaluates in
+//!   `O(|Q| · |L|/B · m · log(|L|/B · m))`, `m` = max values per attribute.
+//!
+//! [`predicted_io`] instantiates these formulas for a concrete query and
+//! measured atomic-output page counts; experiment E8/E9 compares the
+//! prediction's *shape* against measured ledgers (the constants are
+//! implementation-specific; the theorems are asymptotic).
+
+use crate::ast::Query;
+use crate::lang::{classify, Language};
+
+/// Inputs to the cost formulas.
+#[derive(Debug, Clone, Copy)]
+pub struct CostInputs {
+    /// Cumulative pages of all atomic sub-query outputs (`|L|/B`).
+    pub atomic_pages: u64,
+    /// Max values per attribute (`m`); only L3 terms use it.
+    pub max_values_per_attr: u64,
+}
+
+/// Predicted I/O (in pages, up to constants) for evaluating `q`.
+pub fn predicted_io(q: &Query, inputs: CostInputs) -> f64 {
+    let nodes = q.num_nodes() as f64;
+    let pages = inputs.atomic_pages.max(1) as f64;
+    match classify(q) {
+        Language::L3 => {
+            let m = inputs.max_values_per_attr.max(1) as f64;
+            let nm = pages * m;
+            nodes * nm * nm.log2().max(1.0)
+        }
+        _ => nodes * pages,
+    }
+}
+
+/// The theorem that applies to `q`'s language.
+pub fn applicable_theorem(q: &Query) -> &'static str {
+    match classify(q) {
+        Language::L3 => "Theorem 8.4 (O(|Q| · |L|/B · m · log(|L|/B · m)))",
+        _ => "Theorem 8.3 (O(|Q| · |L|/B))",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{HierOp, RefOp};
+    use netdir_filter::{AtomicFilter, Scope};
+    use netdir_model::Dn;
+
+    fn atom() -> Query {
+        Query::atomic(
+            Dn::parse("dc=com").unwrap(),
+            Scope::Sub,
+            AtomicFilter::present("x"),
+        )
+    }
+
+    #[test]
+    fn l2_cost_is_linear_in_pages_and_nodes() {
+        let q = Query::hier(HierOp::Children, atom(), atom());
+        let c1 = predicted_io(
+            &q,
+            CostInputs {
+                atomic_pages: 100,
+                max_values_per_attr: 1,
+            },
+        );
+        let c2 = predicted_io(
+            &q,
+            CostInputs {
+                atomic_pages: 200,
+                max_values_per_attr: 1,
+            },
+        );
+        assert!((c2 / c1 - 2.0).abs() < 1e-9, "doubling pages doubles cost");
+        assert!(applicable_theorem(&q).contains("8.3"));
+    }
+
+    #[test]
+    fn l3_cost_is_superlinear() {
+        let q = Query::embed_ref(RefOp::ValueDn, atom(), atom(), "ref");
+        let c1 = predicted_io(
+            &q,
+            CostInputs {
+                atomic_pages: 100,
+                max_values_per_attr: 1,
+            },
+        );
+        let c2 = predicted_io(
+            &q,
+            CostInputs {
+                atomic_pages: 200,
+                max_values_per_attr: 1,
+            },
+        );
+        assert!(c2 / c1 > 2.0, "log factor makes growth superlinear");
+        assert!(applicable_theorem(&q).contains("8.4"));
+        // Sensitivity to m.
+        let cm = predicted_io(
+            &q,
+            CostInputs {
+                atomic_pages: 100,
+                max_values_per_attr: 8,
+            },
+        );
+        assert!(cm > c1 * 8.0);
+    }
+}

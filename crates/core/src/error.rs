@@ -1,0 +1,61 @@
+//! Error type for query parsing and evaluation.
+
+use netdir_pager::PagerError;
+use std::fmt;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// Everything that can go wrong parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Query-string syntax error.
+    Parse { input: String, detail: String },
+    /// The external-memory layer failed (pool exhausted, corrupt page…).
+    Pager(PagerError),
+    /// An aggregate selection filter is not well formed for its context
+    /// (e.g. `$2.a` inside a simple `g` selection, which has no
+    /// witnesses).
+    BadAggFilter { detail: String },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { input, detail } => {
+                write!(f, "cannot parse query {input:?}: {detail}")
+            }
+            QueryError::Pager(e) => write!(f, "I/O layer error: {e}"),
+            QueryError::BadAggFilter { detail } => {
+                write!(f, "bad aggregate selection filter: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Pager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PagerError> for QueryError {
+    fn from(e: PagerError) -> Self {
+        QueryError::Pager(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pager_errors_convert_and_chain() {
+        let e: QueryError = PagerError::PoolExhausted { frames: 4 }.into();
+        assert!(e.to_string().contains("I/O layer"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

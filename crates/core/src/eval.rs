@@ -1,0 +1,440 @@
+//! Bottom-up query evaluation (Section 8.2).
+//!
+//! "Each query expression can be evaluated bottom-up … First, the atomic
+//! queries are evaluated, and the resulting entries are sorted by the
+//! lexicographic ordering on the reverse of their dn's. Next, each
+//! operator in the query tree is evaluated … and the result is pipelined
+//! to a higher operator. Since each operator gets sorted input lists, and
+//! computes a sorted output list, no additional sorting … is necessary."
+//!
+//! [`Evaluator`] walks the tree in reverse topological (post-) order,
+//! evaluating atomic leaves through an [`AtomicSource`] (an indexed
+//! directory, a remote server stub — anything that yields sorted entry
+//! lists) and operators through the algorithms of this crate. Every
+//! intermediate result is a paged list on the evaluator's pager, so a
+//! single I/O ledger covers the whole tree; [`Evaluator::evaluate_traced`]
+//! additionally reports per-node I/O and cardinalities — the raw material
+//! of the Theorem 8.3/8.4 experiments.
+
+use crate::agg::CompiledAggFilter;
+use crate::ast::Query;
+use crate::error::{QueryError, QueryResult};
+use crate::{agg_simple, boolean, er_join, hs_stack};
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_index::IndexedDirectory;
+use netdir_model::{Dn, Entry};
+use netdir_pager::{IoSnapshot, PagedList, Pager, PagerResult};
+
+/// A source of atomic-query results: sorted entry lists.
+pub trait AtomicSource {
+    /// Evaluate `(base ? scope ? filter)` to a reverse-DN-sorted list.
+    fn evaluate_atomic(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> PagerResult<PagedList<Entry>>;
+}
+
+impl AtomicSource for IndexedDirectory {
+    fn evaluate_atomic(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> PagerResult<PagedList<Entry>> {
+        IndexedDirectory::evaluate_atomic(self, base, scope, filter)
+    }
+}
+
+/// Per-node trace record from [`Evaluator::evaluate_traced`].
+#[derive(Debug, Clone)]
+pub struct NodeTrace {
+    /// The node, rendered.
+    pub node: String,
+    /// Result cardinality.
+    pub output_len: u64,
+    /// Result size in pages.
+    pub output_pages: u64,
+    /// I/O spent evaluating this node (excluding its children).
+    pub io: IoSnapshot,
+}
+
+/// The query evaluator.
+pub struct Evaluator<'s, S: AtomicSource> {
+    source: &'s S,
+    pager: Pager,
+    /// When enabled, identical sub-queries evaluate once (common
+    /// sub-expression elimination). Off by default so cost experiments
+    /// measure each node; applications with self-referential compositions
+    /// (the QoS engine's `top` appears three times) switch it on.
+    memo: Option<std::cell::RefCell<std::collections::HashMap<Query, PagedList<Entry>>>>,
+}
+
+impl<'s, S: AtomicSource> Evaluator<'s, S> {
+    /// Evaluate over `source`, staging intermediates on `pager`.
+    pub fn new(source: &'s S, pager: &Pager) -> Self {
+        Evaluator {
+            source,
+            pager: pager.clone(),
+            memo: None,
+        }
+    }
+
+    /// Enable common-sub-expression caching for this evaluator.
+    pub fn with_memo(mut self) -> Self {
+        self.memo = Some(std::cell::RefCell::new(std::collections::HashMap::new()));
+        self
+    }
+
+    /// Evaluate `q` to a sorted entry list.
+    pub fn evaluate(&self, q: &Query) -> QueryResult<PagedList<Entry>> {
+        self.eval_node(q, &mut None)
+    }
+
+    /// Evaluate `q`, also collecting a per-node trace (post-order).
+    pub fn evaluate_traced(
+        &self,
+        q: &Query,
+    ) -> QueryResult<(PagedList<Entry>, Vec<NodeTrace>)> {
+        let mut traces = Some(Vec::new());
+        let out = self.eval_node(q, &mut traces)?;
+        Ok((out, traces.expect("traces preserved")))
+    }
+
+    fn eval_node(
+        &self,
+        q: &Query,
+        traces: &mut Option<Vec<NodeTrace>>,
+    ) -> QueryResult<PagedList<Entry>> {
+        if let Some(memo) = &self.memo {
+            if let Some(hit) = memo.borrow().get(q) {
+                return Ok(hit.clone());
+            }
+        }
+        let out = self.eval_node_uncached(q, traces)?;
+        if let Some(memo) = &self.memo {
+            memo.borrow_mut().insert(q.clone(), out.clone());
+        }
+        Ok(out)
+    }
+
+    fn eval_node_uncached(
+        &self,
+        q: &Query,
+        traces: &mut Option<Vec<NodeTrace>>,
+    ) -> QueryResult<PagedList<Entry>> {
+        // Children first (their I/O is attributed to them).
+        let result = match q {
+            Query::Atomic {
+                base,
+                scope,
+                filter,
+            } => {
+                let before = self.pager.io();
+                let out = self.source.evaluate_atomic(base, *scope, filter)?;
+                self.trace(traces, q, &out, before);
+                out
+            }
+            Query::And(a, b) | Query::Or(a, b) | Query::Diff(a, b) => {
+                let op = match q {
+                    Query::And(..) => boolean::BoolOp::And,
+                    Query::Or(..) => boolean::BoolOp::Or,
+                    _ => boolean::BoolOp::Diff,
+                };
+                let la = self.eval_node(a, traces)?;
+                let lb = self.eval_node(b, traces)?;
+                let before = self.pager.io();
+                let out = boolean::merge(&self.pager, op, &la, &lb)?;
+                self.trace(traces, q, &out, before);
+                out
+            }
+            Query::Hier { op, q1, q2, agg } => {
+                let l1 = self.eval_node(q1, traces)?;
+                let l2 = self.eval_node(q2, traces)?;
+                let filter = compile_structural(agg)?;
+                let before = self.pager.io();
+                let out = hs_stack::hs_select(
+                    &self.pager,
+                    (*op).into(),
+                    &l1,
+                    &l2,
+                    None,
+                    &filter,
+                )?;
+                self.trace(traces, q, &out, before);
+                out
+            }
+            Query::HierPath {
+                op,
+                q1,
+                q2,
+                q3,
+                agg,
+            } => {
+                let l1 = self.eval_node(q1, traces)?;
+                let l2 = self.eval_node(q2, traces)?;
+                let l3 = self.eval_node(q3, traces)?;
+                let filter = compile_structural(agg)?;
+                let before = self.pager.io();
+                let out = hs_stack::hs_select(
+                    &self.pager,
+                    (*op).into(),
+                    &l1,
+                    &l2,
+                    Some(&l3),
+                    &filter,
+                )?;
+                self.trace(traces, q, &out, before);
+                out
+            }
+            Query::AggSelect { query, filter } => {
+                let l1 = self.eval_node(query, traces)?;
+                let compiled = CompiledAggFilter::compile(filter, false)?;
+                let before = self.pager.io();
+                let out = agg_simple::simple_agg_select(&self.pager, &l1, &compiled)?;
+                self.trace(traces, q, &out, before);
+                out
+            }
+            Query::EmbedRef {
+                op,
+                q1,
+                q2,
+                attr,
+                agg,
+            } => {
+                let l1 = self.eval_node(q1, traces)?;
+                let l2 = self.eval_node(q2, traces)?;
+                let filter = compile_structural(agg)?;
+                let before = self.pager.io();
+                let out =
+                    er_join::er_select(&self.pager, *op, &l1, &l2, attr, &filter)?;
+                self.trace(traces, q, &out, before);
+                out
+            }
+        };
+        Ok(result)
+    }
+
+    fn trace(
+        &self,
+        traces: &mut Option<Vec<NodeTrace>>,
+        q: &Query,
+        out: &PagedList<Entry>,
+        before: IoSnapshot,
+    ) {
+        if let Some(traces) = traces {
+            traces.push(NodeTrace {
+                node: summarize(q),
+                output_len: out.len(),
+                output_pages: out.num_pages(),
+                io: self.pager.io().since(before),
+            });
+        }
+    }
+}
+
+fn compile_structural(agg: &Option<crate::ast::AggSelFilter>) -> QueryResult<CompiledAggFilter> {
+    match agg {
+        None => Ok(CompiledAggFilter::exists_witness()),
+        Some(f) => CompiledAggFilter::compile(f, true),
+    }
+}
+
+/// One-line description of a node (operator symbol, not the whole subtree).
+fn summarize(q: &Query) -> String {
+    match q {
+        Query::Atomic {
+            base,
+            scope,
+            filter,
+        } => format!("({base} ? {scope} ? {filter})"),
+        Query::And(..) => "(&)".into(),
+        Query::Or(..) => "(|)".into(),
+        Query::Diff(..) => "(-)".into(),
+        Query::Hier { op, agg, .. } => match agg {
+            None => format!("({})", op.symbol()),
+            Some(f) => format!("({} … {f})", op.symbol()),
+        },
+        Query::HierPath { op, agg, .. } => match agg {
+            None => format!("({})", op.symbol()),
+            Some(f) => format!("({} … {f})", op.symbol()),
+        },
+        Query::AggSelect { filter, .. } => format!("(g … {filter})"),
+        Query::EmbedRef { op, attr, agg, .. } => match agg {
+            None => format!("({} … {attr})", op.symbol()),
+            Some(f) => format!("({} … {attr} {f})", op.symbol()),
+        },
+    }
+}
+
+/// Convenience: evaluate a query string against an indexed directory.
+pub fn run_query(
+    idx: &IndexedDirectory,
+    pager: &Pager,
+    query: &str,
+) -> QueryResult<Vec<Entry>> {
+    let q = crate::parser::parse_query(query)?;
+    let out = Evaluator::new(idx, pager).evaluate(&q)?;
+    out.to_vec().map_err(QueryError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use netdir_model::{Directory, Entry};
+    use netdir_pager::tiny_pager;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    /// A miniature AT&T-ish directory exercising all operators.
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        let mut add = |e: Entry| {
+            d.insert(e).unwrap();
+        };
+        for s in ["dc=com", "dc=att, dc=com", "dc=research, dc=att, dc=com", "dc=org"] {
+            add(Entry::builder(dn(s)).class("dcObject").build().unwrap());
+        }
+        for (ou, parent) in [
+            ("people", "dc=att, dc=com"),
+            ("people", "dc=research, dc=att, dc=com"),
+            ("tp", "dc=att, dc=com"),
+        ] {
+            add(Entry::builder(dn(&format!("ou={ou}, {parent}")))
+                .class("organizationalUnit")
+                .build()
+                .unwrap());
+        }
+        // jagadish appears both in att and in research.
+        for (uid, parent, sn) in [
+            ("jag", "ou=people, dc=att, dc=com", "jagadish"),
+            ("jag2", "ou=people, dc=research, dc=att, dc=com", "jagadish"),
+            ("divesh", "ou=people, dc=att, dc=com", "srivastava"),
+        ] {
+            add(Entry::builder(dn(&format!("uid={uid}, {parent}")))
+                .class("person")
+                .attr("surName", sn)
+                .build()
+                .unwrap());
+        }
+        // Profiles referenced by policies.
+        add(Entry::builder(dn("TPName=smtp, ou=tp, dc=att, dc=com"))
+            .class("trafficProfile")
+            .attr("sourcePort", 25i64)
+            .build()
+            .unwrap());
+        add(Entry::builder(dn("SLAPolicyName=mail, ou=tp, dc=att, dc=com"))
+            .class("SLAPolicyRules")
+            .attr("SLARulePriority", 1i64)
+            .attr("SLATPRef", dn("TPName=smtp, ou=tp, dc=att, dc=com"))
+            .build()
+            .unwrap());
+        d
+    }
+
+    fn setup() -> (IndexedDirectory, Pager) {
+        let pager = tiny_pager();
+        let idx = IndexedDirectory::build(&pager, &dir()).unwrap();
+        (idx, pager)
+    }
+
+    fn run(q: &str) -> Vec<String> {
+        let (idx, pager) = setup();
+        run_query(&idx, &pager, q)
+            .unwrap()
+            .iter()
+            .map(|e| e.dn().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn example_4_1_end_to_end() {
+        let got = run(
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+               (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        );
+        assert_eq!(got, vec!["uid=jag, ou=people, dc=att, dc=com"]);
+    }
+
+    #[test]
+    fn example_5_1_end_to_end() {
+        let got = run(
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+                (dc=att, dc=com ? sub ? surName=jagadish))",
+        );
+        // Reverse-DN order: the research OU's key extends dc=att's key
+        // with "dc=research", which sorts before the sibling "ou=people".
+        assert_eq!(
+            got,
+            vec![
+                "ou=people, dc=research, dc=att, dc=com",
+                "ou=people, dc=att, dc=com"
+            ]
+        );
+    }
+
+    #[test]
+    fn example_5_3_end_to_end() {
+        // Which subnets have SMTP traffic profiles with no intervening
+        // dcObject?
+        let got = run(
+            "(dc (dc=att, dc=com ? sub ? objectClass=dcObject) \
+                 (& (dc=att, dc=com ? sub ? sourcePort=25) \
+                    (dc=att, dc=com ? sub ? objectClass=trafficProfile)) \
+                 (dc=att, dc=com ? sub ? objectClass=dcObject))",
+        );
+        assert_eq!(got, vec!["dc=att, dc=com"]);
+    }
+
+    #[test]
+    fn l3_vd_end_to_end() {
+        let got = run(
+            "(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+                 (dc=att, dc=com ? sub ? sourcePort=25) \
+                 SLATPRef)",
+        );
+        assert_eq!(got, vec!["SLAPolicyName=mail, ou=tp, dc=att, dc=com"]);
+    }
+
+    #[test]
+    fn traced_evaluation_reports_every_node() {
+        let (idx, pager) = setup();
+        let q = parse_query(
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+                (dc=att, dc=com ? sub ? surName=jagadish))",
+        )
+        .unwrap();
+        let (out, traces) = Evaluator::new(&idx, &pager).evaluate_traced(&q).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(traces.len(), 3); // two atoms + the operator
+        // Eq filter values render canonically (case-folded).
+        assert!(traces[0].node.contains("organizationalunit"));
+        assert_eq!(traces[2].node, "(c)");
+        assert_eq!(traces[2].output_len, 2);
+    }
+
+    #[test]
+    fn bad_agg_filter_surfaces() {
+        let (idx, pager) = setup();
+        let q = parse_query("(g (dc=com ? sub ? a=*) count($2) > 0)");
+        // count($2) in g context is caught at evaluation (compile step).
+        let q = q.unwrap();
+        let err = Evaluator::new(&idx, &pager).evaluate(&q).unwrap_err();
+        assert!(matches!(err, QueryError::BadAggFilter { .. }));
+    }
+
+    #[test]
+    fn closure_queries_compose() {
+        // Feed an L1 result into another L1 operator: (a (c ...) ...).
+        let got = run(
+            "(a (uid=jag, ou=people, dc=att, dc=com ? base ? objectClass=person) \
+                (c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+                   (dc=att, dc=com ? sub ? surName=jagadish)))",
+        );
+        assert_eq!(got, vec!["uid=jag, ou=people, dc=att, dc=com"]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Language classification — the expressiveness hierarchy of Theorem 8.1.
+//!
+//! `LDAP ⊂ L0 ⊂ L1 ⊂ L2 ⊂ L3`, strictly. [`classify`] returns the least
+//! language of this chain containing a given query tree; [`witnesses`]
+//! exhibits, for each inclusion, a query in the larger language whose
+//! separation argument the paper sketches — these are executed in the
+//! expressiveness experiment (E10) and the integration tests.
+
+use crate::ast::Query;
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_model::Dn;
+use std::fmt;
+
+/// The language chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Language {
+    /// One base + one scope + one (boolean-composed) filter.
+    Ldap,
+    /// Atomic queries composed with set-level `&`, `|`, `-`.
+    L0,
+    /// + hierarchical selection `p c a d ac dc`.
+    L1,
+    /// + aggregate selection (simple `g` and structural).
+    L2,
+    /// + embedded references `vd dv`.
+    L3,
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Language::Ldap => "LDAP",
+            Language::L0 => "L0",
+            Language::L1 => "L1",
+            Language::L2 => "L2",
+            Language::L3 => "L3",
+        })
+    }
+}
+
+/// The least language in the chain containing `q`.
+///
+/// A single atomic query is LDAP-expressible (one base, one scope, one
+/// atomic filter). Any boolean *combination* is L0: the paper's LDAP can
+/// combine filters but not queries, so differing bases/scopes — or the set
+/// difference operator, which LDAP filters lack at query level — need L0.
+/// (A boolean combination whose operands all share base and scope *could*
+/// collapse into one LDAP filter for `&`/`|`, but `-` over filters is
+/// `(&(f1)(!(f2)))` only when the operands' scopes coincide; we classify
+/// conservatively by syntax, as the paper's grammars do.)
+pub fn classify(q: &Query) -> Language {
+    match q {
+        Query::Atomic { .. } => Language::Ldap,
+        Query::And(a, b) | Query::Or(a, b) | Query::Diff(a, b) => {
+            Language::L0.max(classify(a)).max(classify(b))
+        }
+        Query::Hier { q1, q2, agg, .. } => {
+            let base = if agg.is_some() {
+                Language::L2
+            } else {
+                Language::L1
+            };
+            base.max(classify(q1)).max(classify(q2))
+        }
+        Query::HierPath {
+            q1, q2, q3, agg, ..
+        } => {
+            let base = if agg.is_some() {
+                Language::L2
+            } else {
+                Language::L1
+            };
+            base.max(classify(q1))
+                .max(classify(q2))
+                .max(classify(q3))
+        }
+        Query::AggSelect { query, .. } => Language::L2.max(classify(query)),
+        Query::EmbedRef { q1, q2, .. } => {
+            Language::L3.max(classify(q1)).max(classify(q2))
+        }
+    }
+}
+
+/// For each strict inclusion `Li ⊂ Li+1`, a concrete query in `Li+1`
+/// exercising the construct `Li` lacks. Returned as (language, query,
+/// explanation) triples; the experiment harness runs each one.
+pub fn witnesses() -> Vec<(Language, Query, &'static str)> {
+    use crate::ast::{AggAttribute, AggSelFilter, EntryAgg, HierOp, RefOp};
+    use netdir_filter::atomic::IntOp;
+
+    let att = Dn::parse("dc=att, dc=com").unwrap();
+    let research = Dn::parse("dc=research, dc=att, dc=com").unwrap();
+    let jag = |base: &Dn| {
+        Query::atomic(
+            base.clone(),
+            Scope::Sub,
+            AtomicFilter::eq("surName", "jagadish"),
+        )
+    };
+
+    vec![
+        (
+            Language::L0,
+            // Example 4.1: different base entries under a set difference —
+            // inexpressible with a single LDAP base/scope.
+            Query::diff(jag(&att), jag(&research)),
+            "Example 4.1: one L0 query; LDAP needs two round-trips plus \
+             client-side difference",
+        ),
+        (
+            Language::L1,
+            // Example 5.1: organizational units directly containing a
+            // jagadish entry — filters see one entry at a time, so no L0
+            // query can relate two entries hierarchically.
+            Query::hier(
+                HierOp::Children,
+                Query::atomic(
+                    att.clone(),
+                    Scope::Sub,
+                    AtomicFilter::eq("objectClass", "organizationalUnit"),
+                ),
+                jag(&att),
+            ),
+            "Example 5.1: selection conditioned on a *different* entry's \
+             existence in a hierarchy relation",
+        ),
+        (
+            Language::L2,
+            // Example 6.2: subscribers with more than 10 QHP children —
+            // counting witnesses is beyond L1's existential tests.
+            Query::hier_agg(
+                HierOp::Children,
+                Query::atomic(
+                    att.clone(),
+                    Scope::Sub,
+                    AtomicFilter::eq("objectClass", "TOPSSubscriber"),
+                ),
+                Query::atomic(att.clone(), Scope::Sub, AtomicFilter::eq("objectClass", "QHP")),
+                AggSelFilter {
+                    lhs: AggAttribute::Entry(EntryAgg::CountWitnesses),
+                    op: IntOp::Gt,
+                    rhs: AggAttribute::Const(10),
+                },
+            ),
+            "Example 6.2: aggregate (count) over witness sets",
+        ),
+        (
+            Language::L3,
+            // Example 7.1: joining on DN-valued attributes.
+            Query::embed_ref(
+                RefOp::ValueDn,
+                Query::atomic(
+                    att.clone(),
+                    Scope::Sub,
+                    AtomicFilter::eq("objectClass", "SLAPolicyRules"),
+                ),
+                Query::atomic(
+                    att,
+                    Scope::Sub,
+                    AtomicFilter::eq("objectClass", "trafficProfile"),
+                ),
+                "SLATPRef",
+            ),
+            "Example 7.1: navigation along embedded DN references",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_ordered() {
+        assert!(Language::Ldap < Language::L0);
+        assert!(Language::L0 < Language::L1);
+        assert!(Language::L1 < Language::L2);
+        assert!(Language::L2 < Language::L3);
+    }
+
+    #[test]
+    fn witnesses_classify_exactly() {
+        for (lang, q, why) in witnesses() {
+            assert_eq!(classify(&q), lang, "witness for {lang}: {why}");
+        }
+    }
+
+    #[test]
+    fn atomic_is_ldap() {
+        let q = Query::atomic(
+            Dn::parse("dc=com").unwrap(),
+            Scope::Base,
+            AtomicFilter::True,
+        );
+        assert_eq!(classify(&q), Language::Ldap);
+    }
+
+    #[test]
+    fn nesting_escalates() {
+        let a = Query::atomic(
+            Dn::parse("dc=com").unwrap(),
+            Scope::Sub,
+            AtomicFilter::present("x"),
+        );
+        let l1 = Query::hier(crate::ast::HierOp::Parents, a.clone(), a.clone());
+        // Boolean over an L1 query stays L1.
+        assert_eq!(classify(&Query::and(l1.clone(), a.clone())), Language::L1);
+        // g over L1 is L2.
+        assert_eq!(
+            classify(&Query::agg_select(
+                l1,
+                crate::ast::AggSelFilter::exists_witness()
+            )),
+            Language::L2
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Naive reference implementations.
+//!
+//! Every operator, implemented directly from its defining formula
+//! (Definitions 4.1, 5.1, 6.1, 6.2, 7.1) with nested loops over in-memory
+//! vectors. Two jobs:
+//!
+//! 1. **Oracle** — randomized tests check the external-memory algorithms
+//!    against these, element for element.
+//! 2. **Baseline** — "the straightforward way … is quadratic in the sum of
+//!    the sizes of the two operands" (Section 5.3); the benchmark harness
+//!    measures exactly that quadratic-vs-linear separation (experiment E4).
+
+use crate::agg::{CompiledAggFilter, GlobalState, WitnessState};
+use crate::ast::RefOp;
+use crate::hs_stack::HsOp;
+use netdir_model::{AttrName, Entry, Value};
+
+fn sort_entries(mut v: Vec<Entry>) -> Vec<Entry> {
+    v.sort_by(|a, b| a.dn().cmp(b.dn()));
+    v
+}
+
+/// Does `witness` stand in relation `op` to `candidate`, unblocked by `l3`?
+fn is_witness(op: HsOp, candidate: &Entry, witness: &Entry, l3: &[Entry]) -> bool {
+    let c = candidate.dn();
+    let w = witness.dn();
+    match op {
+        HsOp::Parents => w.is_parent_of(c),
+        HsOp::Children => c.is_parent_of(w),
+        HsOp::Ancestors => w.is_ancestor_of(c),
+        HsOp::Descendants => c.is_ancestor_of(w),
+        HsOp::AncestorsConstrained => {
+            w.is_ancestor_of(c)
+                && !l3.iter().any(|r3| {
+                    r3.dn() != c && r3.dn() != w
+                        && r3.dn().is_ancestor_of(c)
+                        && w.is_ancestor_of(r3.dn())
+                })
+        }
+        HsOp::DescendantsConstrained => {
+            c.is_ancestor_of(w)
+                && !l3.iter().any(|r3| {
+                    r3.dn() != c && r3.dn() != w
+                        && c.is_ancestor_of(r3.dn())
+                        && r3.dn().is_ancestor_of(w)
+                })
+        }
+    }
+}
+
+/// Naive hierarchical selection with aggregate filter — the quadratic
+/// baseline and oracle for [`crate::hs_stack::hs_select`].
+pub fn naive_hs_select(
+    op: HsOp,
+    l1: &[Entry],
+    l2: &[Entry],
+    l3: &[Entry],
+    filter: &CompiledAggFilter,
+) -> Vec<Entry> {
+    let mut globals = GlobalState::default();
+    let mut annotated: Vec<(Entry, WitnessState)> = Vec::with_capacity(l1.len());
+    for r1 in l1 {
+        let mut wit = WitnessState::empty(filter);
+        for r2 in l2 {
+            if is_witness(op, r1, r2, l3) {
+                wit.add_witness(filter, r2);
+            }
+        }
+        filter.accumulate_global(&mut globals, r1, &wit);
+        annotated.push((r1.clone(), wit));
+    }
+    sort_entries(
+        annotated
+            .into_iter()
+            .filter(|(e, w)| filter.accept(e, w, &globals))
+            .map(|(e, _)| e)
+            .collect(),
+    )
+}
+
+/// Naive simple aggregate selection — oracle for
+/// [`crate::agg_simple::simple_agg_select`].
+pub fn naive_simple_agg(l1: &[Entry], filter: &CompiledAggFilter) -> Vec<Entry> {
+    let no_wit = WitnessState::default();
+    let mut globals = GlobalState::default();
+    for e in l1 {
+        filter.accumulate_global(&mut globals, e, &no_wit);
+    }
+    sort_entries(
+        l1.iter()
+            .filter(|e| filter.accept(e, &no_wit, &globals))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Naive embedded-reference selection — the quadratic baseline and oracle
+/// for [`crate::er_join::er_select`].
+pub fn naive_er_select(
+    op: RefOp,
+    l1: &[Entry],
+    l2: &[Entry],
+    attr: &AttrName,
+    filter: &CompiledAggFilter,
+) -> Vec<Entry> {
+    let references = |from: &Entry, to: &Entry| {
+        from.values(attr)
+            .any(|v| matches!(v, Value::Dn(d) if d == to.dn()))
+    };
+    let mut globals = GlobalState::default();
+    let mut annotated: Vec<(Entry, WitnessState)> = Vec::with_capacity(l1.len());
+    for r1 in l1 {
+        let mut wit = WitnessState::empty(filter);
+        for r2 in l2 {
+            let hit = match op {
+                RefOp::ValueDn => references(r1, r2),
+                RefOp::DnValue => references(r2, r1),
+            };
+            if hit {
+                wit.add_witness(filter, r2);
+            }
+        }
+        filter.accumulate_global(&mut globals, r1, &wit);
+        annotated.push((r1.clone(), wit));
+    }
+    sort_entries(
+        annotated
+            .into_iter()
+            .filter(|(e, w)| filter.accept(e, w, &globals))
+            .map(|(e, _)| e)
+            .collect(),
+    )
+}
+
+/// Naive boolean operators (by DN identity).
+pub fn naive_boolean(op: crate::boolean::BoolOp, l1: &[Entry], l2: &[Entry]) -> Vec<Entry> {
+    use crate::boolean::BoolOp;
+    let in2 = |e: &Entry| l2.iter().any(|x| x.dn() == e.dn());
+    let out: Vec<Entry> = match op {
+        BoolOp::And => l1.iter().filter(|e| in2(e)).cloned().collect(),
+        BoolOp::Diff => l1.iter().filter(|e| !in2(e)).cloned().collect(),
+        BoolOp::Or => {
+            let mut v: Vec<Entry> = l1.to_vec();
+            for e in l2 {
+                if !l1.iter().any(|x| x.dn() == e.dn()) {
+                    v.push(e.clone());
+                }
+            }
+            v
+        }
+    };
+    sort_entries(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_model::Dn;
+
+    fn entry(s: &str) -> Entry {
+        Entry::builder(Dn::parse(s).unwrap())
+            .class("t")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn naive_matches_definitions_on_small_case() {
+        let all: Vec<Entry> = ["dc=com", "dc=att, dc=com", "ou=p, dc=att, dc=com"]
+            .iter()
+            .map(|s| entry(s))
+            .collect();
+        let f = CompiledAggFilter::exists_witness();
+        let anc = naive_hs_select(
+            HsOp::Ancestors,
+            &all,
+            &[entry("dc=att, dc=com")],
+            &[],
+            &f,
+        );
+        assert_eq!(anc.len(), 1);
+        assert_eq!(anc[0].dn().to_string(), "ou=p, dc=att, dc=com");
+    }
+
+    #[test]
+    fn naive_boolean_agrees_with_set_semantics() {
+        use crate::boolean::BoolOp;
+        let a = vec![entry("dc=a"), entry("dc=b")];
+        let b = vec![entry("dc=b"), entry("dc=c")];
+        assert_eq!(naive_boolean(BoolOp::And, &a, &b).len(), 1);
+        assert_eq!(naive_boolean(BoolOp::Or, &a, &b).len(), 3);
+        assert_eq!(naive_boolean(BoolOp::Diff, &a, &b).len(), 1);
+    }
+}

@@ -1,0 +1,614 @@
+//! Parser for the paper's query syntax (grammars of Figures 7–10).
+//!
+//! ```text
+//! (dc=att, dc=com ? sub ? surName=jagadish)                 — atomic
+//! (- Q1 Q2)  (& Q1 Q2)  (| Q1 Q2)                           — L0
+//! (p Q1 Q2)  (c Q1 Q2)  (a Q1 Q2)  (d Q1 Q2)
+//! (ac Q1 Q2 Q3)  (dc Q1 Q2 Q3)                              — L1
+//! (g Q count(SLAPVPRef) > 1)
+//! (c Q1 Q2 count($2) > 10)                                  — L2
+//! (vd Q1 Q2 SLATPRef)  (dv Q1 Q2 SLADSActRef [AggSel])      — L3
+//! ```
+//!
+//! Binary boolean operators are parsed n-ary-tolerantly (`(& a b c)`
+//! associates left), since the figures' grammar is binary but examples
+//! chain naturally.
+
+use crate::ast::*;
+use crate::error::{QueryError, QueryResult};
+use netdir_filter::atomic::IntOp;
+use netdir_filter::{parse_atomic, Scope};
+use netdir_model::{AttrName, Dn};
+
+/// Parse a query string.
+///
+/// ```
+/// use netdir_query::{parse_query, classify, Language};
+/// let q = parse_query(
+///     "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+///         (dc=att, dc=com ? sub ? surName=jagadish) \
+///         count($2) > 10)").unwrap();
+/// assert_eq!(classify(&q), Language::L2);
+/// assert_eq!(parse_query(&q.to_string()).unwrap(), q); // round-trips
+/// ```
+pub fn parse_query(input: &str) -> QueryResult<Query> {
+    let mut p = Parser {
+        src: input,
+        pos: 0,
+    };
+    let q = p.parse_query()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(q)
+}
+
+/// Parse an aggregate selection filter string, e.g.
+/// `min(SLARulePriority) = min(min(SLARulePriority))`.
+pub fn parse_agg_filter(input: &str) -> QueryResult<AggSelFilter> {
+    let p = Parser {
+        src: input,
+        pos: 0,
+    };
+    p.parse_agg_filter_text(input.trim())
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            input: self.src.to_string(),
+            detail: format!("{} (at byte {})", detail.into(), self.pos),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn expect(&mut self, c: char) -> QueryResult<()> {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.rest().starts_with(c)
+    }
+
+    fn parse_query(&mut self) -> QueryResult<Query> {
+        self.expect('(')?;
+        self.skip_ws();
+        // Operator symbol or atomic query body?
+        let op = self.peek_operator();
+        match op {
+            Some(sym) => {
+                self.pos += sym.len();
+                self.parse_operator_body(sym)
+            }
+            None => self.parse_atomic_body(),
+        }
+    }
+
+    /// An operator symbol must be followed by whitespace or '(' to avoid
+    /// mistaking an atomic body like `dc=att…` (starting with 'd') or
+    /// `a=1…` for an operator.
+    fn peek_operator(&self) -> Option<&'static str> {
+        const OPS: [&str; 12] = [
+            "&", "|", "-", "ac", "dc", "p", "c", "a", "d", "g", "vd", "dv",
+        ];
+        let rest = self.rest();
+        for sym in OPS {
+            if let Some(after) = rest.strip_prefix(sym) {
+                if after.starts_with(char::is_whitespace) || after.starts_with('(') {
+                    return Some(sym);
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_operator_body(&mut self, sym: &str) -> QueryResult<Query> {
+        match sym {
+            "&" | "|" | "-" => {
+                let mut qs = Vec::new();
+                while self.peek_is('(') {
+                    qs.push(self.parse_query()?);
+                }
+                self.expect(')')?;
+                if qs.len() < 2 {
+                    return Err(self.err(format!("({sym} …) needs at least two operands")));
+                }
+                let mut it = qs.into_iter();
+                let first = it.next().expect("len >= 2");
+                Ok(it.fold(first, |acc, q| match sym {
+                    "&" => Query::and(acc, q),
+                    "|" => Query::or(acc, q),
+                    _ => Query::diff(acc, q),
+                }))
+            }
+            "p" | "c" | "a" | "d" => {
+                let op = match sym {
+                    "p" => HierOp::Parents,
+                    "c" => HierOp::Children,
+                    "a" => HierOp::Ancestors,
+                    _ => HierOp::Descendants,
+                };
+                let q1 = self.parse_query()?;
+                let q2 = self.parse_query()?;
+                let agg = self.parse_optional_agg()?;
+                self.expect(')')?;
+                Ok(Query::Hier {
+                    op,
+                    q1: Box::new(q1),
+                    q2: Box::new(q2),
+                    agg,
+                })
+            }
+            "ac" | "dc" => {
+                let op = if sym == "ac" {
+                    HierPathOp::AncestorsConstrained
+                } else {
+                    HierPathOp::DescendantsConstrained
+                };
+                let q1 = self.parse_query()?;
+                let q2 = self.parse_query()?;
+                let q3 = self.parse_query()?;
+                let agg = self.parse_optional_agg()?;
+                self.expect(')')?;
+                Ok(Query::HierPath {
+                    op,
+                    q1: Box::new(q1),
+                    q2: Box::new(q2),
+                    q3: Box::new(q3),
+                    agg,
+                })
+            }
+            "g" => {
+                let q = self.parse_query()?;
+                let Some(agg) = self.parse_optional_agg()? else {
+                    return Err(self.err("(g …) requires an aggregate selection filter"));
+                };
+                self.expect(')')?;
+                Ok(Query::AggSelect {
+                    query: Box::new(q),
+                    filter: agg,
+                })
+            }
+            "vd" | "dv" => {
+                let op = if sym == "vd" {
+                    RefOp::ValueDn
+                } else {
+                    RefOp::DnValue
+                };
+                let q1 = self.parse_query()?;
+                let q2 = self.parse_query()?;
+                // Attribute name, then optional agg filter, then ')'.
+                let tail = self.take_until_close()?;
+                let tail = tail.trim();
+                if tail.is_empty() {
+                    return Err(self.err(format!("({sym} …) requires an attribute name")));
+                }
+                let (attr_s, agg_s) = match tail.find(char::is_whitespace) {
+                    None => (tail, None),
+                    Some(i) => (&tail[..i], Some(tail[i..].trim())),
+                };
+                let agg = match agg_s {
+                    None => None,
+                    Some("") => None,
+                    Some(s) => Some(self.parse_agg_filter_text(s)?),
+                };
+                Ok(Query::EmbedRef {
+                    op,
+                    q1: Box::new(q1),
+                    q2: Box::new(q2),
+                    attr: AttrName::new(attr_s),
+                    agg,
+                })
+            }
+            _ => unreachable!("peek_operator only returns known symbols"),
+        }
+    }
+
+    /// Optional trailing aggregate filter before the closing paren.
+    fn parse_optional_agg(&mut self) -> QueryResult<Option<AggSelFilter>> {
+        self.skip_ws();
+        if self.rest().starts_with(')') {
+            return Ok(None); // caller consumes the ')'
+        }
+        let text = self.take_until_close_peek()?;
+        let f = self.parse_agg_filter_text(text.trim())?;
+        self.pos += text.len();
+        Ok(Some(f))
+    }
+
+    /// Text up to (not including) the next top-level ')', consuming it
+    /// but not the paren.
+    fn take_until_close(&mut self) -> QueryResult<&'a str> {
+        let s = self.take_until_close_peek()?;
+        self.pos += s.len();
+        self.expect(')')?;
+        Ok(s)
+    }
+
+    fn take_until_close_peek(&mut self) -> QueryResult<&'a str> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut depth = 0usize;
+        for (i, ch) in rest.char_indices() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    if depth == 0 {
+                        return Ok(&rest[..i]);
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated query"))
+    }
+
+    /// Atomic query body: `BaseDN ? Scope ? AtomicFilter` up to ')'.
+    fn parse_atomic_body(&mut self) -> QueryResult<Query> {
+        let body = self.take_until_close()?;
+        let mut parts = body.splitn(3, '?');
+        let base_s = parts
+            .next()
+            .ok_or_else(|| self.err("missing base DN"))?
+            .trim();
+        let scope_s = parts
+            .next()
+            .ok_or_else(|| self.err("atomic query needs `base ? scope ? filter`"))?
+            .trim();
+        let filter_s = parts
+            .next()
+            .ok_or_else(|| self.err("atomic query needs a filter"))?
+            .trim();
+        let base = if base_s.eq_ignore_ascii_case("null-dn") {
+            Dn::root()
+        } else {
+            Dn::parse(base_s).map_err(|e| self.err(format!("bad base DN: {e}")))?
+        };
+        let scope =
+            Scope::parse(scope_s).ok_or_else(|| self.err(format!("bad scope {scope_s:?}")))?;
+        let filter =
+            parse_atomic(filter_s).map_err(|e| self.err(format!("bad filter: {e}")))?;
+        Ok(Query::Atomic {
+            base,
+            scope,
+            filter,
+        })
+    }
+
+    /// Parse `AggAttribute IntOp AggAttribute` from a detached string.
+    fn parse_agg_filter_text(&self, s: &str) -> QueryResult<AggSelFilter> {
+        // Find the comparison operator at depth 0.
+        let bytes = s.as_bytes();
+        let mut depth = 0usize;
+        let mut found: Option<(usize, usize, IntOp)> = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => depth = depth.saturating_sub(1),
+                b'<' | b'>' | b'=' if depth == 0 => {
+                    let (op, len) = match (bytes[i], bytes.get(i + 1)) {
+                        (b'<', Some(b'=')) => (IntOp::Le, 2),
+                        (b'>', Some(b'=')) => (IntOp::Ge, 2),
+                        (b'<', _) => (IntOp::Lt, 1),
+                        (b'>', _) => (IntOp::Gt, 1),
+                        (b'=', _) => (IntOp::Eq, 1),
+                        _ => unreachable!(),
+                    };
+                    found = Some((i, len, op));
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some((at, len, op)) = found else {
+            return Err(self.err(format!("no comparison operator in {s:?}")));
+        };
+        let lhs = self.parse_agg_attribute(s[..at].trim())?;
+        let rhs = self.parse_agg_attribute(s[at + len..].trim())?;
+        Ok(AggSelFilter { lhs, op, rhs })
+    }
+
+    fn parse_agg_attribute(&self, s: &str) -> QueryResult<AggAttribute> {
+        if let Ok(c) = s.parse::<i64>() {
+            return Ok(AggAttribute::Const(c));
+        }
+        if s == "count($$)" {
+            return Ok(AggAttribute::CountAll);
+        }
+        if s == "count($1)" {
+            return Ok(AggAttribute::CountR1);
+        }
+        // agg(inner)
+        let (agg, inner) = self.split_agg_call(s)?;
+        // Nested aggregate → entry-set aggregate.
+        if let Ok((inner_agg, inner_arg)) = self.split_agg_call(inner) {
+            let ea = self.make_entry_agg(inner_agg, inner_arg)?;
+            return Ok(AggAttribute::EntrySet(agg, Box::new(ea)));
+        }
+        if inner == "$2" {
+            if agg != Aggregate::Count {
+                return Err(self.err("only count($2) is a valid witness-set aggregate"));
+            }
+            return Ok(AggAttribute::Entry(EntryAgg::CountWitnesses));
+        }
+        Ok(AggAttribute::Entry(self.make_entry_agg(agg, inner)?))
+    }
+
+    fn make_entry_agg(&self, agg: Aggregate, arg: &str) -> QueryResult<EntryAgg> {
+        if arg == "$2" {
+            if agg != Aggregate::Count {
+                return Err(self.err("only count($2) is a valid witness-set aggregate"));
+            }
+            return Ok(EntryAgg::CountWitnesses);
+        }
+        let attr_ref = if let Some(a) = arg.strip_prefix("$1.") {
+            AttrRef::Of1(AttrName::new(a))
+        } else if let Some(a) = arg.strip_prefix("$2.") {
+            AttrRef::Of2(AttrName::new(a))
+        } else {
+            AttrRef::Own(AttrName::new(arg))
+        };
+        if attr_ref.attr().as_str().is_empty() {
+            return Err(self.err(format!("empty attribute in aggregate argument {arg:?}")));
+        }
+        Ok(EntryAgg::Agg(agg, attr_ref))
+    }
+
+    /// Split `name(arg)` into an [`Aggregate`] and its argument text.
+    fn split_agg_call<'s>(&self, s: &'s str) -> QueryResult<(Aggregate, &'s str)> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| self.err(format!("expected aggregate call, got {s:?}")))?;
+        if !s.ends_with(')') {
+            return Err(self.err(format!("unterminated aggregate call {s:?}")));
+        }
+        let name = s[..open].trim();
+        let agg = match name {
+            "min" => Aggregate::Min,
+            "max" => Aggregate::Max,
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "average" | "avg" => Aggregate::Average,
+            _ => return Err(self.err(format!("unknown aggregate {name:?}"))),
+        };
+        Ok((agg, s[open + 1..s.len() - 1].trim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_filter::AtomicFilter;
+
+    fn roundtrip(s: &str) -> Query {
+        let q = parse_query(s).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(q, q2, "display/parse roundtrip for {s}");
+        q
+    }
+
+    #[test]
+    fn atomic_query() {
+        let q = roundtrip("(dc=att, dc=com ? sub ? surName=jagadish)");
+        match q {
+            Query::Atomic {
+                base,
+                scope,
+                filter,
+            } => {
+                assert_eq!(base, Dn::parse("dc=att, dc=com").unwrap());
+                assert_eq!(scope, Scope::Sub);
+                assert_eq!(filter, AtomicFilter::eq("surName", "jagadish"));
+            }
+            other => panic!("wrong parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_4_1_difference() {
+        // Example 4.1: AT&T minus Research.
+        let q = roundtrip(
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+               (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        );
+        assert!(matches!(q, Query::Diff(_, _)));
+        assert_eq!(q.num_nodes(), 3);
+    }
+
+    #[test]
+    fn example_5_1_children() {
+        let q = roundtrip(
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+                (dc=att, dc=com ? sub ? surName=jagadish))",
+        );
+        assert!(matches!(
+            q,
+            Query::Hier {
+                op: HierOp::Children,
+                agg: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn example_5_3_constrained_descendants() {
+        let q = roundtrip(
+            "(dc (dc=att, dc=com ? sub ? objectClass=dcObject) \
+                 (& (dc=att, dc=com ? sub ? sourcePort=25) \
+                    (dc=att, dc=com ? sub ? objectClass=trafficProfile)) \
+                 (dc=att, dc=com ? sub ? objectClass=dcObject))",
+        );
+        match &q {
+            Query::HierPath { op, q2, .. } => {
+                assert_eq!(*op, HierPathOp::DescendantsConstrained);
+                assert!(matches!(**q2, Query::And(_, _)));
+            }
+            other => panic!("wrong parse {other:?}"),
+        }
+        assert_eq!(q.num_nodes(), 6);
+    }
+
+    #[test]
+    fn example_6_1_simple_agg() {
+        let q = roundtrip(
+            "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+                count(SLAPVPRef) > 1)",
+        );
+        match q {
+            Query::AggSelect { filter, .. } => {
+                assert_eq!(
+                    filter.lhs,
+                    AggAttribute::Entry(EntryAgg::Agg(
+                        Aggregate::Count,
+                        AttrRef::Own("SLAPVPRef".into())
+                    ))
+                );
+                assert_eq!(filter.rhs, AggAttribute::Const(1));
+            }
+            other => panic!("wrong parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_6_2_structural_agg() {
+        let q = roundtrip(
+            "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber) \
+                (dc=att, dc=com ? sub ? objectClass=QHP) \
+                count($2) > 10)",
+        );
+        match q {
+            Query::Hier { op, agg, .. } => {
+                assert_eq!(op, HierOp::Children);
+                let agg = agg.unwrap();
+                assert_eq!(agg.lhs, AggAttribute::Entry(EntryAgg::CountWitnesses));
+                assert_eq!(agg.rhs, AggAttribute::Const(10));
+            }
+            other => panic!("wrong parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_7_1_embedded_reference_with_nested_agg() {
+        let q = roundtrip(
+            "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction) \
+                 (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+                        (& (dc=att, dc=com ? sub ? sourcePort=25) \
+                           (dc=att, dc=com ? sub ? objectClass=trafficProfile)) \
+                        SLATPRef) \
+                    min(SLARulePriority) = min(min(SLARulePriority))) \
+                 SLADSActRef)",
+        );
+        match &q {
+            Query::EmbedRef { op, attr, q2, .. } => {
+                assert_eq!(*op, RefOp::DnValue);
+                assert_eq!(attr, &AttrName::new("SLADSActRef"));
+                assert!(matches!(**q2, Query::AggSelect { .. }));
+            }
+            other => panic!("wrong parse {other:?}"),
+        }
+        assert_eq!(q.num_nodes(), 8);
+    }
+
+    #[test]
+    fn null_dn_base_and_nary_booleans() {
+        let q = roundtrip("(& (null-dn ? sub ? objectClass=*) (dc=com ? base ? a=1) (dc=com ? one ? b=2))");
+        // n-ary & folds left.
+        assert!(matches!(q, Query::And(_, _)));
+        assert_eq!(q.num_nodes(), 5);
+        let atoms = q.atomic_subqueries();
+        match atoms[0] {
+            Query::Atomic { base, .. } => assert!(base.is_root()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn max_count_filter_parses() {
+        let f = parse_agg_filter("count($2) = max(count($2))").unwrap();
+        assert_eq!(f.lhs, AggAttribute::Entry(EntryAgg::CountWitnesses));
+        assert_eq!(
+            f.rhs,
+            AggAttribute::EntrySet(Aggregate::Max, Box::new(EntryAgg::CountWitnesses))
+        );
+    }
+
+    #[test]
+    fn witness_attr_refs_parse() {
+        let f = parse_agg_filter("min($2.priority) <= sum($1.weight)").unwrap();
+        assert_eq!(
+            f.lhs,
+            AggAttribute::Entry(EntryAgg::Agg(
+                Aggregate::Min,
+                AttrRef::Of2("priority".into())
+            ))
+        );
+        assert_eq!(f.op, IntOp::Le);
+        assert_eq!(
+            f.rhs,
+            AggAttribute::Entry(EntryAgg::Agg(
+                Aggregate::Sum,
+                AttrRef::Of1("weight".into())
+            ))
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "(p (dc=com ? sub ? a=1))",                 // missing operand
+            "(dc=com ? sub)",                            // missing filter
+            "(dc=com ? tree ? a=1)",                     // bad scope
+            "(g (dc=com ? sub ? a=1))",                  // g without filter
+            "(vd (dc=com ? sub ? a=1) (dc=com ? sub ? b=2))", // vd without attr
+            "(dc=com ? sub ? a=1) extra",                // trailing
+            "(& (dc=com ? sub ? a=1))",                  // unary &
+            "(g (dc=com ? sub ? a=1) frob(x) > 1)",      // unknown aggregate
+            "(c (dc=com ? sub ? a=1) (dc=com ? sub ? b=2) min($2) > 1)", // min($2)
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn operator_vs_atomic_disambiguation() {
+        // Atomic bodies starting with operator letters must not confuse
+        // the parser: `d=x`, `a=1`, `dc=com`, `p=q`.
+        for s in [
+            "(d=x ? base ? a=1)",
+            "(a=1, dc=com ? one ? b=2)",
+            "(dc=com ? sub ? c=3)",
+            "(p=q ? sub ? objectClass=*)",
+        ] {
+            let q = parse_query(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(matches!(q, Query::Atomic { .. }), "{s} must parse atomic");
+        }
+    }
+}

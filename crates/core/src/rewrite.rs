@@ -1,0 +1,191 @@
+//! The Theorem 8.2(d) rewrites: `{ac, dc}` express all of `{p, c, a, d}`.
+//!
+//! Section 8.1 shows `L0 + {ac, dc}` equals `L1` in expressive power but
+//! argues *against* dropping the four simpler operators, because the
+//! rewrites' third operand ranges over the **whole directory**:
+//!
+//! ```text
+//! (p Q1 Q2) = (ac Q1 Q2 (null-dn ? sub ? objectClass=*))
+//! ```
+//!
+//! and evaluation cost is linear in the size of operator inputs — so the
+//! rewrite turns a cheap query into one that scans everything. Experiment
+//! E11 measures exactly this blow-up.
+//!
+//! Caveat (inherent to the paper's rewrite, documented here for fairness):
+//! `p`/`c` relate entries by *DN arithmetic*, while the `ac`/`dc` rewrite
+//! detects "no entry strictly between". The two coincide on instances
+//! where every ancestor of an entry is present (true of directories
+//! maintained by real servers, which require parents to exist); in a
+//! sparse forest a grandchild with an absent parent is `ac`-adjacent but
+//! not a `p`-parent. Tests exercise both regimes.
+
+use crate::ast::{HierOp, HierPathOp, Query};
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_model::Dn;
+
+/// The "whole directory" operand: `(null-dn ? sub ? objectClass=*)`.
+pub fn whole_directory() -> Query {
+    Query::atomic(Dn::root(), Scope::Sub, AtomicFilter::True)
+}
+
+/// A guaranteed-empty operand: `(- X X)` over the whole directory.
+pub fn empty_query() -> Query {
+    Query::diff(whole_directory(), whole_directory())
+}
+
+/// Rewrite a binary hierarchy operator into its `ac`/`dc` equivalent
+/// (Theorem 8.2(d)).
+///
+/// * `p` → `ac` with the whole directory as blockers (only the immediate
+///   present ancestor survives);
+/// * `c` → `dc` likewise;
+/// * `a` → `ac` with an *empty* blocker set (nothing blocks);
+/// * `d` → `dc` likewise.
+pub fn rewrite_via_constrained(op: HierOp, q1: Query, q2: Query) -> Query {
+    match op {
+        HierOp::Parents => Query::hier_path(
+            HierPathOp::AncestorsConstrained,
+            q1,
+            q2,
+            whole_directory(),
+        ),
+        HierOp::Children => Query::hier_path(
+            HierPathOp::DescendantsConstrained,
+            q1,
+            q2,
+            whole_directory(),
+        ),
+        HierOp::Ancestors => {
+            Query::hier_path(HierPathOp::AncestorsConstrained, q1, q2, empty_query())
+        }
+        HierOp::Descendants => {
+            Query::hier_path(HierPathOp::DescendantsConstrained, q1, q2, empty_query())
+        }
+    }
+}
+
+/// Rewrite every plain `p`/`c`/`a`/`d` node in a query tree (used by the
+/// rewrite-cost experiment).
+pub fn rewrite_tree(q: &Query) -> Query {
+    match q {
+        Query::Atomic { .. } => q.clone(),
+        Query::And(a, b) => Query::and(rewrite_tree(a), rewrite_tree(b)),
+        Query::Or(a, b) => Query::or(rewrite_tree(a), rewrite_tree(b)),
+        Query::Diff(a, b) => Query::diff(rewrite_tree(a), rewrite_tree(b)),
+        Query::Hier { op, q1, q2, agg } => {
+            let q1 = rewrite_tree(q1);
+            let q2 = rewrite_tree(q2);
+            match agg {
+                None => rewrite_via_constrained(*op, q1, q2),
+                // Aggregate forms rewrite identically (the filter moves
+                // onto the constrained operator).
+                Some(f) => match rewrite_via_constrained(*op, q1, q2) {
+                    Query::HierPath {
+                        op, q1, q2, q3, ..
+                    } => Query::HierPath {
+                        op,
+                        q1,
+                        q2,
+                        q3,
+                        agg: Some(f.clone()),
+                    },
+                    _ => unreachable!("rewrite_via_constrained returns HierPath"),
+                },
+            }
+        }
+        Query::HierPath {
+            op,
+            q1,
+            q2,
+            q3,
+            agg,
+        } => Query::HierPath {
+            op: *op,
+            q1: Box::new(rewrite_tree(q1)),
+            q2: Box::new(rewrite_tree(q2)),
+            q3: Box::new(rewrite_tree(q3)),
+            agg: agg.clone(),
+        },
+        Query::AggSelect { query, filter } => {
+            Query::agg_select(rewrite_tree(query), filter.clone())
+        }
+        Query::EmbedRef {
+            op,
+            q1,
+            q2,
+            attr,
+            agg,
+        } => Query::EmbedRef {
+            op: *op,
+            q1: Box::new(rewrite_tree(q1)),
+            q2: Box::new(rewrite_tree(q2)),
+            attr: attr.clone(),
+            agg: agg.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{classify, Language};
+
+    fn atom() -> Query {
+        Query::atomic(
+            Dn::parse("dc=com").unwrap(),
+            Scope::Sub,
+            AtomicFilter::present("x"),
+        )
+    }
+
+    #[test]
+    fn rewrites_stay_in_l1() {
+        for op in [
+            HierOp::Parents,
+            HierOp::Children,
+            HierOp::Ancestors,
+            HierOp::Descendants,
+        ] {
+            let q = rewrite_via_constrained(op, atom(), atom());
+            assert_eq!(classify(&q), Language::L1);
+            assert!(matches!(q, Query::HierPath { .. }));
+        }
+    }
+
+    #[test]
+    fn rewrite_grows_the_tree() {
+        let plain = Query::hier(HierOp::Parents, atom(), atom());
+        let rewritten = rewrite_tree(&plain);
+        assert!(rewritten.num_nodes() > plain.num_nodes());
+        // The whole-directory operand appears.
+        let atoms = rewritten.atomic_subqueries();
+        assert!(atoms.iter().any(|a| matches!(
+            a,
+            Query::Atomic { base, scope: Scope::Sub, filter: AtomicFilter::True } if base.is_root()
+        )));
+    }
+
+    #[test]
+    fn rewrite_tree_is_recursive() {
+        let inner = Query::hier(HierOp::Descendants, atom(), atom());
+        let outer = Query::hier(HierOp::Parents, inner, atom());
+        let rewritten = rewrite_tree(&outer);
+        // Both hier nodes became constrained nodes.
+        fn count_paths(q: &Query) -> usize {
+            match q {
+                Query::HierPath { q1, q2, q3, .. } => {
+                    1 + count_paths(q1) + count_paths(q2) + count_paths(q3)
+                }
+                Query::And(a, b) | Query::Or(a, b) | Query::Diff(a, b) => {
+                    count_paths(a) + count_paths(b)
+                }
+                Query::Hier { q1, q2, .. } => count_paths(q1) + count_paths(q2),
+                Query::AggSelect { query, .. } => count_paths(query),
+                Query::EmbedRef { q1, q2, .. } => count_paths(q1) + count_paths(q2),
+                Query::Atomic { .. } => 0,
+            }
+        }
+        assert_eq!(count_paths(&rewritten), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the query syntax: display → parse is the identity
+//! on randomly generated trees, and memoized evaluation matches plain
+//! evaluation.
+
+use netdir_filter::atomic::IntOp;
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_index::IndexedDirectory;
+use netdir_model::Dn;
+use netdir_pager::Pager;
+use netdir_query::ast::*;
+use netdir_query::{classify, parse_query, Evaluator};
+use netdir_workloads::{synth_forest, SynthParams};
+use proptest::prelude::*;
+
+fn arb_scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![Just(Scope::Base), Just(Scope::One), Just(Scope::Sub)]
+}
+
+/// Atomic filters whose Display is parse-stable (presence, equality on
+/// wildcard-free lowercase values, int comparisons other than `=`).
+fn arb_filter() -> impl Strategy<Value = AtomicFilter> {
+    prop_oneof![
+        "[a-z]{1,6}".prop_map(|a| AtomicFilter::present(a.as_str())),
+        // Values must not start/end with whitespace (the parser trims).
+        ("[a-z]{1,6}", "[a-z]([a-z0-9 ]{0,6}[a-z])?")
+            .prop_map(|(a, v)| AtomicFilter::eq(a.as_str(), v)),
+        (
+            "[a-z]{1,6}",
+            prop_oneof![
+                Just(IntOp::Lt),
+                Just(IntOp::Le),
+                Just(IntOp::Gt),
+                Just(IntOp::Ge)
+            ],
+            -100i64..100
+        )
+            .prop_map(|(a, op, v)| AtomicFilter::int_cmp(a.as_str(), op, v)),
+    ]
+}
+
+fn arb_base() -> impl Strategy<Value = Dn> {
+    prop_oneof![
+        Just(Dn::root()),
+        Just(Dn::parse("dc=synth").unwrap()),
+        Just(Dn::parse("ou=x, dc=synth").unwrap()),
+    ]
+}
+
+fn arb_agg_filter() -> impl Strategy<Value = AggSelFilter> {
+    let agg = prop_oneof![
+        Just(Aggregate::Min),
+        Just(Aggregate::Max),
+        Just(Aggregate::Count),
+        Just(Aggregate::Sum),
+        Just(Aggregate::Average),
+    ];
+    let attr_ref = prop_oneof![
+        "[a-z]{1,5}".prop_map(|a| AttrRef::Own(a.as_str().into())),
+        "[a-z]{1,5}".prop_map(|a| AttrRef::Of1(a.as_str().into())),
+        "[a-z]{1,5}".prop_map(|a| AttrRef::Of2(a.as_str().into())),
+    ];
+    let ea = prop_oneof![
+        Just(EntryAgg::CountWitnesses),
+        (agg.clone(), attr_ref).prop_map(|(g, r)| EntryAgg::Agg(g, r)),
+    ];
+    let aa = prop_oneof![
+        (-20i64..20).prop_map(AggAttribute::Const),
+        ea.clone().prop_map(AggAttribute::Entry),
+        (agg, ea).prop_map(|(g, e)| AggAttribute::EntrySet(g, Box::new(e))),
+        Just(AggAttribute::CountR1),
+        Just(AggAttribute::CountAll),
+    ];
+    let ops = prop_oneof![
+        Just(IntOp::Lt),
+        Just(IntOp::Le),
+        Just(IntOp::Gt),
+        Just(IntOp::Ge),
+        Just(IntOp::Eq)
+    ];
+    (aa.clone(), ops, aa).prop_map(|(lhs, op, rhs)| AggSelFilter { lhs, op, rhs })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = (arb_base(), arb_scope(), arb_filter())
+        .prop_map(|(b, s, f)| Query::atomic(b, s, f));
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::diff(a, b)),
+            (
+                prop_oneof![
+                    Just(HierOp::Parents),
+                    Just(HierOp::Children),
+                    Just(HierOp::Ancestors),
+                    Just(HierOp::Descendants)
+                ],
+                inner.clone(),
+                inner.clone(),
+                proptest::option::of(arb_agg_filter()),
+            )
+                .prop_map(|(op, a, b, agg)| Query::Hier {
+                    op,
+                    q1: Box::new(a),
+                    q2: Box::new(b),
+                    agg,
+                }),
+            (
+                prop_oneof![
+                    Just(HierPathOp::AncestorsConstrained),
+                    Just(HierPathOp::DescendantsConstrained)
+                ],
+                inner.clone(),
+                inner.clone(),
+                inner.clone(),
+            )
+                .prop_map(|(op, a, b, c)| Query::hier_path(op, a, b, c)),
+            (
+                prop_oneof![Just(RefOp::ValueDn), Just(RefOp::DnValue)],
+                inner.clone(),
+                inner.clone(),
+                "[a-z]{1,6}",
+            )
+                .prop_map(|(op, a, b, attr)| Query::embed_ref(op, a, b, attr.as_str())),
+            (inner, arb_agg_filter()).prop_filter_map(
+                "g filters must be simple-compatible",
+                |(q, f)| {
+                    // g rejects witness references; regenerate without them.
+                    let ok = netdir_query::agg::CompiledAggFilter::compile(&f, false).is_ok();
+                    ok.then(|| Query::agg_select(q, f))
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn display_parse_roundtrip(q in arb_query()) {
+        let printed = q.to_string();
+        let back = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+        prop_assert_eq!(&back, &q, "display/parse not identity for {}", printed);
+        prop_assert_eq!(classify(&back), classify(&q));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn memoized_evaluation_matches_plain(q in arb_query()) {
+        // Shared directory so results are meaningful; any error must be
+        // identical with and without memo.
+        let dir = synth_forest(SynthParams {
+            entries: 120,
+            max_depth: 4,
+            red_fraction: 0.5,
+            blue_fraction: 0.5,
+        }, 8);
+        let pager = Pager::new(2048, 16);
+        let idx = IndexedDirectory::build(&pager, &dir).unwrap();
+        let plain = Evaluator::new(&idx, &pager).evaluate(&q);
+        let memo = Evaluator::new(&idx, &pager).with_memo().evaluate(&q);
+        match (plain, memo) {
+            (Ok(a), Ok(b)) => {
+                let a = a.to_vec().unwrap();
+                let b = b.to_vec().unwrap();
+                prop_assert_eq!(a, b);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Atomic filters and their satisfaction semantics (Section 4.1).
+//!
+//! The paper gives the judgement `r ⊨ F` for representative filters:
+//!
+//! ```text
+//! r ⊨ a=*    iff ∃v. (a,v) ∈ val(r)
+//! r ⊨ a<v1   iff ∃v2. σ(a)=int ∧ (a,v2) ∈ val(r) ∧ v2 < v1
+//! r ⊨ a=v2   iff ∃v,v1,v3. σ(a)=string ∧ (a,v) ∈ val(r) ∧ v = v1 v2 v3
+//! ```
+//!
+//! Every variant here follows the same shape: *some* pair of the entry
+//! satisfies the predicate. String matching is case-insensitive (canonical
+//! form), mirroring default LDAP matching rules.
+
+use netdir_model::{AttrName, Dn, Entry, Value};
+use std::fmt;
+
+/// A compiled substring pattern: `initial*any1*any2*…*final`.
+///
+/// Covers all the wildcard shapes of RFC 2254: `jag*`, `*jag`, `*jag*`,
+/// `a*b*c`. An empty pattern list with no initial/final is the presence
+/// test and is not represented here (see [`AtomicFilter::Present`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SubstringPattern {
+    /// Required prefix, if any (case-folded).
+    pub initial: Option<String>,
+    /// Interior fragments that must appear in order (case-folded).
+    pub any: Vec<String>,
+    /// Required suffix, if any (case-folded).
+    pub final_: Option<String>,
+}
+
+impl SubstringPattern {
+    /// Build from raw (unfolded) fragments.
+    pub fn new(initial: Option<&str>, any: &[&str], final_: Option<&str>) -> Self {
+        SubstringPattern {
+            initial: initial.map(str::to_ascii_lowercase),
+            any: any.iter().map(|s| s.to_ascii_lowercase()).collect(),
+            final_: final_.map(str::to_ascii_lowercase),
+        }
+    }
+
+    /// Match against a canonical (already folded) string.
+    pub fn matches(&self, s: &str) -> bool {
+        let mut rest = s;
+        if let Some(init) = &self.initial {
+            let Some(r) = rest.strip_prefix(init.as_str()) else {
+                return false;
+            };
+            rest = r;
+        }
+        // Greedy left-to-right search of interior fragments.
+        for frag in &self.any {
+            let Some(pos) = rest.find(frag.as_str()) else {
+                return false;
+            };
+            rest = &rest[pos + frag.len()..];
+        }
+        if let Some(fin) = &self.final_ {
+            return rest.ends_with(fin.as_str());
+        }
+        true
+    }
+}
+
+impl fmt::Display for SubstringPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let esc = crate::parse::escape_value;
+        if let Some(i) = &self.initial {
+            write!(f, "{}", esc(i))?;
+        }
+        for a in &self.any {
+            write!(f, "*{}", esc(a))?;
+        }
+        write!(f, "*")?;
+        if let Some(fi) = &self.final_ {
+            write!(f, "{}", esc(fi))?;
+        }
+        Ok(())
+    }
+}
+
+/// An atomic filter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AtomicFilter {
+    /// `a=*` — the entry has some value for `a`.
+    Present(AttrName),
+    /// `a=v` — some value of `a` equals `v` canonically (strings compare
+    /// case-insensitively; `priority=2` matches the int value 2; a
+    /// DN-valued attribute matches its canonical DN rendering).
+    Eq(AttrName, String),
+    /// `a=init*…*fin` — wildcard comparison on string renderings.
+    Substring(AttrName, SubstringPattern),
+    /// `a<v`, `a<=v`, `a>v`, `a>=v` — integer comparison; only int-typed
+    /// values participate (the σ(a)=int side condition).
+    IntCmp(AttrName, IntOp, i64),
+    /// `a=dn` with a DN-typed comparison value — matches entries with an
+    /// embedded reference equal to the given DN.
+    DnEq(AttrName, Dn),
+    /// `objectClass=c` is just `Eq`, but matching *any* entry regardless of
+    /// filter is occasionally needed as a neutral element: `(objectClass=*)`
+    /// — provided here as `True` so query rewrites (Section 8.1) can build
+    /// the "whole directory" operand.
+    True,
+}
+
+/// The integer comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` restricted to int-typed values (reachable via [`AtomicFilter::Eq`]
+    /// too, through canonical strings; kept for explicit int semantics).
+    Eq,
+}
+
+impl IntOp {
+    /// Apply the comparison.
+    pub fn test(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            IntOp::Lt => lhs < rhs,
+            IntOp::Le => lhs <= rhs,
+            IntOp::Gt => lhs > rhs,
+            IntOp::Ge => lhs >= rhs,
+            IntOp::Eq => lhs == rhs,
+        }
+    }
+}
+
+impl fmt::Display for IntOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IntOp::Lt => "<",
+            IntOp::Le => "<=",
+            IntOp::Gt => ">",
+            IntOp::Ge => ">=",
+            IntOp::Eq => "=",
+        })
+    }
+}
+
+impl AtomicFilter {
+    /// Convenience: `a=*`.
+    pub fn present(attr: impl Into<AttrName>) -> Self {
+        AtomicFilter::Present(attr.into())
+    }
+
+    /// Convenience: `a=v` (canonical equality).
+    pub fn eq(attr: impl Into<AttrName>, v: impl Into<String>) -> Self {
+        AtomicFilter::Eq(attr.into(), v.into().to_ascii_lowercase())
+    }
+
+    /// Convenience: integer comparison.
+    pub fn int_cmp(attr: impl Into<AttrName>, op: IntOp, v: i64) -> Self {
+        AtomicFilter::IntCmp(attr.into(), op, v)
+    }
+
+    /// The satisfaction judgement `r ⊨ F`.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            AtomicFilter::True => true,
+            AtomicFilter::Present(a) => entry.has_attr(a),
+            AtomicFilter::Eq(a, want) => entry.values(a).any(|v| v.canonical() == *want),
+            AtomicFilter::Substring(a, pat) => {
+                entry.values(a).any(|v| pat.matches(&v.canonical()))
+            }
+            AtomicFilter::IntCmp(a, op, rhs) => entry
+                .values(a)
+                .filter_map(Value::as_int)
+                .any(|lhs| op.test(lhs, *rhs)),
+            AtomicFilter::DnEq(a, dn) => {
+                entry.values(a).any(|v| v.as_dn().is_some_and(|d| d == dn))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AtomicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicFilter::True => write!(f, "objectClass=*"),
+            AtomicFilter::Present(a) => write!(f, "{a}=*"),
+            AtomicFilter::Eq(a, v) => write!(f, "{a}={}", crate::parse::escape_value(v)),
+            AtomicFilter::Substring(a, p) => write!(f, "{a}={p}"),
+            AtomicFilter::IntCmp(a, op, v) => write!(f, "{a}{op}{v}"),
+            AtomicFilter::DnEq(a, d) => write!(f, "{a}={d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_model::Entry;
+
+    fn entry() -> Entry {
+        Entry::builder(Dn::parse("uid=jag, dc=att, dc=com").unwrap())
+            .class("inetOrgPerson")
+            .attr("commonName", "H Jagadish")
+            .attr("surName", "jagadish")
+            .attr("priority", 2i64)
+            .attr("priority", 7i64)
+            .attr("boss", Dn::parse("uid=divesh, dc=att, dc=com").unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn presence() {
+        let e = entry();
+        assert!(AtomicFilter::present("surName").matches(&e));
+        assert!(AtomicFilter::present("SURNAME").matches(&e));
+        assert!(!AtomicFilter::present("telephoneNumber").matches(&e));
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        let e = entry();
+        assert!(AtomicFilter::eq("surName", "JAGADISH").matches(&e));
+        assert!(AtomicFilter::eq("priority", "2").matches(&e));
+        assert!(!AtomicFilter::eq("surName", "jag").matches(&e));
+        // objectClass is an ordinary attribute.
+        assert!(AtomicFilter::eq("objectClass", "inetorgperson").matches(&e));
+    }
+
+    #[test]
+    fn substring_shapes() {
+        let e = entry();
+        let f = |pat: SubstringPattern| AtomicFilter::Substring("commonName".into(), pat);
+        assert!(f(SubstringPattern::new(None, &["jag"], None)).matches(&e)); // *jag*
+        assert!(f(SubstringPattern::new(Some("h "), &[], None)).matches(&e)); // h *
+        assert!(f(SubstringPattern::new(None, &[], Some("dish"))).matches(&e)); // *dish
+        assert!(f(SubstringPattern::new(Some("h"), &["jaga"], Some("sh"))).matches(&e));
+        assert!(!f(SubstringPattern::new(Some("jag"), &[], None)).matches(&e));
+        assert!(!f(SubstringPattern::new(None, &["xyz"], None)).matches(&e));
+    }
+
+    #[test]
+    fn substring_fragments_in_order() {
+        let p = SubstringPattern::new(None, &["b", "a"], None);
+        assert!(p.matches("xbxax"));
+        assert!(!p.matches("axb")); // 'a' before 'b' only
+    }
+
+    #[test]
+    fn int_comparisons_use_any_value() {
+        let e = entry(); // priority ∈ {2, 7}
+        assert!(AtomicFilter::int_cmp("priority", IntOp::Lt, 3).matches(&e));
+        assert!(AtomicFilter::int_cmp("priority", IntOp::Gt, 5).matches(&e));
+        assert!(!AtomicFilter::int_cmp("priority", IntOp::Gt, 7).matches(&e));
+        assert!(AtomicFilter::int_cmp("priority", IntOp::Ge, 7).matches(&e));
+        assert!(AtomicFilter::int_cmp("priority", IntOp::Eq, 2).matches(&e));
+        // String values don't participate in int comparison.
+        assert!(!AtomicFilter::int_cmp("surName", IntOp::Lt, 100).matches(&e));
+    }
+
+    #[test]
+    fn dn_equality() {
+        let e = entry();
+        let boss = Dn::parse("UID=DIVESH, dc=att, dc=com").unwrap();
+        assert!(AtomicFilter::DnEq("boss".into(), boss).matches(&e));
+        assert!(
+            !AtomicFilter::DnEq("boss".into(), Dn::parse("uid=x, dc=com").unwrap())
+                .matches(&e)
+        );
+    }
+
+    #[test]
+    fn true_matches_everything() {
+        assert!(AtomicFilter::True.matches(&entry()));
+    }
+}

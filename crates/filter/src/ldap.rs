@@ -1,0 +1,218 @@
+//! Composite filters and the baseline LDAP query language.
+//!
+//! "In LDAP, only atomic **filters** (but not queries) can be combined
+//! using the boolean operators and (&), or (|), not (!) … a complex LDAP
+//! query can have a single base-entry-DN and a single scope" (Section 4.2).
+//! [`LdapQuery`] is exactly that language — the bottom of the paper's
+//! expressiveness hierarchy (Theorem 8.1), and the baseline the
+//! expressiveness experiments measure against.
+
+use crate::atomic::AtomicFilter;
+use crate::scope::Scope;
+use netdir_model::{Directory, Dn, Entry};
+use std::fmt;
+
+/// A boolean combination of atomic filters (filter-level, per RFC 2254).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompositeFilter {
+    /// One atomic filter.
+    Atomic(AtomicFilter),
+    /// `(&(f1)(f2)…)` — all must hold.
+    And(Vec<CompositeFilter>),
+    /// `(|(f1)(f2)…)` — at least one must hold.
+    Or(Vec<CompositeFilter>),
+    /// `(!(f))` — must not hold.
+    Not(Box<CompositeFilter>),
+}
+
+impl CompositeFilter {
+    /// Wrap an atomic filter.
+    pub fn atomic(f: AtomicFilter) -> Self {
+        CompositeFilter::Atomic(f)
+    }
+
+    /// Filter-level satisfaction: entry-local, no hierarchy involved.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            CompositeFilter::Atomic(f) => f.matches(entry),
+            CompositeFilter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            CompositeFilter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            CompositeFilter::Not(f) => !f.matches(entry),
+        }
+    }
+}
+
+impl fmt::Display for CompositeFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositeFilter::Atomic(a) => write!(f, "({a})"),
+            CompositeFilter::And(fs) => {
+                write!(f, "(&")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            CompositeFilter::Or(fs) => {
+                write!(f, "(|")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            CompositeFilter::Not(x) => write!(f, "(!{x})"),
+        }
+    }
+}
+
+/// The LDAP query language as defined in the paper: one base DN, one
+/// scope, one composite filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdapQuery {
+    /// The entry relative to which the filter is evaluated.
+    pub base: Dn,
+    /// How far below the base the search reaches.
+    pub scope: Scope,
+    /// The composite filter.
+    pub filter: CompositeFilter,
+}
+
+impl LdapQuery {
+    /// Construct a query.
+    pub fn new(base: Dn, scope: Scope, filter: CompositeFilter) -> Self {
+        LdapQuery {
+            base,
+            scope,
+            filter,
+        }
+    }
+
+    /// Evaluate against a directory instance. The result is the sub-
+    /// instance of entries within scope that satisfy the filter, in
+    /// reverse-DN sorted order (queries map instances to instances —
+    /// the closure property).
+    pub fn evaluate<'d>(&self, dir: &'d Directory) -> Vec<&'d Entry> {
+        let candidates: Box<dyn Iterator<Item = &Entry>> = match self.scope {
+            Scope::Base => Box::new(dir.lookup(&self.base).into_iter()),
+            Scope::One => Box::new(dir.base_and_children(&self.base)),
+            Scope::Sub => Box::new(dir.subtree(&self.base)),
+        };
+        candidates.filter(|e| self.filter.matches(e)).collect()
+    }
+}
+
+impl fmt::Display for LdapQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ? {} ? {})", self.base, self.scope, self.filter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::IntOp;
+    use netdir_model::Entry;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        let mk = |s: &str, cls: &str, prio: Option<i64>| {
+            let mut b = Entry::builder(dn(s)).class(cls);
+            if let Some(p) = prio {
+                b = b.attr("priority", p);
+            }
+            b.build().unwrap()
+        };
+        d.insert(mk("dc=com", "dcObject", None)).unwrap();
+        d.insert(mk("dc=att, dc=com", "dcObject", None)).unwrap();
+        d.insert(mk("ou=people, dc=att, dc=com", "organizationalUnit", None))
+            .unwrap();
+        d.insert(mk("uid=a, ou=people, dc=att, dc=com", "person", Some(1)))
+            .unwrap();
+        d.insert(mk("uid=b, ou=people, dc=att, dc=com", "person", Some(5)))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn scope_and_filter_combine() {
+        let d = dir();
+        let q = LdapQuery::new(
+            dn("dc=att, dc=com"),
+            Scope::Sub,
+            CompositeFilter::atomic(AtomicFilter::eq("objectClass", "person")),
+        );
+        assert_eq!(q.evaluate(&d).len(), 2);
+
+        let q = LdapQuery::new(
+            dn("dc=att, dc=com"),
+            Scope::One,
+            CompositeFilter::atomic(AtomicFilter::eq("objectClass", "person")),
+        );
+        assert!(q.evaluate(&d).is_empty(), "persons are two levels down");
+    }
+
+    #[test]
+    fn boolean_filter_semantics() {
+        let d = dir();
+        let person = CompositeFilter::atomic(AtomicFilter::eq("objectClass", "person"));
+        let low = CompositeFilter::atomic(AtomicFilter::int_cmp("priority", IntOp::Lt, 3));
+        let q = LdapQuery::new(
+            dn("dc=com"),
+            Scope::Sub,
+            CompositeFilter::And(vec![person.clone(), low.clone()]),
+        );
+        let hits = q.evaluate(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn(), &dn("uid=a, ou=people, dc=att, dc=com"));
+
+        let q = LdapQuery::new(
+            dn("dc=com"),
+            Scope::Sub,
+            CompositeFilter::And(vec![person, CompositeFilter::Not(Box::new(low))]),
+        );
+        let hits = q.evaluate(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn(), &dn("uid=b, ou=people, dc=att, dc=com"));
+    }
+
+    #[test]
+    fn results_are_sorted_by_reverse_dn() {
+        let d = dir();
+        let q = LdapQuery::new(dn("dc=com"), Scope::Sub, CompositeFilter::atomic(AtomicFilter::True));
+        let keys: Vec<_> = q
+            .evaluate(&d)
+            .iter()
+            .map(|e| e.dn().sort_key().as_bytes().to_vec())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn base_scope_on_missing_entry_is_empty() {
+        let d = dir();
+        let q = LdapQuery::new(
+            dn("dc=ghost"),
+            Scope::Base,
+            CompositeFilter::atomic(AtomicFilter::True),
+        );
+        assert!(q.evaluate(&d).is_empty());
+    }
+
+    #[test]
+    fn display_shape() {
+        let q = LdapQuery::new(
+            dn("dc=att, dc=com"),
+            Scope::Sub,
+            CompositeFilter::atomic(AtomicFilter::eq("surName", "jagadish")),
+        );
+        // Attribute names display with original spelling; values canonical.
+        assert_eq!(q.to_string(), "(dc=att, dc=com ? sub ? (surName=jagadish))");
+    }
+}

@@ -1,0 +1,31 @@
+//! # netdir-filter — atomic filters and the LDAP baseline
+//!
+//! Section 4.1 defines *atomic filters* over the base types: presence
+//! tests (`telephoneNumber=*`), wildcard string comparison
+//! (`commonName=*jag*`), and integer comparison (`SLARulePriority < 3`).
+//! A directory entry satisfies an atomic filter iff **at least one** of its
+//! `(attribute, value)` pairs satisfies it — that existential is what makes
+//! multi-valued attributes work.
+//!
+//! This crate provides:
+//!
+//! * [`atomic`] — the [`atomic::AtomicFilter`] type and its satisfaction
+//!   semantics, implementing the paper's `r ⊨ F` judgements.
+//! * [`scope`] — the `base` / `one` / `sub` search scopes of Definition 4.1.
+//! * [`ldap`] — composite filters (`&`, `|`, `!` over atomic filters) and
+//!   the **LDAP query language "as defined in this paper"** (Section 8.1):
+//!   a single base-entry DN, a single scope, and one composite filter.
+//!   This is the baseline language the expressiveness results separate
+//!   from L0 (a complex LDAP query cannot mix base DNs or scopes —
+//!   Example 4.1).
+//! * [`parse`] — RFC 2254-style string syntax for both.
+
+pub mod atomic;
+pub mod ldap;
+pub mod parse;
+pub mod scope;
+
+pub use atomic::{AtomicFilter, SubstringPattern};
+pub use ldap::{CompositeFilter, LdapQuery};
+pub use parse::{parse_atomic, parse_composite, FilterParseError};
+pub use scope::Scope;

@@ -1,0 +1,280 @@
+//! String syntax for filters.
+//!
+//! Atomic filters follow the paper's examples (`surName=jagadish`,
+//! `SLARulePriority<3`, `telephoneNumber=*`, `commonName=*jag*`);
+//! composite filters follow RFC 2254: `(&(objectClass=person)(age>=21))`,
+//! `(|(a=1)(b=2))`, `(!(a=1))`.
+
+use crate::atomic::{AtomicFilter, IntOp, SubstringPattern};
+use crate::ldap::CompositeFilter;
+use netdir_model::AttrName;
+use std::fmt;
+
+/// Filter syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError {
+    /// The offending input.
+    pub input: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse filter {:?}: {}", self.input, self.detail)
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+fn err(input: &str, detail: impl Into<String>) -> FilterParseError {
+    FilterParseError {
+        input: input.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Parse an atomic filter: `attr=value`, `attr=*`, `attr=*sub*string*`,
+/// `attr<5`, `attr<=5`, `attr>5`, `attr>=5`.
+pub fn parse_atomic(input: &str) -> Result<AtomicFilter, FilterParseError> {
+    let s = input.trim();
+    // Look for the first comparison operator outside the attribute name.
+    // Order matters: check two-char ops before their one-char prefixes.
+    for (op_str, op) in [
+        ("<=", Some(IntOp::Le)),
+        (">=", Some(IntOp::Ge)),
+        ("<", Some(IntOp::Lt)),
+        (">", Some(IntOp::Gt)),
+        ("=", None),
+    ] {
+        if let Some(pos) = s.find(op_str) {
+            let attr_s = s[..pos].trim();
+            let value_s = s[pos + op_str.len()..].trim();
+            if attr_s.is_empty() {
+                return Err(err(input, "empty attribute name"));
+            }
+            let attr = AttrName::new(attr_s);
+            return match op {
+                Some(int_op) => {
+                    let v: i64 = value_s
+                        .parse()
+                        .map_err(|_| err(input, format!("{value_s:?} is not an integer")))?;
+                    Ok(AtomicFilter::IntCmp(attr, int_op, v))
+                }
+                None => Ok(parse_eq_rhs(attr, value_s)),
+            };
+        }
+    }
+    Err(err(input, "no comparison operator found"))
+}
+
+/// RFC 2254-style value escaping: `\2a` = literal `*`, `\5c` = `\`,
+/// `\28`/`\29` = parentheses. [`escape_value`] is the inverse, used by
+/// filter `Display` impls so that values containing `*` round-trip.
+pub fn unescape_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c == '\\'
+            && i + 3 <= s.len()
+            && s.is_char_boundary(i + 1)
+            && s.is_char_boundary(i + 3)
+        {
+            if let Ok(byte) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                out.push(byte as char);
+                chars.next();
+                chars.next();
+                continue;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Escape `* \ ( )` in a filter value for display (inverse of
+/// [`unescape_value`]).
+pub fn escape_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '*' => out.push_str("\\2a"),
+            '\\' => out.push_str("\\5c"),
+            '(' => out.push_str("\\28"),
+            ')' => out.push_str("\\29"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Classify the right-hand side of `attr=rhs`: presence, substring
+/// pattern, or plain (canonical) equality. Unescaped `*` are wildcards;
+/// `\2a` is a literal asterisk.
+fn parse_eq_rhs(attr: AttrName, rhs: &str) -> AtomicFilter {
+    if rhs == "*" {
+        return AtomicFilter::Present(attr);
+    }
+    if rhs.contains('*') {
+        let parts: Vec<String> = rhs.split('*').map(unescape_value).collect();
+        let (first, rest) = parts.split_first().expect("split yields ≥1 part");
+        let (last, mid) = rest.split_last().expect("'*' present yields ≥2 parts");
+        let initial = (!first.is_empty()).then_some(first.as_str());
+        let final_ = (!last.is_empty()).then_some(last.as_str());
+        let any: Vec<&str> = mid
+            .iter()
+            .map(String::as_str)
+            .filter(|s| !s.is_empty())
+            .collect();
+        return AtomicFilter::Substring(attr, SubstringPattern::new(initial, &any, final_));
+    }
+    AtomicFilter::Eq(attr, unescape_value(rhs).to_ascii_lowercase())
+}
+
+/// Parse an RFC 2254-style composite filter. A bare atomic filter (no
+/// parentheses) is also accepted.
+///
+/// ```
+/// use netdir_filter::parse_composite;
+/// let f = parse_composite("(&(objectClass=person)(!(retired=*))(age>=21))").unwrap();
+/// assert_eq!(parse_composite(&f.to_string()).unwrap(), f); // round-trips
+/// ```
+pub fn parse_composite(input: &str) -> Result<CompositeFilter, FilterParseError> {
+    let s = input.trim();
+    let (filter, rest) = parse_one(s).map_err(|d| err(input, d))?;
+    if !rest.trim().is_empty() {
+        return Err(err(input, format!("trailing input {:?}", rest.trim())));
+    }
+    Ok(filter)
+}
+
+/// Parse one filter expression, returning it and the unconsumed remainder.
+fn parse_one(s: &str) -> Result<(CompositeFilter, &str), String> {
+    let s = s.trim_start();
+    let Some(stripped) = s.strip_prefix('(') else {
+        // Bare atomic filter, consumes everything.
+        let f = parse_atomic(s).map_err(|e| e.detail)?;
+        return Ok((CompositeFilter::Atomic(f), ""));
+    };
+    let inner = stripped.trim_start();
+    match inner.chars().next() {
+        Some('&') | Some('|') => {
+            let is_and = inner.starts_with('&');
+            let mut rest = &inner[1..];
+            let mut children = Vec::new();
+            loop {
+                let t = rest.trim_start();
+                if let Some(after) = t.strip_prefix(')') {
+                    if children.is_empty() {
+                        return Err("empty boolean filter".into());
+                    }
+                    let f = if is_and {
+                        CompositeFilter::And(children)
+                    } else {
+                        CompositeFilter::Or(children)
+                    };
+                    return Ok((f, after));
+                }
+                if t.is_empty() {
+                    return Err("unterminated boolean filter".into());
+                }
+                let (child, r) = parse_one(t)?;
+                children.push(child);
+                rest = r;
+            }
+        }
+        Some('!') => {
+            let (child, rest) = parse_one(&inner[1..])?;
+            let t = rest.trim_start();
+            let Some(after) = t.strip_prefix(')') else {
+                return Err("unterminated (!...) filter".into());
+            };
+            Ok((CompositeFilter::Not(Box::new(child)), after))
+        }
+        _ => {
+            // Atomic inside parens: scan to the matching ')'.
+            let Some(close) = inner.find(')') else {
+                return Err("unterminated atomic filter".into());
+            };
+            let f = parse_atomic(&inner[..close]).map_err(|e| e.detail)?;
+            Ok((CompositeFilter::Atomic(f), &inner[close + 1..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_shapes() {
+        assert_eq!(
+            parse_atomic("telephoneNumber=*").unwrap(),
+            AtomicFilter::Present("telephoneNumber".into())
+        );
+        assert_eq!(
+            parse_atomic("surName=jagadish").unwrap(),
+            AtomicFilter::Eq("surName".into(), "jagadish".into())
+        );
+        assert_eq!(
+            parse_atomic("SLARulePriority < 3").unwrap(),
+            AtomicFilter::IntCmp("slarulepriority".into(), IntOp::Lt, 3)
+        );
+        assert_eq!(
+            parse_atomic("x>=10").unwrap(),
+            AtomicFilter::IntCmp("x".into(), IntOp::Ge, 10)
+        );
+        match parse_atomic("commonName=*jag*").unwrap() {
+            AtomicFilter::Substring(a, p) => {
+                assert_eq!(a, "commonname".into());
+                assert_eq!(p, SubstringPattern::new(None, &["jag"], None));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_atomic("cn=h*dish").unwrap() {
+            AtomicFilter::Substring(_, p) => {
+                assert_eq!(p, SubstringPattern::new(Some("h"), &[], Some("dish")));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_errors() {
+        assert!(parse_atomic("nocomparison").is_err());
+        assert!(parse_atomic("=x").is_err());
+        assert!(parse_atomic("age<old").is_err());
+    }
+
+    #[test]
+    fn composite_roundtrip() {
+        let f = parse_composite("(&(objectClass=person)(|(uid=a)(uid=b))(!(retired=*)))")
+            .unwrap();
+        match &f {
+            CompositeFilter::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Display → parse is stable.
+        assert_eq!(parse_composite(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn bare_atomic_accepted() {
+        assert_eq!(
+            parse_composite("uid=a").unwrap(),
+            CompositeFilter::Atomic(AtomicFilter::Eq("uid".into(), "a".into()))
+        );
+        assert_eq!(
+            parse_composite("(uid=a)").unwrap(),
+            CompositeFilter::Atomic(AtomicFilter::Eq("uid".into(), "a".into()))
+        );
+    }
+
+    #[test]
+    fn composite_errors() {
+        assert!(parse_composite("(&)").is_err());
+        assert!(parse_composite("(&(a=1)").is_err());
+        assert!(parse_composite("(!(a=1)(b=2))").is_err());
+        assert!(parse_composite("(a=1))").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Search scopes (Definition 4.1).
+
+use netdir_model::Dn;
+use std::fmt;
+
+/// How far below the base entry an atomic query reaches.
+///
+/// Note the paper's semantics: `one` and `sub` **include the base entry**
+/// itself (`dn(r) = B ∨ …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Only the base entry.
+    Base,
+    /// The base entry and its children.
+    One,
+    /// The base entry and all its descendants.
+    Sub,
+}
+
+impl Scope {
+    /// Does an entry with DN `dn` fall within `scope` of `base`?
+    pub fn contains(self, base: &Dn, dn: &Dn) -> bool {
+        match self {
+            Scope::Base => dn == base,
+            Scope::One => dn == base || base.is_parent_of(dn),
+            Scope::Sub => dn == base || base.is_ancestor_of(dn),
+        }
+    }
+
+    /// Parse `"base"` / `"one"` / `"sub"`.
+    pub fn parse(s: &str) -> Option<Scope> {
+        match s.trim() {
+            "base" => Some(Scope::Base),
+            "one" => Some(Scope::One),
+            "sub" => Some(Scope::Sub),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scope::Base => "base",
+            Scope::One => "one",
+            Scope::Sub => "sub",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    #[test]
+    fn base_scope_is_exact() {
+        let b = dn("dc=att, dc=com");
+        assert!(Scope::Base.contains(&b, &b));
+        assert!(!Scope::Base.contains(&b, &dn("dc=x, dc=att, dc=com")));
+        assert!(!Scope::Base.contains(&b, &dn("dc=com")));
+    }
+
+    #[test]
+    fn one_scope_includes_base_and_children_only() {
+        let b = dn("dc=att, dc=com");
+        assert!(Scope::One.contains(&b, &b));
+        assert!(Scope::One.contains(&b, &dn("dc=x, dc=att, dc=com")));
+        assert!(!Scope::One.contains(&b, &dn("dc=y, dc=x, dc=att, dc=com")));
+    }
+
+    #[test]
+    fn sub_scope_includes_all_descendants() {
+        let b = dn("dc=att, dc=com");
+        assert!(Scope::Sub.contains(&b, &b));
+        assert!(Scope::Sub.contains(&b, &dn("dc=y, dc=x, dc=att, dc=com")));
+        assert!(!Scope::Sub.contains(&b, &dn("dc=com")));
+        assert!(!Scope::Sub.contains(&b, &dn("dc=attx, dc=com")));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in [Scope::Base, Scope::One, Scope::Sub] {
+            assert_eq!(Scope::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scope::parse("tree"), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # netdir-index — indices for atomic-query evaluation
+//!
+//! The paper *assumes* atomic queries are cheap: "the atomic queries
+//! considered above are all supported by LDAP, and can be evaluated with
+//! the help of B-trees indices for integer and distinguishedName filters,
+//! and trie and suffix tree indices for string filters" (Section 4.1).
+//! This crate builds those structures so the assumption holds in this
+//! implementation too:
+//!
+//! * [`dn_table`] — the paged **DN table**: every entry, sorted by
+//!   reverse-DN key, with in-memory fence keys per page. Scope resolution
+//!   (`base`/`one`/`sub`) is a binary search plus a sequential page range
+//!   scan, because subtrees are contiguous in this order.
+//! * [`btree`] — a bulk-loaded, paged, static **B+-tree** over
+//!   `(i64, EntryId)` pairs, one per integer attribute; integer comparison
+//!   filters become leaf-range scans with `O(log_B N + t/B)` page reads.
+//! * [`trie`] — an in-memory **trie** for exact and prefix string lookup.
+//! * [`suffix`] — an in-memory **suffix array** standing in for McCreight
+//!   suffix trees \[23\]; substring filters (`cn=*jag*`) become binary
+//!   searches over suffixes (see DESIGN.md §5 for the substitution note).
+//! * [`directory_index`] — [`directory_index::IndexedDirectory`] ties it
+//!   together: atomic queries `(base ? scope ? filter)` evaluated either
+//!   by scope scan or through the attribute indices, always producing
+//!   reverse-DN-sorted [`netdir_pager::PagedList`]s of entries — the form
+//!   the L0–L3 operators consume.
+
+pub mod btree;
+pub mod directory_index;
+pub mod dn_table;
+pub mod suffix;
+pub mod trie;
+
+pub use btree::StaticBTree;
+pub use directory_index::IndexedDirectory;
+pub use dn_table::DnTable;
+pub use suffix::SuffixIndex;
+pub use trie::Trie;

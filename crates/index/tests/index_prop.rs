@@ -1,0 +1,109 @@
+//! Property tests: index-accelerated atomic evaluation agrees with the
+//! scope scan and with a direct in-memory oracle over the directory, for
+//! every scope and filter shape.
+
+use netdir_filter::atomic::IntOp;
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_index::IndexedDirectory;
+use netdir_model::{Directory, Dn, Entry, Rdn};
+use netdir_pager::Pager;
+use proptest::prelude::*;
+
+/// Random forest with string, int, and heterogeneous attributes.
+fn arb_directory() -> impl Strategy<Value = Directory> {
+    proptest::collection::vec(
+        (0u8..5, 0i64..6, proptest::bool::ANY, "[a-c]{1,2}"),
+        1..30,
+    )
+    .prop_map(|specs| {
+        let mut d = Directory::new();
+        let root = Dn::parse("dc=t").unwrap();
+        d.insert(Entry::builder(root.clone()).class("node").build().unwrap())
+            .unwrap();
+        let mut dns = vec![root];
+        for (i, (parent_sel, weight, tag, name)) in specs.into_iter().enumerate() {
+            let parent = dns[(parent_sel as usize) % dns.len()].clone();
+            let child = parent.child(Rdn::single("n", format!("{name}{i}")).unwrap());
+            let mut b = Entry::builder(child.clone())
+                .class("node")
+                .attr("weight", weight)
+                .attr("name", name);
+            if tag {
+                b = b.attr("tag", "x");
+            }
+            d.insert(b.build().unwrap()).unwrap();
+            dns.push(child);
+        }
+        d
+    })
+}
+
+fn arb_filter() -> impl Strategy<Value = AtomicFilter> {
+    prop_oneof![
+        Just(AtomicFilter::True),
+        Just(AtomicFilter::present("tag")),
+        Just(AtomicFilter::present("ghost")),
+        "[a-c]{1,2}".prop_map(|v| AtomicFilter::eq("name", v)),
+        (
+            prop_oneof![
+                Just(IntOp::Lt),
+                Just(IntOp::Le),
+                Just(IntOp::Gt),
+                Just(IntOp::Ge),
+                Just(IntOp::Eq)
+            ],
+            0i64..6
+        )
+            .prop_map(|(op, v)| AtomicFilter::int_cmp("weight", op, v)),
+        Just(netdir_filter::parse_atomic("name=*b*").unwrap()),
+        Just(netdir_filter::parse_atomic("name=a*").unwrap()),
+    ]
+}
+
+fn arb_scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![Just(Scope::Base), Just(Scope::One), Just(Scope::Sub)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn probe_scan_and_oracle_agree(
+        dir in arb_directory(),
+        filter in arb_filter(),
+        scope in arb_scope(),
+        base_sel in 0usize..8,
+    ) {
+        let pager = Pager::new(1024, 16);
+        let idx = IndexedDirectory::build(&pager, &dir).unwrap();
+        // Pick a base that exists (or the forest root).
+        let bases: Vec<Dn> = std::iter::once(Dn::root())
+            .chain(dir.iter_sorted().map(|e| e.dn().clone()))
+            .collect();
+        let base = bases[base_sel % bases.len()].clone();
+
+        let oracle: Vec<String> = dir
+            .iter_sorted()
+            .filter(|e| scope.contains(&base, e.dn()) && filter.matches(e))
+            .map(|e| e.dn().to_string())
+            .collect();
+        let probe: Vec<String> = idx
+            .evaluate_atomic(&base, scope, &filter)
+            .unwrap()
+            .to_vec()
+            .unwrap()
+            .iter()
+            .map(|e| e.dn().to_string())
+            .collect();
+        let scan: Vec<String> = idx
+            .evaluate_scan(&base, scope, &filter)
+            .unwrap()
+            .to_vec()
+            .unwrap()
+            .iter()
+            .map(|e| e.dn().to_string())
+            .collect();
+        prop_assert_eq!(&probe, &oracle, "probe vs oracle ({} ? {} ? {})", base, scope, filter);
+        prop_assert_eq!(&scan, &oracle, "scan vs oracle ({} ? {} ? {})", base, scope, filter);
+    }
+}

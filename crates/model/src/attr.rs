@@ -1,0 +1,141 @@
+//! Attribute and class names.
+//!
+//! LDAP attribute names compare case-insensitively (`surName` ≡ `surname`).
+//! [`AttrName`] and [`ClassName`] preserve the spelling they were created
+//! with but hash/compare on the lowercased form, so `cn=X` and `CN=X` are
+//! the same pair — matching commercial server behaviour and keeping the
+//! sort-key canonical.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+macro_rules! ci_name {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            display: Box<str>,
+            folded: Box<str>,
+        }
+
+        impl $name {
+            /// Create a name, preserving spelling, folding for comparison.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                let display: Box<str> = s.as_ref().into();
+                let folded: Box<str> = display.to_ascii_lowercase().into();
+                $name { display, folded }
+            }
+
+            /// The original spelling.
+            pub fn as_str(&self) -> &str {
+                &self.display
+            }
+
+            /// The canonical (lowercased) spelling used for ordering,
+            /// equality, and sort keys.
+            pub fn canonical(&self) -> &str {
+                &self.folded
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.display)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), &*self.display)
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.folded == other.folded
+            }
+        }
+        impl Eq for $name {}
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.folded.cmp(&other.folded)
+            }
+        }
+
+        impl Hash for $name {
+            fn hash<H: Hasher>(&self, state: &mut H) {
+                self.folded.hash(state)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        /// Borrow as the canonical form, enabling map lookups by `&str`
+        /// (callers must pass lowercased strings).
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.folded
+            }
+        }
+    };
+}
+
+ci_name! {
+    /// An attribute name (element of the paper's set `A`), e.g. `surName`.
+    AttrName
+}
+
+ci_name! {
+    /// A class name (element of the paper's set `C`), e.g. `inetOrgPerson`.
+    ClassName
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn comparison_is_case_insensitive() {
+        assert_eq!(AttrName::new("surName"), AttrName::new("SURNAME"));
+        assert_eq!(ClassName::new("QHP"), ClassName::new("qhp"));
+        assert!(AttrName::new("a") < AttrName::new("B"));
+    }
+
+    #[test]
+    fn display_preserves_spelling() {
+        let a = AttrName::new("objectClass");
+        assert_eq!(a.to_string(), "objectClass");
+        assert_eq!(a.canonical(), "objectclass");
+    }
+
+    #[test]
+    fn set_deduplicates_case_variants() {
+        let set: BTreeSet<AttrName> = ["cn", "CN", "Cn"].iter().map(AttrName::new).collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn borrow_enables_str_lookup() {
+        let set: BTreeSet<AttrName> = [AttrName::new("SurName")].into_iter().collect();
+        assert!(set.contains("surname"));
+        assert!(!set.contains("surName")); // lookups must be canonical
+    }
+}

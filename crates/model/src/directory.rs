@@ -1,0 +1,429 @@
+//! The directory information forest (Section 3.3).
+//!
+//! A [`Directory`] is a directory *instance*: a finite set of entries whose
+//! DNs induce the hierarchy. The paper deliberately works with a forest,
+//! not a tree ("we need this extension to obtain the closure property for
+//! our query languages") — roots may appear anywhere; an entry's parent
+//! need not exist.
+//!
+//! Entries are indexed by their reverse-DN [`crate::dn::SortKey`], under which a
+//! subtree is a contiguous key range; `base`/`one`/`sub` scope resolution
+//! and sorted-list export are range scans.
+
+use crate::dn::Dn;
+use crate::entry::{Entry, EntryId};
+use crate::error::{ModelError, ModelResult};
+use crate::schema::Schema;
+use netdir_pager::{PagedList, Pager, PagerResult};
+use std::collections::BTreeMap;
+
+/// An in-memory directory instance with sort-key indexing.
+///
+/// This is the *authoritative store* (what a server holds); query
+/// evaluation operates on sorted [`PagedList`]s exported from it, so that
+/// operator I/O is measured against the external-memory substrate.
+#[derive(Debug, Default)]
+pub struct Directory {
+    schema: Option<Schema>,
+    /// Reverse-DN key bytes → entry id. BTreeMap gives sorted iteration
+    /// and contiguous subtree ranges.
+    by_key: BTreeMap<Vec<u8>, EntryId>,
+    /// Entry id → entry. Ids are dense; removal leaves a tombstone.
+    entries: Vec<Option<Entry>>,
+    live: usize,
+}
+
+impl Directory {
+    /// An empty directory without schema enforcement.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// An empty directory that validates every inserted entry against
+    /// `schema`.
+    pub fn with_schema(schema: Schema) -> Directory {
+        Directory {
+            schema: Some(schema),
+            ..Directory::default()
+        }
+    }
+
+    /// The schema, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert an entry, assigning it an id. Enforces DN uniqueness
+    /// (Definition 3.2(d)(i)) and, if a schema is set, Definition 3.2's
+    /// conditions.
+    pub fn insert(&mut self, mut entry: Entry) -> ModelResult<EntryId> {
+        if let Some(schema) = &self.schema {
+            entry.validate(schema)?;
+        } else {
+            entry.check_rdn_in_values()?;
+        }
+        let key = entry.dn().sort_key().as_bytes().to_vec();
+        if self.by_key.contains_key(&key) {
+            return Err(ModelError::DuplicateDn {
+                dn: entry.dn().to_string(),
+            });
+        }
+        let id = self.entries.len() as EntryId;
+        entry.set_id(id);
+        self.entries.push(Some(entry));
+        self.by_key.insert(key, id);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Modify an entry in place: add and remove `(attribute, value)`
+    /// pairs. The result must still satisfy the model's invariants
+    /// (rdn ⊆ val; schema conditions if a schema is set) or the entry is
+    /// left untouched and the violation returned — modifications are
+    /// atomic per entry.
+    ///
+    /// This is the update surface the exception mechanism of Example 2.1
+    /// relies on ("exception attributes allow for easy insertion and
+    /// deletion of policies"): adding an `SLAExceptionRef` value is one
+    /// `modify`, no renumbering of priorities.
+    pub fn modify(
+        &mut self,
+        dn: &Dn,
+        add: &[(crate::attr::AttrName, crate::value::Value)],
+        remove: &[(crate::attr::AttrName, crate::value::Value)],
+    ) -> ModelResult<()> {
+        let key = dn.sort_key().as_bytes().to_vec();
+        let id = *self
+            .by_key
+            .get(&key)
+            .ok_or_else(|| ModelError::NoSuchEntry { dn: dn.to_string() })?;
+        let current = self.entries[id as usize]
+            .as_ref()
+            .expect("indexed entry exists");
+        // Rebuild through the builder so ordering/dedup/rdn invariants
+        // re-establish themselves.
+        let mut builder = Entry::builder(current.dn().clone());
+        'pairs: for (a, v) in current.pairs() {
+            for (ra, rv) in remove {
+                if a == ra && v.canonical() == rv.canonical() {
+                    continue 'pairs;
+                }
+            }
+            builder = builder.attr(a.clone(), v.clone());
+        }
+        for (a, v) in add {
+            builder = builder.attr(a.clone(), v.clone());
+        }
+        let mut rebuilt = builder.build()?;
+        if let Some(schema) = &self.schema {
+            rebuilt.validate(schema)?;
+        }
+        rebuilt.set_id(id);
+        self.entries[id as usize] = Some(rebuilt);
+        Ok(())
+    }
+
+    /// Remove the entry with this DN (its descendants stay — the model is
+    /// a forest, so orphaned subtrees are legal). Returns the entry.
+    pub fn remove(&mut self, dn: &Dn) -> ModelResult<Entry> {
+        let key = dn.sort_key().as_bytes().to_vec();
+        let id = self.by_key.remove(&key).ok_or_else(|| ModelError::NoSuchEntry {
+            dn: dn.to_string(),
+        })?;
+        self.live -= 1;
+        Ok(self.entries[id as usize]
+            .take()
+            .expect("indexed entry exists"))
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: EntryId) -> Option<&Entry> {
+        self.entries.get(id as usize).and_then(|e| e.as_ref())
+    }
+
+    /// Fetch by DN.
+    pub fn lookup(&self, dn: &Dn) -> Option<&Entry> {
+        let id = *self.by_key.get(dn.sort_key().as_bytes())?;
+        self.get(id)
+    }
+
+    /// True iff an entry with this DN exists.
+    pub fn contains(&self, dn: &Dn) -> bool {
+        self.by_key.contains_key(dn.sort_key().as_bytes())
+    }
+
+    /// The parent *entry* of `dn`, if present in this instance.
+    pub fn parent_of(&self, dn: &Dn) -> Option<&Entry> {
+        self.lookup(&dn.parent()?)
+    }
+
+    /// All entries in sorted (reverse-DN) order.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.by_key
+            .values()
+            .map(move |&id| self.get(id).expect("indexed entry exists"))
+    }
+
+    /// The subtree rooted at `base` — `base`'s entry (if any) and every
+    /// descendant entry — in sorted order. `Dn::root()` yields everything.
+    pub fn subtree<'a>(&'a self, base: &Dn) -> impl Iterator<Item = &'a Entry> + 'a {
+        let prefix = base.sort_key().as_bytes().to_vec();
+        self.by_key
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.starts_with(&prefix))
+            .map(move |(_, &id)| self.get(id).expect("indexed entry exists"))
+    }
+
+    /// `base`'s entry (if any) and its child entries, in sorted order —
+    /// the `one` scope of Definition 4.1.
+    pub fn base_and_children<'a>(&'a self, base: &Dn) -> impl Iterator<Item = &'a Entry> + 'a {
+        let base_depth = base.depth();
+        self.subtree(base)
+            .filter(move |e| e.dn().depth() <= base_depth + 1)
+    }
+
+    /// Child entries only.
+    pub fn children_of<'a>(&'a self, base: &Dn) -> impl Iterator<Item = &'a Entry> + 'a {
+        let base_depth = base.depth();
+        self.subtree(base)
+            .filter(move |e| e.dn().depth() == base_depth + 1)
+    }
+
+    /// Export every entry, sorted, as a [`PagedList`] on `pager` — the
+    /// form the evaluation operators consume.
+    pub fn to_paged_list(&self, pager: &Pager) -> PagerResult<PagedList<Entry>> {
+        PagedList::from_iter(pager, self.iter_sorted().cloned())
+    }
+
+    /// Export the subtree under `base`, sorted, as a [`PagedList`].
+    pub fn subtree_to_paged_list(
+        &self,
+        pager: &Pager,
+        base: &Dn,
+    ) -> PagerResult<PagedList<Entry>> {
+        PagedList::from_iter(pager, self.subtree(base).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn entry(s: &str) -> Entry {
+        Entry::builder(dn(s)).class("dcObject").build().unwrap()
+    }
+
+    fn sample() -> Directory {
+        let mut d = Directory::new();
+        for s in [
+            "dc=com",
+            "dc=att, dc=com",
+            "dc=research, dc=att, dc=com",
+            "dc=corona, dc=research, dc=att, dc=com",
+            "dc=labs, dc=att, dc=com",
+            "dc=org",
+        ] {
+            d.insert(entry(s)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn insert_lookup_len() {
+        let d = sample();
+        assert_eq!(d.len(), 6);
+        let e = d.lookup(&dn("dc=att, dc=com")).unwrap();
+        assert_eq!(e.dn(), &dn("dc=att, dc=com"));
+        assert!(d.contains(&dn("dc=org")));
+        assert!(!d.contains(&dn("dc=net")));
+    }
+
+    #[test]
+    fn duplicate_dn_rejected() {
+        let mut d = sample();
+        assert!(matches!(
+            d.insert(entry("dc=org")),
+            Err(ModelError::DuplicateDn { .. })
+        ));
+    }
+
+    #[test]
+    fn subtree_is_contiguous_and_sorted() {
+        let d = sample();
+        let got: Vec<String> = d
+            .subtree(&dn("dc=att, dc=com"))
+            .map(|e| e.dn().to_string())
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                "dc=att, dc=com",
+                "dc=labs, dc=att, dc=com",
+                "dc=research, dc=att, dc=com",
+                "dc=corona, dc=research, dc=att, dc=com",
+            ]
+        );
+    }
+
+    #[test]
+    fn root_subtree_is_everything() {
+        let d = sample();
+        assert_eq!(d.subtree(&Dn::root()).count(), 6);
+    }
+
+    #[test]
+    fn children_and_one_scope() {
+        let d = sample();
+        let kids: Vec<String> = d
+            .children_of(&dn("dc=att, dc=com"))
+            .map(|e| e.dn().to_string())
+            .collect();
+        assert_eq!(kids, vec!["dc=labs, dc=att, dc=com", "dc=research, dc=att, dc=com"]);
+        assert_eq!(d.base_and_children(&dn("dc=att, dc=com")).count(), 3);
+        // one scope from the forest root: the roots.
+        let top: Vec<String> = d
+            .children_of(&Dn::root())
+            .map(|e| e.dn().to_string())
+            .collect();
+        assert_eq!(top, vec!["dc=com", "dc=org"]);
+    }
+
+    #[test]
+    fn parent_of_navigation() {
+        let d = sample();
+        let p = d.parent_of(&dn("dc=research, dc=att, dc=com")).unwrap();
+        assert_eq!(p.dn(), &dn("dc=att, dc=com"));
+        assert!(d.parent_of(&dn("dc=com")).is_none());
+    }
+
+    #[test]
+    fn remove_leaves_orphans() {
+        let mut d = sample();
+        d.remove(&dn("dc=att, dc=com")).unwrap();
+        assert_eq!(d.len(), 5);
+        assert!(!d.contains(&dn("dc=att, dc=com")));
+        // Orphaned descendants remain — the instance is a forest.
+        assert!(d.contains(&dn("dc=research, dc=att, dc=com")));
+        assert!(matches!(
+            d.remove(&dn("dc=att, dc=com")),
+            Err(ModelError::NoSuchEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn modify_adds_and_removes_values() {
+        use crate::value::Value;
+        let mut d = sample();
+        let target = dn("dc=att, dc=com");
+        d.modify(
+            &target,
+            &[("description".into(), Value::str("carrier")),
+              ("description".into(), Value::str("research lab"))],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(d.lookup(&target).unwrap().values(&"description".into()).count(), 2);
+        d.modify(
+            &target,
+            &[],
+            &[("description".into(), Value::str("carrier"))],
+        )
+        .unwrap();
+        let e = d.lookup(&target).unwrap();
+        assert_eq!(e.first_str(&"description".into()), Some("research lab"));
+        assert_eq!(e.id(), 1, "id stable across modify");
+    }
+
+    #[test]
+    fn modify_cannot_strip_rdn_or_classes() {
+        use crate::value::Value;
+        let mut d = sample();
+        let target = dn("dc=att, dc=com");
+        // Removing the rdn value is silently restored by the builder's
+        // rdn ⊆ val invariant (the pair is re-added).
+        d.modify(&target, &[], &[("dc".into(), Value::str("att"))])
+            .unwrap();
+        assert!(d.lookup(&target).unwrap().has_attr(&"dc".into()));
+        // Unknown entry errors.
+        assert!(matches!(
+            d.modify(&dn("dc=ghost"), &[], &[]),
+            Err(ModelError::NoSuchEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn modify_respects_schema_atomically() {
+        use crate::value::TypeName;
+        use crate::value::Value;
+        let schema = Schema::builder()
+            .attr("dc", TypeName::Str)
+            .attr("priority", TypeName::Int)
+            .class("dcObject", ["dc", "priority"])
+            .build()
+            .unwrap();
+        let mut d = Directory::with_schema(schema);
+        d.insert(entry("dc=com")).unwrap();
+        let target = dn("dc=com");
+        // Type violation rejected, entry unchanged.
+        let err = d
+            .modify(&target, &[("priority".into(), Value::str("high"))], &[])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+        assert!(!d.lookup(&target).unwrap().has_attr(&"priority".into()));
+        // Valid modification sticks.
+        d.modify(&target, &[("priority".into(), Value::int(1))], &[])
+            .unwrap();
+        assert_eq!(d.lookup(&target).unwrap().first_int(&"priority".into()), Some(1));
+    }
+
+    #[test]
+    fn schema_enforcement_on_insert() {
+        use crate::value::TypeName;
+        let schema = Schema::builder()
+            .attr("dc", TypeName::Str)
+            .class("dcObject", ["dc"])
+            .build()
+            .unwrap();
+        let mut d = Directory::with_schema(schema);
+        d.insert(entry("dc=com")).unwrap();
+        let bad = Entry::builder(dn("cn=x, dc=com"))
+            .class("ghost")
+            .build()
+            .unwrap();
+        assert!(d.insert(bad).is_err());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn paged_export_roundtrips_sorted() {
+        let d = sample();
+        let pager = netdir_pager::tiny_pager();
+        let list = d.to_paged_list(&pager).unwrap();
+        assert_eq!(list.len(), 6);
+        let back = list.to_vec().unwrap();
+        let expect: Vec<Entry> = d.iter_sorted().cloned().collect();
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn ids_are_stable_and_resolvable() {
+        let d = sample();
+        for e in d.iter_sorted() {
+            assert_eq!(d.get(e.id()).unwrap().dn(), e.dn());
+        }
+    }
+}

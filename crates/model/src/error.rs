@@ -1,0 +1,107 @@
+//! Error type for the data model.
+
+use std::fmt;
+
+/// Result alias for model operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+/// Violations of the model's definitions (3.1 and 3.2) and parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A DN string failed to parse.
+    DnParse { input: String, detail: String },
+    /// An RDN contained a NUL byte (reserved as the sort-key separator).
+    NulInRdn { rdn: String },
+    /// An RDN was empty (RDNs are non-empty sets of pairs).
+    EmptyRdn,
+    /// A DN had no RDNs.
+    EmptyDn,
+    /// Attribute not declared in the schema.
+    UnknownAttribute { attr: String },
+    /// Class not declared in the schema.
+    UnknownClass { class: String },
+    /// Value's type does not match σ(attribute) (Def 3.2, condition 1).
+    TypeMismatch {
+        attr: String,
+        expected: String,
+        got: String,
+    },
+    /// Attribute not allowed by any of the entry's classes
+    /// (Def 3.2, condition 1).
+    AttributeNotAllowed { attr: String, classes: Vec<String> },
+    /// objectClass values and the class set disagree (Def 3.2, condition 2).
+    ClassValueMismatch { detail: String },
+    /// The entry's class set is empty (Def 3.2(b)).
+    NoClasses,
+    /// rdn(r) ⊄ val(r) (Def 3.2(d)(ii)).
+    RdnNotInValues { pair: String },
+    /// Two entries share a DN (Def 3.2(d)(i): dn is a key).
+    DuplicateDn { dn: String },
+    /// Operation referenced a DN not present in the directory.
+    NoSuchEntry { dn: String },
+    /// Schema construction problem (e.g. objectClass typed non-string).
+    BadSchema { detail: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DnParse { input, detail } => {
+                write!(f, "cannot parse DN {input:?}: {detail}")
+            }
+            ModelError::NulInRdn { rdn } => {
+                write!(f, "RDN {rdn:?} contains a NUL byte (reserved separator)")
+            }
+            ModelError::EmptyRdn => write!(f, "empty RDN"),
+            ModelError::EmptyDn => write!(f, "empty DN"),
+            ModelError::UnknownAttribute { attr } => {
+                write!(f, "attribute {attr:?} not in schema")
+            }
+            ModelError::UnknownClass { class } => write!(f, "class {class:?} not in schema"),
+            ModelError::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "attribute {attr:?} has type {expected}, got a {got} value"
+            ),
+            ModelError::AttributeNotAllowed { attr, classes } => write!(
+                f,
+                "attribute {attr:?} not allowed by any of the classes {classes:?}"
+            ),
+            ModelError::ClassValueMismatch { detail } => {
+                write!(f, "objectClass values disagree with class set: {detail}")
+            }
+            ModelError::NoClasses => write!(f, "entry must belong to at least one class"),
+            ModelError::RdnNotInValues { pair } => {
+                write!(f, "rdn pair {pair} missing from entry values (rdn ⊆ val)")
+            }
+            ModelError::DuplicateDn { dn } => write!(f, "duplicate DN {dn}"),
+            ModelError::NoSuchEntry { dn } => write!(f, "no entry with DN {dn}"),
+            ModelError::BadSchema { detail } => write!(f, "bad schema: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offender() {
+        let e = ModelError::UnknownAttribute {
+            attr: "frobnicate".into(),
+        };
+        assert!(e.to_string().contains("frobnicate"));
+        let e = ModelError::TypeMismatch {
+            attr: "priority".into(),
+            expected: "int".into(),
+            got: "string".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("priority") && s.contains("int") && s.contains("string"));
+    }
+}

@@ -1,0 +1,200 @@
+//! LDIF-style import/export.
+//!
+//! The figures render entries as a DN plus `attr: value` lines — the LDIF
+//! interchange format every directory server of the paper's era spoke.
+//! This module reads and writes that format, typed:
+//!
+//! ```text
+//! dn: SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, dc=com
+//! objectClass: SLAPolicyRules
+//! SLARulePriority:i 2
+//! SLATPRef:dn TPName=lsplitOff, ou=trafficProfile, ou=networkPolicies, dc=com
+//!
+//! dn: …next entry…
+//! ```
+//!
+//! Plain `attr: value` lines are strings; `attr:i value` parses an
+//! integer; `attr:dn value` parses a DN reference. (Standard LDIF carries
+//! types in the schema instead; the suffix keeps round-trips lossless
+//! without one.) Blank lines separate entries; `#` starts a comment.
+
+use crate::directory::Directory;
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::error::{ModelError, ModelResult};
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Serialize one entry in typed-LDIF form.
+pub fn entry_to_ldif(entry: &Entry) -> String {
+    let mut out = String::new();
+    writeln!(out, "dn: {}", entry.dn()).expect("string write");
+    for (a, v) in entry.pairs() {
+        match v {
+            Value::Str(s) => writeln!(out, "{a}: {s}"),
+            Value::Int(i) => writeln!(out, "{a}:i {i}"),
+            Value::Dn(d) => writeln!(out, "{a}:dn {d}"),
+        }
+        .expect("string write");
+    }
+    out
+}
+
+/// Serialize a whole directory (sorted order, blank-line separated).
+pub fn directory_to_ldif(dir: &Directory) -> String {
+    let mut out = String::new();
+    for e in dir.iter_sorted() {
+        out.push_str(&entry_to_ldif(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one typed-LDIF entry block (no blank lines inside).
+pub fn entry_from_ldif(block: &str) -> ModelResult<Entry> {
+    let mut dn: Option<Dn> = None;
+    let mut builder: Option<crate::entry::EntryBuilder> = None;
+    for line in block.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(colon) = line.find(':') else {
+            return Err(ModelError::DnParse {
+                input: line.to_string(),
+                detail: "LDIF line has no ':'".into(),
+            });
+        };
+        let attr = line[..colon].trim();
+        let rest = &line[colon + 1..];
+        if dn.is_none() {
+            if !attr.eq_ignore_ascii_case("dn") {
+                return Err(ModelError::DnParse {
+                    input: line.to_string(),
+                    detail: "LDIF entry must start with a dn: line".into(),
+                });
+            }
+            let parsed = Dn::parse(rest.trim())?;
+            builder = Some(Entry::builder(parsed.clone()));
+            dn = Some(parsed);
+            continue;
+        }
+        let b = builder.take().expect("builder exists after dn line");
+        let (tag, value_s) = if let Some(v) = rest.strip_prefix("dn ") {
+            ("dn", v)
+        } else if let Some(v) = rest.strip_prefix("i ") {
+            ("i", v)
+        } else {
+            ("", rest)
+        };
+        let value_s = value_s.trim();
+        let value = match tag {
+            "i" => Value::Int(value_s.parse().map_err(|_| ModelError::DnParse {
+                input: line.to_string(),
+                detail: format!("{value_s:?} is not an integer"),
+            })?),
+            "dn" => Value::Dn(Dn::parse(value_s)?),
+            _ => Value::Str(value_s.to_string()),
+        };
+        builder = Some(b.attr(attr, value));
+    }
+    let Some(builder) = builder else {
+        return Err(ModelError::EmptyDn);
+    };
+    builder.build()
+}
+
+/// Parse a whole typed-LDIF document into a directory.
+pub fn directory_from_ldif(text: &str) -> ModelResult<Directory> {
+    let mut dir = Directory::new();
+    for block in text.split("\n\n") {
+        let meaningful = block
+            .lines()
+            .any(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+        if !meaningful {
+            continue;
+        }
+        dir.insert(entry_from_ldif(block)?)?;
+    }
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Directory {
+        let mut d = Directory::new();
+        d.insert(
+            Entry::builder(Dn::parse("dc=com").unwrap())
+                .class("dcObject")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        d.insert(
+            Entry::builder(Dn::parse("SLAPolicyName=dso, dc=com").unwrap())
+                .class("SLAPolicyRules")
+                .attr("SLARulePriority", 2i64)
+                .attr("SLATPRef", Dn::parse("TPName=x, dc=com").unwrap())
+                .attr("SLAPolicyScope", "DataTraffic")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample();
+        let text = directory_to_ldif(&d);
+        let back = directory_from_ldif(&text).unwrap();
+        assert_eq!(back.len(), d.len());
+        let a: Vec<&Entry> = d.iter_sorted().collect();
+        let b: Vec<&Entry> = back.iter_sorted().collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dn(), y.dn());
+            assert_eq!(x.pairs(), y.pairs(), "typed values must survive");
+        }
+    }
+
+    #[test]
+    fn typed_lines_render_distinctly() {
+        let d = sample();
+        let text = directory_to_ldif(&d);
+        assert!(text.contains("SLARulePriority:i 2"));
+        assert!(text.contains("SLATPRef:dn TPName=x, dc=com"));
+        assert!(text.contains("SLAPolicyScope: DataTraffic"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\ndn: dc=com\nobjectClass: dcObject\n\n# trailing\n";
+        let d = directory_from_ldif(text).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(entry_from_ldif("objectClass: x\n").is_err()); // no dn first
+        assert!(entry_from_ldif("dn: dc=com\nbad line\n").is_err()); // no colon
+        assert!(entry_from_ldif("dn: dc=com\nx:i notanint\n").is_err());
+        assert!(directory_from_ldif("dn: dc=com\noc: a\n\ndn: dc=com\noc: a\n").is_err());
+        // duplicate dn
+    }
+
+    #[test]
+    fn figure_style_output_parses_back() {
+        // The Display form of an entry is close to LDIF; the ldif module
+        // is its lossless sibling.
+        let d = sample();
+        for e in d.iter_sorted() {
+            let block = entry_to_ldif(e);
+            let back = entry_from_ldif(&block).unwrap();
+            // Ids are store-assigned and deliberately absent from LDIF.
+            assert_eq!(back.dn(), e.dn());
+            assert_eq!(back.pairs(), e.pairs());
+        }
+    }
+}

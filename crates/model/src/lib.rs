@@ -1,0 +1,43 @@
+//! # netdir-model — the network directory data model
+//!
+//! Section 3 of *Querying Network Directories* defines the model this crate
+//! implements:
+//!
+//! * A **directory schema** `S = (C, A, σ, ψ)` — class names, attribute
+//!   names, an attribute-typing function σ (shared across classes), and a
+//!   map ψ from class to its allowed attributes ([`schema`]).
+//! * A **directory instance** — a finite set of entries, each with a
+//!   non-empty class set, a multiset of `(attribute, value)` pairs, and a
+//!   **distinguished name** that both identifies it and places it in the
+//!   hierarchy ([`entry`], [`directory`]).
+//! * **Distinguished names** are sequences of RDNs, each RDN a set of
+//!   `(attribute, value)` pairs, written leaf-first:
+//!   `uid=jag, ou=userProfiles, dc=research, dc=att, dc=com` ([`dn`]).
+//!
+//! The crate also provides the load-bearing detail of the whole paper:
+//! the **reverse-DN sort key** ([`dn::SortKey`]). All evaluation algorithms
+//! assume lists sorted "based on the lexicographic ordering of the reverse
+//! dn's", under which *the reverse dn of a parent entry is a prefix of the
+//! reverse dn of a child entry* — so ancestor testing is byte-prefix
+//! testing and subtrees are contiguous key ranges.
+
+pub mod attr;
+pub mod directory;
+pub mod dn;
+pub mod entry;
+pub mod error;
+pub mod ldif;
+pub mod schema;
+pub mod value;
+
+pub use attr::{AttrName, ClassName};
+pub use directory::Directory;
+pub use dn::{Dn, Rdn, SortKey};
+pub use entry::{Entry, EntryBuilder, EntryId};
+pub use error::{ModelError, ModelResult};
+pub use schema::{Schema, SchemaBuilder};
+pub use value::{TypeName, Value};
+
+/// The attribute every entry must carry, whose values are the entry's
+/// classes (Definition 3.2, condition 2).
+pub const OBJECT_CLASS: &str = "objectClass";

@@ -1,0 +1,227 @@
+//! Directory schemas (Definition 3.1).
+//!
+//! A schema `S = (C, A, σ, ψ)` declares class names, attribute names, the
+//! typing function σ : A → T, and the allowed-attribute map ψ : C → 2^A.
+//! The decoupling of attribute typing from classes is the model's key
+//! departure from relational/OO schemas: an attribute's type is the same in
+//! every class that allows it.
+
+use crate::attr::{AttrName, ClassName};
+use crate::error::{ModelError, ModelResult};
+use crate::value::TypeName;
+use crate::OBJECT_CLASS;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An immutable directory schema. Build with [`SchemaBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: BTreeMap<AttrName, TypeName>,
+    classes: BTreeMap<ClassName, BTreeSet<AttrName>>,
+}
+
+impl Schema {
+    /// Start building a schema. `objectClass : string` is pre-declared, as
+    /// Definition 3.1 requires.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::new()
+    }
+
+    /// σ(attr) — the attribute's type, if declared.
+    pub fn attr_type(&self, attr: &AttrName) -> Option<TypeName> {
+        self.attrs.get(attr.canonical()).copied()
+    }
+
+    /// ψ(class) — the class's allowed attributes, if declared.
+    pub fn allowed_attrs(&self, class: &ClassName) -> Option<&BTreeSet<AttrName>> {
+        self.classes.get(class.canonical())
+    }
+
+    /// True iff `class` is declared.
+    pub fn has_class(&self, class: &ClassName) -> bool {
+        self.classes.contains_key(class.canonical())
+    }
+
+    /// All declared attributes with their types.
+    pub fn attrs(&self) -> impl Iterator<Item = (&AttrName, TypeName)> {
+        self.attrs.iter().map(|(a, t)| (a, *t))
+    }
+
+    /// All declared classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassName> {
+        self.classes.keys()
+    }
+
+    /// Is `attr` allowed for an entry belonging to `classes`?
+    /// (Definition 3.2, condition 1: allowed by *at least one* class.)
+    pub fn attr_allowed(&self, attr: &AttrName, classes: &[ClassName]) -> bool {
+        if attr.canonical() == OBJECT_CLASS.to_ascii_lowercase() {
+            return true;
+        }
+        classes.iter().any(|c| {
+            self.classes
+                .get(c.canonical())
+                .is_some_and(|allowed| allowed.contains(attr.canonical()))
+        })
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attrs: BTreeMap<AttrName, TypeName>,
+    classes: BTreeMap<ClassName, BTreeSet<AttrName>>,
+    errors: Vec<ModelError>,
+}
+
+impl SchemaBuilder {
+    fn new() -> Self {
+        let mut b = SchemaBuilder::default();
+        b.attrs
+            .insert(AttrName::new(OBJECT_CLASS), TypeName::Str);
+        b
+    }
+
+    /// Declare an attribute with its type (σ).
+    pub fn attr(mut self, name: impl Into<AttrName>, ty: TypeName) -> Self {
+        let name = name.into();
+        if name.canonical() == OBJECT_CLASS.to_ascii_lowercase() && ty != TypeName::Str {
+            self.errors.push(ModelError::BadSchema {
+                detail: "objectClass must have type string".into(),
+            });
+            return self;
+        }
+        if let Some(prev) = self.attrs.insert(name.clone(), ty) {
+            if prev != ty {
+                self.errors.push(ModelError::BadSchema {
+                    detail: format!(
+                        "attribute {name} declared with conflicting types {prev} and {ty}"
+                    ),
+                });
+            }
+        }
+        self
+    }
+
+    /// Declare a class with its allowed attributes (ψ). Attributes must be
+    /// declared (before or after; checked at `build`).
+    pub fn class<I, S>(mut self, name: impl Into<ClassName>, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<AttrName>,
+    {
+        let name = name.into();
+        let set: BTreeSet<AttrName> = attrs.into_iter().map(Into::into).collect();
+        if self.classes.insert(name.clone(), set).is_some() {
+            self.errors.push(ModelError::BadSchema {
+                detail: format!("class {name} declared twice"),
+            });
+        }
+        self
+    }
+
+    /// Finish, verifying every class's attributes are declared.
+    pub fn build(mut self) -> ModelResult<Schema> {
+        if let Some(e) = self.errors.drain(..).next() {
+            return Err(e);
+        }
+        for (class, attrs) in &self.classes {
+            for attr in attrs {
+                if !self.attrs.contains_key(attr.canonical()) {
+                    return Err(ModelError::BadSchema {
+                        detail: format!(
+                            "class {class} allows undeclared attribute {attr}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Schema {
+            attrs: self.attrs,
+            classes: self.classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("dc", TypeName::Str)
+            .attr("priority", TypeName::Int)
+            .attr("ref", TypeName::Dn)
+            .class("dcObject", ["dc"])
+            .class("policy", ["priority", "ref"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_types_and_allowed() {
+        let s = schema();
+        assert_eq!(s.attr_type(&"dc".into()), Some(TypeName::Str));
+        assert_eq!(s.attr_type(&"PRIORITY".into()), Some(TypeName::Int));
+        assert_eq!(s.attr_type(&"nope".into()), None);
+        assert!(s.has_class(&"dcobject".into()));
+        assert!(s
+            .allowed_attrs(&"policy".into())
+            .unwrap()
+            .contains("priority"));
+    }
+
+    #[test]
+    fn object_class_is_predeclared_and_string() {
+        let s = Schema::builder().build().unwrap();
+        assert_eq!(s.attr_type(&OBJECT_CLASS.into()), Some(TypeName::Str));
+        assert!(Schema::builder()
+            .attr(OBJECT_CLASS, TypeName::Int)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn attr_allowed_requires_one_class() {
+        let s = schema();
+        let both = vec![ClassName::new("dcObject"), ClassName::new("policy")];
+        assert!(s.attr_allowed(&"dc".into(), &both));
+        assert!(s.attr_allowed(&"priority".into(), &both));
+        assert!(!s.attr_allowed(&"priority".into(), &[ClassName::new("dcObject")]));
+        // objectClass always allowed.
+        assert!(s.attr_allowed(&OBJECT_CLASS.into(), &[ClassName::new("dcObject")]));
+    }
+
+    #[test]
+    fn undeclared_class_attr_rejected() {
+        let err = Schema::builder()
+            .class("c", ["ghost"])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn conflicting_attr_types_rejected() {
+        assert!(Schema::builder()
+            .attr("x", TypeName::Str)
+            .attr("x", TypeName::Int)
+            .build()
+            .is_err());
+        // Same type twice is fine.
+        assert!(Schema::builder()
+            .attr("x", TypeName::Str)
+            .attr("X", TypeName::Str)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        assert!(Schema::builder()
+            .attr("dc", TypeName::Str)
+            .class("c", ["dc"])
+            .class("C", ["dc"])
+            .build()
+            .is_err());
+    }
+}

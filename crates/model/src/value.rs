@@ -1,0 +1,159 @@
+//! Attribute values and their types.
+//!
+//! The paper assumes a set `T` of type names including `string` and `int`,
+//! plus the complex type `distinguishedName` whose values are DNs — this is
+//! what lets entries embed references to other entries (Section 7).
+
+use crate::dn::Dn;
+use std::fmt;
+
+/// The type names in `T` that the core model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TypeName {
+    /// `string`.
+    Str,
+    /// `int`.
+    Int,
+    /// `distinguishedName` — values are DNs of (possibly other) entries.
+    Dn,
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeName::Str => "string",
+            TypeName::Int => "int",
+            TypeName::Dn => "distinguishedName",
+        })
+    }
+}
+
+/// A value from `dom(T)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A string value.
+    Str(String),
+    /// An integer value.
+    Int(i64),
+    /// A DN value — an embedded reference to a directory entry.
+    Dn(Dn),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Convenience constructor for DN values.
+    pub fn dn(d: Dn) -> Value {
+        Value::Dn(d)
+    }
+
+    /// The type this value belongs to.
+    pub fn type_name(&self) -> TypeName {
+        match self {
+            Value::Str(_) => TypeName::Str,
+            Value::Int(_) => TypeName::Int,
+            Value::Dn(_) => TypeName::Dn,
+        }
+    }
+
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an int value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The DN payload, if this is a DN value.
+    pub fn as_dn(&self) -> Option<&Dn> {
+        match self {
+            Value::Dn(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Canonical rendering used inside RDN strings and sort keys.
+    ///
+    /// Strings are rendered case-folded (LDAP string matching is
+    /// case-insensitive by default); ints in decimal; DNs in their
+    /// canonical DN rendering.
+    pub fn canonical(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_ascii_lowercase(),
+            Value::Int(i) => i.to_string(),
+            Value::Dn(d) => d.canonical(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Dn(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<Dn> for Value {
+    fn from(d: Dn) -> Self {
+        Value::Dn(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::str("x").type_name(), TypeName::Str);
+        assert_eq!(Value::int(3).type_name(), TypeName::Int);
+        assert_eq!(TypeName::Dn.to_string(), "distinguishedName");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::int(-5).as_int(), Some(-5));
+    }
+
+    #[test]
+    fn canonical_folds_strings() {
+        assert_eq!(Value::str("JagADish").canonical(), "jagadish");
+        assert_eq!(Value::int(42).canonical(), "42");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the distinguished-name machinery — the invariants
+//! every evaluation algorithm rides on.
+
+use netdir_model::{Dn, Entry, Rdn, Value};
+use proptest::prelude::*;
+
+/// RDN components over a small alphabet (so prefix traps like
+/// `dc=a` vs `dc=ab` actually occur).
+fn arb_component() -> impl Strategy<Value = (String, String)> {
+    (
+        prop_oneof![Just("dc"), Just("ou"), Just("cn"), Just("uid")],
+        "[a-c]{1,3}",
+    )
+        .prop_map(|(a, v)| (a.to_string(), v))
+}
+
+fn arb_dn() -> impl Strategy<Value = Dn> {
+    proptest::collection::vec(arb_component(), 0..5).prop_map(|parts| {
+        let rdns: Vec<Rdn> = parts
+            .into_iter()
+            .map(|(a, v)| Rdn::single(a.as_str(), v.as_str()).unwrap())
+            .collect();
+        Dn::from_rdns(rdns)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The crux of Section 4.2: ancestor(x, y) ⇔ key(x) is a proper
+    /// byte-prefix of key(y).
+    #[test]
+    fn ancestry_iff_key_prefix(x in arb_dn(), y in arb_dn()) {
+        let semantic = x.depth() < y.depth()
+            && (0..y.depth() - x.depth())
+                .try_fold(y.clone(), |d, _| d.parent())
+                == Some(x.clone());
+        let key = x.sort_key().is_ancestor_of(y.sort_key());
+        prop_assert_eq!(semantic, key, "x={} y={}", x, y);
+        prop_assert_eq!(x.is_ancestor_of(&y), key);
+    }
+
+    /// Parent ⇔ ancestor at distance exactly one.
+    #[test]
+    fn parent_is_distance_one_ancestor(x in arb_dn(), y in arb_dn()) {
+        prop_assert_eq!(
+            x.is_parent_of(&y),
+            x.is_ancestor_of(&y) && x.depth() + 1 == y.depth()
+        );
+        if let Some(p) = y.parent() {
+            prop_assert!(p.is_parent_of(&y) || y.depth() == 0);
+        }
+    }
+
+    /// Ordering by sort key puts every DN after its ancestors and keeps
+    /// subtrees contiguous.
+    #[test]
+    fn sort_puts_ancestors_first(mut dns in proptest::collection::vec(arb_dn(), 2..20)) {
+        dns.sort();
+        dns.dedup();
+        for (i, d) in dns.iter().enumerate() {
+            for later in &dns[i + 1..] {
+                prop_assert!(!later.is_ancestor_of(d),
+                    "{} sorts after its descendant {}", later, d);
+            }
+        }
+        // Contiguity: in sorted order, a subtree's members directly
+        // follow their root — descendant flags form a true-prefix.
+        for (i, base) in dns.iter().enumerate() {
+            let flags: Vec<bool> =
+                dns[i + 1..].iter().map(|d| base.is_ancestor_of(d)).collect();
+            let first_false = flags.iter().position(|f| !f).unwrap_or(flags.len());
+            prop_assert!(
+                flags[first_false..].iter().all(|f| !f),
+                "subtree of {} is not contiguous",
+                base
+            );
+        }
+    }
+
+    /// Display → parse is the identity (canonically).
+    #[test]
+    fn display_parse_roundtrip(d in arb_dn()) {
+        let printed = d.to_string();
+        let back = Dn::parse(&printed).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// child/parent are inverse.
+    #[test]
+    fn child_then_parent(d in arb_dn(), (a, v) in arb_component()) {
+        let rdn = Rdn::single(a.as_str(), v.as_str()).unwrap();
+        let c = d.child(rdn);
+        prop_assert_eq!(c.parent(), Some(d.clone()));
+        prop_assert!(d.is_parent_of(&c));
+        prop_assert_eq!(c.depth(), d.depth() + 1);
+    }
+
+    /// Entry record encoding round-trips entries with arbitrary DNs and
+    /// mixed-type values.
+    #[test]
+    fn entry_record_roundtrip(d in arb_dn(), n in 1i64..100, s in "[a-z]{0,8}") {
+        prop_assume!(!d.is_root());
+        use netdir_pager::record::Record;
+        let e = Entry::builder(d.clone())
+            .class("t")
+            .attr("num", n)
+            .attr("label", s)
+            .attr("self", Value::Dn(d))
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        prop_assert_eq!(Entry::decode(&buf).unwrap(), e);
+    }
+
+    /// LDIF round-trips arbitrary entries.
+    #[test]
+    fn ldif_roundtrip(d in arb_dn(), n in -50i64..50) {
+        prop_assume!(!d.is_root());
+        let e = Entry::builder(d)
+            .class("thing")
+            .attr("weight", n)
+            .build()
+            .unwrap();
+        let text = netdir_model::ldif::entry_to_ldif(&e);
+        let back = netdir_model::ldif::entry_from_ldif(&text).unwrap();
+        prop_assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,387 @@
+//! Block-linked record chains with O(1) concatenation.
+//!
+//! The stack-based hierarchical-selection algorithms (Figures 2/4/5/6)
+//! decide membership of an entry `rt` only when it is *popped* — after its
+//! whole subtree has been scanned — yet must emit output in sorted
+//! (reverse-DN) order, where `rt` precedes everything in its subtree. The
+//! fix, standard in the structural-join literature, is a pending-output
+//! buffer per stack frame: when `rt` pops, its own record is *prepended*
+//! to its buffered subtree output and the whole thing is spliced onto the
+//! parent frame's buffer. Splicing must not copy data, or the pass turns
+//! quadratic; hence chains of page-sized blocks linked by pointers, where
+//! concatenation is a pointer update.
+//!
+//! To keep the total block count at `O(N/B)` despite many tiny chains, a
+//! concatenation merges the boundary blocks whenever both halves fit in
+//! one block — so at most every other block can end up under half full.
+//!
+//! All blocks of all chains live in one [`ChainArena`]; a [`Chain`] is a
+//! tiny copyable handle. Block metadata (used bytes, next pointer) is
+//! in-memory, like every other page table in this crate.
+
+use crate::disk::{PageId, PAGE_HEADER_BYTES};
+use crate::error::{PagerError, PagerResult};
+use crate::record::{Record, LEN_PREFIX_BYTES};
+use crate::Pager;
+use std::marker::PhantomData;
+
+const NIL: u32 = u32::MAX;
+
+/// Handle to a chain of records inside a [`ChainArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chain {
+    head: u32,
+    tail: u32,
+    len: u64,
+}
+
+impl Chain {
+    /// The empty chain.
+    pub fn empty() -> Chain {
+        Chain {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of records in the chain.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the chain has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+struct BlockMeta {
+    page: PageId,
+    used: u32,
+    count: u32,
+    next: u32,
+}
+
+/// Arena owning the blocks of many chains.
+pub struct ChainArena<T> {
+    pager: Pager,
+    blocks: Vec<BlockMeta>,
+    /// Blocks emptied by boundary merges, available for reuse (their pages
+    /// are recycled too, keeping disk growth proportional to live data).
+    free: Vec<u32>,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Record> ChainArena<T> {
+    /// A fresh arena on `pager`.
+    pub fn new(pager: &Pager) -> Self {
+        ChainArena {
+            pager: pager.clone(),
+            blocks: Vec::new(),
+            free: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of live blocks (diagnostic; the linearity tests assert this
+    /// stays `O(N/B)`).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len() - self.free.len()
+    }
+
+    fn new_block(&mut self) -> PagerResult<u32> {
+        if let Some(idx) = self.free.pop() {
+            let meta = &mut self.blocks[idx as usize];
+            meta.used = 0;
+            meta.count = 0;
+            meta.next = NIL;
+            return Ok(idx);
+        }
+        let page = self.pager.pool().allocate();
+        // Touch it so it exists zeroed; header maintained in metadata.
+        drop(self.pager.pool().fetch_zeroed(page)?);
+        let idx = self.blocks.len() as u32;
+        self.blocks.push(BlockMeta {
+            page,
+            used: 0,
+            count: 0,
+            next: NIL,
+        });
+        Ok(idx)
+    }
+
+    /// Append one record to the chain's tail, returning the grown chain.
+    pub fn push(&mut self, chain: Chain, item: &T) -> PagerResult<Chain> {
+        let mut buf = Vec::new();
+        item.encode(&mut buf);
+        let need = buf.len() + LEN_PREFIX_BYTES;
+        let payload = self.pager.payload_size();
+        if need > payload {
+            return Err(PagerError::RecordTooLarge {
+                record: buf.len(),
+                payload: payload - LEN_PREFIX_BYTES,
+            });
+        }
+        let mut chain = chain;
+        let tail = if chain.tail == NIL
+            || (self.blocks[chain.tail as usize].used as usize) + need > payload
+        {
+            let idx = self.new_block()?;
+            if chain.tail == NIL {
+                chain.head = idx;
+            } else {
+                self.blocks[chain.tail as usize].next = idx;
+            }
+            chain.tail = idx;
+            idx
+        } else {
+            chain.tail
+        };
+        let meta = &mut self.blocks[tail as usize];
+        let offset = PAGE_HEADER_BYTES + meta.used as usize;
+        let guard = self.pager.pool().fetch(meta.page)?;
+        guard.with_mut(|data| {
+            data[offset..offset + 4].copy_from_slice(&(buf.len() as u32).to_le_bytes());
+            data[offset + 4..offset + 4 + buf.len()].copy_from_slice(&buf);
+        });
+        meta.used += need as u32;
+        meta.count += 1;
+        chain.len += 1;
+        Ok(chain)
+    }
+
+    /// Concatenate: all of `a`'s records followed by all of `b`'s.
+    /// O(1) pointer splice; if the boundary blocks both fit in one page
+    /// they are physically merged (≤ 2 page touches) so block counts stay
+    /// proportional to data volume.
+    pub fn concat(&mut self, a: Chain, b: Chain) -> PagerResult<Chain> {
+        if a.is_empty() {
+            return Ok(b);
+        }
+        if b.is_empty() {
+            return Ok(a);
+        }
+        let payload = self.pager.payload_size() as u32;
+        let a_tail = a.tail as usize;
+        let b_head = b.head as usize;
+        if self.blocks[a_tail].used + self.blocks[b_head].used <= payload {
+            // Merge b's head block into a's tail block.
+            let (b_page, b_used, b_count, b_next) = {
+                let m = &self.blocks[b_head];
+                (m.page, m.used as usize, m.count, m.next)
+            };
+            let bytes = {
+                let guard = self.pager.pool().fetch(b_page)?;
+                guard.with(|data| data[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + b_used].to_vec())
+            };
+            let a_used = self.blocks[a_tail].used as usize;
+            let a_page = self.blocks[a_tail].page;
+            let guard = self.pager.pool().fetch(a_page)?;
+            guard.with_mut(|data| {
+                data[PAGE_HEADER_BYTES + a_used..PAGE_HEADER_BYTES + a_used + b_used]
+                    .copy_from_slice(&bytes);
+            });
+            self.blocks[a_tail].used += b_used as u32;
+            self.blocks[a_tail].count += b_count;
+            self.blocks[a_tail].next = b_next;
+            self.free.push(b.head);
+            let tail = if b_next == NIL { a.tail } else { b.tail };
+            Ok(Chain {
+                head: a.head,
+                tail,
+                len: a.len + b.len,
+            })
+        } else {
+            self.blocks[a_tail].next = b.head;
+            Ok(Chain {
+                head: a.head,
+                tail: b.tail,
+                len: a.len + b.len,
+            })
+        }
+    }
+
+    /// Iterate a chain's records in order.
+    pub fn iter<'a>(&'a self, chain: Chain) -> ChainIter<'a, T> {
+        ChainIter {
+            arena: self,
+            block: chain.head,
+            remaining: chain.len,
+            in_block: Vec::new().into_iter(),
+        }
+    }
+
+    /// Materialize a chain (test helper).
+    pub fn to_vec(&self, chain: Chain) -> PagerResult<Vec<T>> {
+        self.iter(chain).collect()
+    }
+}
+
+/// Iterator over a chain's records.
+pub struct ChainIter<'a, T> {
+    arena: &'a ChainArena<T>,
+    block: u32,
+    remaining: u64,
+    in_block: std::vec::IntoIter<T>,
+}
+
+impl<T: Record> ChainIter<'_, T> {
+    fn load_block(&mut self) -> PagerResult<bool> {
+        if self.block == NIL || self.remaining == 0 {
+            return Ok(false);
+        }
+        let meta = &self.arena.blocks[self.block as usize];
+        let guard = self.arena.pager.pool().fetch(meta.page)?;
+        let mut items = Vec::with_capacity(meta.count as usize);
+        guard.with(|data| -> PagerResult<()> {
+            let mut pos = PAGE_HEADER_BYTES;
+            for _ in 0..meta.count {
+                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += LEN_PREFIX_BYTES;
+                items.push(T::decode(&data[pos..pos + len])?);
+                pos += len;
+            }
+            Ok(())
+        })?;
+        self.block = meta.next;
+        self.in_block = items.into_iter();
+        Ok(true)
+    }
+}
+
+impl<T: Record> Iterator for ChainIter<'_, T> {
+    type Item = PagerResult<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.remaining == 0 {
+                return None;
+            }
+            if let Some(item) = self.in_block.next() {
+                self.remaining -= 1;
+                return Some(Ok(item));
+            }
+            match self.load_block() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiny_pager;
+
+    #[test]
+    fn push_and_iterate() {
+        let pager = tiny_pager();
+        let mut arena: ChainArena<u64> = ChainArena::new(&pager);
+        let mut c = Chain::empty();
+        for i in 0..100 {
+            c = arena.push(c, &i).unwrap();
+        }
+        assert_eq!(c.len(), 100);
+        let got: Vec<u64> = arena.to_vec(c).unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let pager = tiny_pager();
+        let mut arena: ChainArena<u64> = ChainArena::new(&pager);
+        let mut a = Chain::empty();
+        let mut b = Chain::empty();
+        for i in 0..50 {
+            a = arena.push(a, &i).unwrap();
+        }
+        for i in 50..120 {
+            b = arena.push(b, &i).unwrap();
+        }
+        let c = arena.concat(a, b).unwrap();
+        assert_eq!(c.len(), 120);
+        assert_eq!(arena.to_vec(c).unwrap(), (0..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concat_with_empty_sides() {
+        let pager = tiny_pager();
+        let mut arena: ChainArena<u64> = ChainArena::new(&pager);
+        let mut a = Chain::empty();
+        a = arena.push(a, &7).unwrap();
+        let c = arena.concat(a, Chain::empty()).unwrap();
+        assert_eq!(arena.to_vec(c).unwrap(), vec![7]);
+        let c = arena.concat(Chain::empty(), a).unwrap();
+        assert_eq!(arena.to_vec(c).unwrap(), vec![7]);
+        let c = arena.concat(Chain::empty(), Chain::empty()).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(arena.to_vec(c).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn many_tiny_chains_concat_into_few_blocks() {
+        // The half-full-merge rule: splicing thousands of 1-record chains
+        // must not leave thousands of 1-record blocks.
+        let pager = Pager::new(4096, 16);
+        let mut arena: ChainArena<u64> = ChainArena::new(&pager);
+        let mut acc = Chain::empty();
+        for i in 0..2000u64 {
+            let mut single = Chain::empty();
+            single = arena.push(single, &i).unwrap();
+            acc = arena.concat(acc, single).unwrap();
+        }
+        assert_eq!(acc.len(), 2000);
+        assert_eq!(arena.to_vec(acc).unwrap(), (0..2000).collect::<Vec<_>>());
+        // 12 bytes per record on a ~4KB page → ~340 per block.
+        let ideal = 2000 / (pager.payload_size() / 12) + 1;
+        assert!(
+            arena.num_blocks() <= ideal * 3,
+            "{} blocks vs ideal {}",
+            arena.num_blocks(),
+            ideal
+        );
+    }
+
+    #[test]
+    fn interleaved_chain_growth() {
+        let pager = tiny_pager();
+        let mut arena: ChainArena<(u64, u64)> = ChainArena::new(&pager);
+        let mut chains = [Chain::empty(); 10];
+        for round in 0..30u64 {
+            for (ci, chain) in chains.iter_mut().enumerate() {
+                *chain = arena.push(*chain, &(ci as u64, round)).unwrap();
+            }
+        }
+        for (ci, chain) in chains.iter().enumerate() {
+            let got = arena.to_vec(*chain).unwrap();
+            let expect: Vec<(u64, u64)> = (0..30).map(|r| (ci as u64, r)).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn prepend_pattern_used_by_stack_pop() {
+        // Simulate a pop: record r, then its buffered subtree list.
+        let pager = tiny_pager();
+        let mut arena: ChainArena<u64> = ChainArena::new(&pager);
+        let mut subtree = Chain::empty();
+        for i in 1..6 {
+            subtree = arena.push(subtree, &i).unwrap();
+        }
+        let mut own = Chain::empty();
+        own = arena.push(own, &0).unwrap();
+        let merged = arena.concat(own, subtree).unwrap();
+        assert_eq!(arena.to_vec(merged).unwrap(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let pager = tiny_pager();
+        let mut arena: ChainArena<Vec<u8>> = ChainArena::new(&pager);
+        let err = arena.push(Chain::empty(), &vec![0u8; 4096]).unwrap_err();
+        assert!(matches!(err, PagerError::RecordTooLarge { .. }));
+    }
+}

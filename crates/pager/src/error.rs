@@ -1,0 +1,75 @@
+//! Error type for the external-memory substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the pager crate.
+pub type PagerResult<T> = Result<T, PagerError>;
+
+/// Everything that can go wrong in the external-memory layer.
+///
+/// These are *environmental* failures (budget exhausted, corrupt page), not
+/// logic errors; algorithms surface them instead of panicking so that
+/// failure-injection tests can exercise recovery paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagerError {
+    /// A page id referred to a page that was never allocated.
+    PageOutOfBounds { page: u64, pages: u64 },
+    /// Every frame in the buffer pool is pinned; the requested fetch would
+    /// exceed the constant-memory budget.
+    PoolExhausted { frames: usize },
+    /// A record was larger than the usable payload of a page.
+    RecordTooLarge { record: usize, payload: usize },
+    /// A page's contents failed to decode (corruption / wrong type).
+    CorruptPage { page: u64, detail: String },
+    /// A record failed to decode from its bytes.
+    CorruptRecord { detail: String },
+    /// The requested configuration is unusable (e.g. zero frames).
+    BadConfig { detail: String },
+}
+
+impl fmt::Display for PagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagerError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (disk has {pages} pages)")
+            }
+            PagerError::PoolExhausted { frames } => {
+                write!(
+                    f,
+                    "buffer pool exhausted: all {frames} frames pinned \
+                     (constant-memory budget exceeded)"
+                )
+            }
+            PagerError::RecordTooLarge { record, payload } => {
+                write!(
+                    f,
+                    "record of {record} bytes exceeds page payload of {payload} bytes"
+                )
+            }
+            PagerError::CorruptPage { page, detail } => {
+                write!(f, "corrupt page {page}: {detail}")
+            }
+            PagerError::CorruptRecord { detail } => write!(f, "corrupt record: {detail}"),
+            PagerError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PagerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PagerError::PoolExhausted { frames: 4 };
+        assert!(e.to_string().contains("4 frames"));
+        let e = PagerError::RecordTooLarge {
+            record: 9000,
+            payload: 4088,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4088"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Append-only paged sequential lists.
+//!
+//! A [`PagedList`] is the currency of every operator in the evaluation
+//! engine: "each of L1 and L2 are sorted lists of directory entries"
+//! (Figures 2–6). Records are packed into pages with a 4-byte length prefix
+//! each; a page's first [`PAGE_HEADER_BYTES`] hold its record count.
+//!
+//! Scanning a list reads each of its pages exactly once (one frame pinned at
+//! a time); writing a list of `n` records of size `s` allocates and writes
+//! `⌈n/B⌉` pages where `B` is the blocking factor for `s`. These two facts
+//! are what make the operators' measured I/O match the paper's `O(|L|/B)`
+//! bounds.
+
+use crate::disk::{PageId, PAGE_HEADER_BYTES};
+use crate::error::{PagerError, PagerResult};
+use crate::record::{Record, LEN_PREFIX_BYTES};
+use crate::Pager;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// An immutable, append-only sequence of records stored on pages.
+///
+/// The page table (`Vec<PageId>`) is kept in memory; like a file system's
+/// extent map it is metadata, not data, and is not charged I/O. Lists are
+/// cheap to clone (the page table is shared).
+pub struct PagedList<T> {
+    pager: Pager,
+    pages: Arc<Vec<PageId>>,
+    /// Cumulative record counts: `cum_counts[i]` = records on pages `0..=i`.
+    /// Metadata maintained by the writer; enables positional access.
+    cum_counts: Arc<Vec<u64>>,
+    len: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for PagedList<T> {
+    fn clone(&self) -> Self {
+        PagedList {
+            pager: self.pager.clone(),
+            pages: self.pages.clone(),
+            cum_counts: self.cum_counts.clone(),
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for PagedList<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedList")
+            .field("len", &self.len)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl<T: Record> PagedList<T> {
+    /// The empty list.
+    pub fn empty(pager: &Pager) -> Self {
+        PagedList {
+            pager: pager.clone(),
+            pages: Arc::new(Vec::new()),
+            cum_counts: Arc::new(Vec::new()),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Build a list by writing out `items` in order.
+    pub fn from_iter<I>(pager: &Pager, items: I) -> PagerResult<Self>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut w = ListWriter::new(pager);
+        for item in items {
+            w.push(&item)?;
+        }
+        w.finish()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the list has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages the records occupy — the `|L|/B` of the cost
+    /// formulas.
+    pub fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// The pager this list lives on.
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Sequential scan. Pins one frame at a time; each page is read at most
+    /// once per scan.
+    pub fn iter(&self) -> ListReader<T> {
+        self.iter_from_page(0)
+    }
+
+    /// Sequential scan starting at page `page_idx` (earlier pages are
+    /// neither read nor decoded). Useful when in-memory fence keys have
+    /// already located the relevant range.
+    pub fn iter_from_page(&self, page_idx: usize) -> ListReader<T> {
+        ListReader {
+            list: self.clone(),
+            page_idx,
+            in_page: Vec::new().into_iter(),
+        }
+    }
+
+    /// Record counts per page (metadata; no I/O).
+    pub fn page_record_counts(&self) -> Vec<u32> {
+        let mut prev = 0u64;
+        self.cum_counts
+            .iter()
+            .map(|&c| {
+                let n = (c - prev) as u32;
+                prev = c;
+                n
+            })
+            .collect()
+    }
+
+    /// Positional access: the record at index `pos` (one page read if
+    /// cold), or `None` past the end. Decodes only the requested record —
+    /// the index-probe path fetches thousands of single entries, and
+    /// decoding whole pages for each would dominate probe cost.
+    pub fn get(&self, pos: u64) -> PagerResult<Option<T>> {
+        if pos >= self.len {
+            return Ok(None);
+        }
+        let page_idx = self.cum_counts.partition_point(|&c| c <= pos);
+        let first_on_page = if page_idx == 0 {
+            0
+        } else {
+            self.cum_counts[page_idx - 1]
+        };
+        let slot = (pos - first_on_page) as usize;
+        let page = self.pages[page_idx];
+        let guard = self.pager.pool().fetch(page)?;
+        guard.with(|data| -> PagerResult<Option<T>> {
+            let count = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+            if slot >= count || count > data.len() / LEN_PREFIX_BYTES {
+                return Err(PagerError::CorruptPage {
+                    page,
+                    detail: format!("slot {slot} of {count} records"),
+                });
+            }
+            let mut off = PAGE_HEADER_BYTES;
+            for _ in 0..slot {
+                if off + LEN_PREFIX_BYTES > data.len() {
+                    return Err(PagerError::CorruptPage {
+                        page,
+                        detail: "record prefix past page end".into(),
+                    });
+                }
+                let len =
+                    u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                off += LEN_PREFIX_BYTES + len;
+            }
+            if off + LEN_PREFIX_BYTES > data.len() {
+                return Err(PagerError::CorruptPage {
+                    page,
+                    detail: "record prefix past page end".into(),
+                });
+            }
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+            off += LEN_PREFIX_BYTES;
+            if off + len > data.len() {
+                return Err(PagerError::CorruptPage {
+                    page,
+                    detail: "record body past page end".into(),
+                });
+            }
+            Ok(Some(T::decode(&data[off..off + len])?))
+        })
+    }
+
+    /// Materialize the whole list in memory (test/debug helper — not for
+    /// use inside external-memory operators).
+    pub fn to_vec(&self) -> PagerResult<Vec<T>> {
+        self.iter().collect()
+    }
+}
+
+/// Streaming writer producing a [`PagedList`].
+pub struct ListWriter<T> {
+    pager: Pager,
+    pages: Vec<PageId>,
+    cum_counts: Vec<u64>,
+    current: Vec<u8>,
+    count_in_page: u32,
+    len: u64,
+    scratch: Vec<u8>,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T: Record> ListWriter<T> {
+    /// Start writing a fresh list on `pager`.
+    pub fn new(pager: &Pager) -> Self {
+        ListWriter {
+            pager: pager.clone(),
+            pages: Vec::new(),
+            cum_counts: Vec::new(),
+            current: Vec::new(),
+            count_in_page: 0,
+            len: 0,
+            scratch: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Records written so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, item: &T) -> PagerResult<()> {
+        self.scratch.clear();
+        item.encode(&mut self.scratch);
+        let need = self.scratch.len() + LEN_PREFIX_BYTES;
+        let payload = self.pager.payload_size();
+        if need > payload {
+            return Err(PagerError::RecordTooLarge {
+                record: self.scratch.len(),
+                payload: payload - LEN_PREFIX_BYTES,
+            });
+        }
+        if self.current.len() + need > payload {
+            self.seal_page()?;
+        }
+        self.current
+            .extend_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+        self.current.extend_from_slice(&self.scratch);
+        self.count_in_page += 1;
+        self.len += 1;
+        Ok(())
+    }
+
+    fn seal_page(&mut self) -> PagerResult<()> {
+        if self.count_in_page == 0 {
+            return Ok(());
+        }
+        let page = self.pager.pool().allocate();
+        let guard = self.pager.pool().fetch_zeroed(page)?;
+        guard.with_mut(|data| {
+            data[..4].copy_from_slice(&self.count_in_page.to_le_bytes());
+            data[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + self.current.len()]
+                .copy_from_slice(&self.current);
+        });
+        drop(guard);
+        self.pages.push(page);
+        self.cum_counts.push(self.len);
+        self.current.clear();
+        self.count_in_page = 0;
+        Ok(())
+    }
+
+    /// Seal the final page and return the finished list.
+    pub fn finish(mut self) -> PagerResult<PagedList<T>> {
+        self.seal_page()?;
+        Ok(PagedList {
+            pager: self.pager,
+            pages: Arc::new(std::mem::take(&mut self.pages)),
+            cum_counts: Arc::new(std::mem::take(&mut self.cum_counts)),
+            len: self.len,
+            _marker: PhantomData,
+        })
+    }
+}
+
+/// Sequential reader over a [`PagedList`].
+///
+/// Decodes one page at a time into a small in-memory batch; holds no pins
+/// between `next` calls, so any number of readers can run under a small
+/// frame budget (the K-way merge in [`crate::extsort`] relies on this).
+pub struct ListReader<T> {
+    list: PagedList<T>,
+    page_idx: usize,
+    in_page: std::vec::IntoIter<T>,
+}
+
+impl<T: Record> ListReader<T> {
+    fn load_next_page(&mut self) -> PagerResult<bool> {
+        loop {
+            if self.page_idx >= self.list.pages.len() {
+                return Ok(false);
+            }
+            let page = self.list.pages[self.page_idx];
+            self.page_idx += 1;
+            let guard = self.list.pager.pool().fetch(page)?;
+            let mut items = Vec::new();
+            guard.with(|data| -> PagerResult<()> {
+                let count = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+                // A page can hold at most payload/prefix records; a
+                // larger count is corruption (and must not drive an
+                // unbounded allocation).
+                if count > data.len() / LEN_PREFIX_BYTES {
+                    return Err(PagerError::CorruptPage {
+                        page,
+                        detail: format!("implausible record count {count}"),
+                    });
+                }
+                let mut pos = PAGE_HEADER_BYTES;
+                items.reserve(count);
+                for _ in 0..count {
+                    if pos + LEN_PREFIX_BYTES > data.len() {
+                        return Err(PagerError::CorruptPage {
+                            page,
+                            detail: "record prefix past page end".into(),
+                        });
+                    }
+                    let len =
+                        u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                    pos += LEN_PREFIX_BYTES;
+                    if pos + len > data.len() {
+                        return Err(PagerError::CorruptPage {
+                            page,
+                            detail: "record body past page end".into(),
+                        });
+                    }
+                    items.push(T::decode(&data[pos..pos + len])?);
+                    pos += len;
+                }
+                Ok(())
+            })?;
+            if !items.is_empty() {
+                self.in_page = items.into_iter();
+                return Ok(true);
+            }
+        }
+    }
+}
+
+impl<T: Record> Iterator for ListReader<T> {
+    type Item = PagerResult<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.in_page.next() {
+                return Some(Ok(item));
+            }
+            match self.load_next_page() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiny_pager;
+
+    #[test]
+    fn roundtrip_preserves_order_and_values() {
+        let pager = tiny_pager();
+        let items: Vec<u64> = (0..500).collect();
+        let list = PagedList::from_iter(&pager, items.clone()).unwrap();
+        assert_eq!(list.len(), 500);
+        assert!(list.num_pages() > 1);
+        assert_eq!(list.to_vec().unwrap(), items);
+    }
+
+    #[test]
+    fn empty_list_behaves() {
+        let pager = tiny_pager();
+        let list: PagedList<u64> = PagedList::empty(&pager);
+        assert!(list.is_empty());
+        assert_eq!(list.num_pages(), 0);
+        assert_eq!(list.to_vec().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn variable_sized_records_roundtrip() {
+        let pager = tiny_pager();
+        let items: Vec<String> = (0..100).map(|i| "x".repeat(i % 40)).collect();
+        let list = PagedList::from_iter(&pager, items.clone()).unwrap();
+        assert_eq!(list.to_vec().unwrap(), items);
+    }
+
+    #[test]
+    fn scan_io_is_one_read_per_page_when_cold() {
+        let pager = tiny_pager();
+        let list = PagedList::from_iter(&pager, 0u64..2000).unwrap();
+        pager.flush().unwrap();
+        pager.pool().clear_cache().unwrap();
+        pager.reset_io();
+        let _ = list.to_vec().unwrap();
+        let io = pager.io();
+        assert_eq!(io.reads, list.num_pages());
+        assert_eq!(io.writes, 0);
+    }
+
+    #[test]
+    fn write_io_is_about_one_write_per_page() {
+        let pager = tiny_pager();
+        pager.reset_io();
+        let list = PagedList::from_iter(&pager, 0u64..2000).unwrap();
+        pager.flush().unwrap();
+        let io = pager.io();
+        assert_eq!(io.writes, list.num_pages());
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let pager = tiny_pager(); // 256-byte pages
+        let huge = vec![0u8; 5000];
+        let mut w: ListWriter<Vec<u8>> = ListWriter::new(&pager);
+        assert!(matches!(
+            w.push(&huge),
+            Err(PagerError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn positional_get_matches_iteration() {
+        let pager = tiny_pager();
+        let items: Vec<String> = (0..300).map(|i| format!("item-{i:03}")).collect();
+        let list = PagedList::from_iter(&pager, items.clone()).unwrap();
+        for (i, want) in items.iter().enumerate() {
+            assert_eq!(list.get(i as u64).unwrap().as_ref(), Some(want));
+        }
+        assert_eq!(list.get(300).unwrap(), None);
+        assert_eq!(list.get(u64::MAX).unwrap(), None);
+    }
+
+    #[test]
+    fn positional_get_reads_one_page() {
+        let pager = tiny_pager();
+        let list = PagedList::from_iter(&pager, 0u64..1000).unwrap();
+        pager.flush().unwrap();
+        pager.pool().clear_cache().unwrap();
+        pager.reset_io();
+        assert_eq!(list.get(500).unwrap(), Some(500));
+        assert_eq!(pager.io().reads, 1);
+    }
+
+    #[test]
+    fn blocking_factor_matches_page_count() {
+        let pager = tiny_pager();
+        let n = 1000u64;
+        let list = PagedList::from_iter(&pager, 0..n).unwrap();
+        let b = pager.blocking_factor(8) as u64;
+        assert_eq!(list.num_pages(), n.div_ceil(b));
+    }
+}

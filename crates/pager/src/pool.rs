@@ -1,0 +1,337 @@
+//! Bounded buffer pool with LRU eviction and pin accounting.
+//!
+//! The pool is the enforcement point for the paper's "constant size of main
+//! memory" claims (Theorems 8.3/8.4): it holds at most `frames` pages in
+//! memory, and an algorithm that tries to pin more than that gets a
+//! [`PagerError::PoolExhausted`] instead of silently using unbounded RAM.
+//! Experiments run the operators under small fixed budgets and verify both
+//! that they complete and that their I/O stays linear.
+
+use crate::disk::{Disk, PageId};
+use crate::error::{PagerError, PagerResult};
+use crate::stats::IoStats;
+use bytes::{Bytes, BytesMut};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Buffer pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum number of page frames resident in memory at once.
+    pub frames: usize,
+}
+
+struct FrameCell {
+    page: PageId,
+    data: RwLock<BytesMut>,
+    dirty: AtomicBool,
+    pins: AtomicU32,
+    last_used: AtomicU64,
+}
+
+/// A pinned page frame.
+///
+/// While a guard is alive the page cannot be evicted; dropping the guard
+/// unpins it. Obtain read access with [`FrameGuard::bytes`] and write access
+/// with [`FrameGuard::with_mut`] (which marks the frame dirty).
+pub struct FrameGuard {
+    cell: Arc<FrameCell>,
+}
+
+impl std::fmt::Debug for FrameGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameGuard")
+            .field("page", &self.cell.page)
+            .finish()
+    }
+}
+
+impl FrameGuard {
+    /// The page this frame holds.
+    pub fn page(&self) -> PageId {
+        self.cell.page
+    }
+
+    /// Copy-on-read view of the page contents.
+    pub fn bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.cell.data.read())
+    }
+
+    /// Run `f` over the page contents without copying.
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.cell.data.read())
+    }
+
+    /// Mutate the page contents; marks the frame dirty so it is written
+    /// back (one write I/O) when evicted or flushed.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut BytesMut) -> R) -> R {
+        let r = f(&mut self.cell.data.write());
+        self.cell.dirty.store(true, Ordering::Release);
+        r
+    }
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        self.cell.pins.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The pool proper. See module docs.
+pub struct BufferPool {
+    disk: Box<dyn Disk>,
+    config: PoolConfig,
+    stats: IoStats,
+    state: Mutex<PoolState>,
+    clock: AtomicU64,
+}
+
+struct PoolState {
+    resident: HashMap<PageId, Arc<FrameCell>>,
+}
+
+impl BufferPool {
+    /// Create a pool of `config.frames` frames over `disk`.
+    pub fn new(disk: Box<dyn Disk>, config: PoolConfig, stats: IoStats) -> Self {
+        assert!(config.frames >= 2, "a pool needs at least 2 frames");
+        BufferPool {
+            disk,
+            config,
+            stats,
+            state: Mutex::new(PoolState {
+                resident: HashMap::new(),
+            }),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Frame budget.
+    pub fn capacity(&self) -> usize {
+        self.config.frames
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.state.lock().resident.len()
+    }
+
+    /// The shared I/O ledger.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.disk.page_size()
+    }
+
+    /// Allocate a fresh page on the device (no frame is pinned).
+    pub fn allocate(&self) -> PageId {
+        self.disk.allocate()
+    }
+
+    /// Number of pages allocated on the device.
+    pub fn num_pages(&self) -> u64 {
+        self.disk.num_pages()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pin `page` into a frame, reading it from disk on a miss.
+    pub fn fetch(&self, page: PageId) -> PagerResult<FrameGuard> {
+        let mut state = self.state.lock();
+        if let Some(cell) = state.resident.get(&page) {
+            cell.pins.fetch_add(1, Ordering::AcqRel);
+            cell.last_used.store(self.tick(), Ordering::Relaxed);
+            return Ok(FrameGuard { cell: cell.clone() });
+        }
+        self.make_room(&mut state)?;
+        let data = self.disk.read_page(page)?;
+        let cell = Arc::new(FrameCell {
+            page,
+            data: RwLock::new(BytesMut::from(&data[..])),
+            dirty: AtomicBool::new(false),
+            pins: AtomicU32::new(1),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        state.resident.insert(page, cell.clone());
+        Ok(FrameGuard { cell })
+    }
+
+    /// Pin `page` without reading it from disk — for pages about to be
+    /// fully overwritten (fresh allocations). Saves the pointless read I/O
+    /// a real system would also avoid.
+    pub fn fetch_zeroed(&self, page: PageId) -> PagerResult<FrameGuard> {
+        let mut state = self.state.lock();
+        if let Some(cell) = state.resident.get(&page) {
+            cell.pins.fetch_add(1, Ordering::AcqRel);
+            cell.last_used.store(self.tick(), Ordering::Relaxed);
+            return Ok(FrameGuard { cell: cell.clone() });
+        }
+        self.make_room(&mut state)?;
+        let cell = Arc::new(FrameCell {
+            page,
+            data: RwLock::new(BytesMut::zeroed(self.disk.page_size())),
+            dirty: AtomicBool::new(true),
+            pins: AtomicU32::new(1),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        state.resident.insert(page, cell.clone());
+        Ok(FrameGuard { cell })
+    }
+
+    /// Evict the least-recently-used unpinned frame if the pool is full.
+    fn make_room(&self, state: &mut PoolState) -> PagerResult<()> {
+        while state.resident.len() >= self.config.frames {
+            let victim = state
+                .resident
+                .values()
+                .filter(|c| c.pins.load(Ordering::Acquire) == 0)
+                .min_by_key(|c| c.last_used.load(Ordering::Relaxed))
+                .map(|c| c.page);
+            let Some(victim) = victim else {
+                return Err(PagerError::PoolExhausted {
+                    frames: self.config.frames,
+                });
+            };
+            let cell = state.resident.remove(&victim).expect("victim resident");
+            self.write_back(&cell)?;
+        }
+        Ok(())
+    }
+
+    fn write_back(&self, cell: &FrameCell) -> PagerResult<()> {
+        if cell.dirty.swap(false, Ordering::AcqRel) {
+            let data = Bytes::copy_from_slice(&cell.data.read());
+            self.disk.write_page(cell.page, data)?;
+        }
+        Ok(())
+    }
+
+    /// Write back every dirty resident frame (frames stay resident).
+    pub fn flush_all(&self) -> PagerResult<()> {
+        let state = self.state.lock();
+        for cell in state.resident.values() {
+            self.write_back(cell)?;
+        }
+        Ok(())
+    }
+
+    /// Drop every unpinned frame, writing dirty ones back. Between
+    /// experiment phases this gives a cold cache.
+    pub fn clear_cache(&self) -> PagerResult<()> {
+        let mut state = self.state.lock();
+        let victims: Vec<PageId> = state
+            .resident
+            .values()
+            .filter(|c| c.pins.load(Ordering::Acquire) == 0)
+            .map(|c| c.page)
+            .collect();
+        for page in victims {
+            let cell = state.resident.remove(&page).expect("victim resident");
+            self.write_back(&cell)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn pool(frames: usize) -> BufferPool {
+        let stats = IoStats::new();
+        let disk = MemDisk::new(128, stats.clone());
+        BufferPool::new(Box::new(disk), PoolConfig { frames }, stats)
+    }
+
+    #[test]
+    fn hit_avoids_io() {
+        let p = pool(4);
+        let page = p.allocate();
+        let g1 = p.fetch(page).unwrap();
+        drop(g1);
+        let before = p.stats().snapshot();
+        let _g2 = p.fetch(page).unwrap();
+        assert_eq!(p.stats().snapshot().since(before).reads, 0);
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let p = pool(2);
+        let a = p.allocate();
+        let g = p.fetch_zeroed(a).unwrap();
+        g.with_mut(|d| d[0] = 42);
+        drop(g);
+        // Evict `a` by filling the pool with other pages.
+        for _ in 0..4 {
+            let q = p.allocate();
+            drop(p.fetch_zeroed(q).unwrap());
+        }
+        let g = p.fetch(a).unwrap();
+        assert_eq!(g.with(|d| d[0]), 42);
+    }
+
+    #[test]
+    fn exceeding_pin_budget_errors() {
+        let p = pool(2);
+        let pages: Vec<_> = (0..3).map(|_| p.allocate()).collect();
+        let _g0 = p.fetch_zeroed(pages[0]).unwrap();
+        let _g1 = p.fetch_zeroed(pages[1]).unwrap();
+        let err = p.fetch(pages[2]).unwrap_err();
+        assert!(matches!(err, PagerError::PoolExhausted { frames: 2 }));
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        drop(p.fetch_zeroed(a).unwrap());
+        drop(p.fetch_zeroed(b).unwrap());
+        drop(p.fetch(a).unwrap()); // a is now warmer than b
+        drop(p.fetch_zeroed(c).unwrap()); // must evict b
+        let before = p.stats().snapshot();
+        drop(p.fetch(a).unwrap()); // hit
+        assert_eq!(p.stats().snapshot().since(before).reads, 0);
+        drop(p.fetch(b).unwrap()); // miss
+        assert_eq!(p.stats().snapshot().since(before).reads, 1);
+    }
+
+    #[test]
+    fn fetch_zeroed_skips_read_io() {
+        let p = pool(4);
+        let a = p.allocate();
+        let before = p.stats().snapshot();
+        drop(p.fetch_zeroed(a).unwrap());
+        assert_eq!(p.stats().snapshot().since(before).reads, 0);
+    }
+
+    #[test]
+    fn flush_writes_dirty_frames_once() {
+        let p = pool(4);
+        let a = p.allocate();
+        p.fetch_zeroed(a).unwrap().with_mut(|d| d[1] = 7);
+        let before = p.stats().snapshot();
+        p.flush_all().unwrap();
+        p.flush_all().unwrap(); // second flush: nothing dirty
+        assert_eq!(p.stats().snapshot().since(before).writes, 1);
+    }
+
+    #[test]
+    fn clear_cache_then_refetch_reads() {
+        let p = pool(4);
+        let a = p.allocate();
+        drop(p.fetch_zeroed(a).unwrap());
+        p.clear_cache().unwrap();
+        let before = p.stats().snapshot();
+        drop(p.fetch(a).unwrap());
+        assert_eq!(p.stats().snapshot().since(before).reads, 1);
+    }
+}

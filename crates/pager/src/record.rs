@@ -1,0 +1,266 @@
+//! Record (de)serialization onto pages.
+//!
+//! Records are stored length-prefixed. The encoding helpers in [`codec`]
+//! are deliberately tiny and hand-rolled: the on-page format is part of the
+//! experiment (record size determines the blocking factor `B`), so we keep
+//! byte-level control instead of pulling in a serialization framework.
+
+use crate::error::{PagerError, PagerResult};
+
+/// Bytes used for each record's length prefix on a page.
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// A value that can be stored on pages.
+///
+/// `encode` must be the exact inverse of `decode`; the property tests in
+/// this crate and in `netdir-model` check round-tripping.
+pub trait Record: Sized {
+    /// Append this record's bytes to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode a record from exactly the bytes `encode` produced.
+    fn decode(bytes: &[u8]) -> PagerResult<Self>;
+
+    /// Encoded size in bytes (default: encode into a scratch buffer).
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+/// Little building blocks for record encodings.
+pub mod codec {
+    use super::*;
+
+    /// Append a `u32` little-endian.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` little-endian.
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64` little-endian.
+    pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+        put_u32(out, v.len() as u32);
+        out.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(out: &mut Vec<u8>, v: &str) {
+        put_bytes(out, v.as_bytes());
+    }
+
+    /// Cursor over encoded bytes with checked reads.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// Start reading at the front of `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        fn take(&mut self, n: usize) -> PagerResult<&'a [u8]> {
+            if self.remaining() < n {
+                return Err(PagerError::CorruptRecord {
+                    detail: format!("wanted {n} bytes, {} remain", self.remaining()),
+                });
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// Read a single byte.
+        pub fn get_u8(&mut self) -> PagerResult<u8> {
+            Ok(self.take(1)?[0])
+        }
+
+        /// Read a `u32` little-endian.
+        pub fn get_u32(&mut self) -> PagerResult<u32> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+
+        /// Read a `u64` little-endian.
+        pub fn get_u64(&mut self) -> PagerResult<u64> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        /// Read an `i64` little-endian.
+        pub fn get_i64(&mut self) -> PagerResult<i64> {
+            Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        /// Read a length-prefixed byte string.
+        pub fn get_bytes(&mut self) -> PagerResult<&'a [u8]> {
+            let n = self.get_u32()? as usize;
+            self.take(n)
+        }
+
+        /// Read a length-prefixed UTF-8 string.
+        pub fn get_str(&mut self) -> PagerResult<&'a str> {
+            let b = self.get_bytes()?;
+            std::str::from_utf8(b).map_err(|e| PagerError::CorruptRecord {
+                detail: format!("invalid utf-8: {e}"),
+            })
+        }
+
+        /// Error unless every byte was consumed.
+        pub fn finish(self) -> PagerResult<()> {
+            if self.remaining() != 0 {
+                return Err(PagerError::CorruptRecord {
+                    detail: format!("{} trailing bytes", self.remaining()),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+impl Record for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode(bytes: &[u8]) -> PagerResult<Self> {
+        Ok(bytes.to_vec())
+    }
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Record for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, *self);
+    }
+    fn decode(bytes: &[u8]) -> PagerResult<Self> {
+        let mut r = codec::Reader::new(bytes);
+        let v = r.get_u64()?;
+        r.finish()?;
+        Ok(v)
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Record for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_i64(out, *self);
+    }
+    fn decode(bytes: &[u8]) -> PagerResult<Self> {
+        let mut r = codec::Reader::new(bytes);
+        let v = r.get_i64()?;
+        r.finish()?;
+        Ok(v)
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Record for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(bytes: &[u8]) -> PagerResult<Self> {
+        String::from_utf8(bytes.to_vec()).map_err(|e| PagerError::CorruptRecord {
+            detail: format!("invalid utf-8: {e}"),
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A pair of records, encoded as two length-prefixed fields.
+impl<A: Record, B: Record> Record for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut a = Vec::new();
+        self.0.encode(&mut a);
+        codec::put_bytes(out, &a);
+        let mut b = Vec::new();
+        self.1.encode(&mut b);
+        codec::put_bytes(out, &b);
+    }
+    fn decode(bytes: &[u8]) -> PagerResult<Self> {
+        let mut r = codec::Reader::new(bytes);
+        let a = A::decode(r.get_bytes()?)?;
+        let b = B::decode(r.get_bytes()?)?;
+        r.finish()?;
+        Ok((a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        42u64.encode(&mut buf);
+        assert_eq!(u64::decode(&buf).unwrap(), 42);
+
+        let mut buf = Vec::new();
+        (-7i64).encode(&mut buf);
+        assert_eq!(i64::decode(&buf).unwrap(), -7);
+
+        let mut buf = Vec::new();
+        "héllo".to_string().encode(&mut buf);
+        assert_eq!(String::decode(&buf).unwrap(), "héllo");
+
+        let mut buf = Vec::new();
+        (3u64, "x".to_string()).encode(&mut buf);
+        assert_eq!(
+            <(u64, String)>::decode(&buf).unwrap(),
+            (3u64, "x".to_string())
+        );
+    }
+
+    #[test]
+    fn reader_detects_truncation_and_trailing() {
+        let mut buf = Vec::new();
+        codec::put_str(&mut buf, "abc");
+        let mut r = codec::Reader::new(&buf[..3]);
+        assert!(r.get_str().is_err());
+
+        let mut r = codec::Reader::new(&buf);
+        r.get_str().unwrap();
+        r.finish().unwrap();
+
+        buf.push(0);
+        let mut r = codec::Reader::new(&buf);
+        r.get_str().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        assert!(String::decode(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let v = (99u64, "hello".to_string());
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(v.encoded_len(), buf.len());
+    }
+}

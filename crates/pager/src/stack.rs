@@ -1,0 +1,255 @@
+//! A paged stack that spills to disk.
+//!
+//! The stack-based algorithms of Section 5.3 push and pop directory entries
+//! as the merge of their input lists is scanned. The paper's I/O analysis
+//! notes that "particular stack entries may be swapped out (and eventually
+//! re-fetched) from the memory multiple times when the stack repeatedly
+//! grows and shrinks", yet the total I/O stays linear because each record
+//! crosses each page boundary direction at most... a bounded number of
+//! times. [`PagedStack`] realizes exactly this: only the top page is hot;
+//! colder pages live in the buffer pool or on disk.
+//!
+//! On-page format: the page header's 4 bytes hold the page's used payload
+//! length. Records are stored as `[u32 len][bytes][u32 len]` — the trailing
+//! length makes popping possible without any per-record memory index, so
+//! the stack's memory footprint really is O(1) pages.
+
+use crate::disk::{PageId, PAGE_HEADER_BYTES};
+use crate::error::{PagerError, PagerResult};
+use crate::record::Record;
+use crate::Pager;
+use std::marker::PhantomData;
+
+const REC_OVERHEAD: usize = 8; // leading + trailing u32 length
+
+/// LIFO stack of records with O(1)-pages memory footprint.
+pub struct PagedStack<T> {
+    pager: Pager,
+    /// Page table of sealed (non-top) pages, coldest first.
+    pages: Vec<PageId>,
+    /// In-memory image of the top page's payload.
+    top: Vec<u8>,
+    len: u64,
+    scratch: Vec<u8>,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Record> PagedStack<T> {
+    /// An empty stack on `pager`.
+    pub fn new(pager: &Pager) -> Self {
+        PagedStack {
+            pager: pager.clone(),
+            pages: Vec::new(),
+            top: Vec::new(),
+            len: 0,
+            scratch: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of records on the stack.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Push a record.
+    pub fn push(&mut self, item: &T) -> PagerResult<()> {
+        self.scratch.clear();
+        item.encode(&mut self.scratch);
+        let need = self.scratch.len() + REC_OVERHEAD;
+        let payload = self.pager.payload_size();
+        if need > payload {
+            return Err(PagerError::RecordTooLarge {
+                record: self.scratch.len(),
+                payload: payload.saturating_sub(REC_OVERHEAD),
+            });
+        }
+        if self.top.len() + need > payload {
+            self.spill_top()?;
+        }
+        let len32 = (self.scratch.len() as u32).to_le_bytes();
+        self.top.extend_from_slice(&len32);
+        self.top.extend_from_slice(&self.scratch);
+        self.top.extend_from_slice(&len32);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Pop the most recently pushed record, or `None` if empty.
+    pub fn pop(&mut self) -> PagerResult<Option<T>> {
+        if self.top.is_empty()
+            && !self.unspill_top()? {
+                return Ok(None);
+            }
+        let end = self.top.len();
+        let rec_len =
+            u32::from_le_bytes(self.top[end - 4..end].try_into().unwrap()) as usize;
+        let body_start = end - 4 - rec_len;
+        let item = T::decode(&self.top[body_start..end - 4])?;
+        self.top.truncate(body_start - 4);
+        self.len -= 1;
+        Ok(Some(item))
+    }
+
+    /// Decode (but do not remove) the top record.
+    pub fn peek(&mut self) -> PagerResult<Option<T>> {
+        if self.top.is_empty()
+            && !self.unspill_top()? {
+                return Ok(None);
+            }
+        let end = self.top.len();
+        let rec_len =
+            u32::from_le_bytes(self.top[end - 4..end].try_into().unwrap()) as usize;
+        let body_start = end - 4 - rec_len;
+        Ok(Some(T::decode(&self.top[body_start..end - 4])?))
+    }
+
+    /// Replace the top record in place (common in the Figure 2/4/5
+    /// algorithms, which increment counters on the entry at the top).
+    pub fn replace_top(&mut self, item: &T) -> PagerResult<()> {
+        if self.pop()?.is_none() {
+            return Err(PagerError::CorruptRecord {
+                detail: "replace_top on empty stack".into(),
+            });
+        }
+        self.push(item)
+    }
+
+    fn spill_top(&mut self) -> PagerResult<()> {
+        let page = self.pager.pool().allocate();
+        let guard = self.pager.pool().fetch_zeroed(page)?;
+        guard.with_mut(|data| {
+            data[..4].copy_from_slice(&(self.top.len() as u32).to_le_bytes());
+            data[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + self.top.len()]
+                .copy_from_slice(&self.top);
+        });
+        drop(guard);
+        self.pages.push(page);
+        self.top.clear();
+        Ok(())
+    }
+
+    fn unspill_top(&mut self) -> PagerResult<bool> {
+        let Some(page) = self.pages.pop() else {
+            return Ok(false);
+        };
+        let guard = self.pager.pool().fetch(page)?;
+        guard.with(|data| {
+            let used = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+            self.top.clear();
+            self.top
+                .extend_from_slice(&data[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + used]);
+        });
+        Ok(true)
+    }
+}
+
+impl<T> std::fmt::Debug for PagedStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedStack")
+            .field("len", &self.len)
+            .field("spilled_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiny_pager;
+
+    #[test]
+    fn lifo_order() {
+        let pager = tiny_pager();
+        let mut s: PagedStack<u64> = PagedStack::new(&pager);
+        for i in 0..10 {
+            s.push(&i).unwrap();
+        }
+        for i in (0..10).rev() {
+            assert_eq!(s.pop().unwrap(), Some(i));
+        }
+        assert_eq!(s.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn deep_stack_spills_and_recovers() {
+        let pager = tiny_pager(); // 256-byte pages, 8 frames
+        let mut s: PagedStack<(u64, String)> = PagedStack::new(&pager);
+        let n = 2000u64;
+        for i in 0..n {
+            s.push(&(i, format!("payload-{i}"))).unwrap();
+        }
+        assert_eq!(s.len(), n);
+        for i in (0..n).rev() {
+            let (j, p) = s.pop().unwrap().unwrap();
+            assert_eq!(j, i);
+            assert_eq!(p, format!("payload-{i}"));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grow_shrink_oscillation_is_linear_io() {
+        // Repeatedly grow and shrink across a page boundary; the total I/O
+        // must stay proportional to the number of operations, not blow up.
+        let pager = tiny_pager();
+        let mut s: PagedStack<u64> = PagedStack::new(&pager);
+        // Fill to just past one page.
+        let per_page = (pager.payload_size() / 16) as u64;
+        for i in 0..per_page + 1 {
+            s.push(&i).unwrap();
+        }
+        pager.reset_io();
+        let ops = 10_000;
+        for _ in 0..ops {
+            let v = s.pop().unwrap().unwrap();
+            s.push(&v).unwrap();
+        }
+        // The boundary record oscillates within the in-memory top image;
+        // no I/O at all should occur (pop after unspill keeps the page image
+        // in `top`).
+        let io = pager.io();
+        assert!(
+            io.total() <= 4,
+            "oscillation cost {} I/Os, expected O(1)",
+            io.total()
+        );
+    }
+
+    #[test]
+    fn peek_and_replace_top() {
+        let pager = tiny_pager();
+        let mut s: PagedStack<u64> = PagedStack::new(&pager);
+        s.push(&1).unwrap();
+        s.push(&2).unwrap();
+        assert_eq!(s.peek().unwrap(), Some(2));
+        s.replace_top(&99).unwrap();
+        assert_eq!(s.pop().unwrap(), Some(99));
+        assert_eq!(s.pop().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn replace_top_on_empty_errors() {
+        let pager = tiny_pager();
+        let mut s: PagedStack<u64> = PagedStack::new(&pager);
+        assert!(s.replace_top(&1).is_err());
+    }
+
+    #[test]
+    fn variable_size_records() {
+        let pager = tiny_pager();
+        let mut s: PagedStack<String> = PagedStack::new(&pager);
+        let items: Vec<String> = (0..300).map(|i| "y".repeat(i % 50)).collect();
+        for it in &items {
+            s.push(it).unwrap();
+        }
+        for it in items.iter().rev() {
+            assert_eq!(s.pop().unwrap().as_ref(), Some(it));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! DNS-style namespace delegation.
+//!
+//! "At the time of registration of a domain in the DIF, a primary and
+//! (perhaps) some secondary directory servers are identified as the owners
+//! of the hierarchical namespace rooted at the domain entry … it is also
+//! possible to split a domain into subdomains, with a different (primary
+//! and secondary) directory server for each subdomain" (Section 3.3).
+//!
+//! A [`Delegation`] maps naming contexts (DNs) to server ids. An entry
+//! belongs to the server with the **longest** context subsuming its DN —
+//! subdomain delegations carve their subtrees out of the parent domain,
+//! exactly as DNS zone cuts do.
+
+use netdir_model::{Dn, SortKey};
+
+/// Identifier of a server within a cluster.
+pub type ServerId = usize;
+
+/// The delegation table of a cluster.
+///
+/// Each context maps to an **owner group**: a primary server followed by
+/// any secondaries replicating the zone ("a primary and (perhaps) some
+/// secondary directory servers are identified as the owners", §3.3).
+#[derive(Debug, Clone, Default)]
+pub struct Delegation {
+    /// (context sort key, context DN, owner group), kept sorted by key.
+    contexts: Vec<(SortKey, Dn, Vec<ServerId>)>,
+}
+
+impl Delegation {
+    /// Empty table.
+    pub fn new() -> Delegation {
+        Delegation::default()
+    }
+
+    /// Register `server` as primary owner of the namespace rooted at
+    /// `context` (or as a secondary if the context is already owned).
+    pub fn register(&mut self, context: Dn, server: ServerId) {
+        let key = context.sort_key().clone();
+        if let Some((_, _, group)) = self.contexts.iter_mut().find(|(k, _, _)| *k == key) {
+            if !group.contains(&server) {
+                group.push(server);
+            }
+            return;
+        }
+        self.contexts.push((key, context, vec![server]));
+        self.contexts.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Number of registered contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// True iff no contexts registered.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// The primary server owning `dn`: longest registered context whose
+    /// subtree contains `dn`, or `None` if nothing matches.
+    pub fn owner_of(&self, dn: &Dn) -> Option<ServerId> {
+        self.owner_group_of(dn).and_then(|g| g.first().copied())
+    }
+
+    /// The full owner group (primary + secondaries) for `dn`.
+    pub fn owner_group_of(&self, dn: &Dn) -> Option<&[ServerId]> {
+        let key = dn.sort_key();
+        self.contexts
+            .iter()
+            .filter(|(ck, _, _)| ck.subsumes(key))
+            .max_by_key(|(ck, _, _)| ck.as_bytes().len())
+            .map(|(_, _, group)| group.as_slice())
+    }
+
+    /// All owner groups whose data can intersect `scope`-of-`base`: the
+    /// base's group plus every group whose context lies inside the base's
+    /// subtree (their zones are cut out of the owner's).
+    pub fn groups_for_subtree(&self, base: &Dn) -> Vec<&[ServerId]> {
+        let base_key = base.sort_key();
+        let mut out: Vec<&[ServerId]> = Vec::new();
+        if let Some(group) = self.owner_group_of(base) {
+            out.push(group);
+        }
+        for (ck, _, group) in &self.contexts {
+            if base_key.subsumes(ck) && !out.iter().any(|g| g.as_ptr() == group.as_ptr()) {
+                out.push(group.as_slice());
+            }
+        }
+        out
+    }
+
+    /// Primary servers whose data can intersect `scope`-of-`base`.
+    pub fn servers_for_subtree(&self, base: &Dn) -> Vec<ServerId> {
+        self.groups_for_subtree(base)
+            .into_iter()
+            .filter_map(|g| g.first().copied())
+            .collect()
+    }
+
+    /// The registered contexts with their primary servers.
+    pub fn contexts(&self) -> impl Iterator<Item = (&Dn, ServerId)> {
+        self.contexts.iter().map(|(_, dn, g)| (dn, g[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn table() -> Delegation {
+        let mut d = Delegation::new();
+        d.register(dn("dc=com"), 0);
+        d.register(dn("dc=att, dc=com"), 1);
+        d.register(dn("dc=research, dc=att, dc=com"), 2);
+        d.register(dn("dc=org"), 3);
+        d
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let d = table();
+        assert_eq!(d.owner_of(&dn("dc=com")), Some(0));
+        assert_eq!(d.owner_of(&dn("dc=x, dc=com")), Some(0));
+        assert_eq!(d.owner_of(&dn("dc=att, dc=com")), Some(1));
+        assert_eq!(d.owner_of(&dn("ou=p, dc=att, dc=com")), Some(1));
+        assert_eq!(
+            d.owner_of(&dn("uid=a, dc=research, dc=att, dc=com")),
+            Some(2)
+        );
+        assert_eq!(d.owner_of(&dn("dc=org")), Some(3));
+        assert_eq!(d.owner_of(&dn("dc=net")), None);
+    }
+
+    #[test]
+    fn subtree_routing_includes_carved_out_zones() {
+        let d = table();
+        let servers = d.servers_for_subtree(&dn("dc=com"));
+        assert_eq!(servers, vec![0, 1, 2]);
+        let servers = d.servers_for_subtree(&dn("dc=att, dc=com"));
+        assert_eq!(servers, vec![1, 2]);
+        let servers = d.servers_for_subtree(&dn("ou=p, dc=att, dc=com"));
+        assert_eq!(servers, vec![1]);
+        let servers = d.servers_for_subtree(&dn("dc=net"));
+        assert!(servers.is_empty());
+        // Root reaches everyone.
+        let servers = d.servers_for_subtree(&Dn::root());
+        assert_eq!(servers.len(), 4);
+    }
+}

@@ -1,0 +1,500 @@
+//! The distributed evaluator of Section 8.3.
+//!
+//! "First, each atomic query, whose base dn is managed by a directory
+//! server different from the queried server, is issued to the directory
+//! server that manages the base dn … The results of those atomic queries
+//! are shipped to the original queried directory server, which then
+//! computes the query result using the algorithms described previously."
+//!
+//! [`Cluster`] holds the running [`ServerNode`]s and the [`Delegation`]
+//! table. [`Cluster::query_from`] evaluates a full L0–L3 query *as posed
+//! to one server*: a routing [`AtomicSource`] ships each atomic sub-query
+//! to every server whose zone can intersect its scope (the owner of the
+//! base plus carved-out subdomains), merges the disjoint sorted responses,
+//! and the ordinary [`Evaluator`] runs the operator tree locally.
+
+use crate::delegation::{Delegation, ServerId};
+use crate::net::NetStats;
+use crate::node::{decode_entries, wire_bytes, Request, ServerConfig, ServerNode};
+use crossbeam::channel::unbounded;
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_model::{Directory, Dn, Entry};
+use netdir_pager::{ListWriter, PagedList, Pager, PagerError, PagerResult};
+use netdir_query::eval::{AtomicSource, Evaluator};
+use netdir_query::{Query, QueryError, QueryResult};
+
+/// Builder for a [`Cluster`]: declare contexts, then partition a
+/// directory across them.
+#[derive(Default)]
+pub struct ClusterBuilder {
+    configs: Vec<ServerConfig>,
+    /// Indices of configs that are secondaries (replicas) of an earlier
+    /// context registration.
+    secondaries: Vec<bool>,
+}
+
+impl ClusterBuilder {
+    /// Start with no servers.
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Add a server owning `context` as primary.
+    pub fn server(mut self, name: impl Into<String>, context: Dn) -> Self {
+        self.configs.push(ServerConfig::new(name, context));
+        self.secondaries.push(false);
+        self
+    }
+
+    /// Add a **secondary** server replicating `context` (Section 3.3:
+    /// "secondary directory servers ensure that one unreachable network
+    /// will not necessarily cut off network directory service"). It
+    /// receives a full copy of the zone and answers when the primary is
+    /// down.
+    pub fn secondary(mut self, name: impl Into<String>, context: Dn) -> Self {
+        self.configs.push(ServerConfig::new(name, context));
+        self.secondaries.push(true);
+        self
+    }
+
+    /// Partition `dir` by longest-matching context and spawn the nodes.
+    ///
+    /// Entries matching no context are dropped with a count returned in
+    /// [`Cluster::orphaned`] (a real deployment would reject them at
+    /// registration).
+    pub fn build(self, dir: &Directory) -> Cluster {
+        let mut delegation = Delegation::new();
+        // Primaries register first so they head their owner groups.
+        for (id, cfg) in self.configs.iter().enumerate() {
+            if !self.secondaries[id] {
+                delegation.register(cfg.context.clone(), id);
+            }
+        }
+        for (id, cfg) in self.configs.iter().enumerate() {
+            if self.secondaries[id] {
+                delegation.register(cfg.context.clone(), id);
+            }
+        }
+        let mut partitions: Vec<Vec<Entry>> = vec![Vec::new(); self.configs.len()];
+        let mut orphaned = 0usize;
+        for e in dir.iter_sorted() {
+            match delegation.owner_group_of(e.dn()) {
+                Some(group) => {
+                    // Every replica of the zone stores the entry.
+                    for &owner in group {
+                        partitions[owner].push(e.clone());
+                    }
+                }
+                None => orphaned += 1,
+            }
+        }
+        let nodes: Vec<ServerNode> = self
+            .configs
+            .into_iter()
+            .zip(partitions)
+            .map(|(cfg, entries)| ServerNode::spawn(cfg, entries))
+            .collect();
+        Cluster {
+            down: vec![false; nodes.len()],
+            nodes,
+            delegation,
+            net: NetStats::new(),
+            orphaned,
+        }
+    }
+}
+
+/// A running cluster of directory servers.
+pub struct Cluster {
+    nodes: Vec<ServerNode>,
+    delegation: Delegation,
+    net: NetStats,
+    orphaned: usize,
+    /// Simulated outages: requests route around downed servers.
+    down: Vec<bool>,
+}
+
+impl Cluster {
+    /// Network counters (messages, shipped entries/bytes).
+    pub fn net(&self) -> &NetStats {
+        &self.net
+    }
+
+    /// The delegation table.
+    pub fn delegation(&self) -> &Delegation {
+        &self.delegation
+    }
+
+    /// Entries that matched no context at build time.
+    pub fn orphaned(&self) -> usize {
+        self.orphaned
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Server id by name.
+    pub fn server_id(&self, name: &str) -> Option<ServerId> {
+        self.nodes.iter().position(|n| n.config.name == name)
+    }
+
+    /// Direct handle to a node (tests, baseline measurements).
+    pub fn node(&self, id: ServerId) -> &ServerNode {
+        &self.nodes[id]
+    }
+
+    /// Simulate an outage of `server` (by name): subsequent routing
+    /// skips it, falling back to secondaries of its zones.
+    pub fn set_down(&mut self, server: &str, down: bool) {
+        if let Some(id) = self.server_id(server) {
+            self.down[id] = down;
+        }
+    }
+
+    /// Is the server currently marked down?
+    pub fn is_down(&self, id: ServerId) -> bool {
+        self.down[id]
+    }
+
+    /// The first live server of an owner group, if any.
+    fn live_member(&self, group: &[ServerId]) -> Option<ServerId> {
+        group.iter().copied().find(|&id| !self.down[id])
+    }
+
+    /// Evaluate `query` as posed to server `home` (by name). Operator
+    /// evaluation happens on `pager` (the queried server's scratch
+    /// space); remote atomic results are counted on the cluster's
+    /// [`NetStats`].
+    pub fn query_from(
+        &self,
+        home: &str,
+        pager: &Pager,
+        query: &Query,
+    ) -> QueryResult<Vec<Entry>> {
+        let home = self
+            .server_id(home)
+            .ok_or_else(|| QueryError::Parse {
+                input: home.into(),
+                detail: "no such server".into(),
+            })?;
+        let source = RoutingSource {
+            cluster: self,
+            home,
+            pager: pager.clone(),
+        };
+        let out = Evaluator::new(&source, pager).evaluate(query)?;
+        out.to_vec().map_err(QueryError::from)
+    }
+
+    /// Ship one atomic query to `server`, returning decoded entries and
+    /// counting network traffic unless it is the `home` server.
+    fn remote_atomic(
+        &self,
+        server: ServerId,
+        home: ServerId,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> PagerResult<Vec<Entry>> {
+        let (reply, rx) = unbounded();
+        self.nodes[server]
+            .sender()
+            .send(Request::Atomic {
+                base: base.clone(),
+                scope,
+                filter: filter.clone(),
+                reply,
+            })
+            .map_err(|e| PagerError::CorruptRecord {
+                detail: format!("server channel closed: {e}"),
+            })?;
+        let encoded = rx
+            .recv()
+            .map_err(|e| PagerError::CorruptRecord {
+                detail: format!("server reply lost: {e}"),
+            })?
+            .map_err(|e| PagerError::CorruptRecord { detail: e })?;
+        if server != home {
+            self.net
+                .record_round_trip(encoded.len() as u64, wire_bytes(&encoded));
+        }
+        decode_entries(&encoded)
+    }
+}
+
+/// [`AtomicSource`] that routes atomic queries across the cluster.
+struct RoutingSource<'c> {
+    cluster: &'c Cluster,
+    home: ServerId,
+    pager: Pager,
+}
+
+impl AtomicSource for RoutingSource<'_> {
+    fn evaluate_atomic(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> PagerResult<PagedList<Entry>> {
+        let groups: Vec<&[crate::delegation::ServerId]> = match scope {
+            Scope::Base => self
+                .cluster
+                .delegation
+                .owner_group_of(base)
+                .into_iter()
+                .collect(),
+            Scope::One | Scope::Sub => self.cluster.delegation.groups_for_subtree(base),
+        };
+        // Route each zone to its first live replica (§3.3 failover).
+        let mut servers = Vec::with_capacity(groups.len());
+        for group in groups {
+            match self.cluster.live_member(group) {
+                Some(id) => servers.push(id),
+                None => {
+                    return Err(PagerError::CorruptRecord {
+                        detail: format!(
+                            "no live server for a zone required by base {base}"
+                        ),
+                    })
+                }
+            }
+        }
+        // Each server's zone is disjoint; responses are sorted; a k-way
+        // merge preserves global order.
+        let mut responses: Vec<Vec<Entry>> = Vec::with_capacity(servers.len());
+        for server in servers {
+            responses
+                .push(self.cluster.remote_atomic(server, self.home, base, scope, filter)?);
+        }
+        let mut pos: Vec<usize> = vec![0; responses.len()];
+        let mut out = ListWriter::new(&self.pager);
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, resp) in responses.iter().enumerate() {
+                let Some(e) = resp.get(pos[i]) else { continue };
+                let better = match best {
+                    None => true,
+                    Some(b) => e.dn() < responses[b][pos[b]].dn(),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let Some(b) = best else { break };
+            out.push(&responses[b][pos[b]])?;
+            pos[b] += 1;
+        }
+        out.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_query::parse_query;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    /// A directory spanning three zones.
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        let mut add = |s: &str, sn: Option<&str>| {
+            let mut b = Entry::builder(dn(s)).class("thing");
+            if let Some(sn) = sn {
+                b = b.attr("surName", sn);
+            }
+            d.insert(b.build().unwrap()).unwrap();
+        };
+        add("dc=com", None);
+        add("dc=att, dc=com", None);
+        add("ou=people, dc=att, dc=com", None);
+        add("uid=jag, ou=people, dc=att, dc=com", Some("jagadish"));
+        add("dc=research, dc=att, dc=com", None);
+        add("ou=people, dc=research, dc=att, dc=com", None);
+        add(
+            "uid=jag2, ou=people, dc=research, dc=att, dc=com",
+            Some("jagadish"),
+        );
+        add("dc=org", None);
+        d
+    }
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .server("root", dn("dc=com"))
+            .server("att", dn("dc=att, dc=com"))
+            .server("research", dn("dc=research, dc=att, dc=com"))
+            .server("org", dn("dc=org"))
+            .build(&dir())
+    }
+
+    #[test]
+    fn partitioning_respects_zone_cuts() {
+        let c = cluster();
+        assert_eq!(c.orphaned(), 0);
+        assert_eq!(c.node(0).num_entries, 1); // dc=com only
+        assert_eq!(c.node(1).num_entries, 3); // att minus research zone
+        assert_eq!(c.node(2).num_entries, 3); // research zone
+        assert_eq!(c.node(3).num_entries, 1); // org
+    }
+
+    #[test]
+    fn distributed_equals_single_server() {
+        let c = cluster();
+        let single = ClusterBuilder::new()
+            .server("all", Dn::root())
+            .build(&dir());
+        let q = parse_query(
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+               (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        )
+        .unwrap();
+        let pager = netdir_pager::default_pager();
+        let a = c.query_from("att", &pager, &q).unwrap();
+        let b = single.query_from("all", &pager, &q).unwrap();
+        let names = |v: &[Entry]| -> Vec<String> {
+            v.iter().map(|e| e.dn().to_string()).collect()
+        };
+        assert_eq!(names(&a), names(&b));
+        assert_eq!(names(&a), vec!["uid=jag, ou=people, dc=att, dc=com"]);
+    }
+
+    #[test]
+    fn network_shipping_is_counted() {
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(null-dn ? sub ? surName=jagadish)").unwrap();
+        c.net().reset();
+        let hits = c.query_from("att", &pager, &q).unwrap();
+        assert_eq!(hits.len(), 2);
+        let net = c.net().snapshot();
+        // Sub from the forest root touches all four servers; three are
+        // remote from "att".
+        assert_eq!(net.requests, 3);
+        assert!(net.entries_shipped >= 1); // jag2 ships from research
+        assert!(net.bytes_shipped > 0);
+    }
+
+    #[test]
+    fn local_queries_ship_nothing() {
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query(
+            "(dc=research, dc=att, dc=com ? sub ? surName=jagadish)",
+        )
+        .unwrap();
+        c.net().reset();
+        let hits = c.query_from("research", &pager, &q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(c.net().snapshot().requests, 0);
+    }
+
+    #[test]
+    fn merged_results_are_globally_sorted() {
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(null-dn ? sub ? objectClass=thing)").unwrap();
+        let hits = c.query_from("org", &pager, &q).unwrap();
+        assert_eq!(hits.len(), 8);
+        for w in hits.windows(2) {
+            assert!(w[0].dn() < w[1].dn());
+        }
+    }
+
+    #[test]
+    fn hierarchy_ops_across_zones() {
+        // Children relation crossing a zone cut: dc=att (att zone) has
+        // child dc=research (research zone).
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query(
+            "(c (dc=com ? sub ? objectClass=thing) \
+                (dc=research, dc=att, dc=com ? base ? objectClass=thing))",
+        )
+        .unwrap();
+        let hits = c.query_from("root", &pager, &q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn(), &dn("dc=att, dc=com"));
+    }
+
+    #[test]
+    fn secondary_takes_over_when_primary_is_down() {
+        let mut c = ClusterBuilder::new()
+            .server("root", dn("dc=com"))
+            .server("att", dn("dc=att, dc=com"))
+            .secondary("att-backup", dn("dc=att, dc=com"))
+            .build(&dir());
+        // The replica holds the same zone data.
+        assert_eq!(
+            c.node(c.server_id("att").unwrap()).num_entries,
+            c.node(c.server_id("att-backup").unwrap()).num_entries
+        );
+        let q = parse_query("(dc=att, dc=com ? sub ? surName=jagadish)").unwrap();
+        let pager = netdir_pager::default_pager();
+        let before = c.query_from("root", &pager, &q).unwrap();
+        assert_eq!(before.len(), 2);
+        // Primary down → the secondary answers; results identical.
+        c.set_down("att", true);
+        let after = c.query_from("root", &pager, &q).unwrap();
+        assert_eq!(
+            before.iter().map(|e| e.dn().to_string()).collect::<Vec<_>>(),
+            after.iter().map(|e| e.dn().to_string()).collect::<Vec<_>>()
+        );
+        // Both replicas down → the zone is unreachable.
+        c.set_down("att-backup", true);
+        assert!(c.query_from("root", &pager, &q).is_err());
+        // Recovery.
+        c.set_down("att", false);
+        assert_eq!(c.query_from("root", &pager, &q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        // Many clients hammer the cluster in parallel; every one must see
+        // the same answer (server nodes serialize on their channels, but
+        // nothing else is shared mutable).
+        let c = cluster();
+        let q = parse_query("(null-dn ? sub ? surName=jagadish)").unwrap();
+        let expected: Vec<String> = {
+            let pager = netdir_pager::default_pager();
+            c.query_from("att", &pager, &q)
+                .unwrap()
+                .iter()
+                .map(|e| e.dn().to_string())
+                .collect()
+        };
+        assert_eq!(expected.len(), 2);
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let c = &c;
+                let q = &q;
+                let expected = &expected;
+                let home = ["root", "att", "research", "org"][i % 4];
+                s.spawn(move || {
+                    let pager = netdir_pager::default_pager();
+                    for _ in 0..5 {
+                        let got: Vec<String> = c
+                            .query_from(home, &pager, q)
+                            .unwrap()
+                            .iter()
+                            .map(|e| e.dn().to_string())
+                            .collect();
+                        assert_eq!(&got, expected, "client at {home} diverged");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_home_server_errors() {
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(dc=com ? base ? objectClass=*)").unwrap();
+        assert!(c.query_from("nope", &pager, &q).is_err());
+    }
+}

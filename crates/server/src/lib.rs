@@ -1,0 +1,28 @@
+//! # netdir-server — directory servers and distributed evaluation
+//!
+//! Sections 3.3 and 8.3 of the paper describe the deployment model this
+//! crate implements:
+//!
+//! * The namespace is delegated DNS-style: each **server** owns a naming
+//!   context (a subtree), possibly with subdomains split out to other
+//!   servers ([`delegation`]).
+//! * A query is posed to one server. Each *atomic sub-query* whose base DN
+//!   is managed elsewhere is shipped to the owning server(s); the sorted
+//!   results come back and the operator tree is evaluated locally at the
+//!   queried server ([`distributed`]), exactly the plan of Section 8.3.
+//!
+//! Servers run as real threads answering requests over channels
+//! ([`node`]); the "network" counts every message and shipped byte
+//! ([`net`]), which is what experiment E12 measures. The paper's
+//! DNS-based server location is an in-process longest-prefix match — the
+//! resolution mechanism is not part of any theorem (DESIGN.md §5).
+
+pub mod delegation;
+pub mod distributed;
+pub mod net;
+pub mod node;
+
+pub use delegation::Delegation;
+pub use distributed::{Cluster, ClusterBuilder};
+pub use net::{NetSnapshot, NetStats};
+pub use node::{ServerConfig, ServerNode};

@@ -1,0 +1,124 @@
+//! Simulated-network accounting.
+//!
+//! Distribution cost in Section 8.3 is "results of those atomic queries
+//! are shipped to the original queried directory server"; the experiment
+//! harness quantifies that shipping. Counters are shared and thread-safe
+//! (servers run on real threads).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared network counters.
+#[derive(Clone, Default)]
+pub struct NetStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    entries_shipped: AtomicU64,
+    bytes_shipped: AtomicU64,
+}
+
+/// Point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    /// Atomic-query requests sent to remote servers.
+    pub requests: u64,
+    /// Responses received.
+    pub responses: u64,
+    /// Entries shipped back to the queried server.
+    pub entries_shipped: u64,
+    /// Bytes of encoded entries shipped.
+    pub bytes_shipped: u64,
+}
+
+impl NetSnapshot {
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            requests: self.requests - earlier.requests,
+            responses: self.responses - earlier.responses,
+            entries_shipped: self.entries_shipped - earlier.entries_shipped,
+            bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,
+        }
+    }
+}
+
+impl std::fmt::Display for NetSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests, {} responses, {} entries / {} bytes shipped",
+            self.requests, self.responses, self.entries_shipped, self.bytes_shipped
+        )
+    }
+}
+
+impl NetStats {
+    /// Fresh counters.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Record a remote atomic-query round trip shipping `entries` totaling
+    /// `bytes`.
+    pub fn record_round_trip(&self, entries: u64, bytes: u64) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        self.inner.responses.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .entries_shipped
+            .fetch_add(entries, Ordering::Relaxed);
+        self.inner.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            responses: self.inner.responses.load(Ordering::Relaxed),
+            entries_shipped: self.inner.entries_shipped.load(Ordering::Relaxed),
+            bytes_shipped: self.inner.bytes_shipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.inner.requests.store(0, Ordering::Relaxed);
+        self.inner.responses.store(0, Ordering::Relaxed);
+        self.inner.entries_shipped.store(0, Ordering::Relaxed);
+        self.inner.bytes_shipped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let n = NetStats::new();
+        n.record_round_trip(5, 500);
+        n.record_round_trip(2, 100);
+        let s = n.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.responses, 2);
+        assert_eq!(s.entries_shipped, 7);
+        assert_eq!(s.bytes_shipped, 600);
+        n.reset();
+        assert_eq!(n.snapshot(), NetSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let n = NetStats::new();
+        n.record_round_trip(1, 10);
+        let before = n.snapshot();
+        n.record_round_trip(3, 30);
+        let d = n.snapshot().since(before);
+        assert_eq!(d.requests, 1);
+        assert_eq!(d.entries_shipped, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! The DNS-shaped upper levels of the DIF (Section 3.3, Figure 1).
+
+use netdir_model::{Directory, Dn, Entry};
+
+/// The exact Figure 1 fragment: `dc=com` → `dc=att` → `dc=research` →
+/// `dc=corona`, with the classes shown in the figure (`dcObject` on all,
+/// `domain` additionally on `dc=att`).
+pub fn dns_fig1() -> Directory {
+    let mut d = Directory::new();
+    let mut add = |dn: &str, dc: &str, also_domain: bool| {
+        let mut b = Entry::builder(Dn::parse(dn).unwrap())
+            .class("dcObject")
+            .attr("dc", dc);
+        if also_domain {
+            b = b.class("domain");
+        }
+        d.insert(b.build().unwrap()).unwrap();
+    };
+    add("dc=com", "com", false);
+    add("dc=att, dc=com", "att", true);
+    add("dc=research, dc=att, dc=com", "research", false);
+    add("dc=corona, dc=research, dc=att, dc=com", "corona", false);
+    d
+}
+
+/// A scalable dc-hierarchy: a complete tree of the given `depth` and
+/// `fanout` rooted at `dc=com`. Node `dc=dXXX-YY` where `XXX` is the
+/// level and `YY` the child ordinal; deterministic (no randomness needed
+/// for a complete tree).
+///
+/// Total entries: `(fanout^(depth+1) - 1) / (fanout - 1)` for fanout > 1.
+pub fn dns_tree(depth: usize, fanout: usize) -> Directory {
+    let mut d = Directory::new();
+    let root = Dn::parse("dc=com").unwrap();
+    d.insert(
+        Entry::builder(root.clone())
+            .class("dcObject")
+            .attr("dc", "com")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut frontier = vec![root];
+    for level in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for parent in &frontier {
+            for child in 0..fanout {
+                let label = format!("d{level}-{child}");
+                let dn = parent
+                    .child(netdir_model::Rdn::single("dc", label.as_str()).unwrap());
+                d.insert(
+                    Entry::builder(dn.clone())
+                        .class("dcObject")
+                        .attr("dc", label.as_str())
+                        .attr("level", (level + 1) as i64)
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap();
+                next.push(dn);
+            }
+        }
+        frontier = next;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_the_figure() {
+        let d = dns_fig1();
+        assert_eq!(d.len(), 4);
+        let att = d
+            .lookup(&Dn::parse("dc=att, dc=com").unwrap())
+            .unwrap();
+        assert!(att.has_class(&"domain".into()));
+        assert!(att.has_class(&"dcObject".into()));
+        assert_eq!(att.first_str(&"dc".into()), Some("att"));
+        let corona = Dn::parse("dc=corona, dc=research, dc=att, dc=com").unwrap();
+        assert!(d.contains(&corona));
+        // Chain is intact.
+        assert!(d.parent_of(&corona).is_some());
+    }
+
+    #[test]
+    fn tree_has_expected_size_and_shape() {
+        let d = dns_tree(3, 3);
+        assert_eq!(d.len(), 1 + 3 + 9 + 27);
+        let root = Dn::parse("dc=com").unwrap();
+        assert_eq!(d.children_of(&root).count(), 3);
+        // Every non-root entry's parent exists.
+        for e in d.iter_sorted() {
+            if e.dn() != &root {
+                assert!(d.parent_of(e.dn()).is_some(), "orphan {}", e.dn());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_trees() {
+        assert_eq!(dns_tree(0, 5).len(), 1);
+        assert_eq!(dns_tree(4, 1).len(), 5); // a chain
+    }
+}

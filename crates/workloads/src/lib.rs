@@ -1,0 +1,31 @@
+//! # netdir-workloads — directory data generators
+//!
+//! Everything the experiments and examples feed on:
+//!
+//! * [`dns`] — the upper levels of the directory information forest
+//!   (Figure 1) and scalable dc-hierarchy generators.
+//! * [`qos`] — the QoS policy directory of Example 2.1 / Figure 12
+//!   (Chaudhury et al.'s SLA schema: `SLAPolicyRules`, `trafficProfile`,
+//!   `policyValidityPeriod`, `SLADSAction`, priorities and exceptions),
+//!   both the exact figure fragment and seeded generators, plus the
+//!   packet-profile query workload.
+//! * [`tops`] — the TOPS telephony directory of Example 2.2 / Figure 11
+//!   (subscribers, query handling profiles, call appearances), fragment,
+//!   generators, and the caller workload.
+//! * [`synthetic`] — parameterized forests (depth, fanout, selectivity)
+//!   and reference graphs (values-per-attribute `m`) for the complexity
+//!   experiments E4–E9.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod dns;
+pub mod qos;
+pub mod schemas;
+pub mod synthetic;
+pub mod tops;
+
+pub use dns::{dns_fig1, dns_tree};
+pub use qos::{qos_fig12, qos_generate, Packet, QosParams};
+pub use schemas::{qos_schema, tops_schema, validate_directory};
+pub use synthetic::{ref_graph, synth_forest, RefGraphParams, SynthParams};
+pub use tops::{tops_fig11, tops_generate, CallRequest, TopsParams};

@@ -1,0 +1,486 @@
+//! The QoS policy directory (Example 2.1, Figure 12).
+//!
+//! Based on the Chaudhury et al. SLA schema \[11\]: a repository of
+//! policies, each with traffic-profile references (`SLATPRef`), validity-
+//! period references (`SLAPVPRef`), an action reference (`SLADSActRef`),
+//! a priority (`SLARulePriority`, smaller = higher priority) and
+//! exception references (`SLAExceptionRef`).
+//!
+//! Conventions for the synthetic values: times are `YYYYMMDDhhmmss`
+//! integers as in the figure; days of week are 1–7; source addresses are
+//! dotted quads with `*` wildcards matched textually.
+
+use netdir_model::{Directory, Dn, Entry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where the policy subtree lives, as in Figure 12.
+pub const QOS_BASE: &str = "ou=networkPolicies, dc=research, dc=att, dc=com";
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+fn ou(d: &mut Directory, name: &str, parent: &str) {
+    d.insert(
+        Entry::builder(dn(&format!("ou={name}, {parent}")))
+            .class("organizationalUnit")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+}
+
+/// DN helpers for the four entry kinds.
+pub fn policy_dn(name: &str) -> Dn {
+    dn(&format!("SLAPolicyName={name}, ou=SLAPolicyRules, {QOS_BASE}"))
+}
+/// DN of a traffic profile entry.
+pub fn profile_dn(name: &str) -> Dn {
+    dn(&format!("TPName={name}, ou=trafficProfile, {QOS_BASE}"))
+}
+/// DN of a validity period entry.
+pub fn period_dn(name: &str) -> Dn {
+    dn(&format!("PVPName={name}, ou=policyValidityPeriod, {QOS_BASE}"))
+}
+/// DN of an action entry.
+pub fn action_dn(name: &str) -> Dn {
+    dn(&format!("DSActionName={name}, ou=SLADSAction, {QOS_BASE}"))
+}
+
+fn scaffold() -> Directory {
+    let mut d = Directory::new();
+    d.insert(
+        Entry::builder(dn("dc=com")).class("dcObject").build().unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(dn("dc=att, dc=com"))
+            .class("dcObject")
+            .class("domain")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(dn("dc=research, dc=att, dc=com"))
+            .class("dcObject")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    ou(&mut d, "networkPolicies", "dc=research, dc=att, dc=com");
+    for child in ["SLAPolicyRules", "trafficProfile", "policyValidityPeriod", "SLADSAction"] {
+        ou(&mut d, child, QOS_BASE);
+    }
+    d
+}
+
+/// The Figure 12 fragment: the `dso` policy with its two traffic
+/// profiles, two validity periods, action, and the two exception policies
+/// the figure mentions but does not draw (`fatt`, `mail`, same shape).
+pub fn qos_fig12() -> Directory {
+    let mut d = scaffold();
+
+    // Traffic profiles.
+    d.insert(
+        Entry::builder(profile_dn("lsplitOff"))
+            .class("trafficProfile")
+            .attr("SourceAddress", "204.178.16.*")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(profile_dn("csplitOff"))
+            .class("trafficProfile")
+            .attr("SourceAddress", "207.140.*.*")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(profile_dn("smtp"))
+            .class("trafficProfile")
+            .attr("SourceAddress", "*.*.*.*")
+            .attr("SourcePort", 25i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    // Validity periods (figure's formats).
+    d.insert(
+        Entry::builder(period_dn("1998weekend"))
+            .class("policyValidityPeriod")
+            .attr("PVStartTime", 19980101060000i64)
+            .attr("PVEndTime", 19981231180000i64)
+            .attr_values("PVDayOfWeek", [6i64, 7i64])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(period_dn("1998thanksgiving"))
+            .class("policyValidityPeriod")
+            .attr("PVStartTime", 19981126000000i64)
+            .attr("PVEndTime", 19981126235959i64)
+            .attr_values("PVDayOfWeek", [1i64, 2, 3, 4, 5, 6, 7])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    // Actions.
+    d.insert(
+        Entry::builder(action_dn("denyAll"))
+            .class("SLADSAction")
+            .attr("DSPermission", "Deny")
+            .attr("DSInProfilePeakRate", 20i64)
+            .attr("DSDropPriority", 2i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(action_dn("allowMail"))
+            .class("SLADSAction")
+            .attr("DSPermission", "Allow")
+            .attr("DSInProfilePeakRate", 80i64)
+            .attr("DSDropPriority", 1i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    // The dso policy exactly as drawn.
+    d.insert(
+        Entry::builder(policy_dn("dso"))
+            .class("SLAPolicyRules")
+            .attr("SLAPolicyScope", "DataTraffic")
+            .attr("SLARulePriority", 2i64)
+            .attr_values(
+                "SLAExceptionRef",
+                [policy_dn("fatt"), policy_dn("mail")],
+            )
+            .attr_values(
+                "SLATPRef",
+                [profile_dn("lsplitOff"), profile_dn("csplitOff")],
+            )
+            .attr_values(
+                "SLAPVPRef",
+                [period_dn("1998weekend"), period_dn("1998thanksgiving")],
+            )
+            .attr("SLADSActRef", action_dn("denyAll"))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    // Its exceptions (same priority, per the exception semantics of §2.1).
+    d.insert(
+        Entry::builder(policy_dn("mail"))
+            .class("SLAPolicyRules")
+            .attr("SLAPolicyScope", "DataTraffic")
+            .attr("SLARulePriority", 2i64)
+            .attr("SLATPRef", profile_dn("smtp"))
+            .attr("SLAPVPRef", period_dn("1998weekend"))
+            .attr("SLADSActRef", action_dn("allowMail"))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(policy_dn("fatt"))
+            .class("SLAPolicyRules")
+            .attr("SLAPolicyScope", "DataTraffic")
+            .attr("SLARulePriority", 2i64)
+            .attr("SLATPRef", profile_dn("csplitOff"))
+            .attr("SLAPVPRef", period_dn("1998thanksgiving"))
+            .attr("SLADSActRef", action_dn("allowMail"))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d
+}
+
+/// Generator parameters for a synthetic policy repository.
+#[derive(Debug, Clone, Copy)]
+pub struct QosParams {
+    /// Number of policies.
+    pub policies: usize,
+    /// Number of traffic profiles.
+    pub profiles: usize,
+    /// Number of validity periods.
+    pub periods: usize,
+    /// Number of actions.
+    pub actions: usize,
+    /// Max traffic-profile references per policy (≥ 1).
+    pub refs_per_policy: usize,
+    /// Probability a policy names an exception.
+    pub exception_rate: f64,
+    /// Distinct priority levels (values 1..=levels).
+    pub priority_levels: i64,
+}
+
+impl Default for QosParams {
+    fn default() -> Self {
+        QosParams {
+            policies: 50,
+            profiles: 20,
+            periods: 8,
+            actions: 6,
+            refs_per_policy: 3,
+            exception_rate: 0.3,
+            priority_levels: 4,
+        }
+    }
+}
+
+/// Generate a policy repository under the Figure 12 namespace.
+pub fn qos_generate(params: QosParams, seed: u64) -> Directory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = scaffold();
+
+    for i in 0..params.profiles {
+        // Profiles match disjoint /24-ish prefixes plus some port-only
+        // profiles for overlap.
+        let b = Entry::builder(profile_dn(&format!("tp{i:04}"))).class("trafficProfile");
+        let b = if i % 5 == 4 {
+            b.attr("SourceAddress", "*.*.*.*")
+                .attr("SourcePort", (i % 1024) as i64)
+        } else {
+            b.attr(
+                "SourceAddress",
+                format!("10.{}.{}.*", i / 250, i % 250),
+            )
+        };
+        d.insert(b.build().unwrap()).unwrap();
+    }
+    for i in 0..params.periods {
+        // 10-day windows staggered across the month, most weekdays
+        // allowed — realistic coverage so that generated packets actually
+        // fall under policy (the enforcement entities of §2.1 mostly see
+        // covered traffic).
+        let start_day = 1 + (i * 3) % 18;
+        d.insert(
+            Entry::builder(period_dn(&format!("pvp{i:03}")))
+                .class("policyValidityPeriod")
+                .attr("PVStartTime", 19980100000000 + (start_day as i64) * 1_000_000)
+                .attr(
+                    "PVEndTime",
+                    19980100000000 + (start_day as i64 + 10) * 1_000_000,
+                )
+                .attr_values(
+                    "PVDayOfWeek",
+                    (1..=7i64).filter(|day| (day + i as i64) % 7 != 0),
+                )
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    for i in 0..params.actions {
+        d.insert(
+            Entry::builder(action_dn(&format!("act{i:03}")))
+                .class("SLADSAction")
+                .attr("DSPermission", if i % 3 == 0 { "Deny" } else { "Allow" })
+                .attr("DSInProfilePeakRate", (10 + i * 10) as i64)
+                .attr("DSDropPriority", (i % 3) as i64)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    for i in 0..params.policies {
+        let n_refs = 1 + rng.gen_range(0..params.refs_per_policy.max(1));
+        let tp_refs: Vec<Dn> = (0..n_refs)
+            .map(|_| profile_dn(&format!("tp{:04}", rng.gen_range(0..params.profiles))))
+            .collect();
+        let mut b = Entry::builder(policy_dn(&format!("pol{i:05}")))
+            .class("SLAPolicyRules")
+            .attr("SLAPolicyScope", "DataTraffic")
+            .attr(
+                "SLARulePriority",
+                rng.gen_range(1..=params.priority_levels),
+            )
+            .attr_values("SLATPRef", tp_refs)
+            .attr(
+                "SLAPVPRef",
+                period_dn(&format!("pvp{:03}", rng.gen_range(0..params.periods))),
+            )
+            .attr(
+                "SLADSActRef",
+                action_dn(&format!("act{:03}", rng.gen_range(0..params.actions))),
+            );
+        if i > 0 && rng.gen_bool(params.exception_rate) {
+            b = b.attr(
+                "SLAExceptionRef",
+                policy_dn(&format!("pol{:05}", rng.gen_range(0..i))),
+            );
+        }
+        d.insert(b.build().unwrap()).unwrap();
+    }
+    d
+}
+
+/// A packet as presented by an enforcement entity (Example 2.1's query
+/// side: packet attributes plus the current time).
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Dotted-quad source address.
+    pub source_address: String,
+    /// Source port.
+    pub source_port: i64,
+    /// `YYYYMMDDhhmmss` timestamp.
+    pub time: i64,
+    /// Day of week, 1–7.
+    pub day_of_week: i64,
+}
+
+impl Packet {
+    /// Random packet over the generator's address space, biased so that a
+    /// meaningful fraction of packets hit some profile (the enforcement
+    /// entities of Example 2.1 mostly see traffic *covered* by policy).
+    pub fn random(rng: &mut StdRng) -> Packet {
+        Packet {
+            source_address: format!(
+                "10.{}.{}.{}",
+                rng.gen_range(0..2),
+                rng.gen_range(0..30),
+                rng.gen_range(0..256)
+            ),
+            source_port: rng.gen_range(0..30),
+            time: 19980100000000 + rng.gen_range(1..28i64) * 1_000_000,
+            day_of_week: rng.gen_range(1..=7),
+        }
+    }
+
+    /// Does a dotted-quad wildcard pattern (e.g. `204.178.16.*`) match
+    /// this packet's source address?
+    pub fn address_matches(&self, pattern: &str) -> bool {
+        let pat: Vec<&str> = pattern.split('.').collect();
+        let addr: Vec<&str> = self.source_address.split('.').collect();
+        pat.len() == addr.len()
+            && pat
+                .iter()
+                .zip(&addr)
+                .all(|(p, a)| *p == "*" || p == a)
+    }
+}
+
+/// Does a traffic profile entry match a packet?
+pub fn profile_matches(profile: &Entry, packet: &Packet) -> bool {
+    let addr_ok = match profile.first_str(&"SourceAddress".into()) {
+        Some(pattern) => packet.address_matches(pattern),
+        None => true,
+    };
+    let port_ok = match profile.first_int(&"SourcePort".into()) {
+        Some(p) => p == packet.source_port,
+        None => true,
+    };
+    addr_ok && port_ok
+}
+
+/// Does a validity period entry cover a packet's time?
+pub fn period_matches(period: &Entry, packet: &Packet) -> bool {
+    let start = period.first_int(&"PVStartTime".into()).unwrap_or(i64::MIN);
+    let end = period.first_int(&"PVEndTime".into()).unwrap_or(i64::MAX);
+    let day_ok = period
+        .values(&"PVDayOfWeek".into())
+        .filter_map(|v| v.as_int())
+        .any(|d| d == packet.day_of_week)
+        || !period.has_attr(&"PVDayOfWeek".into());
+    start <= packet.time && packet.time <= end && day_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_structure() {
+        let d = qos_fig12();
+        let dso = d.lookup(&policy_dn("dso")).unwrap();
+        assert_eq!(dso.first_int(&"SLARulePriority".into()), Some(2));
+        assert_eq!(dso.values(&"SLATPRef".into()).count(), 2);
+        assert_eq!(dso.values(&"SLAPVPRef".into()).count(), 2);
+        assert_eq!(dso.values(&"SLAExceptionRef".into()).count(), 2);
+        assert_eq!(
+            dso.first_dn(&"SLADSActRef".into()),
+            Some(&action_dn("denyAll"))
+        );
+        // Referenced entries all exist.
+        for attr in ["SLATPRef", "SLAPVPRef", "SLAExceptionRef", "SLADSActRef"] {
+            for v in dso.values(&attr.into()) {
+                let target = v.as_dn().unwrap();
+                assert!(d.contains(target), "{attr} dangling: {target}");
+            }
+        }
+        let wk = d.lookup(&period_dn("1998weekend")).unwrap();
+        let days: Vec<i64> = wk
+            .values(&"PVDayOfWeek".into())
+            .filter_map(|v| v.as_int())
+            .collect();
+        assert_eq!(days, vec![6, 7]);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_closed() {
+        let a = qos_generate(QosParams::default(), 42);
+        let b = qos_generate(QosParams::default(), 42);
+        assert_eq!(a.len(), b.len());
+        let c = qos_generate(QosParams::default(), 43);
+        assert_eq!(a.len(), c.len()); // same sizes, different refs
+        // Every reference resolves.
+        for e in a.iter_sorted() {
+            for attr in ["SLATPRef", "SLAPVPRef", "SLADSActRef", "SLAExceptionRef"] {
+                for v in e.values(&attr.into()) {
+                    assert!(a.contains(v.as_dn().unwrap()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packet_matching() {
+        let d = qos_fig12();
+        let lsplit = d.lookup(&profile_dn("lsplitOff")).unwrap();
+        let smtp = d.lookup(&profile_dn("smtp")).unwrap();
+        let pkt = Packet {
+            source_address: "204.178.16.5".into(),
+            source_port: 80,
+            time: 19980606120000,
+            day_of_week: 6,
+        };
+        assert!(profile_matches(lsplit, &pkt));
+        assert!(!profile_matches(smtp, &pkt)); // port 80 ≠ 25
+        let mail_pkt = Packet {
+            source_port: 25,
+            ..pkt.clone()
+        };
+        assert!(profile_matches(smtp, &mail_pkt));
+
+        let wk = d.lookup(&period_dn("1998weekend")).unwrap();
+        assert!(period_matches(wk, &pkt)); // Saturday in range
+        let weekday = Packet {
+            day_of_week: 3,
+            ..pkt
+        };
+        assert!(!period_matches(wk, &weekday));
+    }
+
+    #[test]
+    fn address_wildcards() {
+        let p = Packet {
+            source_address: "207.140.3.9".into(),
+            source_port: 0,
+            time: 0,
+            day_of_week: 1,
+        };
+        assert!(p.address_matches("207.140.*.*"));
+        assert!(p.address_matches("*.*.*.*"));
+        assert!(!p.address_matches("207.141.*.*"));
+        assert!(!p.address_matches("207.140.*")); // wrong arity
+    }
+}

@@ -1,0 +1,168 @@
+//! Declared schemas for the two DEN applications (Definition 3.1 made
+//! concrete).
+//!
+//! The generators build entries directly; these schemas state what the
+//! figures imply — attribute types shared across classes (σ) and
+//! per-class allowed attributes (ψ) — so that schema-checked directories
+//! can be built from the same data (`qos_fig12_checked`,
+//! `tops_fig11_checked`) and the validation machinery is exercised on
+//! realistic content.
+
+use netdir_model::{Directory, ModelResult, Schema, TypeName};
+
+/// The Figure 12 / Chaudhury-et-al. SLA schema.
+pub fn qos_schema() -> Schema {
+    Schema::builder()
+        // Shared infrastructure attributes.
+        .attr("dc", TypeName::Str)
+        .attr("ou", TypeName::Str)
+        // Policy rules.
+        .attr("SLAPolicyName", TypeName::Str)
+        .attr("SLAPolicyScope", TypeName::Str)
+        .attr("SLARulePriority", TypeName::Int)
+        .attr("SLAExceptionRef", TypeName::Dn)
+        .attr("SLATPRef", TypeName::Dn)
+        .attr("SLAPVPRef", TypeName::Dn)
+        .attr("SLADSActRef", TypeName::Dn)
+        // Traffic profiles.
+        .attr("TPName", TypeName::Str)
+        .attr("SourceAddress", TypeName::Str)
+        .attr("SourcePort", TypeName::Int)
+        // Validity periods.
+        .attr("PVPName", TypeName::Str)
+        .attr("PVStartTime", TypeName::Int)
+        .attr("PVEndTime", TypeName::Int)
+        .attr("PVDayOfWeek", TypeName::Int)
+        // Actions.
+        .attr("DSActionName", TypeName::Str)
+        .attr("DSPermission", TypeName::Str)
+        .attr("DSInProfilePeakRate", TypeName::Int)
+        .attr("DSDropPriority", TypeName::Int)
+        .class("dcObject", ["dc"])
+        .class("domain", ["dc"])
+        .class("organizationalUnit", ["ou"])
+        .class(
+            "SLAPolicyRules",
+            [
+                "SLAPolicyName",
+                "SLAPolicyScope",
+                "SLARulePriority",
+                "SLAExceptionRef",
+                "SLATPRef",
+                "SLAPVPRef",
+                "SLADSActRef",
+            ],
+        )
+        .class("trafficProfile", ["TPName", "SourceAddress", "SourcePort"])
+        .class(
+            "policyValidityPeriod",
+            ["PVPName", "PVStartTime", "PVEndTime", "PVDayOfWeek"],
+        )
+        .class(
+            "SLADSAction",
+            [
+                "DSActionName",
+                "DSPermission",
+                "DSInProfilePeakRate",
+                "DSDropPriority",
+            ],
+        )
+        .build()
+        .expect("QoS schema is well formed")
+}
+
+/// The Figure 11 TOPS schema.
+pub fn tops_schema() -> Schema {
+    Schema::builder()
+        .attr("dc", TypeName::Str)
+        .attr("ou", TypeName::Str)
+        .attr("uid", TypeName::Str)
+        .attr("commonName", TypeName::Str)
+        .attr("surName", TypeName::Str)
+        .attr("QHPName", TypeName::Str)
+        .attr("startTime", TypeName::Int)
+        .attr("endTime", TypeName::Int)
+        .attr("daysOfWeek", TypeName::Int)
+        .attr("priority", TypeName::Int)
+        .attr("CANumber", TypeName::Str)
+        .attr("CAType", TypeName::Str)
+        .attr("timeOut", TypeName::Int)
+        .attr("description", TypeName::Str)
+        .class("dcObject", ["dc"])
+        .class("domain", ["dc"])
+        .class("organizationalUnit", ["ou"])
+        .class("inetOrgPerson", ["uid", "commonName", "surName"])
+        .class("TOPSSubscriber", ["uid"])
+        .class(
+            "QHP",
+            ["QHPName", "startTime", "endTime", "daysOfWeek", "priority"],
+        )
+        .class(
+            "callAppearance",
+            ["CANumber", "CAType", "priority", "timeOut", "description"],
+        )
+        .build()
+        .expect("TOPS schema is well formed")
+}
+
+/// Validate every entry of `dir` against `schema`, returning the first
+/// violation (if any).
+pub fn validate_directory(dir: &Directory, schema: &Schema) -> ModelResult<()> {
+    for e in dir.iter_sorted() {
+        e.validate(schema)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{qos_fig12, qos_generate, tops_fig11, tops_generate, QosParams, TopsParams};
+
+    #[test]
+    fn figure_12_conforms_to_the_sla_schema() {
+        validate_directory(&qos_fig12(), &qos_schema()).unwrap();
+    }
+
+    #[test]
+    fn figure_11_conforms_to_the_tops_schema() {
+        validate_directory(&tops_fig11(), &tops_schema()).unwrap();
+    }
+
+    #[test]
+    fn generated_workloads_conform_too() {
+        validate_directory(&qos_generate(QosParams::default(), 3), &qos_schema()).unwrap();
+        validate_directory(&tops_generate(TopsParams::default(), 3), &tops_schema())
+            .unwrap();
+    }
+
+    #[test]
+    fn schema_catches_violations() {
+        use netdir_model::{Dn, Entry};
+        let mut d = qos_fig12();
+        // A policy with a string priority violates σ.
+        d.insert(
+            Entry::builder(Dn::parse("SLAPolicyName=bad, dc=com").unwrap())
+                .class("SLAPolicyRules")
+                .attr("SLARulePriority", "high")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(validate_directory(&d, &qos_schema()).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_class_sets_validate() {
+        // §3.5: an entry in both inetOrgPerson and TOPSSubscriber needs
+        // no common superclass — validation takes the union of ψ.
+        use netdir_model::{Dn, Entry};
+        let e = Entry::builder(Dn::parse("uid=x, dc=com").unwrap())
+            .class("inetOrgPerson")
+            .class("TOPSSubscriber")
+            .attr("surName", "x")
+            .build()
+            .unwrap();
+        e.validate(&tops_schema()).unwrap();
+    }
+}

@@ -1,0 +1,195 @@
+//! Parameterized synthetic forests and reference graphs for the
+//! complexity experiments (E4–E9).
+//!
+//! The stack-algorithm experiments need forests whose size, shape, and
+//! filter selectivity can be swept; the embedded-reference experiments
+//! additionally sweep `m`, the number of DN values per attribute, which
+//! Theorem 7.1's log term depends on.
+
+use netdir_model::{Directory, Dn, Entry, Rdn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic forest.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthParams {
+    /// Total number of entries (approximate; the root counts).
+    pub entries: usize,
+    /// Maximum depth below the root.
+    pub max_depth: usize,
+    /// Fraction of entries tagged `kind=red` (the L1-side selectivity).
+    pub red_fraction: f64,
+    /// Fraction tagged `kind=blue` (the L2-side selectivity). Tags are
+    /// independent; an entry can be both.
+    pub blue_fraction: f64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            entries: 1000,
+            max_depth: 8,
+            red_fraction: 0.5,
+            blue_fraction: 0.5,
+        }
+    }
+}
+
+/// Generate a random forest under `dc=synth`: each new entry picks a
+/// uniformly random existing entry as its parent (subject to `max_depth`),
+/// giving realistic bushy shapes. Entries carry `kind` tags (`red`,
+/// `blue`) with the configured densities and a `weight` integer for
+/// aggregate experiments.
+pub fn synth_forest(params: SynthParams, seed: u64) -> Directory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Directory::new();
+    let root = Dn::parse("dc=synth").unwrap();
+    d.insert(
+        Entry::builder(root.clone())
+            .class("node")
+            .attr("weight", 0i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut dns: Vec<Dn> = vec![root];
+    for i in 1..params.entries {
+        // Pick a parent not already at max depth.
+        let parent = loop {
+            let cand = &dns[rng.gen_range(0..dns.len())];
+            if cand.depth() <= params.max_depth {
+                break cand.clone();
+            }
+        };
+        let child = parent.child(Rdn::single("n", format!("e{i}")).unwrap());
+        let mut b = Entry::builder(child.clone())
+            .class("node")
+            .attr("weight", rng.gen_range(0..100i64));
+        if rng.gen_bool(params.red_fraction) {
+            b = b.attr("kind", "red");
+        }
+        if rng.gen_bool(params.blue_fraction) {
+            b = b.attr("kind", "blue");
+        }
+        d.insert(b.build().unwrap()).unwrap();
+        dns.push(child);
+    }
+    d
+}
+
+/// Parameters of a reference graph for the `vd`/`dv` experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RefGraphParams {
+    /// Number of source entries (each holds references).
+    pub sources: usize,
+    /// Number of target entries.
+    pub targets: usize,
+    /// DN values of attribute `ref` per source — the `m` of Theorem 7.1.
+    pub refs_per_source: usize,
+}
+
+impl Default for RefGraphParams {
+    fn default() -> Self {
+        RefGraphParams {
+            sources: 500,
+            targets: 500,
+            refs_per_source: 2,
+        }
+    }
+}
+
+/// A flat two-zone directory: sources under `ou=src, dc=synth`, targets
+/// under `ou=tgt, dc=synth`, each source holding `refs_per_source`
+/// uniformly random `ref` values pointing at targets.
+pub fn ref_graph(params: RefGraphParams, seed: u64) -> Directory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Directory::new();
+    for s in ["dc=synth", "ou=src, dc=synth", "ou=tgt, dc=synth"] {
+        d.insert(
+            Entry::builder(Dn::parse(s).unwrap())
+                .class("scaffold")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    let target_dn =
+        |i: usize| Dn::parse(&format!("cn=t{i:06}, ou=tgt, dc=synth")).unwrap();
+    for t in 0..params.targets {
+        d.insert(
+            Entry::builder(target_dn(t))
+                .class("target")
+                .attr("weight", (t % 100) as i64)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    for s in 0..params.sources {
+        let refs: Vec<Dn> = (0..params.refs_per_source)
+            .map(|_| target_dn(rng.gen_range(0..params.targets.max(1))))
+            .collect();
+        d.insert(
+            Entry::builder(Dn::parse(&format!("cn=s{s:06}, ou=src, dc=synth")).unwrap())
+                .class("source")
+                .attr("weight", (s % 100) as i64)
+                .attr_values("ref", refs)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_respects_params() {
+        let params = SynthParams {
+            entries: 500,
+            max_depth: 4,
+            red_fraction: 0.5,
+            blue_fraction: 0.2,
+        };
+        let d = synth_forest(params, 1);
+        assert_eq!(d.len(), 500);
+        let mut reds = 0;
+        for e in d.iter_sorted() {
+            assert!(e.dn().depth() <= params.max_depth + 1);
+            if e.values(&"kind".into()).any(|v| v.as_str() == Some("red")) {
+                reds += 1;
+            }
+            // Parent chain intact (parent-attachment construction).
+            if e.dn().depth() > 1 {
+                assert!(d.parent_of(e.dn()).is_some());
+            }
+        }
+        // ~50% ± generous slack.
+        assert!((150..350).contains(&reds), "reds = {reds}");
+        // Determinism.
+        assert_eq!(synth_forest(params, 1).len(), d.len());
+    }
+
+    #[test]
+    fn ref_graph_shape() {
+        let params = RefGraphParams {
+            sources: 40,
+            targets: 20,
+            refs_per_source: 3,
+        };
+        let d = ref_graph(params, 9);
+        assert_eq!(d.len(), 3 + 40 + 20);
+        for e in d.iter_sorted() {
+            if e.has_class(&"source".into()) {
+                let n = e.values(&"ref".into()).count();
+                assert!((1..=3).contains(&n), "{} refs on {}", n, e.dn());
+                for v in e.values(&"ref".into()) {
+                    assert!(d.contains(v.as_dn().unwrap()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The TOPS telephony directory (Example 2.2, Figure 11).
+//!
+//! Each subscriber owns a personal subtree under `ou=userProfiles`: the
+//! subscriber profile entry, its prioritized **query handling profiles**
+//! (QHPs — who may reach them, when), and per-QHP **call appearances**
+//! (terminals, prioritized). Lower `priority` value = higher priority,
+//! as in the figure (the weekend QHP with priority 1 beats working hours
+//! with priority 2).
+//!
+//! Time-of-day values are `hhmm` integers (`0830`, `1730`), days of week
+//! 1–7, as drawn.
+
+use netdir_model::{Directory, Dn, Entry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where subscriber subtrees live, as in Figure 11.
+pub const TOPS_BASE: &str = "ou=userProfiles, dc=research, dc=att, dc=com";
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+/// DN of a subscriber's profile entry.
+pub fn subscriber_dn(uid: &str) -> Dn {
+    dn(&format!("uid={uid}, {TOPS_BASE}"))
+}
+/// DN of a subscriber's QHP.
+pub fn qhp_dn(uid: &str, qhp: &str) -> Dn {
+    dn(&format!("QHPName={qhp}, uid={uid}, {TOPS_BASE}"))
+}
+/// DN of a call appearance under a QHP.
+pub fn ca_dn(uid: &str, qhp: &str, number: &str) -> Dn {
+    dn(&format!("CANumber={number}, QHPName={qhp}, uid={uid}, {TOPS_BASE}"))
+}
+
+fn scaffold() -> Directory {
+    let mut d = Directory::new();
+    for (s, classes) in [
+        ("dc=com", vec!["dcObject"]),
+        ("dc=att, dc=com", vec!["dcObject", "domain"]),
+        ("dc=research, dc=att, dc=com", vec!["dcObject"]),
+    ] {
+        let mut b = Entry::builder(dn(s));
+        for c in classes {
+            b = b.class(c);
+        }
+        d.insert(b.build().unwrap()).unwrap();
+    }
+    d.insert(
+        Entry::builder(dn(TOPS_BASE))
+            .class("organizationalUnit")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d
+}
+
+/// The Figure 11 fragment: subscriber `jag` with his weekend QHP
+/// (priority 1, days 6–7, voice-mail appearance) and working-hours QHP
+/// (priority 2, 08:30–17:30, office phone + secretary).
+pub fn tops_fig11() -> Directory {
+    let mut d = scaffold();
+    d.insert(
+        Entry::builder(subscriber_dn("jag"))
+            .class("inetOrgPerson")
+            .class("TOPSSubscriber")
+            .attr("commonName", "h jagadish")
+            .attr("surName", "jagadish")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(qhp_dn("jag", "weekend"))
+            .class("QHP")
+            .attr_values("daysOfWeek", [6i64, 7i64])
+            .attr("priority", 1i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(qhp_dn("jag", "workinghours"))
+            .class("QHP")
+            .attr("startTime", 830i64)
+            .attr("endTime", 1730i64)
+            .attr("priority", 2i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    // Working-hours appearances, as drawn.
+    d.insert(
+        Entry::builder(ca_dn("jag", "workinghours", "9733608750"))
+            .class("callAppearance")
+            .attr("priority", 1i64)
+            .attr("timeOut", 30i64)
+            .attr("CAType", "phone")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d.insert(
+        Entry::builder(ca_dn("jag", "workinghours", "9733608751"))
+            .class("callAppearance")
+            .attr("priority", 2i64)
+            .attr("timeOut", 20i64)
+            .attr("description", "secretary")
+            .attr("CAType", "phone")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    // The weekend voice-messaging mailbox the text mentions.
+    d.insert(
+        Entry::builder(ca_dn("jag", "weekend", "9735550000"))
+            .class("callAppearance")
+            .attr("priority", 1i64)
+            .attr("timeOut", 45i64)
+            .attr("CAType", "voicemail")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    d
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TopsParams {
+    /// Number of subscribers.
+    pub subscribers: usize,
+    /// Max QHPs per subscriber (≥ 1).
+    pub qhps_per_subscriber: usize,
+    /// Max call appearances per QHP (≥ 1).
+    pub cas_per_qhp: usize,
+}
+
+impl Default for TopsParams {
+    fn default() -> Self {
+        TopsParams {
+            subscribers: 30,
+            qhps_per_subscriber: 4,
+            cas_per_qhp: 3,
+        }
+    }
+}
+
+/// Generate a subscriber population under the Figure 11 namespace.
+pub fn tops_generate(params: TopsParams, seed: u64) -> Directory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = scaffold();
+    for s in 0..params.subscribers {
+        let uid = format!("user{s:04}");
+        d.insert(
+            Entry::builder(subscriber_dn(&uid))
+                .class("inetOrgPerson")
+                .class("TOPSSubscriber")
+                .attr("commonName", format!("User {s}"))
+                .attr("surName", format!("family{:02}", s % 20))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let n_qhps = 1 + rng.gen_range(0..params.qhps_per_subscriber.max(1));
+        for q in 0..n_qhps {
+            let qhp = format!("qhp{q}");
+            let mut b = Entry::builder(qhp_dn(&uid, &qhp))
+                .class("QHP")
+                .attr("priority", (q + 1) as i64);
+            // Alternate between time-window and day-of-week profiles —
+            // the heterogeneity §3.5 calls out.
+            if q % 2 == 0 {
+                let start = rng.gen_range(6..12) * 100;
+                b = b.attr("startTime", start).attr("endTime", start + 900);
+            } else {
+                b = b.attr_values(
+                    "daysOfWeek",
+                    (1..=7i64).filter(|d| (d + q as i64) % 3 == 0),
+                );
+            }
+            d.insert(b.build().unwrap()).unwrap();
+            let n_cas = 1 + rng.gen_range(0..params.cas_per_qhp.max(1));
+            for c in 0..n_cas {
+                d.insert(
+                    Entry::builder(ca_dn(
+                        &uid,
+                        &qhp,
+                        &format!("973{s:04}{q}{c:02}"),
+                    ))
+                    .class("callAppearance")
+                    .attr("priority", (c + 1) as i64)
+                    .attr("timeOut", 15 + (c as i64) * 5)
+                    .attr("CAType", if c == 0 { "phone" } else { "voicemail" })
+                    .build()
+                    .unwrap(),
+                )
+                .unwrap();
+            }
+        }
+    }
+    d
+}
+
+/// A call request (Example 2.2's query side).
+#[derive(Debug, Clone)]
+pub struct CallRequest {
+    /// Callee's uid.
+    pub callee: String,
+    /// Time of day, `hhmm`.
+    pub time: i64,
+    /// Day of week, 1–7.
+    pub day_of_week: i64,
+}
+
+impl CallRequest {
+    /// Random request against a generated population.
+    pub fn random(rng: &mut StdRng, subscribers: usize) -> CallRequest {
+        CallRequest {
+            callee: format!("user{:04}", rng.gen_range(0..subscribers)),
+            time: rng.gen_range(0..24) * 100 + rng.gen_range(0..60),
+            day_of_week: rng.gen_range(1..=7),
+        }
+    }
+}
+
+/// Does a QHP match a call request? A QHP with a time window matches when
+/// the time falls inside it; one with days-of-week when the day is
+/// listed; one with neither matches always (the §3.5 heterogeneity).
+pub fn qhp_matches(qhp: &Entry, req: &CallRequest) -> bool {
+    let time_ok = match (
+        qhp.first_int(&"startTime".into()),
+        qhp.first_int(&"endTime".into()),
+    ) {
+        (Some(s), Some(e)) => s <= req.time && req.time <= e,
+        (Some(s), None) => s <= req.time,
+        (None, Some(e)) => req.time <= e,
+        (None, None) => true,
+    };
+    let days: Vec<i64> = qhp
+        .values(&"daysOfWeek".into())
+        .filter_map(|v| v.as_int())
+        .collect();
+    let day_ok = days.is_empty() || days.contains(&req.day_of_week);
+    time_ok && day_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_structure() {
+        let d = tops_fig11();
+        let jag = d.lookup(&subscriber_dn("jag")).unwrap();
+        assert!(jag.has_class(&"TOPSSubscriber".into()));
+        assert!(jag.has_class(&"inetOrgPerson".into()));
+        // QHPs are children of the subscriber.
+        let qhps: Vec<&Entry> = d
+            .children_of(&subscriber_dn("jag"))
+            .collect();
+        assert_eq!(qhps.len(), 2);
+        let weekend = d.lookup(&qhp_dn("jag", "weekend")).unwrap();
+        assert_eq!(weekend.first_int(&"priority".into()), Some(1));
+        // CAs are children of QHPs.
+        assert_eq!(d.children_of(&qhp_dn("jag", "workinghours")).count(), 2);
+        assert_eq!(d.children_of(&qhp_dn("jag", "weekend")).count(), 1);
+    }
+
+    #[test]
+    fn qhp_matching_semantics() {
+        let d = tops_fig11();
+        let weekend = d.lookup(&qhp_dn("jag", "weekend")).unwrap();
+        let working = d.lookup(&qhp_dn("jag", "workinghours")).unwrap();
+        let saturday_noon = CallRequest {
+            callee: "jag".into(),
+            time: 1200,
+            day_of_week: 6,
+        };
+        assert!(qhp_matches(weekend, &saturday_noon));
+        assert!(qhp_matches(working, &saturday_noon)); // time in window
+        let tuesday_night = CallRequest {
+            callee: "jag".into(),
+            time: 2300,
+            day_of_week: 2,
+        };
+        assert!(!qhp_matches(weekend, &tuesday_night));
+        assert!(!qhp_matches(working, &tuesday_night));
+    }
+
+    #[test]
+    fn generator_shape() {
+        let params = TopsParams::default();
+        let d = tops_generate(params, 7);
+        let again = tops_generate(params, 7);
+        assert_eq!(d.len(), again.len());
+        // Every subscriber has at least one QHP with at least one CA.
+        for s in 0..params.subscribers {
+            let uid = format!("user{s:04}");
+            let qhps: Vec<_> = d.children_of(&subscriber_dn(&uid)).collect();
+            assert!(!qhps.is_empty(), "{uid} has no QHPs");
+            for q in &qhps {
+                assert!(
+                    d.children_of(q.dn()).count() >= 1,
+                    "{} has no CAs",
+                    q.dn()
+                );
+            }
+        }
+    }
+}

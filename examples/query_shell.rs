@@ -1,0 +1,82 @@
+//! A tiny query shell over a generated directory.
+//!
+//! ```sh
+//! echo '(dc=synth ? sub ? kind=red)' | cargo run --example query_shell
+//! cargo run --example query_shell          # runs a scripted demo
+//! ```
+//!
+//! Reads one query per line from stdin (if piped) and evaluates it
+//! against a 2 000-entry synthetic forest, printing language level,
+//! answers, and I/O. With no piped input it runs a scripted set.
+
+use netdir::index::IndexedDirectory;
+use netdir::pager::Pager;
+use netdir::query::{classify, parse_query, Evaluator};
+use netdir::workloads::{synth_forest, SynthParams};
+use std::io::{BufRead, IsTerminal};
+
+fn main() {
+    let dir = synth_forest(
+        SynthParams {
+            entries: 2000,
+            max_depth: 6,
+            red_fraction: 0.3,
+            blue_fraction: 0.3,
+        },
+        1,
+    );
+    let pager = Pager::new(4096, 64);
+    let idx = IndexedDirectory::build(&pager, &dir).expect("index");
+    println!(
+        "loaded {} entries under dc=synth (attributes: kind ∈ {{red, blue}}, weight 0..100)",
+        dir.len()
+    );
+
+    let scripted = [
+        "(dc=synth ? one ? objectClass=node)".to_string(),
+        "(& (dc=synth ? sub ? kind=red) (dc=synth ? sub ? kind=blue))".to_string(),
+        "(c (dc=synth ? sub ? kind=red) (dc=synth ? sub ? kind=blue))".to_string(),
+        "(g (dc=synth ? sub ? kind=red) max(weight) = max(max(weight)))".to_string(),
+        "(d (dc=synth ? sub ? kind=red) (dc=synth ? sub ? kind=blue) count($2) > 5)"
+            .to_string(),
+    ];
+
+    let stdin = std::io::stdin();
+    let lines: Vec<String> = if stdin.is_terminal() {
+        println!("(no piped input — running the scripted demo)\n");
+        scripted.to_vec()
+    } else {
+        stdin.lock().lines().map_while(Result::ok).collect()
+    };
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        println!("query> {line}");
+        let query = match parse_query(line) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("   parse error: {e}\n");
+                continue;
+            }
+        };
+        println!("   language: {}", classify(&query));
+        pager.reset_io();
+        match Evaluator::new(&idx, &pager).evaluate(&query) {
+            Ok(result) => {
+                let hits = result.to_vec().expect("materialize");
+                println!("   {} entries, I/O: {}", hits.len(), pager.io());
+                for e in hits.iter().take(5) {
+                    println!("      {}", e.dn());
+                }
+                if hits.len() > 5 {
+                    println!("      … {} more", hits.len() - 5);
+                }
+            }
+            Err(e) => println!("   evaluation error: {e}"),
+        }
+        println!();
+    }
+}

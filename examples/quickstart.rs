@@ -1,0 +1,130 @@
+//! Quickstart: build a directory, run queries from every language level.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Reproduces the paper's running examples on a small AT&T-style
+//! directory: Example 4.1 (L0 set difference across base DNs),
+//! Example 5.1 (children), Example 5.3 (path-constrained descendants),
+//! Example 6.1 (simple aggregate selection), and an L3 reference join —
+//! printing each query, its language level, its answer, and the I/O it
+//! cost.
+
+use netdir::index::IndexedDirectory;
+use netdir::model::{Directory, Dn, Entry};
+use netdir::query::{classify, parse_query, Evaluator};
+use netdir::workloads::dns_fig1;
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+/// Extend the Figure 1 fragment with people, OUs, profiles and policies
+/// so every example has data to chew on.
+fn build_directory() -> Directory {
+    let mut d = dns_fig1();
+    let mut add = |e: Entry| d.insert(e).unwrap();
+
+    for (ou, parent) in [
+        ("people", "dc=att, dc=com"),
+        ("people", "dc=research, dc=att, dc=com"),
+        ("networkPolicies", "dc=research, dc=att, dc=com"),
+    ] {
+        add(Entry::builder(dn(&format!("ou={ou}, {parent}")))
+            .class("organizationalUnit")
+            .build()
+            .unwrap());
+    }
+    for (uid, parent, sn) in [
+        ("jag", "ou=people, dc=att, dc=com", "jagadish"),
+        ("jag2", "ou=people, dc=research, dc=att, dc=com", "jagadish"),
+        ("divesh", "ou=people, dc=att, dc=com", "srivastava"),
+        ("tova", "ou=people, dc=research, dc=att, dc=com", "milo"),
+    ] {
+        add(Entry::builder(dn(&format!("uid={uid}, {parent}")))
+            .class("inetOrgPerson")
+            .attr("surName", sn)
+            .build()
+            .unwrap());
+    }
+    add(Entry::builder(dn(
+        "TPName=smtp, ou=networkPolicies, dc=research, dc=att, dc=com",
+    ))
+    .class("trafficProfile")
+    .attr("sourcePort", 25i64)
+    .build()
+    .unwrap());
+    add(Entry::builder(dn(
+        "SLAPolicyName=mail, ou=networkPolicies, dc=research, dc=att, dc=com",
+    ))
+    .class("SLAPolicyRules")
+    .attr("SLARulePriority", 1i64)
+    .attr_values("SLAPVPRef", [dn("PVPName=wk, ou=networkPolicies, dc=research, dc=att, dc=com"), dn("PVPName=tg, ou=networkPolicies, dc=research, dc=att, dc=com")])
+    .attr(
+        "SLATPRef",
+        dn("TPName=smtp, ou=networkPolicies, dc=research, dc=att, dc=com"),
+    )
+    .build()
+    .unwrap());
+    d
+}
+
+fn main() {
+    let dir = build_directory();
+    println!("directory: {} entries\n", dir.len());
+
+    let pager = netdir::pager::Pager::new(1024, 16);
+    let idx = IndexedDirectory::build(&pager, &dir).expect("index build");
+
+    let examples: &[(&str, &str)] = &[
+        (
+            "Example 4.1 — jagadish in AT&T but not Research (needs L0's \
+             per-operand base DNs; a single LDAP query cannot say this)",
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+               (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        ),
+        (
+            "Example 5.1 — organizational units directly containing a \
+             jagadish entry",
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+                (dc=att, dc=com ? sub ? surName=jagadish))",
+        ),
+        (
+            "Example 5.3 — subnets with SMTP traffic profiles and no \
+             intervening subnet",
+            "(dc (dc=att, dc=com ? sub ? objectClass=dcObject) \
+                 (& (dc=att, dc=com ? sub ? sourcePort=25) \
+                    (dc=att, dc=com ? sub ? objectClass=trafficProfile)) \
+                 (dc=att, dc=com ? sub ? objectClass=dcObject))",
+        ),
+        (
+            "Example 6.1 — policy rules with more than one validity period",
+            "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+                count(SLAPVPRef) > 1)",
+        ),
+        (
+            "L3 — policies referencing an SMTP traffic profile",
+            "(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+                 (dc=att, dc=com ? sub ? sourcePort=25) \
+                 SLATPRef)",
+        ),
+    ];
+
+    for (title, text) in examples {
+        let query = parse_query(text).expect("paper example parses");
+        println!("── {title}");
+        println!("   query   : {query}");
+        println!("   language: {}", classify(&query));
+        pager.reset_io();
+        let (result, _) = Evaluator::new(&idx, &pager)
+            .evaluate_traced(&query)
+            .expect("evaluation");
+        let hits = result.to_vec().expect("materialize");
+        println!("   answer  : {} entries", hits.len());
+        for e in &hits {
+            println!("             {}", e.dn());
+        }
+        println!("   I/O     : {}\n", pager.io());
+    }
+}

@@ -1,0 +1,144 @@
+//! Section 8.3 integration: distributed evaluation equals single-server
+//! evaluation on every language level, across partitionings.
+
+use netdir::model::{Directory, Dn};
+use netdir::pager::Pager;
+use netdir::query::parse_query;
+use netdir::server::ClusterBuilder;
+use netdir::workloads::qos::QOS_BASE;
+use netdir::workloads::{qos_fig12, synth_forest, tops_fig11, SynthParams};
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+fn compare_one(
+    dir: &Directory,
+    build: impl Fn() -> ClusterBuilder,
+    home: &str,
+    queries: &[String],
+) {
+    let single = ClusterBuilder::new().server("all", Dn::root()).build(dir);
+    let multi = build().build(dir);
+    assert_eq!(multi.orphaned(), 0, "partitioning dropped entries");
+    for text in queries {
+        let q = parse_query(text).unwrap();
+        let pager = Pager::new(2048, 32);
+        let a = single.query_from("all", &pager, &q).unwrap();
+        let b = multi.query_from(home, &pager, &q).unwrap();
+        let keys = |v: &[netdir::model::Entry]| -> Vec<String> {
+            v.iter().map(|e| e.dn().to_string()).collect()
+        };
+        assert_eq!(keys(&a), keys(&b), "query {text} differs from single-server");
+    }
+}
+
+#[test]
+fn qos_directory_across_two_partitionings() {
+    let dir = qos_fig12();
+    let queries = vec![
+        format!("({QOS_BASE} ? sub ? objectClass=SLAPolicyRules)"),
+        format!(
+            "(g ({QOS_BASE} ? sub ? objectClass=SLAPolicyRules) count(SLAPVPRef) > 1)"
+        ),
+        format!(
+            "(vd ({QOS_BASE} ? sub ? objectClass=SLAPolicyRules) \
+                 ({QOS_BASE} ? sub ? SourcePort=25) SLATPRef)"
+        ),
+        format!(
+            "(c ({QOS_BASE} ? one ? objectClass=organizationalUnit) \
+                ({QOS_BASE} ? sub ? objectClass=trafficProfile))"
+        ),
+    ];
+    // Partition by entry kind (each OU its own server).
+    compare_one(
+        &dir,
+        || {
+            ClusterBuilder::new()
+                .server("top", dn("dc=com"))
+                .server("rules", dn(&format!("ou=SLAPolicyRules, {QOS_BASE}")))
+                .server("profiles", dn(&format!("ou=trafficProfile, {QOS_BASE}")))
+                .server("periods", dn(&format!("ou=policyValidityPeriod, {QOS_BASE}")))
+                .server("actions", dn(&format!("ou=SLADSAction, {QOS_BASE}")))
+        },
+        "rules",
+        &queries,
+    );
+    // Coarser split.
+    compare_one(
+        &dir,
+        || {
+            ClusterBuilder::new()
+                .server("com", dn("dc=com"))
+                .server("policies", dn(QOS_BASE))
+        },
+        "com",
+        &queries,
+    );
+}
+
+#[test]
+fn tops_directory_split_by_subscriber() {
+    let dir = tops_fig11();
+    let base = "ou=userProfiles, dc=research, dc=att, dc=com";
+    let queries = vec![
+        format!("({base} ? sub ? objectClass=QHP)"),
+        format!(
+            "(c ({base} ? sub ? objectClass=TOPSSubscriber) \
+                ({base} ? sub ? objectClass=QHP) count($2) > 1)"
+        ),
+        format!(
+            "(p ({base} ? sub ? objectClass=callAppearance) \
+                ({base} ? sub ? priority=1))"
+        ),
+    ];
+    compare_one(
+        &dir,
+        || {
+            ClusterBuilder::new()
+                .server("top", dn("dc=com"))
+                .server("jag", dn(&format!("uid=jag, {base}")))
+        },
+        "top",
+        &queries,
+    );
+}
+
+#[test]
+fn synthetic_forest_random_zone_cuts() {
+    let dir = synth_forest(
+        SynthParams {
+            entries: 300,
+            max_depth: 5,
+            red_fraction: 0.4,
+            blue_fraction: 0.4,
+        },
+        21,
+    );
+    // Pick a couple of real subtrees as zones.
+    let zones: Vec<Dn> = dir
+        .iter_sorted()
+        .filter(|e| e.dn().depth() == 2)
+        .take(3)
+        .map(|e| e.dn().clone())
+        .collect();
+    assert!(!zones.is_empty());
+    let queries = vec![
+        "(dc=synth ? sub ? kind=red)".to_string(),
+        "(c (dc=synth ? sub ? kind=red) (dc=synth ? sub ? kind=blue))".to_string(),
+        "(a (dc=synth ? sub ? kind=blue) (dc=synth ? sub ? kind=red))".to_string(),
+        "(g (dc=synth ? sub ? kind=red) max(weight) = max(max(weight)))".to_string(),
+    ];
+    compare_one(
+        &dir,
+        || {
+            let mut b = ClusterBuilder::new().server("root", dn("dc=synth"));
+            for (i, z) in zones.iter().enumerate() {
+                b = b.server(format!("zone{i}"), z.clone());
+            }
+            b
+        },
+        "root",
+        &queries,
+    );
+}

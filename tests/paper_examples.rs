@@ -1,0 +1,233 @@
+//! Every worked example from the paper, end to end on the figure data.
+
+use netdir::apps::{PolicyEngine, TopsRouter};
+use netdir::index::IndexedDirectory;
+use netdir::model::{Directory, Dn, Entry};
+use netdir::pager::Pager;
+use netdir::query::run_query;
+use netdir::workloads::qos::{action_dn, policy_dn, QOS_BASE};
+use netdir::workloads::tops::{ca_dn, qhp_dn};
+use netdir::workloads::{dns_fig1, qos_fig12, tops_fig11, Packet};
+use netdir::workloads::tops::CallRequest;
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+fn indexed(dir: &Directory) -> (IndexedDirectory, Pager) {
+    let pager = Pager::new(2048, 32);
+    let idx = IndexedDirectory::build(&pager, dir).unwrap();
+    (idx, pager)
+}
+
+/// Figure 1 plus people in two subtrees — the Example 4.1/5.1 setting.
+fn att_directory() -> Directory {
+    let mut d = dns_fig1();
+    let mut add = |e: Entry| d.insert(e).unwrap();
+    for (ou, parent) in [
+        ("people", "dc=att, dc=com"),
+        ("people", "dc=research, dc=att, dc=com"),
+    ] {
+        add(Entry::builder(dn(&format!("ou={ou}, {parent}")))
+            .class("organizationalUnit")
+            .build()
+            .unwrap());
+    }
+    for (uid, parent, sn) in [
+        ("jag", "ou=people, dc=att, dc=com", "jagadish"),
+        ("jag2", "ou=people, dc=research, dc=att, dc=com", "jagadish"),
+        ("divesh", "ou=people, dc=att, dc=com", "srivastava"),
+    ] {
+        add(Entry::builder(dn(&format!("uid={uid}, {parent}")))
+            .class("inetOrgPerson")
+            .attr("surName", sn)
+            .build()
+            .unwrap());
+    }
+    d
+}
+
+#[test]
+fn example_4_1_different_base_entries() {
+    let (idx, pager) = indexed(&att_directory());
+    let hits = run_query(
+        &idx,
+        &pager,
+        "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+           (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+    )
+    .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].dn(), &dn("uid=jag, ou=people, dc=att, dc=com"));
+}
+
+#[test]
+fn example_5_1_children_operator() {
+    let (idx, pager) = indexed(&att_directory());
+    let hits = run_query(
+        &idx,
+        &pager,
+        "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+            (dc=att, dc=com ? sub ? surName=jagadish))",
+    )
+    .unwrap();
+    let dns: Vec<String> = hits.iter().map(|e| e.dn().to_string()).collect();
+    assert_eq!(
+        dns,
+        vec![
+            "ou=people, dc=research, dc=att, dc=com",
+            "ou=people, dc=att, dc=com"
+        ]
+    );
+}
+
+#[test]
+fn example_5_2_ancestors_operator() {
+    // Traffic profiles used by network policies: profiles under an
+    // ou=networkPolicies ancestor (vs. stray profiles elsewhere).
+    let mut d = att_directory();
+    d.insert(
+        Entry::builder(dn("ou=networkPolicies, dc=research, dc=att, dc=com"))
+            .class("organizationalUnit")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for (name, parent) in [
+        ("used", "ou=networkPolicies, dc=research, dc=att, dc=com"),
+        ("stray", "ou=people, dc=att, dc=com"),
+    ] {
+        d.insert(
+            Entry::builder(dn(&format!("TPName={name}, {parent}")))
+                .class("trafficProfile")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    let (idx, pager) = indexed(&d);
+    let hits = run_query(
+        &idx,
+        &pager,
+        "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile) \
+            (dc=att, dc=com ? sub ? ou=networkPolicies))",
+    )
+    .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].dn().to_string().starts_with("TPName=used"));
+}
+
+#[test]
+fn example_6_1_simple_aggregate_selection() {
+    let (idx, pager) = indexed(&qos_fig12());
+    let hits = run_query(
+        &idx,
+        &pager,
+        "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+            count(SLAPVPRef) > 1)",
+    )
+    .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].dn(), &policy_dn("dso"));
+}
+
+#[test]
+fn example_6_2_structural_aggregate_selection() {
+    // Subscribers with more than N QHPs; figure data has 2 for jag.
+    let (idx, pager) = indexed(&tops_fig11());
+    let more_than_1 = run_query(
+        &idx,
+        &pager,
+        "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber) \
+            (dc=att, dc=com ? sub ? objectClass=QHP) \
+            count($2) > 1)",
+    )
+    .unwrap();
+    assert_eq!(more_than_1.len(), 1);
+    let more_than_10 = run_query(
+        &idx,
+        &pager,
+        "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber) \
+            (dc=att, dc=com ? sub ? objectClass=QHP) \
+            count($2) > 10)",
+    )
+    .unwrap();
+    assert!(more_than_10.is_empty());
+}
+
+#[test]
+fn example_7_1_embedded_references_full_composition() {
+    // The Section 7 composite: the action of the highest-priority policy
+    // governing SMTP traffic.
+    let (idx, pager) = indexed(&qos_fig12());
+    let hits = run_query(
+        &idx,
+        &pager,
+        &format!(
+            "(dv ({QOS_BASE} ? sub ? objectClass=SLADSAction) \
+                 (g (vd ({QOS_BASE} ? sub ? objectClass=SLAPolicyRules) \
+                        (& ({QOS_BASE} ? sub ? SourcePort=25) \
+                           ({QOS_BASE} ? sub ? objectClass=trafficProfile)) \
+                        SLATPRef) \
+                    min(SLARulePriority) = min(min(SLARulePriority))) \
+                 SLADSActRef)"
+        ),
+    )
+    .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].dn(), &action_dn("allowMail"));
+}
+
+#[test]
+fn example_2_1_policy_decision() {
+    let dir = qos_fig12();
+    let (idx, pager) = indexed(&dir);
+    let engine = PolicyEngine::new(&idx, &pager, dn(QOS_BASE));
+    let pkt = Packet {
+        source_address: "204.178.16.5".into(),
+        source_port: 80,
+        time: 19980606120000,
+        day_of_week: 6,
+    };
+    let d = engine.decide(&pkt).unwrap();
+    assert_eq!(d.actions.len(), 1);
+    assert_eq!(d.actions[0].dn(), &action_dn("denyAll"));
+    // Agreement with the prose oracle.
+    let oracle = netdir::apps::qos::oracle_decide(&dir, &pkt);
+    assert_eq!(
+        d.policies.iter().map(|e| e.dn()).collect::<Vec<_>>(),
+        oracle.iter().map(|e| e.dn()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn example_2_2_call_routing() {
+    let dir = tops_fig11();
+    let (idx, pager) = indexed(&dir);
+    let router = TopsRouter::new(&idx, &pager);
+    let d = router
+        .route(&CallRequest {
+            callee: "jag".into(),
+            time: 900,
+            day_of_week: 4,
+        })
+        .unwrap();
+    assert_eq!(d.qhps[0].dn(), &qhp_dn("jag", "workinghours"));
+    assert_eq!(
+        d.appearances[0].dn(),
+        &ca_dn("jag", "workinghours", "9733608750")
+    );
+}
+
+#[test]
+fn figure_fragments_validate_and_print() {
+    // Smoke: the three figures build, are non-trivial, display cleanly.
+    for (dir, min_len) in [(dns_fig1(), 4), (qos_fig12(), 13), (tops_fig11(), 10)] {
+        assert!(dir.len() >= min_len);
+        for e in dir.iter_sorted() {
+            let rendered = e.to_string();
+            assert!(rendered.starts_with("dn: "));
+            e.check_rdn_in_values().unwrap();
+        }
+    }
+}
