@@ -1,0 +1,246 @@
+//! Offline shim for the `bytes` crate: [`Bytes`] (cheaply cloneable,
+//! immutable, `Arc`-shared) and [`BytesMut`] (growable, freezable).
+//! Only the contiguous-buffer API slice this workspace uses is
+//! provided; no vectored I/O, no `Buf`/`BufMut` traits.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wrap a static slice (copied once; the shim has no zero-copy
+    /// static variant, which is fine at these sizes).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(bytes),
+        }
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out to a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Bytes {
+        m.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut {
+            data: vec![0u8; len],
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend)
+    }
+
+    /// Resize, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value)
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.data.clear()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { data: v }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut m = BytesMut::zeroed(4);
+        m[0] = 9;
+        m.extend_from_slice(b"ab");
+        let b = m.freeze();
+        assert_eq!(&b[..], &[9, 0, 0, 0, b'a', b'b']);
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn bytes_clone_shares() {
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(c.as_ref(), b"hello");
+    }
+
+    #[test]
+    fn from_static_and_eq_slice() {
+        let b = Bytes::from_static(b"xy");
+        assert_eq!(b, *b"xy".as_slice());
+    }
+}

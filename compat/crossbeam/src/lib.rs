@@ -1,0 +1,4 @@
+//! Offline shim for the `crossbeam` facade: only [`channel`] is
+//! provided, because that is the only module this workspace uses.
+
+pub mod channel;

@@ -1,0 +1,164 @@
+//! Offline shim for `proptest`: the strategy combinators, generation
+//! macros, and assertion macros this workspace's property tests use.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion's own
+//!   message; tests here already interpolate the offending inputs.
+//! * **Deterministic by default.** Each test derives its RNG seed from
+//!   its own name, so runs are reproducible; set `PROPTEST_SEED` to an
+//!   integer to explore a different stream.
+//! * Regex strategies support the subset actually used: character
+//!   classes, groups, `?`/`*`/`+`, and `{m}`/`{m,n}` repetition.
+
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn` runs its body over generated
+/// inputs. Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr;
+        $( $(#[$meta:meta])*
+           fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                while passed < config.cases {
+                    attempts += 1;
+                    if attempts > config.cases.saturating_mul(20).max(1000) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted of {})",
+                            stringify!($name), passed, config.cases
+                        );
+                    }
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $pat =
+                                    $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest {} failed (case {}): {}",
+                            stringify!($name), passed, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @impl $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a property test; failure reports the case instead of
+/// unwinding through the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?} == {:?}`", lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}: `{:?} != {:?}`", format!($($fmt)+), lhs, rhs
+        );
+    }};
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?} != {:?}`", lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "{}: `{:?} == {:?}`", format!($($fmt)+), lhs, rhs
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    stringify!($cond).to_string(),
+                ),
+            );
+        }
+    };
+}

@@ -1,0 +1,225 @@
+//! Generation from a regex subset: literals, character classes,
+//! groups with `|` alternation, and the `?`/`*`/`+`/`{m}`/`{m,n}`
+//! quantifiers. Unbounded quantifiers are capped at 4 repetitions.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let alternatives = parse_alternation(&mut pattern.chars().peekable());
+    let mut out = String::new();
+    let seq = &alternatives[rng.below(alternatives.len())];
+    for node in seq {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).unwrap_or(*lo));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(alternatives) => {
+            let seq = &alternatives[rng.below(alternatives.len())];
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = if min == max {
+                *min
+            } else {
+                min + rng.below(max - min + 1)
+            };
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_alternation(chars: &mut Chars<'_>) -> Vec<Vec<Node>> {
+    let mut alternatives = vec![Vec::new()];
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' => break,
+            '|' => {
+                chars.next();
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let atom = parse_atom(chars);
+                let atom = parse_quantifier(chars, atom);
+                alternatives.last_mut().unwrap().push(atom);
+            }
+        }
+    }
+    alternatives
+}
+
+fn parse_atom(chars: &mut Chars<'_>) -> Node {
+    match chars.next().expect("unexpected end of pattern") {
+        '[' => parse_class(chars),
+        '(' => {
+            let alternatives = parse_alternation(chars);
+            assert_eq!(chars.next(), Some(')'), "unclosed group in pattern");
+            Node::Group(alternatives)
+        }
+        '.' => Node::Class(vec![(' ', '~')]),
+        '\\' => escape(chars.next().expect("dangling escape in pattern")),
+        c => Node::Lit(c),
+    }
+}
+
+fn escape(c: char) -> Node {
+    match c {
+        'd' => Node::Class(vec![('0', '9')]),
+        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        's' => Node::Lit(' '),
+        other => Node::Lit(other),
+    }
+}
+
+fn parse_class(chars: &mut Chars<'_>) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.next().expect("unclosed character class");
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = chars.next().expect("dangling escape in class");
+                match escape(e) {
+                    Node::Class(mut r) => ranges.append(&mut r),
+                    Node::Lit(l) => ranges.push((l, l)),
+                    _ => unreachable!(),
+                }
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        Some(&']') | None => {
+                            // Trailing '-' is a literal.
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                        }
+                        Some(&hi) => {
+                            chars.next();
+                            ranges.push((lo, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class in pattern");
+    Node::Class(ranges)
+}
+
+fn parse_quantifier(chars: &mut Chars<'_>, atom: Node) -> Node {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 0, 4)
+        }
+        Some('+') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 1, 4)
+        }
+        Some('{') => {
+            chars.next();
+            let mut min = String::new();
+            let mut max = String::new();
+            let mut in_max = false;
+            loop {
+                match chars.next().expect("unclosed {} quantifier") {
+                    '}' => break,
+                    ',' => in_max = true,
+                    d if in_max => max.push(d),
+                    d => min.push(d),
+                }
+            }
+            let lo: usize = min.parse().expect("bad {} quantifier");
+            let hi: usize = if !in_max {
+                lo
+            } else if max.is_empty() {
+                lo + 4
+            } else {
+                max.parse().expect("bad {} quantifier")
+            };
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, seed: u64, verify: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::new(seed);
+        for _ in 0..200 {
+            let s = generate(pattern, &mut rng);
+            assert!(verify(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        check("[a-c]{1,3}", 1, |s| {
+            (1..=3).contains(&s.len()) && s.chars().all(|c| ('a'..='c').contains(&c))
+        });
+        check("[a-z]{0,8}", 2, |s| s.len() <= 8);
+    }
+
+    #[test]
+    fn optional_group() {
+        check("[a-z]([a-z0-9 ]{0,6}[a-z])?", 3, |s| {
+            !s.is_empty()
+                && s.len() <= 8
+                && !s.starts_with(' ')
+                && !s.ends_with(' ')
+        });
+    }
+
+    #[test]
+    fn alternation_and_literals() {
+        check("ab|cd", 4, |s| s == "ab" || s == "cd");
+        check("x\\d+", 5, |s| {
+            s.starts_with('x') && s[1..].chars().all(|c| c.is_ascii_digit())
+        });
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim for `rand` 0.8: the [`Rng`]/[`SeedableRng`] traits and
+//! a SplitMix64 generator behind [`rngs::StdRng`] / [`rngs::SmallRng`].
+//!
+//! The workspace uses rand only for deterministic workload synthesis
+//! (`StdRng::seed_from_u64` + `gen_range`/`gen_bool`/`gen`), so the
+//! shim implements exactly that: uniform integer ranges (inclusive and
+//! exclusive), `f64` ranges, Bernoulli draws, and full-width samples.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`. `low < high` must hold.
+    fn sample_exclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`. `low <= high` must hold.
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive(rng: &mut dyn RngCore, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range called with empty range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                // Multiply-shift bounded draw (Lemire); span==0 cannot
+                // happen for exclusive ranges of a strictly smaller type.
+                let r = rng.next_u64();
+                let v = ((r as u128 * span as u128) >> 64) as $u;
+                low.wrapping_add(v as $t)
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range called with empty range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                if span == <$u>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let r = rng.next_u64();
+                let v = ((r as u128 * (span as u128 + 1)) >> 64) as $u;
+                low.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive(rng: &mut dyn RngCore, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range called with empty range");
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, low: f64, high: f64) -> f64 {
+        Self::sample_exclusive(rng, low, f64::max(high, low + f64::EPSILON))
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Full-width uniform sample.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+fn unit_f64(r: u64) -> f64 {
+    // 53 random mantissa bits → [0, 1).
+    (r >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Core of every generator: a 64-bit output stream.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Generators constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build from OS entropy — here, from the system clock, since the
+    /// shimmed environment has no entropy source dependency.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Full-width uniform sample of `T`.
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, fast, and plenty for workload synthesis.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Same engine; the distinction only matters in the real crate.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1000i64..1000);
+            assert!((-1000..1000).contains(&v));
+            let w = rng.gen_range(1u32..=7);
+            assert!((1..=7).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_samples_vary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: u64 = rng.gen();
+        let b: u64 = rng.gen();
+        assert_ne!(a, b);
+    }
+}

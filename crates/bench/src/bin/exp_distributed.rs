@@ -3,13 +3,21 @@
 //!
 //! ```sh
 //! cargo run --release -p netdir-bench --bin exp_distributed
+//! cargo run --release -p netdir-bench --bin exp_distributed -- --wire
 //! ```
+//!
+//! By default zones are in-process store threads and shipped bytes are
+//! the encoded-entry payloads the channel transport would frame. With
+//! `--wire`, every zone is a real TCP daemon on loopback and the
+//! shipped-byte column counts actual response frames (header included)
+//! read off the sockets.
 
 use netdir_bench::{cells, table};
 use netdir_model::{Directory, Dn};
 use netdir_pager::Pager;
-use netdir_query::parse_query;
-use netdir_server::ClusterBuilder;
+use netdir_query::{parse_query, Query};
+use netdir_server::{ClusterBuilder, NetSnapshot};
+use netdir_wire::WireCluster;
 use netdir_workloads::{dns_tree, synth_forest, SynthParams};
 
 fn zone_roots(dir: &Directory, depth: usize, count: usize) -> Vec<Dn> {
@@ -20,8 +28,47 @@ fn zone_roots(dir: &Directory, depth: usize, count: usize) -> Vec<Dn> {
         .collect()
 }
 
+/// Evaluate `q` as posed to `root` on a cluster built from `builder`,
+/// over channels or over loopback TCP. Returns (servers, net, answers).
+fn run_once(
+    builder: ClusterBuilder,
+    dir: &Directory,
+    pager: &Pager,
+    q: &Query,
+    wire: bool,
+) -> (usize, NetSnapshot, usize) {
+    if wire {
+        let cluster = WireCluster::launch_default(builder, dir).expect("launch daemons");
+        cluster.net().reset();
+        let hits = cluster.query_from("root", pager, q).expect("query");
+        (
+            cluster.num_servers(),
+            cluster.net().snapshot(),
+            hits.len(),
+        )
+    } else {
+        let cluster = builder.build(dir);
+        cluster.net().reset();
+        let hits = cluster.query_from("root", pager, q).expect("query");
+        (
+            cluster.num_servers(),
+            cluster.net().snapshot(),
+            hits.len(),
+        )
+    }
+}
+
 fn main() {
-    println!("E12 — distributed evaluation: shipping vs. number of zones\n");
+    let wire = std::env::args().any(|a| a == "--wire");
+    println!(
+        "E12 — distributed evaluation: shipping vs. number of zones\n\
+         transport: {}\n",
+        if wire {
+            "TCP loopback daemons (real frame bytes)"
+        } else {
+            "in-process channels (encoded-entry bytes); rerun with --wire for sockets"
+        }
+    );
 
     let dir = synth_forest(
         SynthParams {
@@ -55,22 +102,25 @@ fn main() {
             for (i, z) in zone_roots(&dir, 2, zones - 1).into_iter().enumerate() {
                 builder = builder.server(format!("z{i}"), z);
             }
-            let cluster = builder.build(&dir);
             let pager = Pager::new(4096, 48);
-            cluster.net().reset();
-            let hits = cluster.query_from("root", &pager, &q).expect("query");
-            let net = cluster.net().snapshot();
+            let (servers, net, answers) = run_once(builder, &dir, &pager, &q, wire);
             table::row(cells![
-                cluster.num_servers(),
+                servers,
                 net.requests,
                 net.entries_shipped,
                 format!("{:.1}", net.bytes_shipped as f64 / 1024.0),
-                hits.len(),
+                answers,
             ]);
         }
         println!();
     }
 
+    if wire {
+        println!(
+            "delegation-depth sweep runs in-process (a depth-4 cut means \
+             hundreds of daemons):"
+        );
+    }
     println!("delegation-depth sweep on a uniform dc-tree (fanout 4):");
     table::header(&["cut depth", "zones", "requests", "entries shipped"]);
     let dir = dns_tree(5, 4);

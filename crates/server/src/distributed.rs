@@ -6,17 +6,22 @@
 //! are shipped to the original queried directory server, which then
 //! computes the query result using the algorithms described previously."
 //!
-//! [`Cluster`] holds the running [`ServerNode`]s and the [`Delegation`]
-//! table. [`Cluster::query_from`] evaluates a full L0–L3 query *as posed
-//! to one server*: a routing [`AtomicSource`] ships each atomic sub-query
-//! to every server whose zone can intersect its scope (the owner of the
-//! base plus carved-out subdomains), merges the disjoint sorted responses,
-//! and the ordinary [`Evaluator`] runs the operator tree locally.
+//! The evaluator itself is transport-agnostic: [`Router`] pairs a
+//! [`Delegation`] table with any [`Transport`] and evaluates a full
+//! L0–L3 query *as posed to one server*. A routing [`AtomicSource`]
+//! ships each atomic sub-query to every server whose zone can intersect
+//! its scope (the owner of the base plus carved-out subdomains), merges
+//! the disjoint sorted responses, and the ordinary [`Evaluator`] runs
+//! the operator tree locally.
+//!
+//! [`Cluster`] is the in-process packaging: running [`ServerNode`]
+//! threads plus a [`Router`] over the channel transport. The
+//! `netdir-wire` crate builds the same [`Router`] over TCP sockets.
 
 use crate::delegation::{Delegation, ServerId};
 use crate::net::NetStats;
-use crate::node::{decode_entries, wire_bytes, Request, ServerConfig, ServerNode};
-use crossbeam::channel::unbounded;
+use crate::node::{decode_entries, ServerConfig, ServerNode};
+use crate::transport::{ChannelTransport, Transport};
 use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::{Directory, Dn, Entry};
 use netdir_pager::{ListWriter, PagedList, Pager, PagerError, PagerResult};
@@ -31,6 +36,21 @@ pub struct ClusterBuilder {
     /// Indices of configs that are secondaries (replicas) of an earlier
     /// context registration.
     secondaries: Vec<bool>,
+}
+
+/// The outcome of partitioning a directory across declared contexts,
+/// before any server has been started. [`ClusterBuilder::build`] spawns
+/// in-process nodes from this; `netdir-wire` launches TCP daemons from
+/// the same parts so both deployments share one partitioning rule.
+pub struct ClusterParts {
+    /// One config per declared server, in declaration order.
+    pub configs: Vec<ServerConfig>,
+    /// The delegation table (primaries head their owner groups).
+    pub delegation: Delegation,
+    /// Entries owned by each server (replicas hold full zone copies).
+    pub partitions: Vec<Vec<Entry>>,
+    /// Entries that matched no declared context.
+    pub orphaned: usize,
 }
 
 impl ClusterBuilder {
@@ -57,12 +77,13 @@ impl ClusterBuilder {
         self
     }
 
-    /// Partition `dir` by longest-matching context and spawn the nodes.
+    /// Partition `dir` by longest-matching context without spawning
+    /// anything.
     ///
     /// Entries matching no context are dropped with a count returned in
-    /// [`Cluster::orphaned`] (a real deployment would reject them at
-    /// registration).
-    pub fn build(self, dir: &Directory) -> Cluster {
+    /// [`ClusterParts::orphaned`] (a real deployment would reject them
+    /// at registration).
+    pub fn into_parts(self, dir: &Directory) -> ClusterParts {
         let mut delegation = Delegation::new();
         // Primaries register first so they head their owner groups.
         for (id, cfg) in self.configs.iter().enumerate() {
@@ -88,41 +109,149 @@ impl ClusterBuilder {
                 None => orphaned += 1,
             }
         }
-        let nodes: Vec<ServerNode> = self
+        ClusterParts {
+            configs: self.configs,
+            delegation,
+            partitions,
+            orphaned,
+        }
+    }
+
+    /// Partition `dir` by longest-matching context and spawn the nodes.
+    pub fn build(self, dir: &Directory) -> Cluster {
+        let parts = self.into_parts(dir);
+        let nodes: Vec<ServerNode> = parts
             .configs
             .into_iter()
-            .zip(partitions)
+            .zip(parts.partitions)
             .map(|(cfg, entries)| ServerNode::spawn(cfg, entries))
             .collect();
+        let transport =
+            ChannelTransport::new(nodes.iter().map(|n| n.sender()).collect());
         Cluster {
-            down: vec![false; nodes.len()],
+            router: Router::new(parts.delegation, Box::new(transport)),
             nodes,
-            delegation,
-            net: NetStats::new(),
-            orphaned,
+            orphaned: parts.orphaned,
         }
     }
 }
 
-/// A running cluster of directory servers.
-pub struct Cluster {
-    nodes: Vec<ServerNode>,
+/// The transport-agnostic distributed evaluator: a [`Delegation`] table
+/// plus a [`Transport`], with per-server down flags for §3.3 failover.
+pub struct Router {
     delegation: Delegation,
-    net: NetStats,
-    orphaned: usize,
+    transport: Box<dyn Transport>,
     /// Simulated outages: requests route around downed servers.
     down: Vec<bool>,
 }
 
-impl Cluster {
-    /// Network counters (messages, shipped entries/bytes).
-    pub fn net(&self) -> &NetStats {
-        &self.net
+impl Router {
+    /// Route over `transport` according to `delegation`.
+    pub fn new(delegation: Delegation, transport: Box<dyn Transport>) -> Router {
+        Router {
+            down: vec![false; transport.num_servers()],
+            delegation,
+            transport,
+        }
     }
 
     /// The delegation table.
     pub fn delegation(&self) -> &Delegation {
         &self.delegation
+    }
+
+    /// The transport's network counters.
+    pub fn net(&self) -> &NetStats {
+        self.transport.net()
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.transport.num_servers()
+    }
+
+    /// Mark a server down/up: subsequent routing skips downed servers,
+    /// falling back to secondaries of their zones.
+    pub fn set_down(&mut self, id: ServerId, down: bool) {
+        if id < self.down.len() {
+            self.down[id] = down;
+        }
+    }
+
+    /// Is the server currently marked down?
+    pub fn is_down(&self, id: ServerId) -> bool {
+        self.down[id]
+    }
+
+    /// The first live server of an owner group, if any.
+    fn live_member(&self, group: &[ServerId]) -> Option<ServerId> {
+        group.iter().copied().find(|&id| !self.down[id])
+    }
+
+    /// Evaluate `query` as posed to server `home`. Operator evaluation
+    /// happens on `pager` (the queried server's scratch space); remote
+    /// atomic results are counted on the transport's [`NetStats`].
+    pub fn query(
+        &self,
+        home: ServerId,
+        pager: &Pager,
+        query: &Query,
+    ) -> QueryResult<Vec<Entry>> {
+        let source = RoutingSource {
+            router: self,
+            home,
+            pager: pager.clone(),
+        };
+        let out = Evaluator::new(&source, pager).evaluate(query)?;
+        out.to_vec().map_err(QueryError::from)
+    }
+
+    /// Evaluate one atomic query as posed to server `home`: ship it to
+    /// every zone intersecting its scope and merge the sorted responses.
+    /// This is the building block wire daemons expose directly.
+    pub fn atomic(
+        &self,
+        home: ServerId,
+        pager: &Pager,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> PagerResult<Vec<Entry>> {
+        let source = RoutingSource {
+            router: self,
+            home,
+            pager: pager.clone(),
+        };
+        source.evaluate_atomic(base, scope, filter)?.to_vec()
+    }
+}
+
+/// A running cluster of in-process directory servers.
+pub struct Cluster {
+    nodes: Vec<ServerNode>,
+    router: Router,
+    orphaned: usize,
+}
+
+impl Cluster {
+    /// Network counters (messages, shipped entries/bytes).
+    pub fn net(&self) -> &NetStats {
+        self.router.net()
+    }
+
+    /// The delegation table.
+    pub fn delegation(&self) -> &Delegation {
+        self.router.delegation()
+    }
+
+    /// The routing layer (delegation + transport + liveness).
+    pub fn router(&self) -> &Router {
+        &self.router
     }
 
     /// Entries that matched no context at build time.
@@ -149,84 +278,33 @@ impl Cluster {
     /// skips it, falling back to secondaries of its zones.
     pub fn set_down(&mut self, server: &str, down: bool) {
         if let Some(id) = self.server_id(server) {
-            self.down[id] = down;
+            self.router.set_down(id, down);
         }
     }
 
     /// Is the server currently marked down?
     pub fn is_down(&self, id: ServerId) -> bool {
-        self.down[id]
+        self.router.is_down(id)
     }
 
-    /// The first live server of an owner group, if any.
-    fn live_member(&self, group: &[ServerId]) -> Option<ServerId> {
-        group.iter().copied().find(|&id| !self.down[id])
-    }
-
-    /// Evaluate `query` as posed to server `home` (by name). Operator
-    /// evaluation happens on `pager` (the queried server's scratch
-    /// space); remote atomic results are counted on the cluster's
-    /// [`NetStats`].
+    /// Evaluate `query` as posed to server `home` (by name).
     pub fn query_from(
         &self,
         home: &str,
         pager: &Pager,
         query: &Query,
     ) -> QueryResult<Vec<Entry>> {
-        let home = self
-            .server_id(home)
-            .ok_or_else(|| QueryError::Parse {
-                input: home.into(),
-                detail: "no such server".into(),
-            })?;
-        let source = RoutingSource {
-            cluster: self,
-            home,
-            pager: pager.clone(),
-        };
-        let out = Evaluator::new(&source, pager).evaluate(query)?;
-        out.to_vec().map_err(QueryError::from)
-    }
-
-    /// Ship one atomic query to `server`, returning decoded entries and
-    /// counting network traffic unless it is the `home` server.
-    fn remote_atomic(
-        &self,
-        server: ServerId,
-        home: ServerId,
-        base: &Dn,
-        scope: Scope,
-        filter: &AtomicFilter,
-    ) -> PagerResult<Vec<Entry>> {
-        let (reply, rx) = unbounded();
-        self.nodes[server]
-            .sender()
-            .send(Request::Atomic {
-                base: base.clone(),
-                scope,
-                filter: filter.clone(),
-                reply,
-            })
-            .map_err(|e| PagerError::CorruptRecord {
-                detail: format!("server channel closed: {e}"),
-            })?;
-        let encoded = rx
-            .recv()
-            .map_err(|e| PagerError::CorruptRecord {
-                detail: format!("server reply lost: {e}"),
-            })?
-            .map_err(|e| PagerError::CorruptRecord { detail: e })?;
-        if server != home {
-            self.net
-                .record_round_trip(encoded.len() as u64, wire_bytes(&encoded));
-        }
-        decode_entries(&encoded)
+        let home = self.server_id(home).ok_or_else(|| QueryError::Parse {
+            input: home.into(),
+            detail: "no such server".into(),
+        })?;
+        self.router.query(home, pager, query)
     }
 }
 
 /// [`AtomicSource`] that routes atomic queries across the cluster.
-struct RoutingSource<'c> {
-    cluster: &'c Cluster,
+struct RoutingSource<'r> {
+    router: &'r Router,
     home: ServerId,
     pager: Pager,
 }
@@ -238,19 +316,19 @@ impl AtomicSource for RoutingSource<'_> {
         scope: Scope,
         filter: &AtomicFilter,
     ) -> PagerResult<PagedList<Entry>> {
-        let groups: Vec<&[crate::delegation::ServerId]> = match scope {
+        let groups: Vec<&[ServerId]> = match scope {
             Scope::Base => self
-                .cluster
+                .router
                 .delegation
                 .owner_group_of(base)
                 .into_iter()
                 .collect(),
-            Scope::One | Scope::Sub => self.cluster.delegation.groups_for_subtree(base),
+            Scope::One | Scope::Sub => self.router.delegation.groups_for_subtree(base),
         };
         // Route each zone to its first live replica (§3.3 failover).
         let mut servers = Vec::with_capacity(groups.len());
         for group in groups {
-            match self.cluster.live_member(group) {
+            match self.router.live_member(group) {
                 Some(id) => servers.push(id),
                 None => {
                     return Err(PagerError::CorruptRecord {
@@ -265,8 +343,14 @@ impl AtomicSource for RoutingSource<'_> {
         // merge preserves global order.
         let mut responses: Vec<Vec<Entry>> = Vec::with_capacity(servers.len());
         for server in servers {
-            responses
-                .push(self.cluster.remote_atomic(server, self.home, base, scope, filter)?);
+            let resp = self
+                .router
+                .transport
+                .atomic(server, self.home, base, scope, filter)
+                .map_err(|e| PagerError::CorruptRecord {
+                    detail: e.to_string(),
+                })?;
+            responses.push(decode_entries(&resp.encoded)?);
         }
         let mut pos: Vec<usize> = vec![0; responses.len()];
         let mut out = ListWriter::new(&self.pager);
@@ -340,6 +424,21 @@ mod tests {
         assert_eq!(c.node(1).num_entries, 3); // att minus research zone
         assert_eq!(c.node(2).num_entries, 3); // research zone
         assert_eq!(c.node(3).num_entries, 1); // org
+    }
+
+    #[test]
+    fn into_parts_matches_build_partitioning() {
+        let parts = ClusterBuilder::new()
+            .server("root", dn("dc=com"))
+            .server("att", dn("dc=att, dc=com"))
+            .server("research", dn("dc=research, dc=att, dc=com"))
+            .server("org", dn("dc=org"))
+            .into_parts(&dir());
+        assert_eq!(parts.orphaned, 0);
+        let sizes: Vec<usize> = parts.partitions.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![1, 3, 3, 1]);
+        assert_eq!(parts.configs.len(), 4);
+        assert!(parts.delegation.owner_group_of(&dn("dc=org")).is_some());
     }
 
     #[test]

@@ -21,8 +21,12 @@ pub mod delegation;
 pub mod distributed;
 pub mod net;
 pub mod node;
+pub mod transport;
 
 pub use delegation::Delegation;
-pub use distributed::{Cluster, ClusterBuilder};
+pub use distributed::{Cluster, ClusterBuilder, ClusterParts, Router};
 pub use net::{NetSnapshot, NetStats};
 pub use node::{ServerConfig, ServerNode};
+pub use transport::{
+    AtomicResponse, ChannelTransport, Transport, TransportError, TransportResult,
+};

@@ -36,13 +36,19 @@ pub struct NetSnapshot {
 }
 
 impl NetSnapshot {
-    /// Component-wise difference `self - earlier`.
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Saturating matters because counters are relaxed atomics updated
+    /// from many threads: a snapshot raced against `reset()` (or taken
+    /// from a different [`NetStats`]) may be component-wise *behind*
+    /// `earlier`, and a panicking subtraction would take down the
+    /// experiment harness over a measurement artifact.
     pub fn since(&self, earlier: NetSnapshot) -> NetSnapshot {
         NetSnapshot {
-            requests: self.requests - earlier.requests,
-            responses: self.responses - earlier.responses,
-            entries_shipped: self.entries_shipped - earlier.entries_shipped,
-            bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,
+            requests: self.requests.saturating_sub(earlier.requests),
+            responses: self.responses.saturating_sub(earlier.responses),
+            entries_shipped: self.entries_shipped.saturating_sub(earlier.entries_shipped),
+            bytes_shipped: self.bytes_shipped.saturating_sub(earlier.bytes_shipped),
         }
     }
 }
@@ -120,5 +126,15 @@ mod tests {
         let d = n.snapshot().since(before);
         assert_eq!(d.requests, 1);
         assert_eq!(d.entries_shipped, 3);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        let n = NetStats::new();
+        n.record_round_trip(4, 40);
+        let before = n.snapshot();
+        n.reset(); // counters went backwards relative to `before`
+        let d = n.snapshot().since(before);
+        assert_eq!(d, NetSnapshot::default());
     }
 }

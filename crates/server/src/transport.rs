@@ -1,0 +1,210 @@
+//! The transport abstraction under the Section 8.3 evaluator.
+//!
+//! The distributed evaluator's only networking need is "issue this
+//! atomic query to that server and get the sorted, encoded entries
+//! back". [`Transport`] captures exactly that, so the same evaluator
+//! (see [`crate::distributed::Router`]) runs over
+//!
+//! * [`ChannelTransport`] — in-process crossbeam channels to
+//!   [`ServerNode`](crate::node::ServerNode) threads (hermetic; the
+//!   default everywhere tests run), or
+//! * `netdir_wire::SocketTransport` — real TCP sockets to `netdird`
+//!   processes, where the shipped-byte counters measure actual encoded
+//!   frames rather than hypothetical payloads.
+//!
+//! [`NetStats`] lives behind the trait: each transport owns its
+//! counters and records a round trip whenever the target is not the
+//! queried (home) server, which is precisely the "results … are
+//! shipped to the original queried directory server" cost of §8.3.
+
+use crate::delegation::ServerId;
+use crate::net::NetStats;
+use crate::node::{wire_bytes, Request};
+use crossbeam::channel::{unbounded, Sender};
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_model::Dn;
+use std::fmt;
+
+/// A transport-level failure (unreachable server, closed connection,
+/// malformed response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl TransportError {
+    /// Build from anything displayable.
+    pub fn new(detail: impl Into<String>) -> TransportError {
+        TransportError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transport error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Convenience alias.
+pub type TransportResult<T> = Result<T, TransportError>;
+
+/// One atomic sub-query's response as it crossed the transport.
+#[derive(Debug)]
+pub struct AtomicResponse {
+    /// Sorted entries in their on-page encoding.
+    pub encoded: Vec<Vec<u8>>,
+    /// Bytes that actually crossed the transport for this response —
+    /// payload bytes for channels, full frame bytes for sockets.
+    pub wire_bytes: u64,
+}
+
+/// Ships atomic sub-queries between directory servers.
+pub trait Transport: Send + Sync {
+    /// Evaluate `(base ? scope ? filter)` on server `target`, as part
+    /// of a query posed to server `home`. Implementations record
+    /// network counters for every `target != home` round trip.
+    fn atomic(
+        &self,
+        target: ServerId,
+        home: ServerId,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> TransportResult<AtomicResponse>;
+
+    /// This transport's network counters.
+    fn net(&self) -> &NetStats;
+
+    /// Number of addressable servers.
+    fn num_servers(&self) -> usize;
+}
+
+/// The in-process transport: one crossbeam channel per server thread.
+///
+/// Shipped bytes are the summed entry encodings — the same codec the
+/// pager uses on pages, so E12's counters match the storage cost model.
+pub struct ChannelTransport {
+    senders: Vec<Sender<Request>>,
+    net: NetStats,
+}
+
+impl ChannelTransport {
+    /// Address the nodes behind `senders`.
+    pub fn new(senders: Vec<Sender<Request>>) -> ChannelTransport {
+        ChannelTransport {
+            senders,
+            net: NetStats::new(),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn atomic(
+        &self,
+        target: ServerId,
+        home: ServerId,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> TransportResult<AtomicResponse> {
+        let (reply, rx) = unbounded();
+        self.senders
+            .get(target)
+            .ok_or_else(|| TransportError::new(format!("no server with id {target}")))?
+            .send(Request::Atomic {
+                base: base.clone(),
+                scope,
+                filter: filter.clone(),
+                reply,
+            })
+            .map_err(|e| TransportError::new(format!("server channel closed: {e}")))?;
+        let encoded = rx
+            .recv()
+            .map_err(|e| TransportError::new(format!("server reply lost: {e}")))?
+            .map_err(|detail| TransportError { detail })?;
+        let bytes = wire_bytes(&encoded);
+        if target != home {
+            self.net.record_round_trip(encoded.len() as u64, bytes);
+        }
+        Ok(AtomicResponse {
+            wire_bytes: bytes,
+            encoded,
+        })
+    }
+
+    fn net(&self) -> &NetStats {
+        &self.net
+    }
+
+    fn num_servers(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{decode_entries, ServerConfig, ServerNode};
+    use netdir_model::Entry;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn spawn_two() -> (Vec<ServerNode>, ChannelTransport) {
+        let mk = |s: &str| {
+            Entry::builder(dn(s))
+                .class("thing")
+                .attr("surName", "jagadish")
+                .build()
+                .unwrap()
+        };
+        let nodes = vec![
+            ServerNode::spawn(
+                ServerConfig::new("a", dn("dc=a")),
+                vec![mk("dc=a"), mk("ou=p, dc=a")],
+            ),
+            ServerNode::spawn(ServerConfig::new("b", dn("dc=b")), vec![mk("dc=b")]),
+        ];
+        let transport = ChannelTransport::new(nodes.iter().map(|n| n.sender()).collect());
+        (nodes, transport)
+    }
+
+    #[test]
+    fn local_round_trips_are_free() {
+        let (_nodes, t) = spawn_two();
+        let resp = t
+            .atomic(0, 0, &dn("dc=a"), Scope::Sub, &AtomicFilter::present("surName"))
+            .unwrap();
+        assert_eq!(resp.encoded.len(), 2);
+        assert!(resp.wire_bytes > 0);
+        assert_eq!(t.net().snapshot().requests, 0);
+    }
+
+    #[test]
+    fn remote_round_trips_are_counted() {
+        let (_nodes, t) = spawn_two();
+        let resp = t
+            .atomic(1, 0, &dn("dc=b"), Scope::Sub, &AtomicFilter::present("surName"))
+            .unwrap();
+        let entries = decode_entries(&resp.encoded).unwrap();
+        assert_eq!(entries.len(), 1);
+        let snap = t.net().snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.entries_shipped, 1);
+        assert_eq!(snap.bytes_shipped, resp.wire_bytes);
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let (_nodes, t) = spawn_two();
+        assert!(t
+            .atomic(9, 0, &dn("dc=a"), Scope::Base, &AtomicFilter::True)
+            .is_err());
+    }
+}

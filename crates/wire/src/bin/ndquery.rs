@@ -1,0 +1,108 @@
+//! `ndquery` — command-line client for a `netdird` daemon.
+//!
+//! ```text
+//! ndquery 127.0.0.1:3890 "(dc=att, dc=com ? sub ? surName=jagadish)"
+//! ndquery 127.0.0.1:3890 --home att "(null-dn ? sub ? objectClass=person)"
+//! ndquery 127.0.0.1:3890 --ping
+//! ndquery 127.0.0.1:3890 --shutdown
+//! ```
+//!
+//! Query results print as LDIF, one blank-line-separated block per
+//! entry, in the server's (DN-sorted) order.
+
+use netdir_model::ldif::entry_to_ldif;
+use netdir_wire::{ClientOptions, WireClient};
+use std::net::ToSocketAddrs;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ndquery ADDR [--home NAME] [--timeout-ms MS] QUERY\n\
+         \x20      ndquery ADDR --ping | --shutdown"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut home = String::new();
+    let mut query: Option<String> = None;
+    let mut ping = false;
+    let mut shutdown = false;
+    let mut opts = ClientOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("ndquery: {flag} needs a value");
+                exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--home" => home = value("--home"),
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                opts.timeout = Duration::from_millis(ms);
+            }
+            "--ping" => ping = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other if query.is_none() => query = Some(other.to_string()),
+            other => {
+                eprintln!("ndquery: unexpected argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let Some(addr) = addr else { usage() };
+    let sock_addr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("ndquery: cannot resolve {addr:?}");
+            exit(1)
+        }
+    };
+    let client = WireClient::connect(sock_addr, opts);
+
+    if ping {
+        match client.ping() {
+            Ok(()) => println!("{addr} is alive"),
+            Err(e) => {
+                eprintln!("ndquery: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+    if shutdown {
+        match client.shutdown_server() {
+            Ok(()) => println!("{addr} acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("ndquery: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+
+    let Some(query) = query else { usage() };
+    match client.query(&home, &query) {
+        Ok(entries) => {
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", entry_to_ldif(e));
+            }
+            eprintln!("# {} entries", entries.len());
+        }
+        Err(e) => {
+            eprintln!("ndquery: {e}");
+            exit(1)
+        }
+    }
+}

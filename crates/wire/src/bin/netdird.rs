@@ -1,0 +1,204 @@
+//! `netdird` — a network directory daemon.
+//!
+//! Loads a directory from LDIF, partitions it across one or more naming
+//! contexts (an in-process cluster of store threads), and serves the
+//! netdir frame protocol on a TCP listener: atomic queries, baseline
+//! LDAP searches, and full distributed L0–L3 queries.
+//!
+//! ```text
+//! netdird --listen 127.0.0.1:3890 --ldif dir.ldif \
+//!         --context root= --context att="dc=att, dc=com" \
+//!         [--secondary att2="dc=att, dc=com"] \
+//!         [--workers 4] [--max-frame 16777216] [--timeout-ms 30000]
+//! ```
+//!
+//! With no `--context`, a single server named `root` owning the whole
+//! namespace is assumed. The daemon runs until killed or until a client
+//! sends a Shutdown frame (`ndquery ADDR --shutdown`).
+
+use netdir_model::{ldif, Directory, Dn};
+use netdir_query::parse_query;
+use netdir_server::{Cluster, ClusterBuilder};
+use netdir_wire::{
+    encode_entries, ServerOptions, WireRequest, WireResponse, WireServer, WireService,
+};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serve a whole in-process cluster behind one listener. The daemon
+/// presents itself as its first declared server: atomic and full
+/// queries are evaluated "as posed to" that server (or to `home` when a
+/// Query frame names one).
+struct ClusterService {
+    cluster: Cluster,
+}
+
+impl WireService for ClusterService {
+    fn handle(&self, req: WireRequest) -> WireResponse {
+        match req {
+            WireRequest::Ping | WireRequest::Shutdown => WireResponse::Pong,
+            WireRequest::Atomic { base, scope, filter } => {
+                let pager = netdir_pager::default_pager();
+                match self.cluster.router().atomic(0, &pager, &base, scope, &filter) {
+                    Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
+                    Err(e) => WireResponse::Error(e.to_string()),
+                }
+            }
+            WireRequest::Ldap { base, scope, filter } => {
+                let Some(group) = self.cluster.delegation().owner_group_of(&base) else {
+                    return WireResponse::Error(format!("no server manages {base}"));
+                };
+                let Some(&owner) = group.iter().find(|&&id| !self.cluster.is_down(id))
+                else {
+                    return WireResponse::Error(format!("no live server for {base}"));
+                };
+                match self.cluster.node(owner).ldap(&base, scope, &filter) {
+                    Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
+                    Err(e) => WireResponse::Error(e),
+                }
+            }
+            WireRequest::Query { home, text } => {
+                let home = if home.is_empty() {
+                    self.cluster.node(0).config.name.clone()
+                } else {
+                    home
+                };
+                let query = match parse_query(&text) {
+                    Ok(q) => q,
+                    Err(e) => return WireResponse::Error(format!("bad query: {e}")),
+                };
+                let pager = netdir_pager::default_pager();
+                match self.cluster.query_from(&home, &pager, &query) {
+                    Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
+                    Err(e) => WireResponse::Error(e.to_string()),
+                }
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netdird --listen ADDR [--ldif FILE] [--context NAME=DN]... \\\n\
+         \x20              [--secondary NAME=DN]... [--workers N] \\\n\
+         \x20              [--max-frame BYTES] [--timeout-ms MS]\n\
+         \n\
+         Serves the netdir frame protocol over TCP. With no --context, one\n\
+         server named `root` owns the whole namespace. With no --ldif, an\n\
+         empty directory is served."
+    );
+    exit(2)
+}
+
+fn parse_name_dn(spec: &str) -> (String, Dn) {
+    let Some((name, dn_text)) = spec.split_once('=') else {
+        eprintln!("netdird: --context/--secondary wants NAME=DN, got {spec:?}");
+        exit(2)
+    };
+    match Dn::parse(dn_text) {
+        Ok(dn) => (name.to_string(), dn),
+        Err(e) => {
+            eprintln!("netdird: bad context DN {dn_text:?}: {e}");
+            exit(2)
+        }
+    }
+}
+
+fn main() {
+    let mut listen: Option<String> = None;
+    let mut ldif_path: Option<String> = None;
+    let mut contexts: Vec<(String, Dn, bool)> = Vec::new();
+    let mut opts = ServerOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("netdird: {flag} needs a value");
+                exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(value("--listen")),
+            "--ldif" => ldif_path = Some(value("--ldif")),
+            "--context" => {
+                let (name, dn) = parse_name_dn(&value("--context"));
+                contexts.push((name, dn, false));
+            }
+            "--secondary" => {
+                let (name, dn) = parse_name_dn(&value("--secondary"));
+                contexts.push((name, dn, true));
+            }
+            "--workers" => {
+                opts.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-frame" => {
+                opts.max_frame = value("--max-frame").parse().unwrap_or_else(|_| usage())
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                let t = Some(Duration::from_millis(ms));
+                opts.read_timeout = t;
+                opts.write_timeout = t;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("netdird: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(listen) = listen else { usage() };
+    if contexts.is_empty() {
+        contexts.push(("root".into(), Dn::root(), false));
+    }
+
+    let dir = match &ldif_path {
+        None => Directory::new(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("netdird: cannot read {path}: {e}");
+                exit(1)
+            });
+            ldif::directory_from_ldif(&text).unwrap_or_else(|e| {
+                eprintln!("netdird: bad LDIF in {path}: {e}");
+                exit(1)
+            })
+        }
+    };
+
+    let mut builder = ClusterBuilder::new();
+    for (name, dn, secondary) in contexts {
+        builder = if secondary {
+            builder.secondary(name, dn)
+        } else {
+            builder.server(name, dn)
+        };
+    }
+    let cluster = builder.build(&dir);
+    let num_entries: usize = (0..cluster.num_servers())
+        .map(|id| cluster.node(id).num_entries)
+        .sum();
+    if cluster.orphaned() > 0 {
+        eprintln!(
+            "netdird: warning: {} entries matched no declared context and were dropped",
+            cluster.orphaned()
+        );
+    }
+
+    let service = Arc::new(ClusterService { cluster });
+    let mut server = match WireServer::bind(listen.as_str(), service, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("netdird: cannot listen on {listen}: {e}");
+            exit(1)
+        }
+    };
+    println!(
+        "netdird: serving {num_entries} entries on {}",
+        server.local_addr()
+    );
+    server.join();
+    println!("netdird: shut down");
+}

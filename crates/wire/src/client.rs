@@ -1,0 +1,248 @@
+//! `WireClient` — a small pooled client for the frame protocol.
+//!
+//! One client addresses one daemon. Connections are created lazily,
+//! parked in a small pool between requests, and retired on any error; a
+//! request that fails on a *pooled* (possibly stale) connection is
+//! retried once on a fresh one, so an idle-timeout on the server side is
+//! invisible to callers. Every socket carries the configured request
+//! timeout, so a hung daemon surfaces as an error rather than a hang.
+
+use crate::codec::{WireRequest, WireResponse};
+use crate::frame::{frame_len, read_frame, write_frame, DEFAULT_MAX_FRAME};
+use netdir_filter::{AtomicFilter, CompositeFilter, Scope};
+use netdir_model::{Dn, Entry};
+use netdir_server::node::decode_entries;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(String),
+    /// The peer spoke the protocol wrong (bad frame or payload).
+    Protocol(String),
+    /// The daemon executed the request and reported an error.
+    Remote(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Protocol(e) => write!(f, "protocol error: {e}"),
+            WireError::Remote(e) => write!(f, "remote error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Tuning knobs for a [`WireClient`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Connect/read/write timeout applied to every request.
+    pub timeout: Duration,
+    /// Maximum frame payload size sent or accepted.
+    pub max_frame: usize,
+    /// Idle connections kept for reuse.
+    pub pool_size: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            timeout: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+            pool_size: 2,
+        }
+    }
+}
+
+/// A pooled client for one daemon address.
+pub struct WireClient {
+    addr: SocketAddr,
+    opts: ClientOptions,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl WireClient {
+    /// Address `addr` with `opts`. No connection is made until the first
+    /// request (use [`WireClient::ping`] to fail fast).
+    pub fn connect(addr: SocketAddr, opts: ClientOptions) -> WireClient {
+        WireClient {
+            addr,
+            opts,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The daemon this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn fresh_conn(&self) -> WireResult<TcpStream> {
+        let conn = TcpStream::connect_timeout(&self.addr, self.opts.timeout)
+            .map_err(|e| WireError::Io(format!("connect {}: {e}", self.addr)))?;
+        let t = Some(self.opts.timeout);
+        conn.set_read_timeout(t)
+            .and_then(|()| conn.set_write_timeout(t))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        let _ = conn.set_nodelay(true);
+        Ok(conn)
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < self.opts.pool_size {
+            pool.push(conn);
+        }
+    }
+
+    /// One request/response exchange on an established connection.
+    /// Returns the response payload (None if the server closed instead
+    /// of answering).
+    fn exchange(
+        &self,
+        conn: &mut (impl Read + Write),
+        payload: &[u8],
+    ) -> WireResult<Option<Vec<u8>>> {
+        write_frame(conn, payload, self.opts.max_frame)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        read_frame(conn, self.opts.max_frame).map_err(|e| WireError::Io(e.to_string()))
+    }
+
+    /// Issue `req`; return the decoded response plus the number of bytes
+    /// the response occupied on the wire (frame header included).
+    pub fn call_counted(&self, req: &WireRequest) -> WireResult<(WireResponse, u64)> {
+        let payload = req.encode();
+        let mut last_err = WireError::Io("no attempt made".into());
+        for attempt in 0..2 {
+            let (mut conn, pooled) = match self.checkout() {
+                Some(c) => (c, true),
+                None => (self.fresh_conn()?, false),
+            };
+            match self.exchange(&mut conn, &payload) {
+                Ok(Some(resp_payload)) => {
+                    let on_wire = frame_len(resp_payload.len());
+                    let resp = WireResponse::decode(&resp_payload)
+                        .map_err(|e| WireError::Protocol(e.to_string()))?;
+                    self.checkin(conn);
+                    return Ok((resp, on_wire));
+                }
+                Ok(None) => {
+                    last_err =
+                        WireError::Io("server closed connection without answering".into())
+                }
+                Err(e) => last_err = e,
+            }
+            // A stale pooled connection explains one failure; a fresh
+            // connection failing is a real error.
+            if !pooled || attempt > 0 {
+                break;
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Issue `req`, expecting entries back.
+    fn call_entries(&self, req: &WireRequest) -> WireResult<(Vec<Vec<u8>>, u64)> {
+        match self.call_counted(req)? {
+            (WireResponse::Entries(encoded), n) => Ok((encoded, n)),
+            (WireResponse::Error(e), _) => Err(WireError::Remote(e)),
+            (other, _) => Err(WireError::Protocol(format!(
+                "expected entries, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> WireResult<()> {
+        match self.call_counted(&WireRequest::Ping)? {
+            (WireResponse::Pong, _) => Ok(()),
+            (WireResponse::Error(e), _) => Err(WireError::Remote(e)),
+            (other, _) => Err(WireError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown_server(&self) -> WireResult<()> {
+        match self.call_counted(&WireRequest::Shutdown)? {
+            (WireResponse::Pong, _) => Ok(()),
+            (WireResponse::Error(e), _) => Err(WireError::Remote(e)),
+            (other, _) => Err(WireError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Atomic query returning the raw on-page encodings plus the bytes
+    /// the response occupied on the wire (what [`SocketTransport`] feeds
+    /// into `NetStats`).
+    ///
+    /// [`SocketTransport`]: crate::socket::SocketTransport
+    pub fn atomic_counted(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> WireResult<(Vec<Vec<u8>>, u64)> {
+        self.call_entries(&WireRequest::Atomic {
+            base: base.clone(),
+            scope,
+            filter: filter.clone(),
+        })
+    }
+
+    /// Atomic query returning decoded entries.
+    pub fn atomic(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> WireResult<Vec<Entry>> {
+        let (encoded, _) = self.atomic_counted(base, scope, filter)?;
+        decode_entries(&encoded).map_err(|e| WireError::Protocol(e.to_string()))
+    }
+
+    /// Baseline LDAP search (single base/scope/composite filter).
+    pub fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &CompositeFilter,
+    ) -> WireResult<Vec<Entry>> {
+        let (encoded, _) = self.call_entries(&WireRequest::Ldap {
+            base: base.clone(),
+            scope,
+            filter: filter.clone(),
+        })?;
+        decode_entries(&encoded).map_err(|e| WireError::Protocol(e.to_string()))
+    }
+
+    /// Full L0–L3 query (text form), evaluated distributed-style as
+    /// posed to the server named `home` (empty = the receiving daemon).
+    pub fn query(&self, home: &str, text: &str) -> WireResult<Vec<Entry>> {
+        let encoded = self.query_encoded(home, text)?;
+        decode_entries(&encoded).map_err(|e| WireError::Protocol(e.to_string()))
+    }
+
+    /// Like [`WireClient::query`] but returns the entries still in their
+    /// wire encoding (for byte-level comparisons).
+    pub fn query_encoded(&self, home: &str, text: &str) -> WireResult<Vec<Vec<u8>>> {
+        let (encoded, _) = self.call_entries(&WireRequest::Query {
+            home: home.to_string(),
+            text: text.to_string(),
+        })?;
+        Ok(encoded)
+    }
+}

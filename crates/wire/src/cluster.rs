@@ -1,0 +1,257 @@
+//! A loopback cluster of TCP daemons sharing one partitioning rule with
+//! the in-process [`Cluster`].
+//!
+//! [`WireCluster::launch`] takes the same [`ClusterBuilder`] a channel
+//! cluster takes, partitions the directory with
+//! [`ClusterBuilder::into_parts`] (so TCP and in-process deployments can
+//! never partition differently), then gives every server its own
+//! [`WireServer`] on an ephemeral loopback port. A shared [`Router`]
+//! over [`SocketTransport`] provides distributed evaluation; each
+//! daemon also answers full `Query` frames by running that router
+//! itself, shipping its remote atomic sub-queries over real sockets.
+//!
+//! [`Cluster`]: netdir_server::Cluster
+
+use crate::client::{ClientOptions, WireClient};
+use crate::codec::{WireRequest, WireResponse};
+use crate::server::{ServerOptions, WireServer, WireService};
+use crate::socket::SocketTransport;
+use crossbeam::channel::{unbounded, Sender};
+use netdir_model::{Directory, Entry};
+use netdir_pager::record::Record;
+use netdir_query::parse_query;
+use netdir_query::{Query, QueryError, QueryResult};
+use netdir_server::delegation::ServerId;
+use netdir_server::node::Request;
+use netdir_server::{ClusterBuilder, NetStats, Router, ServerNode};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{Arc, OnceLock};
+
+/// Encode entries the way they live on pages (and on the channel wire).
+pub fn encode_entries(entries: &[Entry]) -> Vec<Vec<u8>> {
+    entries
+        .iter()
+        .map(|e| {
+            let mut buf = Vec::new();
+            e.encode(&mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// The per-daemon service: local store over a channel, full queries via
+/// the shared router.
+struct NodeService {
+    /// Request channel into this daemon's own [`ServerNode`].
+    sender: Sender<Request>,
+    /// This daemon's server id (default `home` for queries).
+    home: ServerId,
+    /// Server names, indexed by id, for `Query { home }` resolution.
+    names: Arc<Vec<String>>,
+    /// Distributed evaluator over socket transport; set once all
+    /// listeners are bound (requests racing launch get a clean error).
+    router: Arc<OnceLock<Router>>,
+}
+
+impl NodeService {
+    fn local(
+        &self,
+        build: impl FnOnce(Sender<Result<Vec<Vec<u8>>, String>>) -> Request,
+    ) -> WireResponse {
+        let (reply, rx) = unbounded();
+        if self.sender.send(build(reply)).is_err() {
+            return WireResponse::Error("server node is gone".into());
+        }
+        match rx.recv() {
+            Ok(Ok(encoded)) => WireResponse::Entries(encoded),
+            Ok(Err(e)) => WireResponse::Error(e),
+            Err(e) => WireResponse::Error(format!("server node reply lost: {e}")),
+        }
+    }
+}
+
+impl WireService for NodeService {
+    fn handle(&self, req: WireRequest) -> WireResponse {
+        match req {
+            WireRequest::Ping | WireRequest::Shutdown => WireResponse::Pong,
+            WireRequest::Atomic { base, scope, filter } => self.local(|reply| {
+                Request::Atomic {
+                    base,
+                    scope,
+                    filter,
+                    reply,
+                }
+            }),
+            WireRequest::Ldap { base, scope, filter } => self.local(|reply| {
+                Request::Ldap {
+                    base,
+                    scope,
+                    filter,
+                    reply,
+                }
+            }),
+            WireRequest::Query { home, text } => {
+                let Some(router) = self.router.get() else {
+                    return WireResponse::Error("cluster still launching".into());
+                };
+                let home_id = if home.is_empty() {
+                    self.home
+                } else {
+                    match self.names.iter().position(|n| *n == home) {
+                        Some(id) => id,
+                        None => {
+                            return WireResponse::Error(format!("no such server: {home}"))
+                        }
+                    }
+                };
+                let query = match parse_query(&text) {
+                    Ok(q) => q,
+                    Err(e) => return WireResponse::Error(format!("bad query: {e}")),
+                };
+                let pager = netdir_pager::default_pager();
+                match router.query(home_id, &pager, &query) {
+                    Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
+                    Err(e) => WireResponse::Error(e.to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// A running cluster of loopback TCP daemons.
+pub struct WireCluster {
+    names: Arc<Vec<String>>,
+    addrs: Vec<SocketAddr>,
+    router: Arc<OnceLock<Router>>,
+    servers: Vec<WireServer>,
+    /// Keeps the store threads alive for the daemons' lifetime.
+    _nodes: Vec<ServerNode>,
+    orphaned: usize,
+    client_opts: ClientOptions,
+}
+
+impl WireCluster {
+    /// Partition `dir` across the builder's declared contexts and start
+    /// one TCP daemon per server on `127.0.0.1:0`.
+    pub fn launch(
+        builder: ClusterBuilder,
+        dir: &Directory,
+        server_opts: ServerOptions,
+        client_opts: ClientOptions,
+    ) -> io::Result<WireCluster> {
+        let parts = builder.into_parts(dir);
+        let names: Arc<Vec<String>> =
+            Arc::new(parts.configs.iter().map(|c| c.name.clone()).collect());
+        let nodes: Vec<ServerNode> = parts
+            .configs
+            .into_iter()
+            .zip(parts.partitions)
+            .map(|(cfg, entries)| ServerNode::spawn(cfg, entries))
+            .collect();
+        let router: Arc<OnceLock<Router>> = Arc::new(OnceLock::new());
+        let mut servers = Vec::with_capacity(nodes.len());
+        let mut addrs = Vec::with_capacity(nodes.len());
+        for (id, node) in nodes.iter().enumerate() {
+            let service = Arc::new(NodeService {
+                sender: node.sender(),
+                home: id,
+                names: names.clone(),
+                router: router.clone(),
+            });
+            let server = WireServer::bind("127.0.0.1:0", service, server_opts.clone())?;
+            addrs.push(server.local_addr());
+            servers.push(server);
+        }
+        let transport = SocketTransport::connect(&addrs, client_opts.clone());
+        let _ = router.set(Router::new(parts.delegation, Box::new(transport)));
+        Ok(WireCluster {
+            names,
+            addrs,
+            router,
+            servers,
+            _nodes: nodes,
+            orphaned: parts.orphaned,
+            client_opts,
+        })
+    }
+
+    /// Launch with default server/client options.
+    pub fn launch_default(builder: ClusterBuilder, dir: &Directory) -> io::Result<WireCluster> {
+        WireCluster::launch(
+            builder,
+            dir,
+            ServerOptions::default(),
+            ClientOptions::default(),
+        )
+    }
+
+    fn router(&self) -> &Router {
+        self.router.get().expect("router is set before launch returns")
+    }
+
+    /// Number of daemons.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Server id by name.
+    pub fn server_id(&self, name: &str) -> Option<ServerId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The loopback address server `id` listens on.
+    pub fn addr(&self, id: ServerId) -> SocketAddr {
+        self.addrs[id]
+    }
+
+    /// All daemon addresses, indexed by server id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Entries that matched no context at partition time.
+    pub fn orphaned(&self) -> usize {
+        self.orphaned
+    }
+
+    /// Cluster-wide network counters: real frame bytes shipped between
+    /// daemons by distributed evaluation.
+    pub fn net(&self) -> &NetStats {
+        self.router().net()
+    }
+
+    /// A fresh pooled client for daemon `id` (an external caller's view
+    /// of the cluster).
+    pub fn client(&self, id: ServerId) -> WireClient {
+        WireClient::connect(self.addrs[id], self.client_opts.clone())
+    }
+
+    /// Evaluate `query` as posed to server `home` (by name), shipping
+    /// remote sub-queries over the loopback sockets.
+    pub fn query_from(
+        &self,
+        home: &str,
+        pager: &netdir_pager::Pager,
+        query: &Query,
+    ) -> QueryResult<Vec<Entry>> {
+        let home = self.server_id(home).ok_or_else(|| QueryError::Parse {
+            input: home.into(),
+            detail: "no such server".into(),
+        })?;
+        self.router().query(home, pager, query)
+    }
+
+    /// Stop every daemon gracefully.
+    pub fn shutdown(&mut self) {
+        for server in &mut self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for WireCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,505 @@
+//! Frame payload encoding: requests and responses.
+//!
+//! The codec reuses the repository's existing building blocks rather
+//! than inventing parallel ones:
+//!
+//! * DNs travel as their canonical text — `Dn`'s `Display → parse` is an
+//!   identity (property-tested in netdir-model), so text is unambiguous
+//!   and diffable on the wire.
+//! * Filters travel **structurally** (one tag byte per variant).
+//!   `AtomicFilter`'s `Display` is deliberately *not* parse-stable
+//!   (`True` renders as `objectClass=*`, `DnEq` as `Eq`), so text would
+//!   silently change filter semantics in transit.
+//! * Full L0–L3 queries travel as query text: both ends run the same
+//!   parser, so a query means the same thing shipped as it meant typed.
+//! * Entries travel in their on-page [`Record`] encoding — byte-identical
+//!   to what the in-process channel transport ships, which is what lets
+//!   the integration tests assert TCP and in-process results match byte
+//!   for byte.
+//!
+//! Primitive fields use the pager's little-endian record codec
+//! ([`netdir_pager::record::codec`]); the frame length prefix
+//! ([`crate::frame`]) is the only big-endian piece of the protocol.
+
+use bytes::Bytes;
+use netdir_filter::atomic::IntOp;
+use netdir_filter::{AtomicFilter, CompositeFilter, Scope, SubstringPattern};
+use netdir_model::{AttrName, Dn};
+use netdir_pager::record::codec::{put_i64, put_str, put_u32, Reader};
+use netdir_pager::{PagerError, PagerResult};
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Liveness probe.
+    Ping,
+    /// Evaluate an atomic query against the receiving server.
+    Atomic {
+        /// Base DN.
+        base: Dn,
+        /// Scope.
+        scope: Scope,
+        /// Filter.
+        filter: AtomicFilter,
+    },
+    /// Evaluate a baseline LDAP query against the receiving server.
+    Ldap {
+        /// Base DN.
+        base: Dn,
+        /// Scope.
+        scope: Scope,
+        /// Composite filter.
+        filter: CompositeFilter,
+    },
+    /// Evaluate a full L0–L3 query, distributed-style, as posed to the
+    /// server named `home` (empty = the receiving server).
+    Query {
+        /// Name of the server the query is posed to.
+        home: String,
+        /// Query text (parsed by `netdir_query::parse_query` remotely).
+        text: String,
+    },
+    /// Ask the daemon to shut down gracefully after acknowledging.
+    Shutdown,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Acknowledgement carrying no entries (Ping, Shutdown).
+    Pong,
+    /// Sorted result entries in their on-page encoding.
+    Entries(Vec<Vec<u8>>),
+    /// The request failed remotely.
+    Error(String),
+}
+
+const REQ_PING: u8 = 0;
+const REQ_ATOMIC: u8 = 1;
+const REQ_LDAP: u8 = 2;
+const REQ_QUERY: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const RESP_PONG: u8 = 0;
+const RESP_ENTRIES: u8 = 1;
+const RESP_ERROR: u8 = 2;
+
+const AF_PRESENT: u8 = 0;
+const AF_EQ: u8 = 1;
+const AF_SUBSTRING: u8 = 2;
+const AF_INTCMP: u8 = 3;
+const AF_DNEQ: u8 = 4;
+const AF_TRUE: u8 = 5;
+
+const CF_ATOMIC: u8 = 0;
+const CF_AND: u8 = 1;
+const CF_OR: u8 = 2;
+const CF_NOT: u8 = 3;
+
+fn corrupt(detail: impl Into<String>) -> PagerError {
+    PagerError::CorruptRecord {
+        detail: detail.into(),
+    }
+}
+
+fn put_scope(out: &mut Vec<u8>, scope: Scope) {
+    out.push(match scope {
+        Scope::Base => 0,
+        Scope::One => 1,
+        Scope::Sub => 2,
+    });
+}
+
+fn get_scope(r: &mut Reader<'_>) -> PagerResult<Scope> {
+    match r.get_u8()? {
+        0 => Ok(Scope::Base),
+        1 => Ok(Scope::One),
+        2 => Ok(Scope::Sub),
+        t => Err(corrupt(format!("unknown scope tag {t}"))),
+    }
+}
+
+fn put_dn(out: &mut Vec<u8>, dn: &Dn) {
+    put_str(out, &dn.to_string());
+}
+
+fn get_dn(r: &mut Reader<'_>) -> PagerResult<Dn> {
+    let s = r.get_str()?;
+    Dn::parse(s).map_err(|e| corrupt(format!("bad DN on wire: {e}")))
+}
+
+fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
+    match v {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_opt_str(r: &mut Reader<'_>) -> PagerResult<Option<String>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_str()?.to_string())),
+        t => Err(corrupt(format!("bad option tag {t}"))),
+    }
+}
+
+fn put_int_op(out: &mut Vec<u8>, op: IntOp) {
+    out.push(match op {
+        IntOp::Lt => 0,
+        IntOp::Le => 1,
+        IntOp::Gt => 2,
+        IntOp::Ge => 3,
+        IntOp::Eq => 4,
+    });
+}
+
+fn get_int_op(r: &mut Reader<'_>) -> PagerResult<IntOp> {
+    match r.get_u8()? {
+        0 => Ok(IntOp::Lt),
+        1 => Ok(IntOp::Le),
+        2 => Ok(IntOp::Gt),
+        3 => Ok(IntOp::Ge),
+        4 => Ok(IntOp::Eq),
+        t => Err(corrupt(format!("unknown int-op tag {t}"))),
+    }
+}
+
+/// Append the structural encoding of an atomic filter.
+pub fn put_atomic_filter(out: &mut Vec<u8>, f: &AtomicFilter) {
+    match f {
+        AtomicFilter::Present(a) => {
+            out.push(AF_PRESENT);
+            put_str(out, a.as_str());
+        }
+        AtomicFilter::Eq(a, v) => {
+            out.push(AF_EQ);
+            put_str(out, a.as_str());
+            put_str(out, v);
+        }
+        AtomicFilter::Substring(a, pat) => {
+            out.push(AF_SUBSTRING);
+            put_str(out, a.as_str());
+            put_opt_str(out, &pat.initial);
+            put_u32(out, pat.any.len() as u32);
+            for frag in &pat.any {
+                put_str(out, frag);
+            }
+            put_opt_str(out, &pat.final_);
+        }
+        AtomicFilter::IntCmp(a, op, v) => {
+            out.push(AF_INTCMP);
+            put_str(out, a.as_str());
+            put_int_op(out, *op);
+            put_i64(out, *v);
+        }
+        AtomicFilter::DnEq(a, dn) => {
+            out.push(AF_DNEQ);
+            put_str(out, a.as_str());
+            put_dn(out, dn);
+        }
+        AtomicFilter::True => out.push(AF_TRUE),
+    }
+}
+
+/// Decode one structurally-encoded atomic filter.
+pub fn get_atomic_filter(r: &mut Reader<'_>) -> PagerResult<AtomicFilter> {
+    match r.get_u8()? {
+        AF_PRESENT => Ok(AtomicFilter::Present(AttrName::new(r.get_str()?))),
+        AF_EQ => {
+            let a = AttrName::new(r.get_str()?);
+            let v = r.get_str()?.to_string();
+            Ok(AtomicFilter::Eq(a, v))
+        }
+        AF_SUBSTRING => {
+            let a = AttrName::new(r.get_str()?);
+            let initial = get_opt_str(r)?;
+            let n = r.get_u32()? as usize;
+            let mut any = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                any.push(r.get_str()?.to_string());
+            }
+            let final_ = get_opt_str(r)?;
+            Ok(AtomicFilter::Substring(
+                a,
+                SubstringPattern { initial, any, final_ },
+            ))
+        }
+        AF_INTCMP => {
+            let a = AttrName::new(r.get_str()?);
+            let op = get_int_op(r)?;
+            let v = r.get_i64()?;
+            Ok(AtomicFilter::IntCmp(a, op, v))
+        }
+        AF_DNEQ => {
+            let a = AttrName::new(r.get_str()?);
+            let dn = get_dn(r)?;
+            Ok(AtomicFilter::DnEq(a, dn))
+        }
+        AF_TRUE => Ok(AtomicFilter::True),
+        t => Err(corrupt(format!("unknown atomic-filter tag {t}"))),
+    }
+}
+
+/// Append the structural encoding of a composite (LDAP) filter.
+pub fn put_composite_filter(out: &mut Vec<u8>, f: &CompositeFilter) {
+    match f {
+        CompositeFilter::Atomic(a) => {
+            out.push(CF_ATOMIC);
+            put_atomic_filter(out, a);
+        }
+        CompositeFilter::And(fs) => {
+            out.push(CF_AND);
+            put_u32(out, fs.len() as u32);
+            for f in fs {
+                put_composite_filter(out, f);
+            }
+        }
+        CompositeFilter::Or(fs) => {
+            out.push(CF_OR);
+            put_u32(out, fs.len() as u32);
+            for f in fs {
+                put_composite_filter(out, f);
+            }
+        }
+        CompositeFilter::Not(f) => {
+            out.push(CF_NOT);
+            put_composite_filter(out, f);
+        }
+    }
+}
+
+/// Decode one structurally-encoded composite filter.
+pub fn get_composite_filter(r: &mut Reader<'_>) -> PagerResult<CompositeFilter> {
+    // Depth is naturally bounded: every nesting level consumes at least
+    // one payload byte and payloads are frame-capped.
+    match r.get_u8()? {
+        CF_ATOMIC => Ok(CompositeFilter::Atomic(get_atomic_filter(r)?)),
+        CF_AND => {
+            let n = r.get_u32()? as usize;
+            let mut fs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                fs.push(get_composite_filter(r)?);
+            }
+            Ok(CompositeFilter::And(fs))
+        }
+        CF_OR => {
+            let n = r.get_u32()? as usize;
+            let mut fs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                fs.push(get_composite_filter(r)?);
+            }
+            Ok(CompositeFilter::Or(fs))
+        }
+        CF_NOT => Ok(CompositeFilter::Not(Box::new(get_composite_filter(r)?))),
+        t => Err(corrupt(format!("unknown composite-filter tag {t}"))),
+    }
+}
+
+impl WireRequest {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        match self {
+            WireRequest::Ping => out.push(REQ_PING),
+            WireRequest::Atomic { base, scope, filter } => {
+                out.push(REQ_ATOMIC);
+                put_dn(&mut out, base);
+                put_scope(&mut out, *scope);
+                put_atomic_filter(&mut out, filter);
+            }
+            WireRequest::Ldap { base, scope, filter } => {
+                out.push(REQ_LDAP);
+                put_dn(&mut out, base);
+                put_scope(&mut out, *scope);
+                put_composite_filter(&mut out, filter);
+            }
+            WireRequest::Query { home, text } => {
+                out.push(REQ_QUERY);
+                put_str(&mut out, home);
+                put_str(&mut out, text);
+            }
+            WireRequest::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> PagerResult<WireRequest> {
+        let mut r = Reader::new(payload);
+        let req = match r.get_u8()? {
+            REQ_PING => WireRequest::Ping,
+            REQ_ATOMIC => {
+                let base = get_dn(&mut r)?;
+                let scope = get_scope(&mut r)?;
+                let filter = get_atomic_filter(&mut r)?;
+                WireRequest::Atomic { base, scope, filter }
+            }
+            REQ_LDAP => {
+                let base = get_dn(&mut r)?;
+                let scope = get_scope(&mut r)?;
+                let filter = get_composite_filter(&mut r)?;
+                WireRequest::Ldap { base, scope, filter }
+            }
+            REQ_QUERY => {
+                let home = r.get_str()?.to_string();
+                let text = r.get_str()?.to_string();
+                WireRequest::Query { home, text }
+            }
+            REQ_SHUTDOWN => WireRequest::Shutdown,
+            t => return Err(corrupt(format!("unknown request tag {t}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl WireResponse {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        match self {
+            WireResponse::Pong => out.push(RESP_PONG),
+            WireResponse::Entries(entries) => {
+                out.push(RESP_ENTRIES);
+                put_u32(&mut out, entries.len() as u32);
+                for e in entries {
+                    put_u32(&mut out, e.len() as u32);
+                    out.extend_from_slice(e);
+                }
+            }
+            WireResponse::Error(msg) => {
+                out.push(RESP_ERROR);
+                put_str(&mut out, msg);
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> PagerResult<WireResponse> {
+        let mut r = Reader::new(payload);
+        let resp = match r.get_u8()? {
+            RESP_PONG => WireResponse::Pong,
+            RESP_ENTRIES => {
+                let n = r.get_u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(r.get_bytes()?.to_vec());
+                }
+                WireResponse::Entries(entries)
+            }
+            RESP_ERROR => WireResponse::Error(r.get_str()?.to_string()),
+            t => return Err(corrupt(format!("unknown response tag {t}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_pager::record::Record;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn round_trip_req(req: WireRequest) {
+        let bytes = req.encode();
+        let back = WireRequest::decode(&bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(WireRequest::Ping);
+        round_trip_req(WireRequest::Shutdown);
+        round_trip_req(WireRequest::Query {
+            home: "att".into(),
+            text: "(dc=com ? sub ? surName=jagadish)".into(),
+        });
+        for filter in [
+            AtomicFilter::True,
+            AtomicFilter::present("mail"),
+            AtomicFilter::eq("surName", "Ume*da"), // literal star must survive
+            AtomicFilter::Substring(
+                AttrName::new("cn"),
+                SubstringPattern::new(Some("ha"), &["ga", "d"], None),
+            ),
+            AtomicFilter::IntCmp(AttrName::new("priority"), IntOp::Ge, -7),
+            AtomicFilter::DnEq(AttrName::new("manager"), dn("uid=j, dc=com")),
+        ] {
+            round_trip_req(WireRequest::Atomic {
+                base: dn("ou=people, dc=att, dc=com"),
+                scope: Scope::Sub,
+                filter,
+            });
+        }
+        round_trip_req(WireRequest::Ldap {
+            base: dn("dc=com"),
+            scope: Scope::One,
+            filter: netdir_filter::parse_composite(
+                "(&(objectClass=person)(|(cn=ha*sh)(!(priority>=3))))",
+            )
+            .unwrap(),
+        });
+    }
+
+    #[test]
+    fn true_and_dneq_survive_unlike_their_display_forms() {
+        // Display renders True as "objectClass=*", which parses back as
+        // Present — the structural codec must not fall into that trap.
+        let req = WireRequest::Atomic {
+            base: Dn::root(),
+            scope: Scope::Sub,
+            filter: AtomicFilter::True,
+        };
+        match WireRequest::decode(&req.encode()).unwrap() {
+            WireRequest::Atomic {
+                filter: AtomicFilter::True,
+                ..
+            } => {}
+            other => panic!("True mangled in transit: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let e = netdir_model::Entry::builder(dn("uid=a, dc=com"))
+            .class("person")
+            .attr("cn", "Alice")
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        for resp in [
+            WireResponse::Pong,
+            WireResponse::Error("zone unreachable".into()),
+            WireResponse::Entries(vec![]),
+            WireResponse::Entries(vec![buf.clone(), vec![1, 2, 3]]),
+        ] {
+            let bytes = resp.encode();
+            assert_eq!(WireResponse::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn junk_payloads_are_rejected() {
+        assert!(WireRequest::decode(&[]).is_err());
+        assert!(WireRequest::decode(&[99]).is_err());
+        assert!(WireResponse::decode(&[99]).is_err());
+        // Trailing garbage after a valid request is corruption.
+        let mut bytes = WireRequest::Ping.encode().to_vec();
+        bytes.push(0);
+        assert!(WireRequest::decode(&bytes).is_err());
+        // Entries count larger than the actual payload.
+        let mut resp = Vec::new();
+        resp.push(RESP_ENTRIES);
+        put_u32(&mut resp, 1000);
+        assert!(WireResponse::decode(&resp).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Length-prefixed framing.
+//!
+//! Every message on a netdir connection is one *frame*: a 4-byte
+//! big-endian payload length followed by the payload. Frames make TCP's
+//! byte stream a message stream; the payload encoding is [`crate::codec`]'s
+//! business.
+//!
+//! Both directions enforce a maximum frame size so a malformed or
+//! hostile peer cannot make the other side allocate unboundedly: readers
+//! reject the frame before allocating, writers refuse to emit one the
+//! peer would reject.
+
+use std::io::{self, Read, Write};
+
+/// Default maximum payload size (16 MiB), comfortably above any response
+/// the experiment harness produces.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes a payload occupies on the wire, header included.
+pub fn frame_len(payload_len: usize) -> u64 {
+    4 + payload_len as u64
+}
+
+/// Write one frame. Fails with `InvalidInput` if the payload exceeds
+/// `max_frame` (nothing is written in that case).
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: usize) -> io::Result<()> {
+    if payload.len() > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "refusing to send {}-byte frame (max {max_frame})",
+                payload.len()
+            ),
+        ));
+    }
+    let header = (payload.len() as u32).to_be_bytes();
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload.
+///
+/// * `Ok(None)` — the peer closed the connection cleanly *between*
+///   frames (normal end of a session).
+/// * `Err(UnexpectedEof)` — the stream ended mid-frame (truncation).
+/// * `Err(InvalidData)` — the header announces more than `max_frame`
+///   bytes; nothing is allocated for such a frame.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    // Read the first header byte by hand so clean EOF at a frame
+    // boundary is distinguishable from truncation inside one.
+    let mut got = 0;
+    while got == 0 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got = n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("incoming frame of {len} bytes exceeds max {max_frame}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, &[0xff; 300], DEFAULT_MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            vec![0xff; 300]
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        buf.truncate(2); // half a header
+        let err = read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world", DEFAULT_MAX_FRAME).unwrap();
+        buf.truncate(7); // header + 3 of 11 payload bytes
+        let err = read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        // Reader side: a header claiming 1 GiB against a 1 KiB cap.
+        let mut buf = (1u32 << 30).to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Writer side refuses symmetric overage.
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &[0u8; 2048], 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing may be written for a rejected frame");
+    }
+
+    #[test]
+    fn header_is_big_endian() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7; 5], DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 5]);
+        assert_eq!(frame_len(5), buf.len() as u64);
+    }
+}

@@ -1,0 +1,43 @@
+//! # netdir-wire — the directory protocol on a real network
+//!
+//! The paper's Section 8.3 plan — ship each atomic sub-query to the
+//! server owning its base, ship the sorted results back, evaluate the
+//! operator tree at the queried server — is transport-independent, and
+//! `netdir-server` keeps it that way behind its `Transport` trait. This
+//! crate supplies the other side of that trait: a real TCP wire
+//! protocol, so the distributed evaluator's shipped-byte accounting can
+//! be measured against actual sockets instead of in-process channels.
+//!
+//! Layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed frames (4-byte big-endian header) with
+//!   max-size guards in both directions.
+//! * [`codec`] — request/response payloads: DNs and L0–L3 queries as
+//!   canonical text, filters structurally, entries in their on-page
+//!   [`Record`](netdir_pager::record::Record) encoding (byte-identical
+//!   to what the channel transport ships).
+//! * [`server`] — a blocking multi-threaded frame server (`std::net`
+//!   accept thread + crossbeam worker pool, no async runtime) with
+//!   per-connection timeouts and graceful shutdown; the `netdird`
+//!   binary wraps it around a directory cluster.
+//! * [`client`] — [`WireClient`], a pooled blocking client with request
+//!   timeouts and one-shot `query()`/`search()` helpers; also the
+//!   `ndquery` binary.
+//! * [`socket`] — [`SocketTransport`], plugging TCP under
+//!   `netdir_server::Router` unchanged.
+//! * [`cluster`] — [`WireCluster`], a loopback fleet of daemons built
+//!   from the same `ClusterBuilder` partitioning as in-process clusters.
+
+pub mod client;
+pub mod cluster;
+pub mod codec;
+pub mod frame;
+pub mod server;
+pub mod socket;
+
+pub use client::{ClientOptions, WireClient, WireError, WireResult};
+pub use cluster::{encode_entries, WireCluster};
+pub use codec::{WireRequest, WireResponse};
+pub use frame::DEFAULT_MAX_FRAME;
+pub use server::{ServerOptions, WireServer, WireService};
+pub use socket::SocketTransport;

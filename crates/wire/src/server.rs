@@ -1,0 +1,397 @@
+//! A blocking, multi-threaded TCP frame server.
+//!
+//! No async runtime: one accept thread feeds accepted connections over a
+//! crossbeam channel to a fixed worker pool, and each worker speaks the
+//! frame protocol synchronously over its connection (the same
+//! threads-and-channels idiom the in-process [`ServerNode`] uses).
+//!
+//! Robustness guards, all per-connection:
+//! * read/write timeouts — a stalled peer costs one worker for at most
+//!   the timeout, then the connection is dropped;
+//! * max-frame-size enforcement on both directions (see [`crate::frame`]);
+//! * malformed payloads get a [`WireResponse::Error`] and the connection
+//!   survives; transport-level damage (truncated frame) closes it.
+//!
+//! Shutdown is graceful and prompt: [`WireServer::shutdown`] (also
+//! triggered by a remote [`WireRequest::Shutdown`] frame) stops the
+//! accept loop via a flag plus a self-connection to unblock `accept`,
+//! half-closes the read side of every open connection so workers parked
+//! in `read` wake immediately, lets requests already being processed
+//! write their responses, then joins every thread.
+//!
+//! [`ServerNode`]: netdir_server::ServerNode
+
+use crate::codec::{WireRequest, WireResponse};
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crossbeam::channel::{unbounded, Receiver};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a daemon does with each decoded request.
+///
+/// `Shutdown` frames are intercepted by the framework (acknowledged,
+/// then the server stops); services never see them.
+pub trait WireService: Send + Sync + 'static {
+    /// Produce the response for one request.
+    fn handle(&self, req: WireRequest) -> WireResponse;
+}
+
+/// Tuning knobs for a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads serving connections. Must be at least 2 if the
+    /// service evaluates distributed queries that can call back into
+    /// this same server (a full `Query` occupies one worker while its
+    /// locally-targeted atomic sub-queries arrive on another).
+    pub workers: usize,
+    /// Per-connection read timeout (None = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout (None = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Maximum frame payload size accepted or produced.
+    pub max_frame: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            workers: 4,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+struct Shared {
+    addr: SocketAddr,
+    stop: AtomicBool,
+    /// Read-half clones of every open connection, so shutdown can wake
+    /// workers parked in `read` without waiting out their timeout.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Set the stop flag, poke the accept loop awake, and half-close
+    /// every open connection's read side. Idempotent.
+    fn request_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for conn in conns.values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Track a connection for shutdown wake-up.
+    fn register(&self, conn: &TcpStream) -> Option<u64> {
+        let clone = conn.try_clone().ok()?;
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, clone);
+        // A stop between the flag check and registration would miss this
+        // connection; re-check so it is woken like the rest.
+        if self.stopping() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        Some(id)
+    }
+
+    fn unregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+        }
+    }
+}
+
+/// Handle to a running frame server. Dropping it shuts the server down.
+pub struct WireServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `service` on a pool of `opts.workers` threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn WireService>,
+        opts: ServerOptions,
+    ) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            addr: listener.local_addr()?,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let (tx, rx) = unbounded::<TcpStream>();
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let service = service.clone();
+                let opts = opts.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("netdird-worker-{i}"))
+                    .spawn(move || worker_loop(rx, service, opts, shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("netdird-accept".into())
+                .spawn(move || {
+                    loop {
+                        match listener.accept() {
+                            Ok((conn, _)) => {
+                                if shared.stopping() {
+                                    break; // the wake-up self-connection
+                                }
+                                let _ = tx.send(conn);
+                            }
+                            Err(_) => {
+                                if shared.stopping() {
+                                    break;
+                                }
+                                // Transient accept errors (e.g. aborted
+                                // handshake) are not fatal.
+                            }
+                        }
+                    }
+                    // tx drops here; workers drain the queue and exit.
+                })?
+        };
+        Ok(WireServer {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Has shutdown been requested (locally or by a remote frame)?
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Stop accepting, wake parked readers, let requests already being
+    /// processed answer, and join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.request_stop();
+        self.join();
+    }
+
+    /// Block until every server thread has exited (used by the daemon
+    /// binary to park the main thread until a remote Shutdown arrives).
+    pub fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    service: Arc<dyn WireService>,
+    opts: ServerOptions,
+    shared: Arc<Shared>,
+) {
+    for conn in rx.iter() {
+        let id = shared.register(&conn);
+        let _ = serve_conn(conn, service.as_ref(), &opts, &shared);
+        shared.unregister(id);
+        if shared.stopping() {
+            break;
+        }
+    }
+}
+
+fn serve_conn(
+    mut conn: TcpStream,
+    service: &dyn WireService,
+    opts: &ServerOptions,
+    shared: &Shared,
+) -> io::Result<()> {
+    conn.set_read_timeout(opts.read_timeout)?;
+    conn.set_write_timeout(opts.write_timeout)?;
+    let _ = conn.set_nodelay(true);
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        let Some(payload) = read_frame(&mut conn, opts.max_frame)? else {
+            break; // clean end of session
+        };
+        let resp = match WireRequest::decode(&payload) {
+            Ok(WireRequest::Shutdown) => {
+                // Acknowledge first so the requester is not left hanging,
+                // then stop the whole server.
+                let _ = write_frame(&mut conn, &WireResponse::Pong.encode(), opts.max_frame);
+                shared.request_stop();
+                break;
+            }
+            Ok(req) => service.handle(req),
+            Err(e) => WireResponse::Error(format!("malformed request: {e}")),
+        };
+        write_frame(&mut conn, &resp.encode(), opts.max_frame)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::Instant;
+
+    /// Echo-style service: answers Ping, errors on everything else.
+    struct PingOnly;
+    impl WireService for PingOnly {
+        fn handle(&self, req: WireRequest) -> WireResponse {
+            match req {
+                WireRequest::Ping => WireResponse::Pong,
+                other => WireResponse::Error(format!("unsupported: {other:?}")),
+            }
+        }
+    }
+
+    fn call(conn: &mut TcpStream, req: &WireRequest) -> WireResponse {
+        write_frame(conn, &req.encode(), DEFAULT_MAX_FRAME).unwrap();
+        let payload = read_frame(conn, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        WireResponse::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn serves_many_requests_per_connection() {
+        let mut srv =
+            WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
+                .unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        for _ in 0..10 {
+            assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+        }
+        drop(conn);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn malformed_payload_gets_error_but_connection_survives() {
+        let mut srv =
+            WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
+                .unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        write_frame(&mut conn, &[99, 1, 2], DEFAULT_MAX_FRAME).unwrap();
+        let payload = read_frame(&mut conn, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(
+            WireResponse::decode(&payload).unwrap(),
+            WireResponse::Error(_)
+        ));
+        // Still serving on the same connection.
+        assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_drops_the_connection() {
+        let opts = ServerOptions {
+            max_frame: 64,
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), opts).unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        // Hand-roll a header announcing far more than the cap.
+        conn.write_all(&(1_000_000u32).to_be_bytes()).unwrap();
+        conn.write_all(&[0u8; 16]).unwrap();
+        // Server closes without replying.
+        assert!(matches!(
+            read_frame(&mut conn, DEFAULT_MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn remote_shutdown_is_acknowledged_and_stops_the_server() {
+        let mut srv =
+            WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
+                .unwrap();
+        let addr = srv.local_addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        assert_eq!(call(&mut conn, &WireRequest::Shutdown), WireResponse::Pong);
+        srv.join();
+        assert!(srv.is_stopping());
+        // The listener is gone: fresh connections are refused (or reset).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn shutdown_does_not_wait_out_idle_connections() {
+        // An idle client holds a connection open; shutdown must wake the
+        // worker parked in read rather than wait for the 30s timeout.
+        let mut srv =
+            WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
+                .unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+        let started = Instant::now();
+        srv.shutdown(); // conn is still open and idle
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown blocked on an idle connection for {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn concurrent_connections_are_served_in_parallel() {
+        let mut srv =
+            WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
+                .unwrap();
+        let addr = srv.local_addr();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move || {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+                    }
+                });
+            }
+        });
+        srv.shutdown();
+    }
+}

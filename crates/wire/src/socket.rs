@@ -1,0 +1,76 @@
+//! [`SocketTransport`] — the Section 8.3 evaluator over real TCP.
+//!
+//! Implements `netdir_server::Transport` with one [`WireClient`] per
+//! server, so [`Router`] runs the identical routing/merging logic it
+//! runs over in-process channels — only the shipping medium changes.
+//! `NetStats` here counts **actual frame bytes** (header + payload of
+//! each response), not the hypothetical payload sizes the channel
+//! transport charges, so `exp_distributed --wire` reports what truly
+//! crossed the loopback.
+//!
+//! [`Router`]: netdir_server::Router
+
+use crate::client::{ClientOptions, WireClient};
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_model::Dn;
+use netdir_server::delegation::ServerId;
+use netdir_server::{AtomicResponse, NetStats, Transport, TransportError, TransportResult};
+use std::net::SocketAddr;
+
+/// TCP transport: server `i` of the delegation table lives at `addrs[i]`.
+pub struct SocketTransport {
+    clients: Vec<WireClient>,
+    net: NetStats,
+}
+
+impl SocketTransport {
+    /// One pooled client per server address.
+    pub fn connect(addrs: &[SocketAddr], opts: ClientOptions) -> SocketTransport {
+        SocketTransport {
+            clients: addrs
+                .iter()
+                .map(|&a| WireClient::connect(a, opts.clone()))
+                .collect(),
+            net: NetStats::new(),
+        }
+    }
+
+    /// The client addressing server `id`.
+    pub fn client(&self, id: ServerId) -> &WireClient {
+        &self.clients[id]
+    }
+}
+
+impl Transport for SocketTransport {
+    fn atomic(
+        &self,
+        target: ServerId,
+        home: ServerId,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> TransportResult<AtomicResponse> {
+        let client = self
+            .clients
+            .get(target)
+            .ok_or_else(|| TransportError::new(format!("no server with id {target}")))?;
+        let (encoded, frame_bytes) = client
+            .atomic_counted(base, scope, filter)
+            .map_err(|e| TransportError::new(e.to_string()))?;
+        if target != home {
+            self.net.record_round_trip(encoded.len() as u64, frame_bytes);
+        }
+        Ok(AtomicResponse {
+            encoded,
+            wire_bytes: frame_bytes,
+        })
+    }
+
+    fn net(&self) -> &NetStats {
+        &self.net
+    }
+
+    fn num_servers(&self) -> usize {
+        self.clients.len()
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the wire codec: whatever the model can express
+//! must cross the wire unchanged — entries byte-for-byte, filters
+//! structure-for-structure — and damaged payloads must be rejected, not
+//! misread.
+
+use netdir_filter::atomic::IntOp;
+use netdir_filter::{AtomicFilter, CompositeFilter, Scope, SubstringPattern};
+use netdir_model::{AttrName, Dn, Entry, Rdn, Value};
+use netdir_pager::record::Record;
+use netdir_wire::{WireRequest, WireResponse};
+use proptest::prelude::*;
+
+/// Attribute names, mixed case (names compare case-insensitively; the
+/// wire must preserve the spelling anyway).
+fn arb_attr() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("cn".to_string()),
+        Just("surName".to_string()),
+        Just("SLATPRef".to_string()),
+        Just("sourcePort".to_string()),
+        "[a-z]{1,6}",
+    ]
+}
+
+/// Attribute/RDN value text, biased toward the characters the DN syntax
+/// escapes (`\ , + =`) so escaping is exercised end to end.
+fn arb_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z0-9]{1,6}",
+        Just("a,b".to_string()),
+        Just("x=y".to_string()),
+        Just("p+q".to_string()),
+        Just("back\\slash".to_string()),
+        Just("mid dle space".to_string()),
+        Just("trailing\\".to_string()),
+        Just(",=+\\".to_string()),
+    ]
+}
+
+fn arb_dn() -> impl Strategy<Value = Dn> {
+    dn_of_len(0)
+}
+
+/// Like [`arb_dn`] but never the root DN — entries must name themselves.
+fn arb_entry_dn() -> impl Strategy<Value = Dn> {
+    dn_of_len(1)
+}
+
+fn dn_of_len(min: usize) -> impl Strategy<Value = Dn> {
+    proptest::collection::vec((arb_attr(), arb_text()), min..4).prop_map(|parts| {
+        let rdns: Vec<Rdn> = parts
+            .into_iter()
+            .map(|(a, v)| Rdn::single(a.as_str(), v.as_str()).unwrap())
+            .collect();
+        Dn::from_rdns(rdns)
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_text().prop_map(Value::Str),
+        (-1000i64..1000).prop_map(Value::Int),
+        arb_dn().prop_map(Value::Dn),
+    ]
+}
+
+/// Entries with multi-valued attributes (duplicate names arise naturally
+/// from independent draws) and escaped RDNs.
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (
+        arb_entry_dn(),
+        proptest::collection::vec((arb_attr(), arb_value()), 0..6),
+    )
+        .prop_map(|(dn, attrs)| {
+            let mut b = Entry::builder(dn).class("thing");
+            for (a, v) in attrs {
+                b = b.attr(a.as_str(), v);
+            }
+            b.build().unwrap()
+        })
+}
+
+fn arb_scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![Just(Scope::Base), Just(Scope::One), Just(Scope::Sub)]
+}
+
+fn arb_atomic_filter() -> impl Strategy<Value = AtomicFilter> {
+    prop_oneof![
+        Just(AtomicFilter::True),
+        arb_attr().prop_map(|a| AtomicFilter::Present(AttrName::new(a))),
+        (arb_attr(), arb_text()).prop_map(|(a, v)| AtomicFilter::Eq(AttrName::new(a), v)),
+        (
+            arb_attr(),
+            proptest::option::of(arb_text()),
+            proptest::collection::vec(arb_text(), 0..3),
+            proptest::option::of(arb_text()),
+        )
+            .prop_map(|(a, initial, any, final_)| {
+                AtomicFilter::Substring(
+                    AttrName::new(a),
+                    SubstringPattern { initial, any, final_ },
+                )
+            }),
+        (arb_attr(), 0u32..5, -1000i64..1000).prop_map(|(a, op, v)| {
+            let op = [IntOp::Lt, IntOp::Le, IntOp::Gt, IntOp::Ge, IntOp::Eq][op as usize];
+            AtomicFilter::IntCmp(AttrName::new(a), op, v)
+        }),
+        (arb_attr(), arb_dn())
+            .prop_map(|(a, dn)| AtomicFilter::DnEq(AttrName::new(a), dn)),
+    ]
+}
+
+fn arb_composite_filter() -> impl Strategy<Value = CompositeFilter> {
+    arb_atomic_filter()
+        .prop_map(CompositeFilter::Atomic)
+        .prop_recursive(3, 16, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| CompositeFilter::And(vec![a, b])),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| CompositeFilter::Or(vec![a, b])),
+                inner.prop_map(|f| CompositeFilter::Not(Box::new(f))),
+            ]
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Entries cross the wire in their on-page encoding: response
+    /// framing must hand back the exact bytes, and those bytes must
+    /// decode to an entry that re-encodes identically.
+    #[test]
+    fn entries_round_trip_byte_identically(entries in proptest::collection::vec(arb_entry(), 0..5)) {
+        let encoded: Vec<Vec<u8>> = entries
+            .iter()
+            .map(|e| {
+                let mut buf = Vec::new();
+                e.encode(&mut buf);
+                buf
+            })
+            .collect();
+        let resp = WireResponse::Entries(encoded.clone());
+        let back = WireResponse::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(&back, &resp);
+        let WireResponse::Entries(bytes) = back else { unreachable!() };
+        for (original, wire_bytes) in entries.iter().zip(&bytes) {
+            let decoded = Entry::decode(wire_bytes).unwrap();
+            prop_assert_eq!(decoded.dn(), original.dn());
+            let mut re = Vec::new();
+            decoded.encode(&mut re);
+            prop_assert_eq!(&re, wire_bytes, "decode/encode not a fixpoint");
+        }
+    }
+
+    /// Atomic requests round-trip structurally — including `True` and
+    /// `DnEq`, whose Display forms parse back as different variants, and
+    /// DNs whose RDNs need escaping.
+    #[test]
+    fn atomic_requests_round_trip(
+        base in arb_dn(),
+        scope in arb_scope(),
+        filter in arb_atomic_filter(),
+    ) {
+        let req = WireRequest::Atomic { base, scope, filter };
+        prop_assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Composite (baseline-LDAP) requests round-trip at any nesting.
+    #[test]
+    fn ldap_requests_round_trip(
+        base in arb_dn(),
+        scope in arb_scope(),
+        filter in arb_composite_filter(),
+    ) {
+        let req = WireRequest::Ldap { base, scope, filter };
+        prop_assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Query text ships verbatim: the server must parse exactly the
+    /// characters the client typed.
+    #[test]
+    fn query_requests_round_trip(home in "[a-z0-9-]{0,8}", text in arb_text()) {
+        let req = WireRequest::Query { home: home.clone(), text: text.clone() };
+        match WireRequest::decode(&req.encode()).unwrap() {
+            WireRequest::Query { home: h, text: t } => {
+                prop_assert_eq!(h, home);
+                prop_assert_eq!(t, text);
+            }
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+    }
+
+    /// Truncation anywhere inside a payload is an error, never a
+    /// misreading: no strict prefix of an encoded message decodes.
+    #[test]
+    fn truncated_payloads_never_decode(
+        entries in proptest::collection::vec(arb_entry(), 0..3),
+        base in arb_dn(),
+        filter in arb_atomic_filter(),
+        cut_pct in 0u32..100,
+    ) {
+        let resp = WireResponse::Entries(
+            entries
+                .iter()
+                .map(|e| {
+                    let mut buf = Vec::new();
+                    e.encode(&mut buf);
+                    buf
+                })
+                .collect(),
+        )
+        .encode();
+        let cut_at = resp.len() * cut_pct as usize / 100; // < len, so strict
+        prop_assert!(WireResponse::decode(&resp[..cut_at]).is_err());
+
+        let req = WireRequest::Atomic { base, scope: Scope::Sub, filter }.encode();
+        let cut_at = req.len() * cut_pct as usize / 100;
+        prop_assert!(WireRequest::decode(&req[..cut_at]).is_err());
+    }
+}

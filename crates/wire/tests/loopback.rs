@@ -1,0 +1,220 @@
+//! End-to-end: a loopback fleet of TCP daemons must answer every query
+//! language level byte-identically to the in-process channel cluster it
+//! was partitioned from, and its shipped-byte counters must reflect
+//! real frames crossing real sockets.
+
+use netdir_filter::{parse_atomic, parse_composite, Scope};
+use netdir_model::{Directory, Dn, Entry};
+use netdir_query::{classify, parse_query, Language};
+use netdir_server::ClusterBuilder;
+use netdir_wire::{encode_entries, WireCluster};
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+/// The distributed-evaluation test directory (three zones under `dc=com`
+/// plus a disjoint `dc=org`), extended with a traffic profile in the
+/// `att` zone and an SLA policy in the `research` zone that references
+/// it across the zone cut — so an L3 `vd` query must join entries owned
+/// by different servers.
+fn dir() -> Directory {
+    let mut d = Directory::new();
+    let mut add = |e: Entry| d.insert(e).unwrap();
+    let plain = |s: &str| Entry::builder(dn(s)).class("thing").build().unwrap();
+    let person = |s: &str, sn: &str| {
+        Entry::builder(dn(s))
+            .class("thing")
+            .attr("surName", sn)
+            .build()
+            .unwrap()
+    };
+    add(plain("dc=com"));
+    add(plain("dc=att, dc=com"));
+    add(plain("ou=people, dc=att, dc=com"));
+    add(person("uid=jag, ou=people, dc=att, dc=com", "jagadish"));
+    add(plain("dc=research, dc=att, dc=com"));
+    add(plain("ou=people, dc=research, dc=att, dc=com"));
+    add(person(
+        "uid=jag2, ou=people, dc=research, dc=att, dc=com",
+        "jagadish",
+    ));
+    add(plain("dc=org"));
+    add(plain("ou=tp, dc=att, dc=com"));
+    add(
+        Entry::builder(dn("TPName=mail, ou=tp, dc=att, dc=com"))
+            .class("trafficProfile")
+            .attr("sourcePort", 25i64)
+            .build()
+            .unwrap(),
+    );
+    add(
+        Entry::builder(dn("SLAPolicyName=mail, dc=research, dc=att, dc=com"))
+            .class("SLAPolicyRules")
+            .attr("SLATPRef", dn("TPName=mail, ou=tp, dc=att, dc=com"))
+            .build()
+            .unwrap(),
+    );
+    d
+}
+
+fn builder() -> ClusterBuilder {
+    ClusterBuilder::new()
+        .server("root", dn("dc=com"))
+        .server("att", dn("dc=att, dc=com"))
+        .server("research", dn("dc=research, dc=att, dc=com"))
+        .server("org", dn("dc=org"))
+}
+
+/// One query per language level, each chosen to return a nonempty
+/// result against `dir()` when posed to server `att`.
+fn level_queries() -> Vec<(Language, &'static str)> {
+    vec![
+        (
+            // Set difference of two atomic queries.
+            Language::L0,
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+                (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        ),
+        (
+            // Hierarchy: entries with a child in the second set.
+            Language::L1,
+            "(c (dc=com ? sub ? objectClass=thing) \
+                (dc=research, dc=att, dc=com ? base ? objectClass=thing))",
+        ),
+        (
+            // Aggregate over witnesses: entries with more than one child.
+            Language::L2,
+            "(c (dc=com ? sub ? objectClass=thing) \
+                (dc=com ? sub ? objectClass=thing) \
+                count($2) > 1)",
+        ),
+        (
+            // Value-based deref across the research/att zone cut.
+            Language::L3,
+            "(vd (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+                 (dc=att, dc=com ? sub ? sourcePort=25) \
+                 SLATPRef)",
+        ),
+    ]
+}
+
+#[test]
+fn tcp_results_are_byte_identical_to_in_process_cluster() {
+    let dir = dir();
+    let in_process = builder().build(&dir);
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    assert_eq!(wire.orphaned(), 0);
+    assert_eq!(wire.num_servers(), in_process.num_servers());
+
+    let pager = netdir_pager::default_pager();
+    let client = wire.client(wire.server_id("att").unwrap());
+    for (level, text) in level_queries() {
+        let query = parse_query(text).unwrap();
+        assert_eq!(classify(&query), level, "misclassified: {text}");
+
+        let expected = encode_entries(&in_process.query_from("att", &pager, &query).unwrap());
+        assert!(!expected.is_empty(), "dead test query: {text}");
+
+        // Through a WireClient against the daemon, frame by frame.
+        let over_tcp = client.query_encoded("att", text).unwrap();
+        assert_eq!(over_tcp, expected, "TCP result differs for {text}");
+
+        // And through the wire cluster's own socket-transport router.
+        let direct = encode_entries(&wire.query_from("att", &pager, &query).unwrap());
+        assert_eq!(direct, expected, "socket-router result differs for {text}");
+    }
+}
+
+#[test]
+fn distributed_queries_ship_real_frame_bytes() {
+    let dir = dir();
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let client = wire.client(wire.server_id("att").unwrap());
+
+    wire.net().reset();
+    // Posed to `att`, both atomic sub-queries cover the research zone,
+    // so at least one sub-query must cross a socket.
+    let entries = client
+        .query(
+            "att",
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+                (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        )
+        .unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(
+        entries[0].dn().to_string(),
+        "uid=jag, ou=people, dc=att, dc=com"
+    );
+
+    let snap = wire.net().snapshot();
+    assert!(snap.requests > 0, "no remote sub-queries recorded");
+    assert_eq!(snap.responses, snap.requests);
+    assert!(snap.entries_shipped > 0, "no entries shipped");
+    // Real frames: at least a 4-byte header plus payload per response.
+    assert!(
+        snap.bytes_shipped > snap.responses * 4,
+        "bytes_shipped ({}) does not look like framed traffic",
+        snap.bytes_shipped
+    );
+}
+
+#[test]
+fn atomic_and_search_frames_match_the_owning_store() {
+    let dir = dir();
+    let in_process = builder().build(&dir);
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let att = wire.server_id("att").unwrap();
+    let client = wire.client(att);
+
+    // Atomic and Ldap frames are answered by the daemon's own store, so
+    // compare against the matching in-process node on a base the `att`
+    // partition fully owns.
+    let base = dn("ou=people, dc=att, dc=com");
+    let atomic = parse_atomic("surName=jagadish").unwrap();
+    let got = client.atomic(&base, Scope::Sub, &atomic).unwrap();
+    let want = in_process.node(att).atomic(&base, Scope::Sub, &atomic).unwrap();
+    assert!(!want.is_empty());
+    assert_eq!(encode_entries(&got), encode_entries(&want));
+
+    let composite = parse_composite("(&(objectClass=thing)(surName=jagadish))").unwrap();
+    let got = client.search(&base, Scope::Sub, &composite).unwrap();
+    let want = in_process.node(att).ldap(&base, Scope::Sub, &composite).unwrap();
+    assert!(!want.is_empty());
+    assert_eq!(encode_entries(&got), encode_entries(&want));
+}
+
+#[test]
+fn shutdown_cluster_refuses_further_queries() {
+    let dir = dir();
+    let mut wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let client = wire.client(0);
+    client.ping().unwrap();
+    wire.shutdown();
+    assert!(client.ping().is_err());
+}
+
+/// The same query posed to different home servers must agree on the
+/// answer (only the shipping pattern differs) — over TCP and in-process.
+#[test]
+fn answers_are_home_independent() {
+    let dir = dir();
+    let in_process = builder().build(&dir);
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let pager = netdir_pager::default_pager();
+    let text = "(c (dc=com ? sub ? objectClass=thing) \
+                   (dc=research, dc=att, dc=com ? base ? objectClass=thing))";
+    let query = parse_query(text).unwrap();
+
+    let reference = encode_entries(&in_process.query_from("root", &pager, &query).unwrap());
+    assert!(!reference.is_empty());
+    for home in ["root", "att", "research", "org"] {
+        let over_tcp = wire.client(wire.server_id(home).unwrap());
+        assert_eq!(
+            over_tcp.query_encoded(home, text).unwrap(),
+            reference,
+            "home {home} disagrees"
+        );
+    }
+}

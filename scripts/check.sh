@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full pre-merge gate: release build, the whole test suite, and clippy
+# with warnings promoted to errors. Run from anywhere in the repo.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
+
+echo "check.sh: all green"

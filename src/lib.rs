@@ -35,6 +35,10 @@ pub use netdir_query as query;
 /// Directory servers, delegation, and distributed evaluation.
 pub use netdir_server as server;
 
+/// TCP wire protocol: framed codec, the `netdird` daemon machinery,
+/// the `WireClient` library, and the socket transport.
+pub use netdir_wire as wire;
+
 /// Seeded workload generators (Figures 1, 11, 12 and scalable variants).
 pub use netdir_workloads as workloads;
 
