@@ -4,19 +4,26 @@
 //! ```sh
 //! cargo run --release -p netdir-bench --bin exp_distributed
 //! cargo run --release -p netdir-bench --bin exp_distributed -- --wire
+//! cargo run --release -p netdir-bench --bin exp_distributed -- --faults
 //! ```
 //!
 //! By default zones are in-process store threads and shipped bytes are
 //! the encoded-entry payloads the channel transport would frame. With
 //! `--wire`, every zone is a real TCP daemon on loopback and the
 //! shipped-byte column counts actual response frames (header included)
-//! read off the sockets.
+//! read off the sockets. With `--faults`, the transport is wrapped in a
+//! seeded fault injector and the sweep reports how often queries
+//! succeed, degrade, or fail as the drop rate climbs — under strict and
+//! partial consistency.
 
 use netdir_bench::{cells, table};
 use netdir_model::{Directory, Dn};
 use netdir_pager::Pager;
 use netdir_query::{parse_query, Query};
-use netdir_server::{ClusterBuilder, NetSnapshot};
+use netdir_server::{
+    BreakerConfig, ChannelTransport, ClusterBuilder, ConsistencyMode, FaultConfig,
+    FaultTransport, NetSnapshot, RetryPolicy, Router, ServerNode,
+};
 use netdir_wire::WireCluster;
 use netdir_workloads::{dns_tree, synth_forest, SynthParams};
 
@@ -58,8 +65,97 @@ fn run_once(
     }
 }
 
+/// `--faults`: the same synthetic forest, but the transport misbehaves.
+/// Sweep injected drop rates under strict and partial consistency and
+/// report, per cell, how the retry/degradation machinery spent its
+/// budget. A fixed seed makes the whole table reproducible.
+fn run_faults() {
+    println!(
+        "E12f — fault-tolerant evaluation: success vs. injected drop rate\n\
+         (8 zones, 3 immediate retry attempts per zone, seeded injector)\n"
+    );
+    let dir = synth_forest(
+        SynthParams {
+            entries: 4_000,
+            max_depth: 8,
+            red_fraction: 0.3,
+            blue_fraction: 0.3,
+        },
+        41,
+    );
+    let q = parse_query("(c (dc=synth ? sub ? kind=red) (dc=synth ? sub ? kind=blue))")
+        .unwrap();
+    let trials = 40u32;
+    table::header(&[
+        "drop rate", "mode", "ok", "partial", "failed", "retries", "gave up", "dropped",
+    ]);
+    for &drop in &[0.0, 0.05, 0.15, 0.3] {
+        for mode in [ConsistencyMode::Strict, ConsistencyMode::Partial] {
+            // Fresh cluster per cell so counters and breakers start cold.
+            let mut builder =
+                ClusterBuilder::new().server("root", Dn::parse("dc=synth").unwrap());
+            for (i, z) in zone_roots(&dir, 2, 7).into_iter().enumerate() {
+                builder = builder.server(format!("z{i}"), z);
+            }
+            let parts = builder.into_parts(&dir);
+            let nodes: Vec<ServerNode> = parts
+                .configs
+                .into_iter()
+                .zip(parts.partitions)
+                .map(|(cfg, entries)| ServerNode::spawn(cfg, entries))
+                .collect();
+            let channel = ChannelTransport::new(nodes.iter().map(|n| n.sender()).collect());
+            let fault = FaultTransport::new(
+                Box::new(channel),
+                FaultConfig::seeded(97).with_drop_rate(drop),
+            );
+            let fault_stats = fault.stats();
+            let router = Router::new(parts.delegation, Box::new(fault))
+                .with_retry(RetryPolicy::immediate(3))
+                .with_breaker(BreakerConfig {
+                    // Weather, not outage: keep probing every zone.
+                    failure_threshold: 1_000,
+                    cooldown: std::time::Duration::from_secs(600),
+                });
+            let pager = Pager::new(4096, 48);
+            let (mut ok, mut degraded, mut failed) = (0u32, 0u32, 0u32);
+            for _ in 0..trials {
+                match router.query_with(0, &pager, &q, mode) {
+                    Ok(out) if out.is_complete() => ok += 1,
+                    Ok(_) => degraded += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            let retry = router.retry_stats().snapshot();
+            table::row(cells![
+                format!("{drop:.2}"),
+                match mode {
+                    ConsistencyMode::Strict => "strict",
+                    ConsistencyMode::Partial => "partial",
+                },
+                ok,
+                degraded,
+                failed,
+                retry.retries,
+                retry.gave_up,
+                fault_stats.snapshot().dropped,
+            ]);
+        }
+    }
+    println!(
+        "\n   strict mode converts exhausted retries into failed queries; \
+         partial mode converts them into degraded (subset) answers. The \
+         seeded injector makes every cell reproducible."
+    );
+}
+
 fn main() {
-    let wire = std::env::args().any(|a| a == "--wire");
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--faults") {
+        run_faults();
+        return;
+    }
+    let wire = args.iter().any(|a| a == "--wire");
     println!(
         "E12 — distributed evaluation: shipping vs. number of zones\n\
          transport: {}\n",

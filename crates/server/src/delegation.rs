@@ -65,26 +65,44 @@ impl Delegation {
 
     /// The full owner group (primary + secondaries) for `dn`.
     pub fn owner_group_of(&self, dn: &Dn) -> Option<&[ServerId]> {
+        self.zone_of(dn).map(|(_, group)| group)
+    }
+
+    /// The zone owning `dn`: its naming context plus the full owner
+    /// group (longest registered context whose subtree contains `dn`).
+    pub fn zone_of(&self, dn: &Dn) -> Option<(&Dn, &[ServerId])> {
         let key = dn.sort_key();
         self.contexts
             .iter()
             .filter(|(ck, _, _)| ck.subsumes(key))
             .max_by_key(|(ck, _, _)| ck.as_bytes().len())
-            .map(|(_, _, group)| group.as_slice())
+            .map(|(_, ctx, group)| (ctx, group.as_slice()))
     }
 
     /// All owner groups whose data can intersect `scope`-of-`base`: the
     /// base's group plus every group whose context lies inside the base's
     /// subtree (their zones are cut out of the owner's).
     pub fn groups_for_subtree(&self, base: &Dn) -> Vec<&[ServerId]> {
+        self.zones_for_subtree(base)
+            .into_iter()
+            .map(|(_, group)| group)
+            .collect()
+    }
+
+    /// Like [`Delegation::groups_for_subtree`], but pairing each owner
+    /// group with its zone's naming context — what the router needs to
+    /// report *which namespace* went missing when a zone fails.
+    pub fn zones_for_subtree(&self, base: &Dn) -> Vec<(&Dn, &[ServerId])> {
         let base_key = base.sort_key();
-        let mut out: Vec<&[ServerId]> = Vec::new();
-        if let Some(group) = self.owner_group_of(base) {
-            out.push(group);
+        let mut out: Vec<(&Dn, &[ServerId])> = Vec::new();
+        if let Some(zone) = self.zone_of(base) {
+            out.push(zone);
         }
-        for (ck, _, group) in &self.contexts {
-            if base_key.subsumes(ck) && !out.iter().any(|g| g.as_ptr() == group.as_ptr()) {
-                out.push(group.as_slice());
+        for (ck, ctx, group) in &self.contexts {
+            if base_key.subsumes(ck)
+                && !out.iter().any(|(_, g)| g.as_ptr() == group.as_ptr())
+            {
+                out.push((ctx, group.as_slice()));
             }
         }
         out

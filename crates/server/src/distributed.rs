@@ -19,14 +19,72 @@
 //! `netdir-wire` crate builds the same [`Router`] over TCP sockets.
 
 use crate::delegation::{Delegation, ServerId};
+use crate::health::{BreakerConfig, HealthTracker};
 use crate::net::NetStats;
 use crate::node::{decode_entries, ServerConfig, ServerNode};
+use crate::retry::{RetryPolicy, RetryStats};
 use crate::transport::{ChannelTransport, Transport};
 use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::{Directory, Dn, Entry};
 use netdir_pager::{ListWriter, PagedList, Pager, PagerError, PagerResult};
 use netdir_query::eval::{AtomicSource, Evaluator};
 use netdir_query::{Query, QueryError, QueryResult};
+use std::cell::RefCell;
+
+/// How a distributed query treats unreachable partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyMode {
+    /// Any unreachable zone fails the whole query (the paper's §8.3
+    /// shipping model assumes every sub-result arrives). The default.
+    #[default]
+    Strict,
+    /// Unreachable zones are skipped: the query returns the surviving
+    /// partitions' entries plus a precise account of what was missed.
+    /// Note the semantics: results are a *subset* view of the directory
+    /// with the dead zones' entries absent, so negation over a dead zone
+    /// can return entries Strict mode would have excluded.
+    Partial,
+}
+
+/// One zone a degraded query could not reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionError {
+    /// The naming context of the unreachable zone.
+    pub zone: Dn,
+    /// The zone's owner group (primary + secondaries), all unavailable
+    /// or failing.
+    pub servers: Vec<ServerId>,
+    /// Why the last attempt failed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "zone {} (servers {:?}) unavailable: {}",
+            self.zone, self.servers, self.detail
+        )
+    }
+}
+
+/// The result of a query evaluated with an explicit
+/// [`ConsistencyMode`]: entries plus the zones that were skipped
+/// (always empty under [`ConsistencyMode::Strict`]).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Sorted result entries from the reachable partitions.
+    pub entries: Vec<Entry>,
+    /// Zones skipped by graceful degradation, in first-failure order.
+    pub partial: Vec<PartitionError>,
+}
+
+impl QueryOutcome {
+    /// True iff no zone was skipped — the answer is exact.
+    pub fn is_complete(&self) -> bool {
+        self.partial.is_empty()
+    }
+}
 
 /// Builder for a [`Cluster`]: declare contexts, then partition a
 /// directory across them.
@@ -137,22 +195,42 @@ impl ClusterBuilder {
 }
 
 /// The transport-agnostic distributed evaluator: a [`Delegation`] table
-/// plus a [`Transport`], with per-server down flags for §3.3 failover.
+/// plus a [`Transport`], with per-server circuit breakers
+/// ([`HealthTracker`]) for §3.3 failover and a shared [`RetryPolicy`]
+/// for transient transport failures.
 pub struct Router {
     delegation: Delegation,
     transport: Box<dyn Transport>,
-    /// Simulated outages: requests route around downed servers.
-    down: Vec<bool>,
+    health: HealthTracker,
+    retry: RetryPolicy,
+    retry_stats: RetryStats,
 }
 
 impl Router {
-    /// Route over `transport` according to `delegation`.
+    /// Route over `transport` according to `delegation`, with the
+    /// default retry policy and breaker configuration.
     pub fn new(delegation: Delegation, transport: Box<dyn Transport>) -> Router {
+        let health = HealthTracker::new(transport.num_servers(), BreakerConfig::default());
         Router {
-            down: vec![false; transport.num_servers()],
             delegation,
             transport,
+            health,
+            retry: RetryPolicy::default(),
+            retry_stats: RetryStats::new(),
         }
+    }
+
+    /// Replace the retry policy (builder-style, before first use).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Router {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the circuit-breaker configuration (builder-style, before
+    /// first use). Resets all breakers to Closed.
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Router {
+        self.health = HealthTracker::new(self.transport.num_servers(), cfg);
+        self
     }
 
     /// The delegation table.
@@ -175,22 +253,41 @@ impl Router {
         self.transport.num_servers()
     }
 
-    /// Mark a server down/up: subsequent routing skips downed servers,
-    /// falling back to secondaries of their zones.
+    /// Per-server health (circuit breakers + forced outages).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Retry-effort counters (attempts, backoff rounds, abandoned
+    /// fetches).
+    pub fn retry_stats(&self) -> &RetryStats {
+        &self.retry_stats
+    }
+
+    /// Force a server down/up (operator-controlled outage): subsequent
+    /// routing skips forced-down servers, falling back to secondaries of
+    /// their zones. Unlike a tripped breaker, a forced outage never
+    /// recovers on its own.
+    pub fn force_down(&self, id: ServerId, down: bool) {
+        self.health.force_down(id, down);
+    }
+
+    /// **Deprecated** — use [`Router::force_down`], which no longer
+    /// needs `&mut` now that liveness lives behind interior mutability.
+    /// Kept as a shim so pre-breaker callers compile unchanged.
     pub fn set_down(&mut self, id: ServerId, down: bool) {
-        if id < self.down.len() {
-            self.down[id] = down;
-        }
+        self.force_down(id, down);
     }
 
-    /// Is the server currently marked down?
+    /// Is the server currently unavailable (forced down or breaker
+    /// open)?
     pub fn is_down(&self, id: ServerId) -> bool {
-        self.down[id]
-    }
-
-    /// The first live server of an owner group, if any.
-    fn live_member(&self, group: &[ServerId]) -> Option<ServerId> {
-        group.iter().copied().find(|&id| !self.down[id])
+        !self.health.available(id)
     }
 
     /// Evaluate `query` as posed to server `home`. Operator evaluation
@@ -202,13 +299,36 @@ impl Router {
         pager: &Pager,
         query: &Query,
     ) -> QueryResult<Vec<Entry>> {
+        Ok(self
+            .query_with(home, pager, query, ConsistencyMode::Strict)?
+            .entries)
+    }
+
+    /// Evaluate `query` as posed to server `home` under an explicit
+    /// [`ConsistencyMode`]. Under [`ConsistencyMode::Partial`], zones
+    /// that stay unreachable after failover and retries are skipped and
+    /// reported in [`QueryOutcome::partial`] instead of failing the
+    /// query.
+    pub fn query_with(
+        &self,
+        home: ServerId,
+        pager: &Pager,
+        query: &Query,
+        mode: ConsistencyMode,
+    ) -> QueryResult<QueryOutcome> {
         let source = RoutingSource {
             router: self,
             home,
             pager: pager.clone(),
+            mode,
+            partial: RefCell::new(Vec::new()),
         };
         let out = Evaluator::new(&source, pager).evaluate(query)?;
-        out.to_vec().map_err(QueryError::from)
+        let entries = out.to_vec().map_err(QueryError::from)?;
+        Ok(QueryOutcome {
+            entries,
+            partial: source.partial.into_inner(),
+        })
     }
 
     /// Evaluate one atomic query as posed to server `home`: ship it to
@@ -226,8 +346,78 @@ impl Router {
             router: self,
             home,
             pager: pager.clone(),
+            mode: ConsistencyMode::Strict,
+            partial: RefCell::new(Vec::new()),
         };
         source.evaluate_atomic(base, scope, filter)?.to_vec()
+    }
+
+    /// Fetch one zone's share of an atomic query, with failover across
+    /// the owner group and retries with backoff for transient failures.
+    ///
+    /// Each round tries every currently-available replica once (failures
+    /// feed the circuit breakers); between rounds the shared
+    /// [`RetryPolicy`] sleeps. Fatal errors (protocol violations, remote
+    /// evaluation failures, mis-addressing) abort immediately — retrying
+    /// reproduces them.
+    fn fetch_zone(
+        &self,
+        zone: &Dn,
+        group: &[ServerId],
+        home: ServerId,
+        base: &Dn,
+        scope: Scope,
+        filter: &AtomicFilter,
+    ) -> Result<Vec<Entry>, PartitionError> {
+        let fail = |detail: String| PartitionError {
+            zone: zone.clone(),
+            servers: group.to_vec(),
+            detail,
+        };
+        let mut last_detail = format!("no live server for zone {zone}");
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            let candidates: Vec<ServerId> = group
+                .iter()
+                .copied()
+                .filter(|&id| self.health.available(id))
+                .collect();
+            if candidates.is_empty() {
+                // Sleeping will not conjure a replica: every member is
+                // forced down or inside its breaker cooldown.
+                break;
+            }
+            for id in candidates {
+                self.retry_stats.record_attempt();
+                match self.transport.atomic(id, home, base, scope, filter) {
+                    Ok(resp) => match decode_entries(&resp.encoded) {
+                        Ok(entries) => {
+                            self.health.record_success(id);
+                            return Ok(entries);
+                        }
+                        Err(e) => {
+                            // Corrupt payload: charge the server and let
+                            // the next attempt re-fetch.
+                            self.health.record_failure(id);
+                            last_detail = format!("server {id}: corrupt response: {e}");
+                        }
+                    },
+                    Err(e) if e.kind.is_retryable() => {
+                        self.health.record_failure(id);
+                        last_detail = format!("server {id}: {e}");
+                    }
+                    Err(e) => return Err(fail(e.to_string())),
+                }
+            }
+            if attempt + 1 < self.retry.max_attempts {
+                self.retry_stats.record_retry();
+                let delay = self.retry.backoff(attempt, home as u64);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        self.retry_stats.record_give_up();
+        Err(fail(last_detail))
     }
 }
 
@@ -276,13 +466,24 @@ impl Cluster {
 
     /// Simulate an outage of `server` (by name): subsequent routing
     /// skips it, falling back to secondaries of its zones.
+    ///
+    /// **Deprecated** — use [`Cluster::force_down`], which no longer
+    /// needs `&mut`. Kept as a shim for pre-breaker callers.
     pub fn set_down(&mut self, server: &str, down: bool) {
+        self.force_down(server, down);
+    }
+
+    /// Force an outage of `server` (by name): subsequent routing skips
+    /// it, falling back to secondaries of its zones, until forced back
+    /// up.
+    pub fn force_down(&self, server: &str, down: bool) {
         if let Some(id) = self.server_id(server) {
-            self.router.set_down(id, down);
+            self.router.force_down(id, down);
         }
     }
 
-    /// Is the server currently marked down?
+    /// Is the server currently unavailable (forced down or breaker
+    /// open)?
     pub fn is_down(&self, id: ServerId) -> bool {
         self.router.is_down(id)
     }
@@ -294,11 +495,25 @@ impl Cluster {
         pager: &Pager,
         query: &Query,
     ) -> QueryResult<Vec<Entry>> {
+        Ok(self
+            .query_from_with(home, pager, query, ConsistencyMode::Strict)?
+            .entries)
+    }
+
+    /// Evaluate `query` as posed to server `home` (by name) under an
+    /// explicit [`ConsistencyMode`].
+    pub fn query_from_with(
+        &self,
+        home: &str,
+        pager: &Pager,
+        query: &Query,
+        mode: ConsistencyMode,
+    ) -> QueryResult<QueryOutcome> {
         let home = self.server_id(home).ok_or_else(|| QueryError::Parse {
             input: home.into(),
             detail: "no such server".into(),
         })?;
-        self.router.query(home, pager, query)
+        self.router.query_with(home, pager, query, mode)
     }
 }
 
@@ -307,6 +522,20 @@ struct RoutingSource<'r> {
     router: &'r Router,
     home: ServerId,
     pager: Pager,
+    mode: ConsistencyMode,
+    /// Zones skipped so far (Partial mode), deduplicated by context.
+    /// RefCell because the [`Evaluator`] drives `&self` sources; one
+    /// source belongs to one evaluation, so no sharing across threads.
+    partial: RefCell<Vec<PartitionError>>,
+}
+
+impl RoutingSource<'_> {
+    fn record_skip(&self, err: PartitionError) {
+        let mut partial = self.partial.borrow_mut();
+        if !partial.iter().any(|p| p.zone == err.zone) {
+            partial.push(err);
+        }
+    }
 }
 
 impl AtomicSource for RoutingSource<'_> {
@@ -316,41 +545,29 @@ impl AtomicSource for RoutingSource<'_> {
         scope: Scope,
         filter: &AtomicFilter,
     ) -> PagerResult<PagedList<Entry>> {
-        let groups: Vec<&[ServerId]> = match scope {
-            Scope::Base => self
-                .router
-                .delegation
-                .owner_group_of(base)
-                .into_iter()
-                .collect(),
-            Scope::One | Scope::Sub => self.router.delegation.groups_for_subtree(base),
+        let zones: Vec<(&Dn, &[ServerId])> = match scope {
+            Scope::Base => self.router.delegation.zone_of(base).into_iter().collect(),
+            Scope::One | Scope::Sub => self.router.delegation.zones_for_subtree(base),
         };
-        // Route each zone to its first live replica (§3.3 failover).
-        let mut servers = Vec::with_capacity(groups.len());
-        for group in groups {
-            match self.router.live_member(group) {
-                Some(id) => servers.push(id),
-                None => {
-                    return Err(PagerError::CorruptRecord {
-                        detail: format!(
-                            "no live server for a zone required by base {base}"
-                        ),
-                    })
-                }
-            }
-        }
-        // Each server's zone is disjoint; responses are sorted; a k-way
-        // merge preserves global order.
-        let mut responses: Vec<Vec<Entry>> = Vec::with_capacity(servers.len());
-        for server in servers {
-            let resp = self
+        // Fetch each zone from its owner group (§3.3 failover + retry);
+        // under Partial mode a zone that stays unreachable is skipped
+        // and accounted for instead of failing the query.
+        let mut responses: Vec<Vec<Entry>> = Vec::with_capacity(zones.len());
+        for (zone, group) in zones {
+            match self
                 .router
-                .transport
-                .atomic(server, self.home, base, scope, filter)
-                .map_err(|e| PagerError::CorruptRecord {
-                    detail: e.to_string(),
-                })?;
-            responses.push(decode_entries(&resp.encoded)?);
+                .fetch_zone(zone, group, self.home, base, scope, filter)
+            {
+                Ok(entries) => responses.push(entries),
+                Err(err) => match self.mode {
+                    ConsistencyMode::Strict => {
+                        return Err(PagerError::CorruptRecord {
+                            detail: format!("required by base {base}: {err}"),
+                        })
+                    }
+                    ConsistencyMode::Partial => self.record_skip(err),
+                },
+            }
         }
         let mut pos: Vec<usize> = vec![0; responses.len()];
         let mut out = ListWriter::new(&self.pager);
@@ -595,5 +812,160 @@ mod tests {
         let pager = netdir_pager::default_pager();
         let q = parse_query("(dc=com ? base ? objectClass=*)").unwrap();
         assert!(c.query_from("nope", &pager, &q).is_err());
+    }
+
+    #[test]
+    fn force_down_needs_no_mut() {
+        let c = cluster(); // note: not `mut`
+        let org = c.server_id("org").unwrap();
+        c.force_down("org", true);
+        assert!(c.is_down(org));
+        c.force_down("org", false);
+        assert!(!c.is_down(org));
+    }
+
+    #[test]
+    fn partial_mode_returns_surviving_partitions_with_account() {
+        let c = cluster();
+        c.force_down("research", true);
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(null-dn ? sub ? objectClass=thing)").unwrap();
+        // Strict: the dead non-replicated zone fails the query.
+        assert!(c.query_from("att", &pager, &q).is_err());
+        // Partial: every entry owned by surviving partitions, sorted,
+        // plus a precise account of the skipped zone.
+        let out = c
+            .query_from_with("att", &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        assert!(!out.is_complete());
+        assert_eq!(out.entries.len(), 5, "8 entries minus research's 3");
+        let research_zone = dn("dc=research, dc=att, dc=com");
+        for e in &out.entries {
+            assert!(
+                !research_zone.sort_key().subsumes(e.dn().sort_key()),
+                "entry {} belongs to the dead zone",
+                e.dn()
+            );
+        }
+        for w in out.entries.windows(2) {
+            assert!(w[0].dn() < w[1].dn(), "partial results must stay sorted");
+        }
+        assert_eq!(out.partial.len(), 1, "one zone skipped, reported once");
+        assert_eq!(out.partial[0].zone, research_zone);
+        assert_eq!(
+            out.partial[0].servers,
+            vec![c.server_id("research").unwrap()]
+        );
+        // A replicated zone's forced-down primary is NOT a partial
+        // result: the secondary answers.
+        let out = c
+            .query_from_with("root", &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        assert_eq!(out.partial.len(), 1, "only the unreplicated zone is lost");
+    }
+
+    #[test]
+    fn partial_equals_strict_on_healthy_cluster() {
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(null-dn ? sub ? surName=jagadish)").unwrap();
+        let strict = c.query_from("att", &pager, &q).unwrap();
+        let out = c
+            .query_from_with("att", &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        assert!(out.is_complete());
+        let names = |v: &[Entry]| -> Vec<String> {
+            v.iter().map(|e| e.dn().to_string()).collect()
+        };
+        assert_eq!(names(&strict), names(&out.entries));
+    }
+
+    /// A cluster whose transport is wrapped in a seeded [`FaultTransport`].
+    fn faulty_cluster(
+        cfg: crate::FaultConfig,
+        retry: crate::RetryPolicy,
+        breaker: crate::BreakerConfig,
+    ) -> (Vec<ServerNode>, Router, crate::FaultStats) {
+        let parts = ClusterBuilder::new()
+            .server("root", dn("dc=com"))
+            .server("att", dn("dc=att, dc=com"))
+            .server("research", dn("dc=research, dc=att, dc=com"))
+            .server("org", dn("dc=org"))
+            .into_parts(&dir());
+        let nodes: Vec<ServerNode> = parts
+            .configs
+            .into_iter()
+            .zip(parts.partitions)
+            .map(|(cfg, entries)| ServerNode::spawn(cfg, entries))
+            .collect();
+        let channel = ChannelTransport::new(nodes.iter().map(|n| n.sender()).collect());
+        let fault = crate::FaultTransport::new(Box::new(channel), cfg);
+        let stats = fault.stats();
+        let router = Router::new(parts.delegation, Box::new(fault))
+            .with_retry(retry)
+            .with_breaker(breaker);
+        (nodes, router, stats)
+    }
+
+    #[test]
+    fn breaker_trips_on_hard_outage_and_short_circuits_later_fetches() {
+        use crate::{BreakerConfig, BreakerState, FaultConfig, RetryPolicy};
+        let (_nodes, router, stats) = faulty_cluster(
+            FaultConfig::seeded(11).with_server_fail(2, 1.0), // research dead
+            RetryPolicy::immediate(2),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: std::time::Duration::from_secs(600),
+            },
+        );
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(null-dn ? sub ? objectClass=thing)").unwrap();
+        let first = router
+            .query_with(0, &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        assert_eq!(first.partial.len(), 1);
+        assert_eq!(router.health().state(2), BreakerState::Open);
+        assert!(router.retry_stats().snapshot().gave_up >= 1);
+        let calls_before = stats.snapshot().calls;
+        // Second query: the open breaker short-circuits — no transport
+        // calls reach the dead server, yet the answer is identical.
+        let second = router
+            .query_with(0, &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        assert_eq!(
+            first.entries.len(),
+            second.entries.len(),
+            "degraded answers must be stable"
+        );
+        // The skipped zone is identical; only the detail string differs
+        // (attempted-and-failed vs breaker-short-circuited).
+        assert_eq!(first.partial[0].zone, second.partial[0].zone);
+        assert_eq!(first.partial[0].servers, second.partial[0].servers);
+        assert_eq!(
+            stats.snapshot().unreachable,
+            2,
+            "breaker must stop probing the dead server"
+        );
+        assert!(stats.snapshot().calls > calls_before, "live zones still fetched");
+    }
+
+    #[test]
+    fn retry_refetches_a_corrupted_response() {
+        use crate::{BreakerConfig, FaultConfig, RetryPolicy};
+        // Call 0 (the first zone fetch) returns a truncated payload;
+        // the retry layer re-fetches and the query still succeeds.
+        let (_nodes, router, stats) = faulty_cluster(
+            FaultConfig::seeded(5).with_truncate_nth(0),
+            RetryPolicy::immediate(3),
+            BreakerConfig::default(),
+        );
+        let pager = netdir_pager::default_pager();
+        let q = parse_query("(null-dn ? sub ? objectClass=thing)").unwrap();
+        let hits = router.query(0, &pager, &q).unwrap();
+        assert_eq!(hits.len(), 8);
+        assert_eq!(stats.snapshot().truncated, 1);
+        let retry = router.retry_stats().snapshot();
+        assert!(retry.retries >= 1, "corrupt response must cost a retry");
+        assert_eq!(retry.gave_up, 0);
     }
 }

@@ -1,0 +1,294 @@
+//! Per-server health tracking: a circuit breaker behind `&self`.
+//!
+//! Section 3.3's promise — "one unreachable network will not necessarily
+//! cut off network directory service" — needs liveness the router can
+//! *learn*, not a flag an operator flips by hand. Each server gets a
+//! small three-state circuit breaker:
+//!
+//! ```text
+//!            failure (× threshold)
+//!   Closed ──────────────────────────▶ Open
+//!     ▲  ▲                              │ cooldown elapses
+//!     │  └── success ── HalfOpen ◀──────┘
+//!     │                    │
+//!     └────────────────────┘ failure → Open (cooldown re-arms)
+//! ```
+//!
+//! * **Closed** — healthy; consecutive failures are counted, a success
+//!   resets the count.
+//! * **Open** — tripped after `failure_threshold` consecutive failures;
+//!   routing skips the server entirely (no connection attempts) until
+//!   `cooldown` elapses.
+//! * **HalfOpen** — the cooldown expired; the server is offered probe
+//!   traffic again. The first success closes the breaker, the first
+//!   failure re-opens it and re-arms the cooldown.
+//!
+//! Everything is interior-mutable (an `AtomicBool` plus one small mutex
+//! per server), so the router's query path stays `&self` and concurrent
+//! clients share one view of cluster health. A separate **forced-down**
+//! flag preserves the old operator-controlled `set_down` semantics: a
+//! forced-down server is unavailable regardless of breaker state and
+//! never recovers on its own.
+
+use crate::delegation::ServerId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for the per-server circuit breakers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a Closed breaker to Open.
+    pub failure_threshold: u32,
+    /// How long an Open breaker rejects traffic before offering a
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Observable breaker state (for tests, logs, and experiment tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy, serving traffic.
+    Closed,
+    /// Tripped, rejecting traffic until the cooldown expires.
+    Open,
+    /// Cooldown expired, accepting probe traffic.
+    HalfOpen,
+}
+
+enum State {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+struct ServerHealth {
+    forced_down: AtomicBool,
+    state: Mutex<State>,
+}
+
+impl ServerHealth {
+    fn new() -> ServerHealth {
+        ServerHealth {
+            forced_down: AtomicBool::new(false),
+            state: Mutex::new(State::Closed { failures: 0 }),
+        }
+    }
+}
+
+/// Health of every server in a cluster, indexed by [`ServerId`].
+pub struct HealthTracker {
+    cfg: BreakerConfig,
+    servers: Vec<ServerHealth>,
+}
+
+impl HealthTracker {
+    /// Track `n` servers, all initially healthy.
+    pub fn new(n: usize, cfg: BreakerConfig) -> HealthTracker {
+        HealthTracker {
+            cfg,
+            servers: (0..n).map(|_| ServerHealth::new()).collect(),
+        }
+    }
+
+    /// Number of tracked servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True iff no servers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The breaker configuration.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// May traffic be routed to `id` right now? An Open breaker whose
+    /// cooldown has expired transitions to HalfOpen here (this is the
+    /// probe admission point). Unknown ids are unavailable.
+    pub fn available(&self, id: ServerId) -> bool {
+        let Some(s) = self.servers.get(id) else {
+            return false;
+        };
+        if s.forced_down.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut state = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        match &*state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { since } => {
+                if since.elapsed() >= self.cfg.cooldown {
+                    *state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful exchange with `id`: closes the breaker and
+    /// clears the failure count.
+    pub fn record_success(&self, id: ServerId) {
+        if let Some(s) = self.servers.get(id) {
+            let mut state = s.state.lock().unwrap_or_else(|e| e.into_inner());
+            *state = State::Closed { failures: 0 };
+        }
+    }
+
+    /// Record a failed exchange with `id`: counts toward the trip
+    /// threshold; a HalfOpen probe failure re-opens immediately.
+    pub fn record_failure(&self, id: ServerId) {
+        let Some(s) = self.servers.get(id) else { return };
+        let mut state = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = match &*state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.cfg.failure_threshold.max(1) {
+                    State::Open { since: Instant::now() }
+                } else {
+                    State::Closed { failures }
+                }
+            }
+            // A failed probe (or a straggler failure racing the trip)
+            // re-arms the cooldown from now.
+            State::HalfOpen | State::Open { .. } => State::Open { since: Instant::now() },
+        };
+    }
+
+    /// Operator-forced outage: unavailable regardless of breaker state,
+    /// until forced back up. This is the §3.3 "simulated outage" switch
+    /// the old `set_down` API flipped.
+    pub fn force_down(&self, id: ServerId, down: bool) {
+        if let Some(s) = self.servers.get(id) {
+            s.forced_down.store(down, Ordering::SeqCst);
+        }
+    }
+
+    /// Is the server operator-forced down?
+    pub fn is_forced_down(&self, id: ServerId) -> bool {
+        self.servers
+            .get(id)
+            .is_some_and(|s| s.forced_down.load(Ordering::SeqCst))
+    }
+
+    /// The server's breaker state, without admitting a probe (an Open
+    /// breaker past its cooldown still reads Open until
+    /// [`HealthTracker::available`] admits the probe).
+    pub fn state(&self, id: ServerId) -> BreakerState {
+        match self.servers.get(id).map(|s| {
+            let state = s.state.lock().unwrap_or_else(|e| e.into_inner());
+            match &*state {
+                State::Closed { .. } => BreakerState::Closed,
+                State::Open { .. } => BreakerState::Open,
+                State::HalfOpen => BreakerState::HalfOpen,
+            }
+        }) {
+            Some(st) => st,
+            None => BreakerState::Open,
+        }
+    }
+
+    /// Consecutive failures recorded while Closed (0 in other states).
+    pub fn consecutive_failures(&self, id: ServerId) -> u32 {
+        self.servers
+            .get(id)
+            .map(|s| {
+                let state = s.state.lock().unwrap_or_else(|e| e.into_inner());
+                match &*state {
+                    State::Closed { failures } => *failures,
+                    _ => 0,
+                }
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold: u32, cooldown_ms: u64) -> HealthTracker {
+        HealthTracker::new(
+            2,
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_millis(cooldown_ms),
+            },
+        )
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let h = tracker(3, 60_000);
+        h.record_failure(0);
+        h.record_failure(0);
+        assert!(h.available(0));
+        assert_eq!(h.consecutive_failures(0), 2);
+        h.record_success(0); // streak broken
+        h.record_failure(0);
+        h.record_failure(0);
+        assert!(h.available(0), "streak must reset on success");
+        h.record_failure(0);
+        assert!(!h.available(0), "third consecutive failure trips");
+        assert_eq!(h.state(0), BreakerState::Open);
+        // The other server is unaffected.
+        assert!(h.available(1));
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_close_or_reopen() {
+        let h = tracker(1, 20);
+        h.record_failure(0);
+        assert!(!h.available(0));
+        std::thread::sleep(Duration::from_millis(30));
+        // Cooldown expired: probe admitted.
+        assert!(h.available(0));
+        assert_eq!(h.state(0), BreakerState::HalfOpen);
+        // Probe fails → straight back to Open, cooldown re-armed.
+        h.record_failure(0);
+        assert!(!h.available(0));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(h.available(0));
+        // Probe succeeds → Closed.
+        h.record_success(0);
+        assert_eq!(h.state(0), BreakerState::Closed);
+        assert!(h.available(0));
+    }
+
+    #[test]
+    fn forced_down_overrides_breaker_and_never_self_heals() {
+        let h = tracker(3, 1);
+        h.force_down(0, true);
+        assert!(!h.available(0));
+        assert!(h.is_forced_down(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!h.available(0), "forced outage must not cool down");
+        h.record_success(0);
+        assert!(!h.available(0), "successes do not lift a forced outage");
+        h.force_down(0, false);
+        assert!(h.available(0));
+    }
+
+    #[test]
+    fn unknown_ids_are_unavailable_and_harmless() {
+        let h = tracker(1, 1);
+        assert!(!h.available(99));
+        h.record_failure(99);
+        h.record_success(99);
+        h.force_down(99, true);
+        assert_eq!(h.state(99), BreakerState::Open);
+    }
+}

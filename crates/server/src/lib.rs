@@ -19,14 +19,24 @@
 
 pub mod delegation;
 pub mod distributed;
+pub mod fault;
+pub mod health;
 pub mod net;
 pub mod node;
+pub mod retry;
 pub mod transport;
 
 pub use delegation::Delegation;
-pub use distributed::{Cluster, ClusterBuilder, ClusterParts, Router};
+pub use distributed::{
+    Cluster, ClusterBuilder, ClusterParts, ConsistencyMode, PartitionError, QueryOutcome,
+    Router,
+};
+pub use fault::{FaultConfig, FaultSnapshot, FaultStats, FaultTransport};
+pub use health::{BreakerConfig, BreakerState, HealthTracker};
 pub use net::{NetSnapshot, NetStats};
 pub use node::{ServerConfig, ServerNode};
+pub use retry::{RetryPolicy, RetrySnapshot, RetryStats, Retryable};
 pub use transport::{
-    AtomicResponse, ChannelTransport, Transport, TransportError, TransportResult,
+    AtomicResponse, ChannelTransport, Transport, TransportError, TransportErrorKind,
+    TransportResult,
 };

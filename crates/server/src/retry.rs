@@ -1,0 +1,226 @@
+//! Capped, jittered exponential backoff — the retry policy shared by
+//! [`Router`](crate::Router) (per-zone fetches) and `netdir_wire`'s
+//! `WireClient` (per-request exchanges).
+//!
+//! Two properties matter more than the exact curve:
+//!
+//! * **Classification before repetition.** Only *retryable* failures
+//!   (connection loss, timeouts, injected drops) are worth another
+//!   attempt; protocol violations, remote evaluation errors, and
+//!   mis-addressing will fail identically every time and abort at once.
+//!   The [`Retryable`] trait carries that judgement so both error types
+//!   (`TransportError`, `WireError`) answer the same question.
+//! * **Determinism.** Jitter is derived from a SplitMix64 hash of
+//!   `(seed, salt, attempt)`, not from a clock or a global RNG, so a
+//!   seeded chaos test produces the same delays — and therefore the same
+//!   retry counts — on every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors that can say whether another attempt might succeed.
+pub trait Retryable {
+    /// `true` if the failure is transient (another attempt, possibly on
+    /// another replica, may succeed); `false` if retrying is futile.
+    fn is_retryable(&self) -> bool;
+}
+
+/// SplitMix64 — the small deterministic mixer used for jitter (and by
+/// [`FaultTransport`](crate::FaultTransport) for fault draws).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A capped exponential-backoff retry policy with deterministic jitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x6e65_7464_6972, // "netdir"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, no sleeping.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// `attempts` tries with no sleeping between them — what tests and
+    /// seeded chaos runs use, so wall-clock never enters the picture.
+    pub fn immediate(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay to sleep after failed attempt number `attempt`
+    /// (0-based). Equal-jitter: half the capped exponential step is
+    /// fixed, the other half scales by a deterministic hash of
+    /// `(seed, salt, attempt)`.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = self.base_delay.as_nanos() as u64;
+        let cap = self.max_delay.as_nanos().max(base as u128) as u64;
+        let step = base
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(cap);
+        let h = splitmix64(self.seed ^ salt.rotate_left(17) ^ u64::from(attempt));
+        // Map the hash to [0, 1) with 53-bit precision.
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = step / 2 + ((step / 2) as f64 * frac) as u64;
+        Duration::from_nanos(jittered)
+    }
+}
+
+/// Shared retry counters (cloneable handle, like
+/// [`NetStats`](crate::NetStats)): how hard the fault-tolerance layer
+/// had to work.
+#[derive(Clone, Default)]
+pub struct RetryStats {
+    inner: Arc<RetryCounters>,
+}
+
+#[derive(Default)]
+struct RetryCounters {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+}
+
+/// Point-in-time copy of [`RetryStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetrySnapshot {
+    /// Individual transport attempts issued (successes included).
+    pub attempts: u64,
+    /// Backoff rounds taken after a failed round of attempts.
+    pub retries: u64,
+    /// Zone fetches abandoned with all attempts exhausted.
+    pub gave_up: u64,
+}
+
+impl std::fmt::Display for RetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} attempts, {} retries, {} gave up",
+            self.attempts, self.retries, self.gave_up
+        )
+    }
+}
+
+impl RetryStats {
+    /// Fresh counters.
+    pub fn new() -> RetryStats {
+        RetryStats::default()
+    }
+
+    /// Count one transport attempt.
+    pub fn record_attempt(&self) {
+        self.inner.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one backoff round.
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one abandoned fetch.
+    pub fn record_give_up(&self) {
+        self.inner.gave_up.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> RetrySnapshot {
+        RetrySnapshot {
+            attempts: self.inner.attempts.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            gave_up: self.inner.gave_up.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.inner.attempts.store(0, Ordering::Relaxed);
+        self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.gave_up.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            seed: 7,
+        };
+        for attempt in 0..10 {
+            let a = p.backoff(attempt, 42);
+            let b = p.backoff(attempt, 42);
+            assert_eq!(a, b, "jitter must be deterministic");
+            assert!(a <= Duration::from_millis(80), "cap violated: {a:?}");
+            // Equal jitter keeps at least half the step.
+            assert!(a >= Duration::from_millis(5));
+        }
+        // Different salts decorrelate delays.
+        assert_ne!(p.backoff(1, 1), p.backoff(1, 2));
+    }
+
+    #[test]
+    fn zero_base_means_no_sleeping() {
+        let p = RetryPolicy::immediate(4);
+        assert_eq!(p.backoff(3, 99), Duration::ZERO);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let s = RetryStats::new();
+        s.record_attempt();
+        s.record_attempt();
+        s.record_retry();
+        s.record_give_up();
+        let snap = s.snapshot();
+        assert_eq!(
+            (snap.attempts, snap.retries, snap.gave_up),
+            (2, 1, 1)
+        );
+        s.reset();
+        assert_eq!(s.snapshot(), RetrySnapshot::default());
+    }
+}

@@ -25,26 +25,99 @@ use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::Dn;
 use std::fmt;
 
+/// What went wrong at the transport, classified for the retry policy:
+/// a failure is either transient (worth another attempt, possibly on a
+/// replica) or deterministic (retrying reproduces it exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// Connection-level loss: unreachable server, reset, timeout,
+    /// channel or socket closed mid-exchange. **Retryable.**
+    Io,
+    /// A fault deliberately injected by
+    /// [`FaultTransport`](crate::FaultTransport). **Retryable** — it
+    /// models transient network loss.
+    Injected,
+    /// The peer answered with bytes that violate the protocol. Fatal:
+    /// the peer will mangle a retry identically.
+    Protocol,
+    /// The remote server executed the request and reported an
+    /// evaluation error. Fatal: the query itself fails over there.
+    Remote,
+    /// No such server id — a delegation/config bug, not weather. Fatal.
+    Addressing,
+}
+
+impl TransportErrorKind {
+    /// May another attempt succeed?
+    pub fn is_retryable(self) -> bool {
+        matches!(self, TransportErrorKind::Io | TransportErrorKind::Injected)
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            TransportErrorKind::Io => "i/o",
+            TransportErrorKind::Injected => "injected",
+            TransportErrorKind::Protocol => "protocol",
+            TransportErrorKind::Remote => "remote",
+            TransportErrorKind::Addressing => "addressing",
+        }
+    }
+}
+
 /// A transport-level failure (unreachable server, closed connection,
-/// malformed response).
+/// malformed response), carrying its retry classification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransportError {
+    /// Retryable-vs-fatal classification.
+    pub kind: TransportErrorKind,
     /// Human-readable cause.
     pub detail: String,
 }
 
 impl TransportError {
-    /// Build from anything displayable.
+    /// A connection-level (retryable) failure — the historical default.
     pub fn new(detail: impl Into<String>) -> TransportError {
+        TransportError::with_kind(TransportErrorKind::Io, detail)
+    }
+
+    /// Build with an explicit classification.
+    pub fn with_kind(kind: TransportErrorKind, detail: impl Into<String>) -> TransportError {
         TransportError {
+            kind,
             detail: detail.into(),
         }
+    }
+
+    /// An addressing (fatal) failure.
+    pub fn addressing(detail: impl Into<String>) -> TransportError {
+        TransportError::with_kind(TransportErrorKind::Addressing, detail)
+    }
+
+    /// A remote evaluation (fatal) failure.
+    pub fn remote(detail: impl Into<String>) -> TransportError {
+        TransportError::with_kind(TransportErrorKind::Remote, detail)
+    }
+
+    /// A protocol-violation (fatal) failure.
+    pub fn protocol(detail: impl Into<String>) -> TransportError {
+        TransportError::with_kind(TransportErrorKind::Protocol, detail)
+    }
+
+    /// An injected (retryable) failure.
+    pub fn injected(detail: impl Into<String>) -> TransportError {
+        TransportError::with_kind(TransportErrorKind::Injected, detail)
+    }
+}
+
+impl crate::retry::Retryable for TransportError {
+    fn is_retryable(&self) -> bool {
+        self.kind.is_retryable()
     }
 }
 
 impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transport error: {}", self.detail)
+        write!(f, "transport error ({}): {}", self.kind.label(), self.detail)
     }
 }
 
@@ -115,7 +188,7 @@ impl Transport for ChannelTransport {
         let (reply, rx) = unbounded();
         self.senders
             .get(target)
-            .ok_or_else(|| TransportError::new(format!("no server with id {target}")))?
+            .ok_or_else(|| TransportError::addressing(format!("no server with id {target}")))?
             .send(Request::Atomic {
                 base: base.clone(),
                 scope,
@@ -126,7 +199,7 @@ impl Transport for ChannelTransport {
         let encoded = rx
             .recv()
             .map_err(|e| TransportError::new(format!("server reply lost: {e}")))?
-            .map_err(|detail| TransportError { detail })?;
+            .map_err(TransportError::remote)?;
         let bytes = wire_bytes(&encoded);
         if target != home {
             self.net.record_round_trip(encoded.len() as u64, bytes);

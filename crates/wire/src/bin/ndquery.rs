@@ -3,12 +3,18 @@
 //! ```text
 //! ndquery 127.0.0.1:3890 "(dc=att, dc=com ? sub ? surName=jagadish)"
 //! ndquery 127.0.0.1:3890 --home att "(null-dn ? sub ? objectClass=person)"
+//! ndquery 127.0.0.1:3890 --partial "(null-dn ? sub ? objectClass=person)"
 //! ndquery 127.0.0.1:3890 --ping
 //! ndquery 127.0.0.1:3890 --shutdown
 //! ```
 //!
 //! Query results print as LDIF, one blank-line-separated block per
 //! entry, in the server's (DN-sorted) order.
+//!
+//! With `--partial`, zones the daemon cannot reach are skipped instead
+//! of failing the query: entries from the surviving partitions print as
+//! usual, each skipped zone is reported on stderr, and the exit status
+//! stays 0 (a degraded answer is still an answer).
 
 use netdir_model::ldif::entry_to_ldif;
 use netdir_wire::{ClientOptions, WireClient};
@@ -18,7 +24,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ndquery ADDR [--home NAME] [--timeout-ms MS] QUERY\n\
+        "usage: ndquery ADDR [--home NAME] [--partial] [--timeout-ms MS] QUERY\n\
          \x20      ndquery ADDR --ping | --shutdown"
     );
     exit(2)
@@ -30,6 +36,7 @@ fn main() {
     let mut query: Option<String> = None;
     let mut ping = false;
     let mut shutdown = false;
+    let mut partial = false;
     let mut opts = ClientOptions::default();
 
     let mut args = std::env::args().skip(1);
@@ -48,6 +55,7 @@ fn main() {
             }
             "--ping" => ping = true,
             "--shutdown" => shutdown = true,
+            "--partial" => partial = true,
             "--help" | "-h" => usage(),
             other if addr.is_none() => addr = Some(other.to_string()),
             other if query.is_none() => query = Some(other.to_string()),
@@ -90,6 +98,31 @@ fn main() {
     }
 
     let Some(query) = query else { usage() };
+    if partial {
+        match client.query_partial(&home, &query) {
+            Ok(outcome) => {
+                for (i, e) in outcome.entries.iter().enumerate() {
+                    if i > 0 {
+                        println!();
+                    }
+                    print!("{}", entry_to_ldif(e));
+                }
+                for skip in &outcome.partial {
+                    eprintln!("# partial: skipped zone {skip}");
+                }
+                eprintln!(
+                    "# {} entries ({} zones skipped)",
+                    outcome.entries.len(),
+                    outcome.partial.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("ndquery: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
     match client.query(&home, &query) {
         Ok(entries) => {
             for (i, e) in entries.iter().enumerate() {

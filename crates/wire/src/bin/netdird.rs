@@ -18,7 +18,7 @@
 
 use netdir_model::{ldif, Directory, Dn};
 use netdir_query::parse_query;
-use netdir_server::{Cluster, ClusterBuilder};
+use netdir_server::{Cluster, ClusterBuilder, ConsistencyMode};
 use netdir_wire::{
     encode_entries, ServerOptions, WireRequest, WireResponse, WireServer, WireService,
 };
@@ -59,21 +59,39 @@ impl WireService for ClusterService {
                 }
             }
             WireRequest::Query { home, text } => {
-                let home = if home.is_empty() {
-                    self.cluster.node(0).config.name.clone()
-                } else {
-                    home
-                };
-                let query = match parse_query(&text) {
-                    Ok(q) => q,
-                    Err(e) => return WireResponse::Error(format!("bad query: {e}")),
-                };
-                let pager = netdir_pager::default_pager();
-                match self.cluster.query_from(&home, &pager, &query) {
-                    Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
-                    Err(e) => WireResponse::Error(e.to_string()),
-                }
+                self.distributed(home, text, ConsistencyMode::Strict)
             }
+            WireRequest::QueryPartial { home, text } => {
+                self.distributed(home, text, ConsistencyMode::Partial)
+            }
+        }
+    }
+}
+
+impl ClusterService {
+    /// Full distributed query under `mode`. Partial outcomes with
+    /// nothing skipped answer as plain `Entries`, so a healthy daemon's
+    /// responses are identical in both modes.
+    fn distributed(&self, home: String, text: String, mode: ConsistencyMode) -> WireResponse {
+        let home = if home.is_empty() {
+            self.cluster.node(0).config.name.clone()
+        } else {
+            home
+        };
+        let query = match parse_query(&text) {
+            Ok(q) => q,
+            Err(e) => return WireResponse::Error(format!("bad query: {e}")),
+        };
+        let pager = netdir_pager::default_pager();
+        match self.cluster.query_from_with(&home, &pager, &query, mode) {
+            Ok(outcome) if outcome.is_complete() => {
+                WireResponse::Entries(encode_entries(&outcome.entries))
+            }
+            Ok(outcome) => WireResponse::Partial {
+                entries: encode_entries(&outcome.entries),
+                skipped: outcome.partial,
+            },
+            Err(e) => WireResponse::Error(e.to_string()),
         }
     }
 }

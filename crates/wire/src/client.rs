@@ -12,9 +12,11 @@ use crate::frame::{frame_len, read_frame, write_frame, DEFAULT_MAX_FRAME};
 use netdir_filter::{AtomicFilter, CompositeFilter, Scope};
 use netdir_model::{Dn, Entry};
 use netdir_server::node::decode_entries;
+use netdir_server::{QueryOutcome, RetryPolicy, Retryable};
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -27,6 +29,36 @@ pub enum WireError {
     Protocol(String),
     /// The daemon executed the request and reported an error.
     Remote(String),
+}
+
+impl WireError {
+    /// May another attempt succeed? Only connection weather ([`Io`])
+    /// qualifies: a protocol violation repeats identically and a remote
+    /// evaluation error means the query itself fails over there.
+    ///
+    /// [`Io`]: WireError::Io
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WireError::Io(_))
+    }
+
+    /// Classify an I/O failure from the frame layer: the size guards
+    /// (`InvalidInput` from `write_frame`, `InvalidData` from
+    /// `read_frame`) are protocol violations, everything else is
+    /// connection weather.
+    fn from_io(e: io::Error) -> WireError {
+        match e.kind() {
+            io::ErrorKind::InvalidInput | io::ErrorKind::InvalidData => {
+                WireError::Protocol(e.to_string())
+            }
+            _ => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+impl Retryable for WireError {
+    fn is_retryable(&self) -> bool {
+        WireError::is_retryable(self)
+    }
 }
 
 impl fmt::Display for WireError {
@@ -53,6 +85,10 @@ pub struct ClientOptions {
     pub max_frame: usize,
     /// Idle connections kept for reuse.
     pub pool_size: usize,
+    /// Retry policy for retryable ([`WireError::Io`]) failures. The
+    /// stale-pooled-connection retry is separate and always free — this
+    /// policy governs genuinely failed exchanges.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientOptions {
@@ -61,6 +97,12 @@ impl Default for ClientOptions {
             timeout: Duration::from_secs(30),
             max_frame: DEFAULT_MAX_FRAME,
             pool_size: 2,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(200),
+                ..RetryPolicy::default()
+            },
         }
     }
 }
@@ -70,6 +112,7 @@ pub struct WireClient {
     addr: SocketAddr,
     opts: ClientOptions,
     pool: Mutex<Vec<TcpStream>>,
+    retries: AtomicU64,
 }
 
 impl WireClient {
@@ -80,12 +123,19 @@ impl WireClient {
             addr,
             opts,
             pool: Mutex::new(Vec::new()),
+            retries: AtomicU64::new(0),
         }
     }
 
     /// The daemon this client talks to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Policy-driven retries performed so far (the free
+    /// stale-pooled-connection redo is not counted).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     fn fresh_conn(&self) -> WireResult<TcpStream> {
@@ -118,39 +168,74 @@ impl WireClient {
         conn: &mut (impl Read + Write),
         payload: &[u8],
     ) -> WireResult<Option<Vec<u8>>> {
-        write_frame(conn, payload, self.opts.max_frame)
-            .map_err(|e| WireError::Io(e.to_string()))?;
-        read_frame(conn, self.opts.max_frame).map_err(|e| WireError::Io(e.to_string()))
+        write_frame(conn, payload, self.opts.max_frame).map_err(WireError::from_io)?;
+        read_frame(conn, self.opts.max_frame).map_err(WireError::from_io)
     }
 
     /// Issue `req`; return the decoded response plus the number of bytes
     /// the response occupied on the wire (frame header included).
+    ///
+    /// Failure handling, in order: a failed exchange on a *pooled*
+    /// connection is redone once immediately on a fresh one (a server
+    /// idle-timeout is not weather); after that, retryable errors get
+    /// [`ClientOptions::retry`] attempts with capped jittered backoff;
+    /// fatal errors ([`WireError::Protocol`], [`WireError::Remote`])
+    /// surface immediately.
     pub fn call_counted(&self, req: &WireRequest) -> WireResult<(WireResponse, u64)> {
         let payload = req.encode();
         let mut last_err = WireError::Io("no attempt made".into());
-        for attempt in 0..2 {
-            let (mut conn, pooled) = match self.checkout() {
-                Some(c) => (c, true),
-                None => (self.fresh_conn()?, false),
+        let mut pool_grace = true;
+        let max_attempts = self.opts.retry.max_attempts.max(1);
+        let mut attempt = 0;
+        while attempt < max_attempts {
+            let conn = match self.checkout() {
+                Some(c) => Ok((c, true)),
+                None => self.fresh_conn().map(|c| (c, false)),
             };
-            match self.exchange(&mut conn, &payload) {
-                Ok(Some(resp_payload)) => {
-                    let on_wire = frame_len(resp_payload.len());
-                    let resp = WireResponse::decode(&resp_payload)
-                        .map_err(|e| WireError::Protocol(e.to_string()))?;
-                    self.checkin(conn);
-                    return Ok((resp, on_wire));
+            match conn {
+                Ok((mut conn, pooled)) => match self.exchange(&mut conn, &payload) {
+                    Ok(Some(resp_payload)) => {
+                        let on_wire = frame_len(resp_payload.len());
+                        let resp = WireResponse::decode(&resp_payload)
+                            .map_err(|e| WireError::Protocol(e.to_string()))?;
+                        self.checkin(conn);
+                        return Ok((resp, on_wire));
+                    }
+                    Ok(None) => {
+                        last_err =
+                            WireError::Io("server closed connection without answering".into());
+                        // One free immediate redo: the pooled connection
+                        // was probably reaped by the server while idle.
+                        if pooled && pool_grace {
+                            pool_grace = false;
+                            continue;
+                        }
+                    }
+                    Err(e) => {
+                        if !e.is_retryable() {
+                            return Err(e);
+                        }
+                        last_err = e;
+                        if pooled && pool_grace {
+                            pool_grace = false;
+                            continue;
+                        }
+                    }
+                },
+                Err(e) => {
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    last_err = e;
                 }
-                Ok(None) => {
-                    last_err =
-                        WireError::Io("server closed connection without answering".into())
-                }
-                Err(e) => last_err = e,
             }
-            // A stale pooled connection explains one failure; a fresh
-            // connection failing is a real error.
-            if !pooled || attempt > 0 {
-                break;
+            attempt += 1;
+            if attempt < max_attempts {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let delay = self.opts.retry.backoff(attempt - 1, self.addr.port() as u64);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
             }
         }
         Err(last_err)
@@ -244,5 +329,30 @@ impl WireClient {
             text: text.to_string(),
         })?;
         Ok(encoded)
+    }
+
+    /// Full L0–L3 query under graceful degradation: zones the remote
+    /// cluster cannot reach are skipped and reported in
+    /// [`QueryOutcome::partial`] instead of failing the query.
+    pub fn query_partial(&self, home: &str, text: &str) -> WireResult<QueryOutcome> {
+        let req = WireRequest::QueryPartial {
+            home: home.to_string(),
+            text: text.to_string(),
+        };
+        let (encoded, partial) = match self.call_counted(&req)? {
+            // A fully healthy cluster may answer with a plain Entries
+            // frame (nothing was skipped).
+            (WireResponse::Entries(encoded), _) => (encoded, Vec::new()),
+            (WireResponse::Partial { entries, skipped }, _) => (entries, skipped),
+            (WireResponse::Error(e), _) => return Err(WireError::Remote(e)),
+            (other, _) => {
+                return Err(WireError::Protocol(format!(
+                    "expected entries or partial, got {other:?}"
+                )))
+            }
+        };
+        let entries =
+            decode_entries(&encoded).map_err(|e| WireError::Protocol(e.to_string()))?;
+        Ok(QueryOutcome { entries, partial })
     }
 }

@@ -23,7 +23,10 @@ use netdir_query::parse_query;
 use netdir_query::{Query, QueryError, QueryResult};
 use netdir_server::delegation::ServerId;
 use netdir_server::node::Request;
-use netdir_server::{ClusterBuilder, NetStats, Router, ServerNode};
+use netdir_server::{
+    BreakerConfig, ClusterBuilder, ConsistencyMode, FaultConfig, FaultStats, FaultTransport,
+    NetStats, QueryOutcome, RetryPolicy, RetryStats, Router, ServerNode,
+};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::{Arc, OnceLock};
@@ -69,6 +72,38 @@ impl NodeService {
             Err(e) => WireResponse::Error(format!("server node reply lost: {e}")),
         }
     }
+
+    /// Answer a full distributed query under `mode`. A partial outcome
+    /// with nothing skipped answers as a plain `Entries` frame, so a
+    /// healthy cluster's traffic is indistinguishable from strict mode.
+    fn distributed(&self, home: &str, text: &str, mode: ConsistencyMode) -> WireResponse {
+        let Some(router) = self.router.get() else {
+            return WireResponse::Error("cluster still launching".into());
+        };
+        let home_id = if home.is_empty() {
+            self.home
+        } else {
+            match self.names.iter().position(|n| n == home) {
+                Some(id) => id,
+                None => return WireResponse::Error(format!("no such server: {home}")),
+            }
+        };
+        let query = match parse_query(text) {
+            Ok(q) => q,
+            Err(e) => return WireResponse::Error(format!("bad query: {e}")),
+        };
+        let pager = netdir_pager::default_pager();
+        match router.query_with(home_id, &pager, &query, mode) {
+            Ok(outcome) if outcome.is_complete() => {
+                WireResponse::Entries(encode_entries(&outcome.entries))
+            }
+            Ok(outcome) => WireResponse::Partial {
+                entries: encode_entries(&outcome.entries),
+                skipped: outcome.partial,
+            },
+            Err(e) => WireResponse::Error(e.to_string()),
+        }
+    }
 }
 
 impl WireService for NodeService {
@@ -92,31 +127,26 @@ impl WireService for NodeService {
                 }
             }),
             WireRequest::Query { home, text } => {
-                let Some(router) = self.router.get() else {
-                    return WireResponse::Error("cluster still launching".into());
-                };
-                let home_id = if home.is_empty() {
-                    self.home
-                } else {
-                    match self.names.iter().position(|n| *n == home) {
-                        Some(id) => id,
-                        None => {
-                            return WireResponse::Error(format!("no such server: {home}"))
-                        }
-                    }
-                };
-                let query = match parse_query(&text) {
-                    Ok(q) => q,
-                    Err(e) => return WireResponse::Error(format!("bad query: {e}")),
-                };
-                let pager = netdir_pager::default_pager();
-                match router.query(home_id, &pager, &query) {
-                    Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
-                    Err(e) => WireResponse::Error(e.to_string()),
-                }
+                self.distributed(&home, &text, ConsistencyMode::Strict)
+            }
+            WireRequest::QueryPartial { home, text } => {
+                self.distributed(&home, &text, ConsistencyMode::Partial)
             }
         }
     }
+}
+
+/// Fault-tolerance knobs for [`WireCluster::launch_with_faults`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Deterministic fault injection wrapped around the socket
+    /// transport (above the TCP clients, so injected faults never race
+    /// real sockets and a fixed seed replays bit-identically).
+    pub faults: FaultConfig,
+    /// Zone-fetch retry policy for the shared router.
+    pub retry: RetryPolicy,
+    /// Per-server circuit-breaker configuration.
+    pub breaker: BreakerConfig,
 }
 
 /// A running cluster of loopback TCP daemons.
@@ -129,6 +159,8 @@ pub struct WireCluster {
     _nodes: Vec<ServerNode>,
     orphaned: usize,
     client_opts: ClientOptions,
+    /// Fault-injection counters, when launched with a [`FaultPlan`].
+    fault_stats: Option<FaultStats>,
 }
 
 impl WireCluster {
@@ -139,6 +171,29 @@ impl WireCluster {
         dir: &Directory,
         server_opts: ServerOptions,
         client_opts: ClientOptions,
+    ) -> io::Result<WireCluster> {
+        WireCluster::launch_inner(builder, dir, server_opts, client_opts, None)
+    }
+
+    /// Like [`WireCluster::launch`], but with deterministic fault
+    /// injection between the router and the sockets, plus explicit
+    /// retry/breaker configuration — the chaos-test entry point.
+    pub fn launch_with_faults(
+        builder: ClusterBuilder,
+        dir: &Directory,
+        server_opts: ServerOptions,
+        client_opts: ClientOptions,
+        plan: FaultPlan,
+    ) -> io::Result<WireCluster> {
+        WireCluster::launch_inner(builder, dir, server_opts, client_opts, Some(plan))
+    }
+
+    fn launch_inner(
+        builder: ClusterBuilder,
+        dir: &Directory,
+        server_opts: ServerOptions,
+        client_opts: ClientOptions,
+        plan: Option<FaultPlan>,
     ) -> io::Result<WireCluster> {
         let parts = builder.into_parts(dir);
         let names: Arc<Vec<String>> =
@@ -164,7 +219,18 @@ impl WireCluster {
             servers.push(server);
         }
         let transport = SocketTransport::connect(&addrs, client_opts.clone());
-        let _ = router.set(Router::new(parts.delegation, Box::new(transport)));
+        let (fault_stats, shared_router) = match plan {
+            None => (None, Router::new(parts.delegation, Box::new(transport))),
+            Some(plan) => {
+                let fault = FaultTransport::new(Box::new(transport), plan.faults);
+                let stats = fault.stats();
+                let r = Router::new(parts.delegation, Box::new(fault))
+                    .with_retry(plan.retry)
+                    .with_breaker(plan.breaker);
+                (Some(stats), r)
+            }
+        };
+        let _ = router.set(shared_router);
         Ok(WireCluster {
             names,
             addrs,
@@ -173,6 +239,7 @@ impl WireCluster {
             _nodes: nodes,
             orphaned: parts.orphaned,
             client_opts,
+            fault_stats,
         })
     }
 
@@ -186,8 +253,21 @@ impl WireCluster {
         )
     }
 
-    fn router(&self) -> &Router {
+    /// The shared distributed evaluator (delegation + transport +
+    /// health + retry accounting).
+    pub fn router(&self) -> &Router {
         self.router.get().expect("router is set before launch returns")
+    }
+
+    /// Fault-injection counters (present when launched with a
+    /// [`FaultPlan`]).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault_stats.as_ref()
+    }
+
+    /// Zone-fetch retry counters of the shared router.
+    pub fn retry_stats(&self) -> &RetryStats {
+        self.router().retry_stats()
     }
 
     /// Number of daemons.
@@ -235,11 +315,26 @@ impl WireCluster {
         pager: &netdir_pager::Pager,
         query: &Query,
     ) -> QueryResult<Vec<Entry>> {
+        Ok(self
+            .query_from_with(home, pager, query, ConsistencyMode::Strict)?
+            .entries)
+    }
+
+    /// Like [`WireCluster::query_from`], but under an explicit
+    /// [`ConsistencyMode`] — `Partial` skips and reports unreachable
+    /// zones instead of failing the query.
+    pub fn query_from_with(
+        &self,
+        home: &str,
+        pager: &netdir_pager::Pager,
+        query: &Query,
+        mode: ConsistencyMode,
+    ) -> QueryResult<QueryOutcome> {
         let home = self.server_id(home).ok_or_else(|| QueryError::Parse {
             input: home.into(),
             detail: "no such server".into(),
         })?;
-        self.router().query(home, pager, query)
+        self.router().query_with(home, pager, query, mode)
     }
 
     /// Stop every daemon gracefully.

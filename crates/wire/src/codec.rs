@@ -27,6 +27,7 @@ use netdir_filter::{AtomicFilter, CompositeFilter, Scope, SubstringPattern};
 use netdir_model::{AttrName, Dn};
 use netdir_pager::record::codec::{put_i64, put_str, put_u32, Reader};
 use netdir_pager::{PagerError, PagerResult};
+use netdir_server::PartitionError;
 
 /// A request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,16 @@ pub enum WireRequest {
     },
     /// Ask the daemon to shut down gracefully after acknowledging.
     Shutdown,
+    /// Like `Query`, but under `ConsistencyMode::Partial`: unreachable
+    /// zones are skipped and reported instead of failing the query.
+    /// A separate tag (never emitted by strict-mode callers) keeps
+    /// pre-fault-model traffic byte-identical on the wire.
+    QueryPartial {
+        /// Name of the server the query is posed to.
+        home: String,
+        /// Query text (parsed by `netdir_query::parse_query` remotely).
+        text: String,
+    },
 }
 
 /// A response frame.
@@ -72,6 +83,15 @@ pub enum WireResponse {
     Entries(Vec<Vec<u8>>),
     /// The request failed remotely.
     Error(String),
+    /// A degraded (partial) result: the surviving partitions' entries
+    /// plus an account of every zone that could not be reached. Only
+    /// ever sent in answer to a `QueryPartial` request.
+    Partial {
+        /// Sorted surviving entries in their on-page encoding.
+        entries: Vec<Vec<u8>>,
+        /// Zones skipped by graceful degradation.
+        skipped: Vec<PartitionError>,
+    },
 }
 
 const REQ_PING: u8 = 0;
@@ -79,10 +99,12 @@ const REQ_ATOMIC: u8 = 1;
 const REQ_LDAP: u8 = 2;
 const REQ_QUERY: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_QUERY_PARTIAL: u8 = 5;
 
 const RESP_PONG: u8 = 0;
 const RESP_ENTRIES: u8 = 1;
 const RESP_ERROR: u8 = 2;
+const RESP_PARTIAL: u8 = 3;
 
 const AF_PRESENT: u8 = 0;
 const AF_EQ: u8 = 1;
@@ -298,6 +320,47 @@ pub fn get_composite_filter(r: &mut Reader<'_>) -> PagerResult<CompositeFilter> 
     }
 }
 
+fn put_partition_error(out: &mut Vec<u8>, p: &PartitionError) {
+    put_dn(out, &p.zone);
+    put_u32(out, p.servers.len() as u32);
+    for &id in &p.servers {
+        put_u32(out, id as u32);
+    }
+    put_str(out, &p.detail);
+}
+
+fn get_partition_error(r: &mut Reader<'_>) -> PagerResult<PartitionError> {
+    let zone = get_dn(r)?;
+    let n = r.get_u32()? as usize;
+    let mut servers = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        servers.push(r.get_u32()? as usize);
+    }
+    let detail = r.get_str()?.to_string();
+    Ok(PartitionError {
+        zone,
+        servers,
+        detail,
+    })
+}
+
+fn put_encoded_entries(out: &mut Vec<u8>, entries: &[Vec<u8>]) {
+    put_u32(out, entries.len() as u32);
+    for e in entries {
+        put_u32(out, e.len() as u32);
+        out.extend_from_slice(e);
+    }
+}
+
+fn get_encoded_entries(r: &mut Reader<'_>) -> PagerResult<Vec<Vec<u8>>> {
+    let n = r.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        entries.push(r.get_bytes()?.to_vec());
+    }
+    Ok(entries)
+}
+
 impl WireRequest {
     /// Encode into a frame payload.
     pub fn encode(&self) -> Bytes {
@@ -322,6 +385,11 @@ impl WireRequest {
                 put_str(&mut out, text);
             }
             WireRequest::Shutdown => out.push(REQ_SHUTDOWN),
+            WireRequest::QueryPartial { home, text } => {
+                out.push(REQ_QUERY_PARTIAL);
+                put_str(&mut out, home);
+                put_str(&mut out, text);
+            }
         }
         Bytes::from(out)
     }
@@ -349,6 +417,11 @@ impl WireRequest {
                 WireRequest::Query { home, text }
             }
             REQ_SHUTDOWN => WireRequest::Shutdown,
+            REQ_QUERY_PARTIAL => {
+                let home = r.get_str()?.to_string();
+                let text = r.get_str()?.to_string();
+                WireRequest::QueryPartial { home, text }
+            }
             t => return Err(corrupt(format!("unknown request tag {t}"))),
         };
         r.finish()?;
@@ -364,15 +437,19 @@ impl WireResponse {
             WireResponse::Pong => out.push(RESP_PONG),
             WireResponse::Entries(entries) => {
                 out.push(RESP_ENTRIES);
-                put_u32(&mut out, entries.len() as u32);
-                for e in entries {
-                    put_u32(&mut out, e.len() as u32);
-                    out.extend_from_slice(e);
-                }
+                put_encoded_entries(&mut out, entries);
             }
             WireResponse::Error(msg) => {
                 out.push(RESP_ERROR);
                 put_str(&mut out, msg);
+            }
+            WireResponse::Partial { entries, skipped } => {
+                out.push(RESP_PARTIAL);
+                put_encoded_entries(&mut out, entries);
+                put_u32(&mut out, skipped.len() as u32);
+                for p in skipped {
+                    put_partition_error(&mut out, p);
+                }
             }
         }
         Bytes::from(out)
@@ -383,15 +460,17 @@ impl WireResponse {
         let mut r = Reader::new(payload);
         let resp = match r.get_u8()? {
             RESP_PONG => WireResponse::Pong,
-            RESP_ENTRIES => {
-                let n = r.get_u32()? as usize;
-                let mut entries = Vec::with_capacity(n.min(4096));
-                for _ in 0..n {
-                    entries.push(r.get_bytes()?.to_vec());
-                }
-                WireResponse::Entries(entries)
-            }
+            RESP_ENTRIES => WireResponse::Entries(get_encoded_entries(&mut r)?),
             RESP_ERROR => WireResponse::Error(r.get_str()?.to_string()),
+            RESP_PARTIAL => {
+                let entries = get_encoded_entries(&mut r)?;
+                let n = r.get_u32()? as usize;
+                let mut skipped = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    skipped.push(get_partition_error(&mut r)?);
+                }
+                WireResponse::Partial { entries, skipped }
+            }
             t => return Err(corrupt(format!("unknown response tag {t}"))),
         };
         r.finish()?;
@@ -419,6 +498,10 @@ mod tests {
         round_trip_req(WireRequest::Ping);
         round_trip_req(WireRequest::Shutdown);
         round_trip_req(WireRequest::Query {
+            home: "att".into(),
+            text: "(dc=com ? sub ? surName=jagadish)".into(),
+        });
+        round_trip_req(WireRequest::QueryPartial {
             home: "att".into(),
             text: "(dc=com ? sub ? surName=jagadish)".into(),
         });
@@ -481,10 +564,57 @@ mod tests {
             WireResponse::Error("zone unreachable".into()),
             WireResponse::Entries(vec![]),
             WireResponse::Entries(vec![buf.clone(), vec![1, 2, 3]]),
+            WireResponse::Partial {
+                entries: vec![buf.clone()],
+                skipped: vec![],
+            },
+            WireResponse::Partial {
+                entries: vec![buf.clone(), vec![9, 9]],
+                skipped: vec![
+                    PartitionError {
+                        zone: dn("dc=research, dc=att, dc=com"),
+                        servers: vec![2, 5],
+                        detail: "server 2: i/o timeout".into(),
+                    },
+                    PartitionError {
+                        zone: dn("dc=org"),
+                        servers: vec![3],
+                        detail: "no live server".into(),
+                    },
+                ],
+            },
         ] {
             let bytes = resp.encode();
             assert_eq!(WireResponse::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn strict_tags_are_unchanged_by_the_fault_model() {
+        // Version tolerance: pre-fault-model peers never see the new
+        // tags, so strict-mode traffic must stay byte-identical. Pin the
+        // first byte of every legacy frame.
+        assert_eq!(WireRequest::Ping.encode()[0], 0);
+        assert_eq!(WireRequest::Shutdown.encode()[0], 4);
+        let q = WireRequest::Query {
+            home: "a".into(),
+            text: "t".into(),
+        };
+        assert_eq!(q.encode()[0], 3);
+        assert_eq!(WireResponse::Pong.encode()[0], 0);
+        assert_eq!(WireResponse::Entries(vec![]).encode()[0], 1);
+        assert_eq!(WireResponse::Error("e".into()).encode()[0], 2);
+        // The new tags sit beyond the legacy range.
+        let qp = WireRequest::QueryPartial {
+            home: "a".into(),
+            text: "t".into(),
+        };
+        assert_eq!(qp.encode()[0], 5);
+        let p = WireResponse::Partial {
+            entries: vec![],
+            skipped: vec![],
+        };
+        assert_eq!(p.encode()[0], 3);
     }
 
     #[test]
@@ -501,5 +631,18 @@ mod tests {
         resp.push(RESP_ENTRIES);
         put_u32(&mut resp, 1000);
         assert!(WireResponse::decode(&resp).is_err());
+        // A Partial response whose skipped-zone record is truncated.
+        let mut resp = Vec::new();
+        resp.push(RESP_PARTIAL);
+        put_u32(&mut resp, 0); // no entries
+        put_u32(&mut resp, 1); // one skipped zone...
+        put_str(&mut resp, "dc=com");
+        put_u32(&mut resp, 1000); // ...claiming 1000 servers, providing 0
+        assert!(WireResponse::decode(&resp).is_err());
+        // A truncated QueryPartial (home but no text).
+        let mut req = Vec::new();
+        req.push(REQ_QUERY_PARTIAL);
+        put_str(&mut req, "att");
+        assert!(WireRequest::decode(&req).is_err());
     }
 }

@@ -126,6 +126,38 @@ mod tests {
     }
 
     #[test]
+    fn max_frame_boundary_is_exact() {
+        let max = 1024usize;
+        // Exactly at the cap: accepted by both directions.
+        let payload = vec![7u8; max];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, max).unwrap();
+        assert_eq!(
+            read_frame(&mut Cursor::new(&buf), max).unwrap().unwrap(),
+            payload
+        );
+        // One under: accepted.
+        let payload = vec![7u8; max - 1];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, max).unwrap();
+        assert_eq!(
+            read_frame(&mut Cursor::new(&buf), max).unwrap().unwrap(),
+            payload
+        );
+        // One over, writer side: refused before any byte is written.
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &vec![7u8; max + 1], max).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty());
+        // One over, reader side: a hand-rolled header announcing
+        // max+1 bytes is rejected before allocating the payload.
+        let mut buf = ((max as u32) + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(&vec![7u8; max + 1]);
+        let err = read_frame(&mut Cursor::new(buf), max).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn header_is_big_endian() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &[7; 5], DEFAULT_MAX_FRAME).unwrap();

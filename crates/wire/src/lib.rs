@@ -36,7 +36,7 @@ pub mod server;
 pub mod socket;
 
 pub use client::{ClientOptions, WireClient, WireError, WireResult};
-pub use cluster::{encode_entries, WireCluster};
+pub use cluster::{encode_entries, FaultPlan, WireCluster};
 pub use codec::{WireRequest, WireResponse};
 pub use frame::DEFAULT_MAX_FRAME;
 pub use server::{ServerOptions, WireServer, WireService};

@@ -230,8 +230,19 @@ fn worker_loop(
     shared: Arc<Shared>,
 ) {
     for conn in rx.iter() {
+        let peer = conn.peer_addr().ok();
         let id = shared.register(&conn);
-        let _ = serve_conn(conn, service.as_ref(), &opts, &shared);
+        // A failing connection (truncated frame, oversized header, reset
+        // peer) costs exactly that connection: log it and serve the next
+        // one. The daemon itself must be unkillable from the outside.
+        if let Err(e) = serve_conn(conn, service.as_ref(), &opts, &shared) {
+            if !shared.stopping() {
+                match peer {
+                    Some(p) => eprintln!("netdird: connection {p}: {e}"),
+                    None => eprintln!("netdird: connection error: {e}"),
+                }
+            }
+        }
         shared.unregister(id);
         if shared.stopping() {
             break;
@@ -288,10 +299,19 @@ mod tests {
         }
     }
 
-    fn call(conn: &mut TcpStream, req: &WireRequest) -> WireResponse {
-        write_frame(conn, &req.encode(), DEFAULT_MAX_FRAME).unwrap();
-        let payload = read_frame(conn, DEFAULT_MAX_FRAME).unwrap().unwrap();
-        WireResponse::decode(&payload).unwrap()
+    /// One request/response exchange, with every failure surfaced as a
+    /// `Result` (no unwraps: tests asserting on daemon survival need to
+    /// distinguish "server answered garbage" from "helper panicked").
+    fn call(conn: &mut TcpStream, req: &WireRequest) -> io::Result<WireResponse> {
+        write_frame(conn, &req.encode(), DEFAULT_MAX_FRAME)?;
+        let payload = read_frame(conn, DEFAULT_MAX_FRAME)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed without answering",
+            )
+        })?;
+        WireResponse::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
     #[test]
@@ -301,7 +321,7 @@ mod tests {
                 .unwrap();
         let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
         for _ in 0..10 {
-            assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+            assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
         }
         drop(conn);
         srv.shutdown();
@@ -320,7 +340,7 @@ mod tests {
             WireResponse::Error(_)
         ));
         // Still serving on the same connection.
-        assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
         srv.shutdown();
     }
 
@@ -344,13 +364,41 @@ mod tests {
     }
 
     #[test]
+    fn garbage_bytes_cost_only_their_own_connection() {
+        // Regression: transport-level damage on one connection (here a
+        // header announcing ~4 GiB, then junk) must be contained — the
+        // worker logs and closes that connection; a fresh connection is
+        // served normally.
+        let mut srv =
+            WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
+                .unwrap();
+        let addr = srv.local_addr();
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&[0xff, 0xff, 0xff, 0xff]).unwrap();
+        bad.write_all(b"this is not a frame").unwrap();
+        // The server drops the damaged connection without replying.
+        assert!(matches!(
+            read_frame(&mut bad, DEFAULT_MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        drop(bad);
+        // The daemon survives: a fresh connection gets real service.
+        let mut good = TcpStream::connect(addr).unwrap();
+        assert_eq!(call(&mut good, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        srv.shutdown();
+    }
+
+    #[test]
     fn remote_shutdown_is_acknowledged_and_stops_the_server() {
         let mut srv =
             WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
                 .unwrap();
         let addr = srv.local_addr();
         let mut conn = TcpStream::connect(addr).unwrap();
-        assert_eq!(call(&mut conn, &WireRequest::Shutdown), WireResponse::Pong);
+        assert_eq!(
+            call(&mut conn, &WireRequest::Shutdown).unwrap(),
+            WireResponse::Pong
+        );
         srv.join();
         assert!(srv.is_stopping());
         // The listener is gone: fresh connections are refused (or reset).
@@ -366,7 +414,7 @@ mod tests {
             WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), ServerOptions::default())
                 .unwrap();
         let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
-        assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
         let started = Instant::now();
         srv.shutdown(); // conn is still open and idle
         assert!(
@@ -387,7 +435,7 @@ mod tests {
                 s.spawn(move || {
                     let mut conn = TcpStream::connect(addr).unwrap();
                     for _ in 0..20 {
-                        assert_eq!(call(&mut conn, &WireRequest::Ping), WireResponse::Pong);
+                        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
                     }
                 });
             }

@@ -10,12 +10,23 @@
 //!
 //! [`Router`]: netdir_server::Router
 
-use crate::client::{ClientOptions, WireClient};
+use crate::client::{ClientOptions, WireClient, WireError};
 use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::Dn;
 use netdir_server::delegation::ServerId;
 use netdir_server::{AtomicResponse, NetStats, Transport, TransportError, TransportResult};
 use std::net::SocketAddr;
+
+/// Preserve the retry classification across the error-type boundary, so
+/// the router treats a TCP failure exactly like the equivalent channel
+/// failure.
+fn to_transport_error(e: WireError) -> TransportError {
+    match e {
+        WireError::Io(d) => TransportError::new(d),
+        WireError::Protocol(d) => TransportError::protocol(d),
+        WireError::Remote(d) => TransportError::remote(d),
+    }
+}
 
 /// TCP transport: server `i` of the delegation table lives at `addrs[i]`.
 pub struct SocketTransport {
@@ -39,6 +50,13 @@ impl SocketTransport {
     pub fn client(&self, id: ServerId) -> &WireClient {
         &self.clients[id]
     }
+
+    /// Total policy-driven retries performed by the per-server clients
+    /// (connection-level; the router's own zone retries are counted
+    /// separately in its `RetryStats`).
+    pub fn client_retries(&self) -> u64 {
+        self.clients.iter().map(|c| c.retries()).sum()
+    }
 }
 
 impl Transport for SocketTransport {
@@ -53,10 +71,10 @@ impl Transport for SocketTransport {
         let client = self
             .clients
             .get(target)
-            .ok_or_else(|| TransportError::new(format!("no server with id {target}")))?;
+            .ok_or_else(|| TransportError::addressing(format!("no server with id {target}")))?;
         let (encoded, frame_bytes) = client
             .atomic_counted(base, scope, filter)
-            .map_err(|e| TransportError::new(e.to_string()))?;
+            .map_err(to_transport_error)?;
         if target != home {
             self.net.record_round_trip(encoded.len() as u64, frame_bytes);
         }

@@ -1,0 +1,244 @@
+//! Seeded chaos tests: a loopback TCP cluster under deterministic fault
+//! injection must degrade *predictably* — strict mode fails cleanly,
+//! partial mode returns exactly the surviving partitions' entries, and
+//! a fixed seed replays the whole scenario bit-identically (same retry
+//! counts, same fault draws, same partial sets, same entry bytes).
+
+use netdir_model::{Directory, Dn, Entry};
+use netdir_query::parse_query;
+use netdir_server::{
+    BreakerConfig, BreakerState, ConsistencyMode, FaultConfig, RetryPolicy,
+};
+use netdir_server::ClusterBuilder;
+use netdir_wire::{encode_entries, ClientOptions, FaultPlan, ServerOptions, WireCluster};
+use std::time::Duration;
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+/// Same fixture as the loopback tests: three zones under `dc=com` plus
+/// a disjoint `dc=org`, with a cross-zone value reference so an L3
+/// query must join entries owned by different servers.
+fn dir() -> Directory {
+    let mut d = Directory::new();
+    let mut add = |e: Entry| d.insert(e).unwrap();
+    let plain = |s: &str| Entry::builder(dn(s)).class("thing").build().unwrap();
+    let person = |s: &str, sn: &str| {
+        Entry::builder(dn(s))
+            .class("thing")
+            .attr("surName", sn)
+            .build()
+            .unwrap()
+    };
+    add(plain("dc=com"));
+    add(plain("dc=att, dc=com"));
+    add(plain("ou=people, dc=att, dc=com"));
+    add(person("uid=jag, ou=people, dc=att, dc=com", "jagadish"));
+    add(plain("dc=research, dc=att, dc=com"));
+    add(plain("ou=people, dc=research, dc=att, dc=com"));
+    add(person(
+        "uid=jag2, ou=people, dc=research, dc=att, dc=com",
+        "jagadish",
+    ));
+    add(plain("dc=org"));
+    add(plain("ou=tp, dc=att, dc=com"));
+    add(
+        Entry::builder(dn("TPName=mail, ou=tp, dc=att, dc=com"))
+            .class("trafficProfile")
+            .attr("sourcePort", 25i64)
+            .build()
+            .unwrap(),
+    );
+    add(
+        Entry::builder(dn("SLAPolicyName=mail, dc=research, dc=att, dc=com"))
+            .class("SLAPolicyRules")
+            .attr("SLATPRef", dn("TPName=mail, ou=tp, dc=att, dc=com"))
+            .build()
+            .unwrap(),
+    );
+    d
+}
+
+fn builder() -> ClusterBuilder {
+    ClusterBuilder::new()
+        .server("root", dn("dc=com"))
+        .server("att", dn("dc=att, dc=com"))
+        .server("research", dn("dc=research, dc=att, dc=com"))
+        .server("org", dn("dc=org"))
+}
+
+/// The fixture minus everything the `research` zone owns — what a
+/// healthy cluster of only the surviving partitions would hold.
+fn dir_without_research() -> Directory {
+    let research = dn("dc=research, dc=att, dc=com");
+    let mut d = Directory::new();
+    for e in dir().iter_sorted() {
+        if !research.sort_key().subsumes(e.dn().sort_key()) {
+            d.insert(e.clone()).unwrap();
+        }
+    }
+    d
+}
+
+/// One query per language level (all touching the research zone), plus
+/// a whole-namespace sweep.
+fn queries() -> Vec<&'static str> {
+    vec![
+        // L0: set difference of two atomic queries.
+        "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+            (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        // L1: entries with a child in the second set.
+        "(c (dc=com ? sub ? objectClass=thing) \
+            (dc=research, dc=att, dc=com ? base ? objectClass=thing))",
+        // L2: aggregate over witnesses.
+        "(c (dc=com ? sub ? objectClass=thing) \
+            (dc=com ? sub ? objectClass=thing) \
+            count($2) > 1)",
+        // L3: value-based deref across the research/att zone cut.
+        "(vd (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) \
+             (dc=att, dc=com ? sub ? sourcePort=25) \
+             SLATPRef)",
+        // Whole-namespace sweep: every surviving entry must come back.
+        "(null-dn ? sub ? objectClass=thing)",
+    ]
+}
+
+/// Dead partition, no random weather: strict mode fails every level,
+/// partial mode answers byte-identically to a healthy cluster built
+/// from the surviving partitions alone.
+#[test]
+fn dead_partition_degrades_to_surviving_partitions() {
+    let research_id = 2; // declaration order in builder()
+    let plan = FaultPlan {
+        faults: FaultConfig::seeded(7).with_server_fail(research_id, 1.0),
+        retry: RetryPolicy::immediate(2),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(600),
+        },
+    };
+    let wire = WireCluster::launch_with_faults(
+        builder(),
+        &dir(),
+        ServerOptions::default(),
+        ClientOptions::default(),
+        plan,
+    )
+    .unwrap();
+    let reference = builder().build(&dir_without_research());
+    let pager = netdir_pager::default_pager();
+    let research_zone = dn("dc=research, dc=att, dc=com");
+
+    for text in queries() {
+        let query = parse_query(text).unwrap();
+        // Strict: the dead, unreplicated zone fails the whole query.
+        assert!(
+            wire.query_from("att", &pager, &query).is_err(),
+            "strict query should fail with a dead partition: {text}"
+        );
+        // Partial: byte-identical to querying the surviving partitions
+        // alone, with the dead zone accounted for.
+        let outcome = wire
+            .query_from_with("att", &pager, &query, ConsistencyMode::Partial)
+            .unwrap();
+        let expected =
+            encode_entries(&reference.query_from("att", &pager, &query).unwrap());
+        assert_eq!(
+            encode_entries(&outcome.entries),
+            expected,
+            "partial result differs from surviving-partition reference: {text}"
+        );
+        assert_eq!(outcome.partial.len(), 1, "one zone lost: {text}");
+        assert_eq!(outcome.partial[0].zone, research_zone);
+        assert_eq!(outcome.partial[0].servers, vec![research_id]);
+    }
+
+    // The breaker tripped on the dead server and the retry layer spent
+    // (bounded) effort before giving up.
+    assert_eq!(wire.router().health().state(research_id), BreakerState::Open);
+    let retry = wire.retry_stats().snapshot();
+    assert!(retry.retries >= 1, "no retries recorded: {retry:?}");
+    assert!(retry.gave_up >= 1, "dead zone never abandoned: {retry:?}");
+    // Bounded effort: 10 queries × ≤8 zone-fetches each × ≤2 attempts.
+    assert!(
+        retry.attempts <= 10 * 8 * 2,
+        "unbounded retry effort: {retry:?}"
+    );
+    let faults = wire.fault_stats().unwrap().snapshot();
+    assert!(faults.unreachable >= 1, "fault injection never fired");
+}
+
+/// Per-query observation: encoded entry bytes + skipped-zone reports.
+type QueryTrace = (Vec<Vec<u8>>, Vec<String>);
+
+/// One full chaos scenario: launch under drop-rate weather with the
+/// given seed, run every query in partial mode, and return everything
+/// observable: per-query entry bytes + skipped zones, the retry
+/// snapshot, and the fault snapshot.
+fn chaos_run(
+    seed: u64,
+) -> (
+    Vec<QueryTrace>,
+    netdir_server::RetrySnapshot,
+    netdir_server::FaultSnapshot,
+) {
+    let plan = FaultPlan {
+        faults: FaultConfig::seeded(seed).with_drop_rate(0.3),
+        retry: RetryPolicy::immediate(4),
+        // Weather, not outage: never trip, so every fetch gets its full
+        // retry budget and the draw sequence stays aligned.
+        breaker: BreakerConfig {
+            failure_threshold: 1_000,
+            cooldown: Duration::from_secs(600),
+        },
+    };
+    let wire = WireCluster::launch_with_faults(
+        builder(),
+        &dir(),
+        ServerOptions::default(),
+        ClientOptions::default(),
+        plan,
+    )
+    .unwrap();
+    let pager = netdir_pager::default_pager();
+    let mut results = Vec::new();
+    for text in queries() {
+        let query = parse_query(text).unwrap();
+        let outcome = wire
+            .query_from_with("att", &pager, &query, ConsistencyMode::Partial)
+            .unwrap();
+        results.push((
+            encode_entries(&outcome.entries),
+            outcome.partial.iter().map(|p| p.to_string()).collect(),
+        ));
+    }
+    (
+        results,
+        wire.retry_stats().snapshot(),
+        wire.fault_stats().unwrap().snapshot(),
+    )
+}
+
+/// The same seed must replay the whole scenario bit-identically across
+/// two fresh clusters: same entry bytes, same skipped zones, same retry
+/// counts, same fault draws.
+#[test]
+fn seeded_chaos_is_bit_reproducible() {
+    let (results_a, retry_a, faults_a) = chaos_run(42);
+    let (results_b, retry_b, faults_b) = chaos_run(42);
+    assert_eq!(results_a, results_b, "entry bytes or skips diverged");
+    assert_eq!(retry_a, retry_b, "retry counters diverged");
+    assert_eq!(faults_a, faults_b, "fault draws diverged");
+    // The weather was real (drops happened, retries fought them) and
+    // the effort stayed bounded — otherwise this test proves nothing.
+    assert!(faults_a.dropped > 0, "seed 42 never dropped a call");
+    assert!(retry_a.retries > 0, "drops never cost a retry");
+    assert!(
+        retry_a.attempts <= faults_a.calls,
+        "more zone attempts than transport calls: {retry_a:?} vs {faults_a:?}"
+    );
+    // A different seed draws different weather.
+    let (_, _, faults_c) = chaos_run(43);
+    assert_ne!(faults_a, faults_c, "different seeds drew identical faults");
+}

@@ -7,7 +7,9 @@ use netdir_filter::{parse_atomic, parse_composite, Scope};
 use netdir_model::{Directory, Dn, Entry};
 use netdir_query::{classify, parse_query, Language};
 use netdir_server::ClusterBuilder;
-use netdir_wire::{encode_entries, WireCluster};
+use netdir_wire::{
+    encode_entries, ClientOptions, ServerOptions, WireCluster, WireError,
+};
 
 fn dn(s: &str) -> Dn {
     Dn::parse(s).unwrap()
@@ -183,6 +185,57 @@ fn atomic_and_search_frames_match_the_owning_store() {
     let want = in_process.node(att).ldap(&base, Scope::Sub, &composite).unwrap();
     assert!(!want.is_empty());
     assert_eq!(encode_entries(&got), encode_entries(&want));
+}
+
+#[test]
+fn oversized_request_is_a_protocol_error_not_a_hang() {
+    // Client and server agree on a small frame cap; a request that
+    // exceeds it must surface as a prompt WireError::Protocol (refused
+    // before any byte hits the socket), never a retry loop or a hang.
+    let dir = dir();
+    let max_frame = 256;
+    let wire = WireCluster::launch(
+        builder(),
+        &dir,
+        ServerOptions {
+            max_frame,
+            ..ServerOptions::default()
+        },
+        ClientOptions {
+            max_frame,
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+    let client = wire.client(wire.server_id("att").unwrap());
+    let huge = format!("(dc=com ? sub ? surName={})", "x".repeat(4 * max_frame));
+    let started = std::time::Instant::now();
+    let err = client.query("att", &huge).unwrap_err();
+    assert!(
+        matches!(err, WireError::Protocol(_)),
+        "expected a protocol error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "oversized request took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(client.retries(), 0, "fatal errors must not be retried");
+}
+
+#[test]
+fn partial_mode_over_tcp_matches_strict_on_a_healthy_cluster() {
+    // A healthy cluster answers QueryPartial with the same entries (and
+    // the same bytes) a strict Query returns, with nothing skipped.
+    let dir = dir();
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let client = wire.client(wire.server_id("att").unwrap());
+    for (_, text) in level_queries() {
+        let strict = client.query_encoded("att", text).unwrap();
+        let outcome = client.query_partial("att", text).unwrap();
+        assert!(outcome.is_complete(), "healthy cluster skipped zones: {text}");
+        assert_eq!(encode_entries(&outcome.entries), strict, "partial != strict: {text}");
+    }
 }
 
 #[test]

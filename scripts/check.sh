@@ -1,11 +1,34 @@
 #!/bin/sh
 # Full pre-merge gate: release build, the whole test suite, and clippy
-# with warnings promoted to errors. Run from anywhere in the repo.
+# (all targets, warnings promoted to errors). Run from anywhere in the
+# repo.
+#
+#   scripts/check.sh           the gate
+#   scripts/check.sh --chaos   gate + the seeded fault-injection suites
+#                              run explicitly (they are part of `cargo
+#                              test` too; this names them for a loud,
+#                              separate verdict)
 set -eu
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy -- -D warnings
+chaos=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) chaos=1 ;;
+    *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$chaos" = 1 ]; then
+  echo "check.sh: running seeded fault-injection suites"
+  cargo test -q -p netdir-server fault
+  cargo test -q -p netdir-server retry
+  cargo test -q -p netdir-server health
+  cargo test -q -p netdir-wire --test chaos
+fi
 
 echo "check.sh: all green"
