@@ -9,9 +9,15 @@
 //!   Section 5.3 measured in the same currency (page I/Os) as the real
 //!   algorithms, by re-scanning `L2` once per `L1` entry.
 //! * [`measure`] — cold-cache I/O measurement around a closure.
+//! * [`report`] — machine-readable `BENCH_*.json` emission/validation.
+//! * [`smoke`] — the instrumented observability suite behind
+//!   `run_experiments --smoke`.
 
 use netdir_model::Entry;
 use netdir_pager::{IoSnapshot, ListWriter, PagedList, Pager, PagerResult};
+
+pub mod report;
+pub mod smoke;
 
 /// Fixed-width table printing for experiment output.
 pub mod table {

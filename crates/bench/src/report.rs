@@ -1,0 +1,513 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! `run_experiments` emits one JSON document per run so dashboards and
+//! CI can diff benchmark output without scraping tables. The format is
+//! deliberately small:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "mode": "smoke",
+//!   "experiments": [{"name": "exp_hs_linear", "status": "ok",
+//!                    "wall_time_secs": 1.2}],
+//!   "queries": [{"level": "L0", "query": "(- ...)", "entries": 1,
+//!                "spans": 3, "predicted_io": 3.0, "observed_io": 5}],
+//!   "metrics": {"netdir_io_reads_total": 12, "...": 0}
+//! }
+//! ```
+//!
+//! `metrics` is a [`MetricsRegistry`] flattened to name → value pairs
+//! and always carries every tracked name of [`netdir_obs::names`]
+//! (explicit zeros included). The container has no JSON dependency, so
+//! this module hand-rolls both the emitter and the tiny recursive
+//! parser [`validate_bench_json`] uses — it understands exactly the
+//! JSON this module writes (no unicode escapes, no exponent-free giant
+//! numbers), which is all the validator needs.
+
+use netdir_obs::{names, MetricsRegistry, QueryTrace};
+
+/// One experiment binary's outcome in a full run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Binary name (e.g. `exp_hs_linear`).
+    pub name: String,
+    /// `"ok"` or `"failed"`.
+    pub status: String,
+    /// Wall-clock time the binary took.
+    pub wall_time_secs: f64,
+}
+
+/// One analyzed query in the instrumented suite.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Language level (`L0`–`L3`).
+    pub level: String,
+    /// The query text.
+    pub query: String,
+    /// Entries the query returned.
+    pub entries: u64,
+    /// Operator spans in the trace (= query-tree nodes).
+    pub spans: u64,
+    /// Whole-query predicted page I/O (Theorems 8.3/8.4).
+    pub predicted_io: f64,
+    /// Whole-query observed page I/O.
+    pub observed_io: u64,
+}
+
+impl QueryReport {
+    /// Summarize an `explain::analyze` trace.
+    pub fn from_trace(level: &str, trace: &QueryTrace) -> QueryReport {
+        QueryReport {
+            level: level.to_string(),
+            query: trace.query.clone(),
+            entries: trace.root_entries(),
+            spans: trace.spans.len() as u64,
+            predicted_io: trace.predicted_io,
+            observed_io: trace.observed_io,
+        }
+    }
+}
+
+/// A whole `BENCH_*.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// Experiment binaries run (empty in smoke mode).
+    pub experiments: Vec<ExperimentResult>,
+    /// Instrumented per-level query reports.
+    pub queries: Vec<QueryReport>,
+    /// Flattened metrics registry.
+    pub metrics: Vec<(String, u64)>,
+}
+
+/// The only schema this writer emits (and the validator accepts).
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float so it parses back as a JSON number (never NaN/inf —
+/// the cost model only produces finite values, but a report must not
+/// become unparseable if that ever breaks).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl BenchReport {
+    /// A report carrying the registry's current state.
+    pub fn new(mode: &str, registry: &MetricsRegistry) -> BenchReport {
+        BenchReport {
+            mode: mode.to_string(),
+            experiments: Vec::new(),
+            queries: Vec::new(),
+            metrics: registry.flatten(),
+        }
+    }
+
+    /// Serialize to the `BENCH_*.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"mode\": \"{}\",\n", escape(&self.mode)));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"status\": \"{}\", \"wall_time_secs\": {}}}{comma}\n",
+                escape(&e.name),
+                escape(&e.status),
+                num(e.wall_time_secs),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"queries\": [\n");
+        for (i, q) in self.queries.iter().enumerate() {
+            let comma = if i + 1 < self.queries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"level\": \"{}\", \"query\": \"{}\", \"entries\": {}, \
+                 \"spans\": {}, \"predicted_io\": {}, \"observed_io\": {}}}{comma}\n",
+                escape(&q.level),
+                escape(&q.query),
+                q.entries,
+                q.spans,
+                num(q.predicted_io),
+                q.observed_io,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!("    \"{}\": {value}{comma}\n", escape(name)));
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A parsed JSON value — just enough structure for validation.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str
+                    // upstream, so boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    pairs.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        other => return Err(format!("bad object separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("bad array separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validate a `BENCH_*.json` document: well-formed JSON, the supported
+/// schema version, the experiments/queries/metrics sections with the
+/// right shapes, and **every** tracked metric name present with a
+/// numeric value. Returns the first problem found.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    doc.get("mode")
+        .and_then(Json::as_str)
+        .filter(|m| *m == "smoke" || *m == "full")
+        .ok_or("mode must be \"smoke\" or \"full\"")?;
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or("missing experiments array")?;
+    for e in experiments {
+        e.get("name").and_then(Json::as_str).ok_or("experiment without name")?;
+        e.get("status").and_then(Json::as_str).ok_or("experiment without status")?;
+        e.get("wall_time_secs")
+            .and_then(Json::as_num)
+            .ok_or("experiment without wall_time_secs")?;
+    }
+    let queries = doc
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or("missing queries array")?;
+    if queries.is_empty() {
+        return Err("queries array is empty — the instrumented suite did not run".into());
+    }
+    for q in queries {
+        for key in ["level", "query"] {
+            q.get(key).and_then(Json::as_str).ok_or(format!("query without {key}"))?;
+        }
+        for key in ["entries", "spans", "predicted_io", "observed_io"] {
+            q.get(key).and_then(Json::as_num).ok_or(format!("query without {key}"))?;
+        }
+    }
+    let metrics = doc.get("metrics").ok_or("missing metrics object")?;
+    for name in names::TRACKED {
+        // Histograms flatten to `<name>_count` / `<name>_sum`.
+        let present = metrics.get(name).map(Json::as_num).or_else(|| {
+            metrics.get(&format!("{name}_count")).map(Json::as_num)
+        });
+        match present {
+            Some(Some(_)) => {}
+            Some(None) => return Err(format!("metric {name} is not numeric")),
+            None => return Err(format!("tracked metric {name} missing")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_server::metrics::register_all;
+
+    fn sample_report() -> BenchReport {
+        let reg = MetricsRegistry::default();
+        register_all(&reg);
+        reg.counter(names::QUERIES).add(2);
+        reg.histogram(names::QUERY_DURATION_US).observe(17);
+        let mut report = BenchReport::new("smoke", &reg);
+        report.experiments.push(ExperimentResult {
+            name: "exp_hs_linear".into(),
+            status: "ok".into(),
+            wall_time_secs: 1.25,
+        });
+        report.queries.push(QueryReport {
+            level: "L0".into(),
+            query: "(- \"a\" b)".into(), // quote must survive escaping
+            entries: 1,
+            spans: 3,
+            predicted_io: 3.0,
+            observed_io: 5,
+        });
+        report
+    }
+
+    #[test]
+    fn emitted_reports_validate() {
+        let text = sample_report().to_json();
+        validate_bench_json(&text).unwrap();
+    }
+
+    #[test]
+    fn parser_round_trips_escapes_and_numbers() {
+        let text = sample_report().to_json();
+        let doc = parse_json(&text).unwrap();
+        let q = &doc.get("queries").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(q.get("query").and_then(Json::as_str), Some("(- \"a\" b)"));
+        assert_eq!(q.get("predicted_io").and_then(Json::as_num), Some(3.0));
+        let e = &doc.get("experiments").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(e.get("wall_time_secs").and_then(Json::as_num), Some(1.25));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        // Not JSON at all.
+        assert!(validate_bench_json("not json").is_err());
+        // Truncated.
+        let text = sample_report().to_json();
+        assert!(validate_bench_json(&text[..text.len() / 2]).is_err());
+        // Wrong schema version.
+        let wrong = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_bench_json(&wrong).is_err());
+        // A tracked metric missing entirely.
+        let gone = text.replace(names::NET_REQUESTS, "netdir_not_a_metric");
+        let err = validate_bench_json(&gone).unwrap_err();
+        assert!(err.contains(names::NET_REQUESTS), "{err}");
+        // An empty query suite is a failed run, not a quiet success.
+        let mut empty = sample_report();
+        empty.queries.clear();
+        assert!(validate_bench_json(&empty.to_json()).is_err());
+    }
+
+    #[test]
+    fn every_tracked_metric_lands_in_the_flattened_report() {
+        let text = sample_report().to_json();
+        for name in names::TRACKED {
+            assert!(text.contains(name), "report missing {name}");
+        }
+    }
+}

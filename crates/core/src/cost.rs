@@ -37,6 +37,27 @@ pub fn predicted_io(q: &Query, inputs: CostInputs) -> f64 {
     }
 }
 
+/// Predicted I/O (in pages, up to constants) for evaluating *one*
+/// operator node, given the pages flowing into it.
+///
+/// `input_pages` is the cumulative size of the node's direct inputs:
+/// the children's output pages for operators, the node's own output
+/// pages for atomic leaves (a leaf's work is producing its list). Every
+/// operator below L3 is a single linear pass over sorted inputs
+/// (Theorems 6.1/8.3); the ER join adds Theorem 7.1's sort-merge
+/// `m · log` factor.
+pub fn predicted_node_io(q: &Query, input_pages: u64, inputs: CostInputs) -> f64 {
+    let pages = input_pages.max(1) as f64;
+    match q {
+        Query::EmbedRef { .. } => {
+            let m = inputs.max_values_per_attr.max(1) as f64;
+            let nm = pages * m;
+            nm * nm.log2().max(1.0)
+        }
+        _ => pages,
+    }
+}
+
 /// The theorem that applies to `q`'s language.
 pub fn applicable_theorem(q: &Query) -> &'static str {
     match classify(q) {

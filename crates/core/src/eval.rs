@@ -52,12 +52,16 @@ impl AtomicSource for IndexedDirectory {
 pub struct NodeTrace {
     /// The node, rendered.
     pub node: String,
+    /// Entries flowing in from child operators (0 for atomic leaves).
+    pub input_len: u64,
     /// Result cardinality.
     pub output_len: u64,
     /// Result size in pages.
     pub output_pages: u64,
     /// I/O spent evaluating this node (excluding its children).
     pub io: IoSnapshot,
+    /// Wall time spent in this node (excluding its children).
+    pub elapsed_nanos: u64,
 }
 
 /// The query evaluator.
@@ -132,8 +136,9 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                 filter,
             } => {
                 let before = self.pager.io();
+                let started = std::time::Instant::now();
                 let out = self.source.evaluate_atomic(base, *scope, filter)?;
-                self.trace(traces, q, &out, before);
+                self.trace(traces, q, &out, 0, before, started);
                 out
             }
             Query::And(a, b) | Query::Or(a, b) | Query::Diff(a, b) => {
@@ -145,8 +150,9 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                 let la = self.eval_node(a, traces)?;
                 let lb = self.eval_node(b, traces)?;
                 let before = self.pager.io();
+                let started = std::time::Instant::now();
                 let out = boolean::merge(&self.pager, op, &la, &lb)?;
-                self.trace(traces, q, &out, before);
+                self.trace(traces, q, &out, la.len() + lb.len(), before, started);
                 out
             }
             Query::Hier { op, q1, q2, agg } => {
@@ -154,6 +160,7 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                 let l2 = self.eval_node(q2, traces)?;
                 let filter = compile_structural(agg)?;
                 let before = self.pager.io();
+                let started = std::time::Instant::now();
                 let out = hs_stack::hs_select(
                     &self.pager,
                     (*op).into(),
@@ -162,7 +169,7 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                     None,
                     &filter,
                 )?;
-                self.trace(traces, q, &out, before);
+                self.trace(traces, q, &out, l1.len() + l2.len(), before, started);
                 out
             }
             Query::HierPath {
@@ -177,6 +184,7 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                 let l3 = self.eval_node(q3, traces)?;
                 let filter = compile_structural(agg)?;
                 let before = self.pager.io();
+                let started = std::time::Instant::now();
                 let out = hs_stack::hs_select(
                     &self.pager,
                     (*op).into(),
@@ -185,15 +193,16 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                     Some(&l3),
                     &filter,
                 )?;
-                self.trace(traces, q, &out, before);
+                self.trace(traces, q, &out, l1.len() + l2.len() + l3.len(), before, started);
                 out
             }
             Query::AggSelect { query, filter } => {
                 let l1 = self.eval_node(query, traces)?;
                 let compiled = CompiledAggFilter::compile(filter, false)?;
                 let before = self.pager.io();
+                let started = std::time::Instant::now();
                 let out = agg_simple::simple_agg_select(&self.pager, &l1, &compiled)?;
-                self.trace(traces, q, &out, before);
+                self.trace(traces, q, &out, l1.len(), before, started);
                 out
             }
             Query::EmbedRef {
@@ -207,9 +216,10 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
                 let l2 = self.eval_node(q2, traces)?;
                 let filter = compile_structural(agg)?;
                 let before = self.pager.io();
+                let started = std::time::Instant::now();
                 let out =
                     er_join::er_select(&self.pager, *op, &l1, &l2, attr, &filter)?;
-                self.trace(traces, q, &out, before);
+                self.trace(traces, q, &out, l1.len() + l2.len(), before, started);
                 out
             }
         };
@@ -221,14 +231,19 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
         traces: &mut Option<Vec<NodeTrace>>,
         q: &Query,
         out: &PagedList<Entry>,
+        input_len: u64,
         before: IoSnapshot,
+        started: std::time::Instant,
     ) {
         if let Some(traces) = traces {
             traces.push(NodeTrace {
                 node: summarize(q),
+                input_len,
                 output_len: out.len(),
                 output_pages: out.num_pages(),
                 io: self.pager.io().since(before),
+                elapsed_nanos: u64::try_from(started.elapsed().as_nanos())
+                    .unwrap_or(u64::MAX),
             });
         }
     }

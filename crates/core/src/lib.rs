@@ -56,6 +56,7 @@ pub use ast::{
 };
 pub use error::{QueryError, QueryResult};
 pub use eval::{run_query, AtomicSource, Evaluator, NodeTrace};
-pub use explain::{explain, explain_traced};
+pub use cost::{predicted_io, predicted_node_io, CostInputs};
+pub use explain::{analyze, build_trace, explain, explain_traced};
 pub use lang::{classify, Language};
 pub use parser::{parse_agg_filter, parse_query};

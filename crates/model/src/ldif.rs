@@ -17,25 +17,152 @@
 //! integer; `attr:dn value` parses a DN reference. (Standard LDIF carries
 //! types in the schema instead; the suffix keeps round-trips lossless
 //! without one.) Blank lines separate entries; `#` starts a comment.
+//!
+//! The RFC 2849 transport conventions are honored in both directions:
+//!
+//! * **Folding** — logical lines longer than 76 characters are folded;
+//!   a physical line starting with a single space continues the
+//!   previous logical line (the space is removed on read).
+//! * **Base64** — `attr:: <base64>` carries a value that is not a
+//!   SAFE-STRING (leading space/`:`/`<`, trailing space, or any byte
+//!   outside printable ASCII — newlines, control characters, UTF-8).
+//!   The writer encodes such values automatically, so *every* string
+//!   value round-trips through export→import unchanged.
 
 use crate::directory::Directory;
 use crate::dn::Dn;
 use crate::entry::Entry;
 use crate::error::{ModelError, ModelResult};
 use crate::value::Value;
-use std::fmt::Write as _;
+
+/// Maximum physical line width before folding (RFC 2849 suggests 76).
+const FOLD_WIDTH: usize = 76;
+
+/// Can `s` travel as a plain `attr: value` line and come back intact?
+///
+/// Mirrors RFC 2849's SAFE-STRING, tightened to printable ASCII: no
+/// leading space/colon/less-than, no trailing space, every byte in
+/// `0x20..=0x7e`. Anything else goes base64.
+fn is_safe_string(s: &str) -> bool {
+    s.bytes().all(|b| (0x20..=0x7e).contains(&b))
+        && !s.starts_with([' ', ':', '<'])
+        && !s.ends_with(' ')
+}
+
+/// Append `line` to `out`, folding at [`FOLD_WIDTH`] columns with
+/// single-space continuation lines.
+fn push_folded(out: &mut String, line: &str) {
+    let mut rest = line;
+    let mut first = true;
+    loop {
+        // Continuation lines lose one column to the leading space.
+        let limit = if first { FOLD_WIDTH } else { FOLD_WIDTH - 1 };
+        if !first {
+            out.push(' ');
+        }
+        if rest.len() <= limit {
+            out.push_str(rest);
+            out.push('\n');
+            return;
+        }
+        let mut cut = limit;
+        while !rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        out.push_str(&rest[..cut]);
+        out.push('\n');
+        rest = &rest[cut..];
+        first = false;
+    }
+}
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with padding (hand-rolled; the build has no deps).
+fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let n = (u32::from(chunk[0]) << 16)
+            | (u32::from(*chunk.get(1).unwrap_or(&0)) << 8)
+            | u32::from(*chunk.get(2).unwrap_or(&0));
+        out.push(BASE64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Strict base64 decode: multiple-of-4 length, `=` padding only at the
+/// very end.
+fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    fn sextet(c: u8) -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("invalid base64 byte {:?}", c as char)),
+        }
+    }
+    let b = s.as_bytes();
+    if b.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !b.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} is not a multiple of 4", b.len()));
+    }
+    let chunks = b.len() / 4;
+    let mut out = Vec::with_capacity(chunks * 3);
+    for (i, chunk) in b.chunks(4).enumerate() {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && i != chunks - 1) {
+            return Err("misplaced base64 padding".into());
+        }
+        if chunk[..4 - pad].contains(&b'=') {
+            return Err("misplaced base64 padding".into());
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | sextet(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let bytes = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&bytes[..3 - pad]);
+    }
+    Ok(out)
+}
+
+/// Render one `attr: value` (or `attr:: base64`) logical line for a
+/// string value, folded into `out`.
+fn push_str_line(out: &mut String, attr: &str, value: &str) {
+    if is_safe_string(value) {
+        push_folded(out, &format!("{attr}: {value}"));
+    } else {
+        push_folded(out, &format!("{attr}:: {}", base64_encode(value.as_bytes())));
+    }
+}
 
 /// Serialize one entry in typed-LDIF form.
 pub fn entry_to_ldif(entry: &Entry) -> String {
     let mut out = String::new();
-    writeln!(out, "dn: {}", entry.dn()).expect("string write");
+    push_str_line(&mut out, "dn", &entry.dn().to_string());
     for (a, v) in entry.pairs() {
         match v {
-            Value::Str(s) => writeln!(out, "{a}: {s}"),
-            Value::Int(i) => writeln!(out, "{a}:i {i}"),
-            Value::Dn(d) => writeln!(out, "{a}:dn {d}"),
+            Value::Str(s) => push_str_line(&mut out, &a.to_string(), s),
+            Value::Int(i) => push_folded(&mut out, &format!("{a}:i {i}")),
+            Value::Dn(d) => push_folded(&mut out, &format!("{a}:dn {d}")),
         }
-        .expect("string write");
     }
     out
 }
@@ -50,13 +177,40 @@ pub fn directory_to_ldif(dir: &Directory) -> String {
     out
 }
 
+/// Reassemble logical lines: a physical line starting with a single
+/// space continues the previous logical line (RFC 2849 folding).
+fn unfold(block: &str) -> Vec<String> {
+    let mut logical: Vec<String> = Vec::new();
+    for raw in block.lines() {
+        match raw.strip_prefix(' ') {
+            Some(cont) if !logical.is_empty() => {
+                logical.last_mut().expect("non-empty").push_str(cont);
+            }
+            _ => logical.push(raw.to_string()),
+        }
+    }
+    logical
+}
+
+/// Decode the base64 payload of an `attr:: value` line into a string.
+fn decode_base64_value(line: &str, payload: &str) -> ModelResult<String> {
+    let bytes = base64_decode(payload.trim()).map_err(|detail| ModelError::DnParse {
+        input: line.to_string(),
+        detail,
+    })?;
+    String::from_utf8(bytes).map_err(|_| ModelError::DnParse {
+        input: line.to_string(),
+        detail: "base64 value is not valid UTF-8".into(),
+    })
+}
+
 /// Parse one typed-LDIF entry block (no blank lines inside).
 pub fn entry_from_ldif(block: &str) -> ModelResult<Entry> {
     let mut dn: Option<Dn> = None;
     let mut builder: Option<crate::entry::EntryBuilder> = None;
-    for line in block.lines() {
-        let line = line.trim_end();
-        if line.is_empty() || line.starts_with('#') {
+    for line in unfold(block) {
+        let line = line.as_str();
+        if line.trim().is_empty() || line.starts_with('#') {
             continue;
         }
         let Some(colon) = line.find(':') else {
@@ -67,6 +221,11 @@ pub fn entry_from_ldif(block: &str) -> ModelResult<Entry> {
         };
         let attr = line[..colon].trim();
         let rest = &line[colon + 1..];
+        // `attr:: payload` marks a base64-encoded string value.
+        let (base64, rest) = match rest.strip_prefix(':') {
+            Some(payload) => (true, payload),
+            None => (false, rest),
+        };
         if dn.is_none() {
             if !attr.eq_ignore_ascii_case("dn") {
                 return Err(ModelError::DnParse {
@@ -74,27 +233,36 @@ pub fn entry_from_ldif(block: &str) -> ModelResult<Entry> {
                     detail: "LDIF entry must start with a dn: line".into(),
                 });
             }
-            let parsed = Dn::parse(rest.trim())?;
+            let text = if base64 {
+                decode_base64_value(line, rest)?
+            } else {
+                rest.trim().to_string()
+            };
+            let parsed = Dn::parse(&text)?;
             builder = Some(Entry::builder(parsed.clone()));
             dn = Some(parsed);
             continue;
         }
         let b = builder.take().expect("builder exists after dn line");
-        let (tag, value_s) = if let Some(v) = rest.strip_prefix("dn ") {
-            ("dn", v)
-        } else if let Some(v) = rest.strip_prefix("i ") {
-            ("i", v)
+        let value = if base64 {
+            Value::Str(decode_base64_value(line, rest)?)
         } else {
-            ("", rest)
-        };
-        let value_s = value_s.trim();
-        let value = match tag {
-            "i" => Value::Int(value_s.parse().map_err(|_| ModelError::DnParse {
-                input: line.to_string(),
-                detail: format!("{value_s:?} is not an integer"),
-            })?),
-            "dn" => Value::Dn(Dn::parse(value_s)?),
-            _ => Value::Str(value_s.to_string()),
+            let (tag, value_s) = if let Some(v) = rest.strip_prefix("dn ") {
+                ("dn", v)
+            } else if let Some(v) = rest.strip_prefix("i ") {
+                ("i", v)
+            } else {
+                ("", rest)
+            };
+            let value_s = value_s.trim();
+            match tag {
+                "i" => Value::Int(value_s.parse().map_err(|_| ModelError::DnParse {
+                    input: line.to_string(),
+                    detail: format!("{value_s:?} is not an integer"),
+                })?),
+                "dn" => Value::Dn(Dn::parse(value_s)?),
+                _ => Value::Str(value_s.to_string()),
+            }
         };
         builder = Some(b.attr(attr, value));
     }
@@ -196,5 +364,75 @@ mod tests {
             assert_eq!(back.dn(), e.dn());
             assert_eq!(back.pairs(), e.pairs());
         }
+    }
+
+    #[test]
+    fn base64_codec_roundtrips_and_rejects_junk() {
+        for s in ["", "a", "ab", "abc", "abcd", "hello world\n", "é—ü"] {
+            let enc = base64_encode(s.as_bytes());
+            assert_eq!(base64_decode(&enc).unwrap(), s.as_bytes(), "input {s:?}");
+        }
+        assert_eq!(base64_encode(b"any carnal pleasure"), "YW55IGNhcm5hbCBwbGVhc3VyZQ==");
+        assert!(base64_decode("abc").is_err()); // not a multiple of 4
+        assert!(base64_decode("ab=c").is_err()); // padding mid-chunk
+        assert!(base64_decode("====").is_err()); // too much padding
+        assert!(base64_decode("QUJD!").is_err()); // bad byte (and bad length)
+        assert!(base64_decode("QU=Q").is_err()); // padding not at end
+    }
+
+    #[test]
+    fn unsafe_values_are_base64_encoded_and_recovered() {
+        let tricky = [
+            " leading space",
+            "trailing space ",
+            ": starts with colon",
+            "< starts with less-than",
+            "embedded\nnewline",
+            "ünïcödé",
+            "",
+        ];
+        let mut b = Entry::builder(Dn::parse("cn=t, dc=com").unwrap()).class("thing");
+        for (i, v) in tricky.iter().enumerate() {
+            b = b.attr(format!("v{i}"), *v);
+        }
+        let e = b.build().unwrap();
+        let text = entry_to_ldif(&e);
+        // Every tricky value travels as base64, never raw.
+        assert!(!text.contains("leading space"));
+        assert!(!text.contains("ünïcödé"));
+        assert!(text.contains("v0:: "));
+        let back = entry_from_ldif(&text).unwrap();
+        assert_eq!(back.pairs(), e.pairs());
+    }
+
+    #[test]
+    fn long_lines_are_folded_and_unfolded() {
+        let long = "x".repeat(300);
+        let e = Entry::builder(Dn::parse("cn=t, dc=com").unwrap())
+            .class("thing")
+            .attr("blob", long.as_str())
+            .build()
+            .unwrap();
+        let text = entry_to_ldif(&e);
+        for line in text.lines() {
+            assert!(line.len() <= FOLD_WIDTH, "unfolded line: {line:?}");
+        }
+        assert!(text.lines().any(|l| l.starts_with(' ')), "nothing folded");
+        let back = entry_from_ldif(&text).unwrap();
+        assert_eq!(back.pairs(), e.pairs());
+    }
+
+    #[test]
+    fn foreign_folded_and_base64_ldif_parses() {
+        // Folding mid-value (the continuation space is transport, not
+        // payload) and a base64 dn, as another RFC 2849 producer might
+        // emit them.
+        let text = "dn:: Y249dCwgZGM9Y29t\nobjectClass: thing\ndescription: folded \n across two lines\n";
+        let e = entry_from_ldif(text).unwrap();
+        assert_eq!(e.dn().to_string(), "cn=t, dc=com");
+        assert_eq!(
+            e.first_str(&crate::attr::AttrName::new("description")),
+            Some("folded across two lines")
+        );
     }
 }

@@ -1,0 +1,99 @@
+//! Property tests for the LDIF codec's RFC 2849 transport layer:
+//! export→import must be the identity over *adversarial* string values
+//! (newlines, leading/trailing spaces, colons, non-ASCII, lines past
+//! the 76-column fold).
+
+use netdir_model::ldif::{directory_from_ldif, directory_to_ldif, entry_from_ldif, entry_to_ldif};
+use netdir_model::{Directory, Dn, Entry};
+use proptest::prelude::*;
+
+/// String values chosen to stress every special case in the format:
+/// SAFE-STRING violations (base64 path), long values (folding path),
+/// and plain values (the fast path).
+fn arb_adversarial_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Plain, safe values.
+        "[a-zA-Z0-9][a-zA-Z0-9 ]{0,10}",
+        // Leading / trailing spaces and forbidden first bytes.
+        " [a-z]{1,5}",
+        "[a-z]{1,5} ",
+        ":[a-z]{0,5}",
+        "<[a-z]{0,5}",
+        // Embedded newlines, carriage returns, tabs.
+        "[a-z]{1,4}(\n|\r|\t)[a-z]{1,4}",
+        // Lines that look like LDIF themselves (format injection).
+        "dn: dc=evil",
+        "[a-z]{1,3}:: aGk=",
+        // Fold-boundary stress: longer than 76 columns.
+        "[a-z]{70,200}",
+        // Non-ASCII (multi-byte UTF-8 straddling fold points).
+        "[à-ü]{1,40}",
+        "[a-z]{74}[à-ü]{1,3}",
+        // Empty.
+        Just(String::new()),
+    ]
+}
+
+fn arb_attr_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9]{0,11}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One entry with up to five adversarial values survives
+    /// entry_to_ldif → entry_from_ldif exactly.
+    #[test]
+    fn adversarial_values_roundtrip(
+        names in proptest::collection::vec(arb_attr_name(), 1..5),
+        values in proptest::collection::vec(arb_adversarial_value(), 1..5),
+    ) {
+        let mut b = Entry::builder(Dn::parse("cn=t, dc=com").unwrap()).class("thing");
+        for (n, v) in names.iter().zip(&values) {
+            b = b.attr(n.as_str(), v.as_str());
+        }
+        let e = b.build().unwrap();
+        let text = entry_to_ldif(&e);
+        // Transport invariant: no physical line exceeds the fold width.
+        for line in text.lines() {
+            prop_assert!(line.len() <= 76, "unfolded line {line:?}");
+        }
+        let back = entry_from_ldif(&text).unwrap();
+        prop_assert_eq!(back.pairs(), e.pairs(), "values mangled in transit");
+    }
+
+    /// Whole-directory export→import is the identity even when values
+    /// contain blank-line lookalikes and folded blocks.
+    #[test]
+    fn directory_roundtrip_with_adversarial_values(
+        v1 in arb_adversarial_value(),
+        v2 in arb_adversarial_value(),
+    ) {
+        let mut d = Directory::new();
+        d.insert(Entry::builder(Dn::parse("dc=com").unwrap()).class("dc").build().unwrap())
+            .unwrap();
+        d.insert(
+            Entry::builder(Dn::parse("ou=a, dc=com").unwrap())
+                .class("thing")
+                .attr("payload", v1.as_str())
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        d.insert(
+            Entry::builder(Dn::parse("ou=b, dc=com").unwrap())
+                .class("thing")
+                .attr("payload", v2.as_str())
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let text = directory_to_ldif(&d);
+        let back = directory_from_ldif(&text).unwrap();
+        prop_assert_eq!(back.len(), d.len());
+        for (x, y) in d.iter_sorted().zip(back.iter_sorted()) {
+            prop_assert_eq!(x.dn(), y.dn());
+            prop_assert_eq!(x.pairs(), y.pairs());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Injectable time sources.
+//!
+//! Code that couples to `Instant::now()` directly can only be tested by
+//! sleeping, which makes the suite slow and timing-flaky under load. A
+//! [`Clock`] reports *elapsed time since its own origin* as a
+//! [`Duration`]; production code holds an `Arc<dyn Clock>` and tests
+//! swap in a [`ManualClock`] they advance by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source: `now()` never goes backwards.
+///
+/// The absolute value is meaningless on its own; only differences
+/// between two `now()` readings from the *same* clock are.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: wall-free monotonic time via [`Instant`],
+/// measured from the moment the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A test clock that only moves when told to.
+///
+/// Starts at zero; [`ManualClock::advance`] moves it forward. Cloning
+/// the handle (via `Arc`) shares the underlying time, so the code under
+/// test and the test itself observe the same instant.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        // Saturating: a test that advances past u64::MAX nanos (~584
+        // years) pins at the end of time instead of wrapping backwards.
+        let by = u64::try_from(by.as_nanos()).unwrap_or(u64::MAX);
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(by))
+            });
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn manual_clock_is_shared_through_an_arc() {
+        let clock = Arc::new(ManualClock::new());
+        let viewer: Arc<dyn Clock> = clock.clone();
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(viewer.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn manual_clock_saturates_instead_of_wrapping() {
+        let clock = ManualClock::new();
+        clock.advance(Duration::MAX);
+        let end = clock.now();
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), end);
+    }
+}

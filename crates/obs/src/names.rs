@@ -1,0 +1,107 @@
+//! Stable metric names — the single source of truth.
+//!
+//! Dashboards, `BENCH_*.json` trajectories, and the `check.sh
+//! --bench-smoke` rename gate all key on these strings. Renaming one
+//! silently breaks every historical comparison, so: add names freely,
+//! never repurpose or delete one without updating [`TRACKED`] *and*
+//! the documented migration note in EXPERIMENTS.md.
+
+/// Pager reads (pages fetched from backing store). From `IoStats`.
+pub const IO_READS: &str = "netdir_io_reads_total";
+/// Pager writes (pages flushed). From `IoStats`.
+pub const IO_WRITES: &str = "netdir_io_writes_total";
+/// Pages allocated. From `IoStats`.
+pub const IO_ALLOCS: &str = "netdir_io_allocs_total";
+
+/// Remote sub-queries issued. From `NetStats`.
+pub const NET_REQUESTS: &str = "netdir_net_requests_total";
+/// Remote responses received. From `NetStats`.
+pub const NET_RESPONSES: &str = "netdir_net_responses_total";
+/// Entries shipped between servers. From `NetStats`.
+pub const NET_ENTRIES_SHIPPED: &str = "netdir_net_entries_shipped_total";
+/// Bytes shipped between servers (framed). From `NetStats`.
+pub const NET_BYTES_SHIPPED: &str = "netdir_net_bytes_shipped_total";
+
+/// Zone fetches attempted (first tries and retries). From `RetryStats`.
+pub const RETRY_ATTEMPTS: &str = "netdir_retry_attempts_total";
+/// Fetches that were retries of a failed attempt. From `RetryStats`.
+pub const RETRY_RETRIES: &str = "netdir_retry_retries_total";
+/// Fetches abandoned after exhausting the retry budget. From `RetryStats`.
+pub const RETRY_GAVE_UP: &str = "netdir_retry_gave_up_total";
+
+/// Calls through the fault-injecting transport. From `FaultStats`.
+pub const FAULT_CALLS: &str = "netdir_fault_calls_total";
+/// Injected drops. From `FaultStats`.
+pub const FAULT_DROPPED: &str = "netdir_fault_dropped_total";
+/// Injected errors. From `FaultStats`.
+pub const FAULT_ERRORED: &str = "netdir_fault_errored_total";
+/// Injected delays. From `FaultStats`.
+pub const FAULT_DELAYED: &str = "netdir_fault_delayed_total";
+/// Injected truncations. From `FaultStats`.
+pub const FAULT_TRUNCATED: &str = "netdir_fault_truncated_total";
+/// Calls refused as unreachable. From `FaultStats`.
+pub const FAULT_UNREACHABLE: &str = "netdir_fault_unreachable_total";
+
+/// Circuit breakers tripped Closed→Open.
+pub const BREAKER_OPENED: &str = "netdir_breaker_opened_total";
+/// Breakers that admitted a probe, Open→HalfOpen.
+pub const BREAKER_HALF_OPENED: &str = "netdir_breaker_half_opened_total";
+/// Breakers that recovered, HalfOpen→Closed.
+pub const BREAKER_CLOSED: &str = "netdir_breaker_closed_total";
+
+/// Queries evaluated end to end.
+pub const QUERIES: &str = "netdir_queries_total";
+/// End-to-end query latency histogram, microseconds.
+pub const QUERY_DURATION_US: &str = "netdir_query_duration_us";
+/// Pages read per query, histogram.
+pub const QUERY_PAGES: &str = "netdir_query_pages";
+
+/// Every name the bench-smoke gate protects against renames.
+///
+/// `BENCH_*.json` must contain each of these (histograms appear via
+/// their `_count`/`_sum` series, which embed the base name).
+pub const TRACKED: &[&str] = &[
+    IO_READS,
+    IO_WRITES,
+    IO_ALLOCS,
+    NET_REQUESTS,
+    NET_RESPONSES,
+    NET_ENTRIES_SHIPPED,
+    NET_BYTES_SHIPPED,
+    RETRY_ATTEMPTS,
+    RETRY_RETRIES,
+    RETRY_GAVE_UP,
+    FAULT_CALLS,
+    FAULT_DROPPED,
+    FAULT_ERRORED,
+    FAULT_DELAYED,
+    FAULT_TRUNCATED,
+    FAULT_UNREACHABLE,
+    BREAKER_OPENED,
+    BREAKER_HALF_OPENED,
+    BREAKER_CLOSED,
+    QUERIES,
+    QUERY_DURATION_US,
+    QUERY_PAGES,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_names_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in TRACKED {
+            assert!(seen.insert(name), "duplicate tracked name: {name}");
+            assert!(
+                name.starts_with("netdir_"),
+                "tracked name missing netdir_ prefix: {name}"
+            );
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()),
+                "tracked name not snake_case: {name}"
+            );
+        }
+    }
+}

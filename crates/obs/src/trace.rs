@@ -1,0 +1,195 @@
+//! Per-query operator traces — the structured data behind
+//! `EXPLAIN ANALYZE`.
+//!
+//! One [`OperatorSpan`] per query-plan node records what that operator
+//! actually did (entries in/out, pages produced, page reads/writes,
+//! elapsed time) next to what the paper's cost model said it *should*
+//! do (`predicted_io`). A [`QueryTrace`] collects the spans in display
+//! (pre-order) order plus whole-query totals, and renders them as an
+//! indented table. Timing can be redacted at render time so golden
+//! tests stay deterministic.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// What one operator node did during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpan {
+    /// Operator label (e.g. `atomic`, `and [sort-merge]`, `cover`).
+    pub node: String,
+    /// Depth in the plan tree (0 = root), for indentation.
+    pub depth: u32,
+    /// Entries flowing in from child operators (0 for leaves).
+    pub entries_in: u64,
+    /// Entries this operator produced.
+    pub entries_out: u64,
+    /// Pages occupied by the produced list.
+    pub pages_out: u64,
+    /// Pages read while this operator ran (children excluded).
+    pub reads: u64,
+    /// Pages written while this operator ran (children excluded).
+    pub writes: u64,
+    /// Wall time spent in this operator (children excluded).
+    pub elapsed_nanos: u64,
+    /// Page I/O the cost model predicts for this node.
+    pub predicted_io: f64,
+}
+
+impl OperatorSpan {
+    /// Pages actually transferred by this operator.
+    pub fn observed_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Whether a rendering includes wall-clock timings.
+///
+/// Golden tests redact them (everything else in a trace is
+/// deterministic); interactive `--analyze` shows them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeDisplay {
+    /// Render elapsed times.
+    Show,
+    /// Replace every elapsed time with `-`.
+    Redact,
+}
+
+/// A complete `EXPLAIN ANALYZE` result for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The query text as evaluated.
+    pub query: String,
+    /// One span per operator, in pre-order (display) order.
+    pub spans: Vec<OperatorSpan>,
+    /// Whole-query page I/O predicted by the cost model.
+    pub predicted_io: f64,
+    /// Whole-query page I/O actually observed.
+    pub observed_io: u64,
+    /// End-to-end evaluation wall time.
+    pub elapsed_nanos: u64,
+}
+
+/// Format nanoseconds as microseconds with one decimal.
+fn micros(nanos: u64) -> String {
+    format!("{:.1}µs", nanos as f64 / 1_000.0)
+}
+
+impl QueryTrace {
+    /// Total entries produced by the root operator.
+    pub fn root_entries(&self) -> u64 {
+        self.spans.first().map_or(0, |s| s.entries_out)
+    }
+
+    /// End-to-end wall time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_nanos)
+    }
+
+    /// Render the trace as an indented per-operator table.
+    pub fn render(&self, time: TimeDisplay) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "analyze: {}", self.query);
+        for span in &self.spans {
+            let indent = "  ".repeat(span.depth as usize + 1);
+            let elapsed = match time {
+                TimeDisplay::Show => micros(span.elapsed_nanos),
+                TimeDisplay::Redact => "-".into(),
+            };
+            let _ = writeln!(
+                out,
+                "{indent}{}: in={} out={} pages={} reads={} writes={} \
+                 predicted_io={:.1} observed_io={} elapsed={elapsed}",
+                span.node,
+                span.entries_in,
+                span.entries_out,
+                span.pages_out,
+                span.reads,
+                span.writes,
+                span.predicted_io,
+                span.observed_io(),
+            );
+        }
+        let elapsed = match time {
+            TimeDisplay::Show => micros(self.elapsed_nanos),
+            TimeDisplay::Redact => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "total: predicted_io={:.1} observed_io={} elapsed={elapsed}",
+            self.predicted_io, self.observed_io,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        QueryTrace {
+            query: "(- A B)".into(),
+            spans: vec![
+                OperatorSpan {
+                    node: "difference".into(),
+                    depth: 0,
+                    entries_in: 7,
+                    entries_out: 3,
+                    pages_out: 1,
+                    reads: 2,
+                    writes: 1,
+                    elapsed_nanos: 4_200,
+                    predicted_io: 3.0,
+                },
+                OperatorSpan {
+                    node: "atomic".into(),
+                    depth: 1,
+                    entries_in: 0,
+                    entries_out: 5,
+                    pages_out: 1,
+                    reads: 4,
+                    writes: 1,
+                    elapsed_nanos: 10_000,
+                    predicted_io: 5.0,
+                },
+            ],
+            predicted_io: 8.0,
+            observed_io: 8,
+            elapsed_nanos: 15_500,
+        }
+    }
+
+    #[test]
+    fn render_shows_one_indented_line_per_operator() {
+        let text = sample().render(TimeDisplay::Show);
+        assert!(text.starts_with("analyze: (- A B)\n"));
+        assert!(text.contains(
+            "  difference: in=7 out=3 pages=1 reads=2 writes=1 \
+             predicted_io=3.0 observed_io=3 elapsed=4.2µs"
+        ));
+        assert!(text.contains(
+            "    atomic: in=0 out=5 pages=1 reads=4 writes=1 \
+             predicted_io=5.0 observed_io=5 elapsed=10.0µs"
+        ));
+        assert!(text.ends_with("total: predicted_io=8.0 observed_io=8 elapsed=15.5µs\n"));
+    }
+
+    #[test]
+    fn redacted_rendering_is_deterministic() {
+        let mut a = sample();
+        let mut b = sample();
+        a.elapsed_nanos = 1;
+        b.elapsed_nanos = 999_999;
+        a.spans[0].elapsed_nanos = 5;
+        b.spans[0].elapsed_nanos = 123_456;
+        assert_eq!(a.render(TimeDisplay::Redact), b.render(TimeDisplay::Redact));
+        assert!(a.render(TimeDisplay::Redact).contains("elapsed=-"));
+    }
+
+    #[test]
+    fn root_entries_and_elapsed_accessors() {
+        let t = sample();
+        assert_eq!(t.root_entries(), 3);
+        assert_eq!(t.elapsed(), Duration::from_nanos(15_500));
+    }
+}

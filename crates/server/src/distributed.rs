@@ -331,6 +331,39 @@ impl Router {
         })
     }
 
+    /// Evaluate `query` as posed to server `home` and return its result
+    /// together with a per-operator [`QueryTrace`] — `EXPLAIN ANALYZE`
+    /// over the distributed evaluator. The trace's I/O ledger covers the
+    /// queried server's local operator evaluation (remote shipping is
+    /// counted separately on [`Router::net`]).
+    pub fn query_analyzed(
+        &self,
+        home: ServerId,
+        pager: &Pager,
+        query: &Query,
+        mode: ConsistencyMode,
+    ) -> QueryResult<(QueryOutcome, netdir_obs::QueryTrace)> {
+        let source = RoutingSource {
+            router: self,
+            home,
+            pager: pager.clone(),
+            mode,
+            partial: RefCell::new(Vec::new()),
+        };
+        let started = std::time::Instant::now();
+        let (out, traces) = Evaluator::new(&source, pager).evaluate_traced(query)?;
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let trace = netdir_query::build_trace(query, &traces, elapsed);
+        let entries = out.to_vec().map_err(QueryError::from)?;
+        Ok((
+            QueryOutcome {
+                entries,
+                partial: source.partial.into_inner(),
+            },
+            trace,
+        ))
+    }
+
     /// Evaluate one atomic query as posed to server `home`: ship it to
     /// every zone intersecting its scope and merge the sorted responses.
     /// This is the building block wire daemons expose directly.
@@ -514,6 +547,22 @@ impl Cluster {
             detail: "no such server".into(),
         })?;
         self.router.query_with(home, pager, query, mode)
+    }
+
+    /// Evaluate `query` as posed to server `home` (by name) and return
+    /// its result plus a per-operator [`netdir_obs::QueryTrace`].
+    pub fn query_analyzed_from(
+        &self,
+        home: &str,
+        pager: &Pager,
+        query: &Query,
+        mode: ConsistencyMode,
+    ) -> QueryResult<(QueryOutcome, netdir_obs::QueryTrace)> {
+        let home = self.server_id(home).ok_or_else(|| QueryError::Parse {
+            input: home.into(),
+            detail: "no such server".into(),
+        })?;
+        self.router.query_analyzed(home, pager, query, mode)
     }
 }
 
@@ -804,6 +853,26 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn analyzed_distributed_query_matches_plain_and_traces_every_node() {
+        let c = cluster();
+        let pager = netdir_pager::default_pager();
+        let q = parse_query(
+            "(c (dc=com ? sub ? objectClass=thing) \
+                (dc=research, dc=att, dc=com ? base ? objectClass=thing))",
+        )
+        .unwrap();
+        let plain = c.query_from("root", &pager, &q).unwrap();
+        let (out, trace) = c
+            .query_analyzed_from("root", &pager, &q, ConsistencyMode::Strict)
+            .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(plain.len(), out.entries.len());
+        assert_eq!(trace.spans.len(), q.num_nodes());
+        assert_eq!(trace.root_entries(), out.entries.len() as u64);
+        assert!(trace.predicted_io > 0.0);
     }
 
     #[test]

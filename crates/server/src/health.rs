@@ -29,11 +29,17 @@
 //! flag preserves the old operator-controlled `set_down` semantics: a
 //! forced-down server is unavailable regardless of breaker state and
 //! never recovers on its own.
+//!
+//! Time comes from an injected [`Clock`] — monotonic in production,
+//! manually advanced in tests — so cooldown behaviour is testable
+//! without sleeping. Every state transition is counted
+//! ([`HealthTracker::transitions`]) for the metrics registry.
 
 use crate::delegation::ServerId;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use netdir_obs::{Clock, MonotonicClock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Tuning for the per-server circuit breakers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,9 +71,26 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// Cumulative counts of breaker state transitions across all servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerTransitions {
+    /// Trips into Open (Closed→Open and re-opened HalfOpen→Open).
+    pub opened: u64,
+    /// Probes admitted, Open→HalfOpen.
+    pub half_opened: u64,
+    /// Recoveries, Open/HalfOpen→Closed.
+    pub closed: u64,
+}
+
 enum State {
-    Closed { failures: u32 },
-    Open { since: Instant },
+    Closed {
+        failures: u32,
+    },
+    /// Open since the clock read `since` (a reading of the tracker's
+    /// own [`Clock`], not wall time).
+    Open {
+        since: Duration,
+    },
     HalfOpen,
 }
 
@@ -88,15 +111,29 @@ impl ServerHealth {
 /// Health of every server in a cluster, indexed by [`ServerId`].
 pub struct HealthTracker {
     cfg: BreakerConfig,
+    clock: Arc<dyn Clock>,
     servers: Vec<ServerHealth>,
+    opened: AtomicU64,
+    half_opened: AtomicU64,
+    closed: AtomicU64,
 }
 
 impl HealthTracker {
-    /// Track `n` servers, all initially healthy.
+    /// Track `n` servers, all initially healthy, on monotonic time.
     pub fn new(n: usize, cfg: BreakerConfig) -> HealthTracker {
+        HealthTracker::with_clock(n, cfg, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Track `n` servers on an explicit [`Clock`] (tests inject a
+    /// manually-advanced one).
+    pub fn with_clock(n: usize, cfg: BreakerConfig, clock: Arc<dyn Clock>) -> HealthTracker {
         HealthTracker {
             cfg,
+            clock,
             servers: (0..n).map(|_| ServerHealth::new()).collect(),
+            opened: AtomicU64::new(0),
+            half_opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
         }
     }
 
@@ -115,6 +152,15 @@ impl HealthTracker {
         &self.cfg
     }
 
+    /// Cumulative transition counts across every tracked server.
+    pub fn transitions(&self) -> BreakerTransitions {
+        BreakerTransitions {
+            opened: self.opened.load(Ordering::Relaxed),
+            half_opened: self.half_opened.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+        }
+    }
+
     /// May traffic be routed to `id` right now? An Open breaker whose
     /// cooldown has expired transitions to HalfOpen here (this is the
     /// probe admission point). Unknown ids are unavailable.
@@ -129,8 +175,9 @@ impl HealthTracker {
         match &*state {
             State::Closed { .. } | State::HalfOpen => true,
             State::Open { since } => {
-                if since.elapsed() >= self.cfg.cooldown {
+                if self.clock.now().saturating_sub(*since) >= self.cfg.cooldown {
                     *state = State::HalfOpen;
+                    self.half_opened.fetch_add(1, Ordering::Relaxed);
                     true
                 } else {
                     false
@@ -144,6 +191,9 @@ impl HealthTracker {
     pub fn record_success(&self, id: ServerId) {
         if let Some(s) = self.servers.get(id) {
             let mut state = s.state.lock().unwrap_or_else(|e| e.into_inner());
+            if !matches!(&*state, State::Closed { .. }) {
+                self.closed.fetch_add(1, Ordering::Relaxed);
+            }
             *state = State::Closed { failures: 0 };
         }
     }
@@ -157,14 +207,20 @@ impl HealthTracker {
             State::Closed { failures } => {
                 let failures = failures + 1;
                 if failures >= self.cfg.failure_threshold.max(1) {
-                    State::Open { since: Instant::now() }
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                    State::Open { since: self.clock.now() }
                 } else {
                     State::Closed { failures }
                 }
             }
-            // A failed probe (or a straggler failure racing the trip)
-            // re-arms the cooldown from now.
-            State::HalfOpen | State::Open { .. } => State::Open { since: Instant::now() },
+            // A failed probe re-arms the cooldown from now and counts
+            // as a fresh trip; a straggler failure racing the trip just
+            // pushes the cooldown out.
+            State::HalfOpen => {
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                State::Open { since: self.clock.now() }
+            }
+            State::Open { .. } => State::Open { since: self.clock.now() },
         };
     }
 
@@ -219,20 +275,24 @@ impl HealthTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netdir_obs::ManualClock;
 
-    fn tracker(threshold: u32, cooldown_ms: u64) -> HealthTracker {
-        HealthTracker::new(
+    fn tracker(threshold: u32, cooldown_ms: u64) -> (HealthTracker, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let h = HealthTracker::with_clock(
             2,
             BreakerConfig {
                 failure_threshold: threshold,
                 cooldown: Duration::from_millis(cooldown_ms),
             },
-        )
+            clock.clone(),
+        );
+        (h, clock)
     }
 
     #[test]
     fn trips_after_consecutive_failures_only() {
-        let h = tracker(3, 60_000);
+        let (h, _clock) = tracker(3, 60_000);
         h.record_failure(0);
         h.record_failure(0);
         assert!(h.available(0));
@@ -250,17 +310,17 @@ mod tests {
 
     #[test]
     fn half_open_probe_after_cooldown_then_close_or_reopen() {
-        let h = tracker(1, 20);
+        let (h, clock) = tracker(1, 20);
         h.record_failure(0);
         assert!(!h.available(0));
-        std::thread::sleep(Duration::from_millis(30));
+        clock.advance(Duration::from_millis(30));
         // Cooldown expired: probe admitted.
         assert!(h.available(0));
         assert_eq!(h.state(0), BreakerState::HalfOpen);
         // Probe fails → straight back to Open, cooldown re-armed.
         h.record_failure(0);
         assert!(!h.available(0));
-        std::thread::sleep(Duration::from_millis(30));
+        clock.advance(Duration::from_millis(30));
         assert!(h.available(0));
         // Probe succeeds → Closed.
         h.record_success(0);
@@ -269,12 +329,71 @@ mod tests {
     }
 
     #[test]
+    fn full_open_half_open_closed_cycle_is_deterministic() {
+        // The canonical recovery arc at exact cooldown boundaries — no
+        // wall clock anywhere, so this cannot flake under load.
+        let (h, clock) = tracker(2, 1_000);
+        h.record_failure(0);
+        h.record_failure(0);
+        assert_eq!(h.state(0), BreakerState::Open);
+        assert!(!h.available(0));
+
+        // One tick *before* the cooldown boundary: still Open.
+        clock.advance(Duration::from_millis(999));
+        assert!(!h.available(0), "cooldown must not expire early");
+        assert_eq!(h.state(0), BreakerState::Open);
+
+        // Exactly at the boundary: the probe is admitted.
+        clock.advance(Duration::from_millis(1));
+        assert!(h.available(0));
+        assert_eq!(h.state(0), BreakerState::HalfOpen);
+
+        // Probe succeeds: Closed, failure streak cleared.
+        h.record_success(0);
+        assert_eq!(h.state(0), BreakerState::Closed);
+        assert_eq!(h.consecutive_failures(0), 0);
+        assert!(h.available(0));
+
+        // And the whole arc is visible in the transition counters.
+        assert_eq!(
+            h.transitions(),
+            BreakerTransitions {
+                opened: 1,
+                half_opened: 1,
+                closed: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn reopened_probe_failure_rearms_the_cooldown_from_now() {
+        let (h, clock) = tracker(1, 100);
+        h.record_failure(0);
+        clock.advance(Duration::from_millis(100));
+        assert!(h.available(0)); // HalfOpen
+        clock.advance(Duration::from_millis(60));
+        h.record_failure(0); // probe fails at t=160: cooldown re-arms
+        clock.advance(Duration::from_millis(99));
+        assert!(!h.available(0), "re-armed cooldown runs from the probe failure");
+        clock.advance(Duration::from_millis(1));
+        assert!(h.available(0));
+        assert_eq!(
+            h.transitions(),
+            BreakerTransitions {
+                opened: 2,
+                half_opened: 2,
+                closed: 0,
+            }
+        );
+    }
+
+    #[test]
     fn forced_down_overrides_breaker_and_never_self_heals() {
-        let h = tracker(3, 1);
+        let (h, clock) = tracker(3, 1);
         h.force_down(0, true);
         assert!(!h.available(0));
         assert!(h.is_forced_down(0));
-        std::thread::sleep(Duration::from_millis(5));
+        clock.advance(Duration::from_millis(5));
         assert!(!h.available(0), "forced outage must not cool down");
         h.record_success(0);
         assert!(!h.available(0), "successes do not lift a forced outage");
@@ -284,7 +403,7 @@ mod tests {
 
     #[test]
     fn unknown_ids_are_unavailable_and_harmless() {
-        let h = tracker(1, 1);
+        let (h, _clock) = tracker(1, 1);
         assert!(!h.available(99));
         h.record_failure(99);
         h.record_success(99);

@@ -21,6 +21,7 @@ pub mod delegation;
 pub mod distributed;
 pub mod fault;
 pub mod health;
+pub mod metrics;
 pub mod net;
 pub mod node;
 pub mod retry;
@@ -32,7 +33,7 @@ pub use distributed::{
     Router,
 };
 pub use fault::{FaultConfig, FaultSnapshot, FaultStats, FaultTransport};
-pub use health::{BreakerConfig, BreakerState, HealthTracker};
+pub use health::{BreakerConfig, BreakerState, BreakerTransitions, HealthTracker};
 pub use net::{NetSnapshot, NetStats};
 pub use node::{ServerConfig, ServerNode};
 pub use retry::{RetryPolicy, RetrySnapshot, RetryStats, Retryable};

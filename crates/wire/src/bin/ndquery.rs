@@ -4,7 +4,9 @@
 //! ndquery 127.0.0.1:3890 "(dc=att, dc=com ? sub ? surName=jagadish)"
 //! ndquery 127.0.0.1:3890 --home att "(null-dn ? sub ? objectClass=person)"
 //! ndquery 127.0.0.1:3890 --partial "(null-dn ? sub ? objectClass=person)"
+//! ndquery 127.0.0.1:3890 --analyze "(null-dn ? sub ? objectClass=person)"
 //! ndquery 127.0.0.1:3890 --ping
+//! ndquery 127.0.0.1:3890 --stats
 //! ndquery 127.0.0.1:3890 --shutdown
 //! ```
 //!
@@ -15,8 +17,17 @@
 //! of failing the query: entries from the surviving partitions print as
 //! usual, each skipped zone is reported on stderr, and the exit status
 //! stays 0 (a degraded answer is still an answer).
+//!
+//! With `--analyze`, the daemon evaluates the query and returns an
+//! `EXPLAIN ANALYZE` trace: one line per operator with entries in/out,
+//! pages, predicted vs observed I/O, and elapsed time. The trace prints
+//! to stdout instead of the entries (the entry count goes to stderr).
+//!
+//! With `--stats`, the daemon's metrics print in Prometheus exposition
+//! format.
 
 use netdir_model::ldif::entry_to_ldif;
+use netdir_obs::TimeDisplay;
 use netdir_wire::{ClientOptions, WireClient};
 use std::net::ToSocketAddrs;
 use std::process::exit;
@@ -24,8 +35,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ndquery ADDR [--home NAME] [--partial] [--timeout-ms MS] QUERY\n\
-         \x20      ndquery ADDR --ping | --shutdown"
+        "usage: ndquery ADDR [--home NAME] [--partial | --analyze] [--timeout-ms MS] QUERY\n\
+         \x20      ndquery ADDR --ping | --stats | --shutdown"
     );
     exit(2)
 }
@@ -37,6 +48,8 @@ fn main() {
     let mut ping = false;
     let mut shutdown = false;
     let mut partial = false;
+    let mut analyze = false;
+    let mut stats = false;
     let mut opts = ClientOptions::default();
 
     let mut args = std::env::args().skip(1);
@@ -56,6 +69,8 @@ fn main() {
             "--ping" => ping = true,
             "--shutdown" => shutdown = true,
             "--partial" => partial = true,
+            "--analyze" => analyze = true,
+            "--stats" => stats = true,
             "--help" | "-h" => usage(),
             other if addr.is_none() => addr = Some(other.to_string()),
             other if query.is_none() => query = Some(other.to_string()),
@@ -96,8 +111,31 @@ fn main() {
         }
         return;
     }
+    if stats {
+        match client.stats() {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("ndquery: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
 
     let Some(query) = query else { usage() };
+    if analyze {
+        match client.query_analyze(&home, &query) {
+            Ok((entries, trace)) => {
+                print!("{}", trace.render(TimeDisplay::Show));
+                eprintln!("# {} entries", entries.len());
+            }
+            Err(e) => {
+                eprintln!("ndquery: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
     if partial {
         match client.query_partial(&home, &query) {
             Ok(outcome) => {

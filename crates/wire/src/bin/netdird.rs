@@ -17,7 +17,9 @@
 //! sends a Shutdown frame (`ndquery ADDR --shutdown`).
 
 use netdir_model::{ldif, Directory, Dn};
+use netdir_obs::MetricsRegistry;
 use netdir_query::parse_query;
+use netdir_server::metrics as bridge;
 use netdir_server::{Cluster, ClusterBuilder, ConsistencyMode};
 use netdir_wire::{
     encode_entries, ServerOptions, WireRequest, WireResponse, WireServer, WireService,
@@ -32,6 +34,8 @@ use std::time::Duration;
 /// Query frame names one).
 struct ClusterService {
     cluster: Cluster,
+    /// Daemon-wide metrics, served by `Stats` frames.
+    metrics: MetricsRegistry,
 }
 
 impl WireService for ClusterService {
@@ -64,35 +68,90 @@ impl WireService for ClusterService {
             WireRequest::QueryPartial { home, text } => {
                 self.distributed(home, text, ConsistencyMode::Partial)
             }
+            WireRequest::QueryAnalyze { home, text } => self.analyzed(home, text),
+            WireRequest::Stats => self.stats(),
         }
     }
 }
 
 impl ClusterService {
+    /// The server a frame with an empty `home` is posed to.
+    fn default_home(&self, home: String) -> String {
+        if home.is_empty() {
+            self.cluster.node(0).config.name.clone()
+        } else {
+            home
+        }
+    }
+
+    /// Feed one finished query into the daemon metrics (each query runs
+    /// on a fresh scratch pager, so its whole ledger is this query's).
+    fn observe_query(&self, pager: &netdir_pager::Pager, elapsed_nanos: u64) {
+        let io = pager.io();
+        bridge::absorb_io(&self.metrics, io);
+        bridge::record_query(&self.metrics, elapsed_nanos, io.total());
+    }
+
     /// Full distributed query under `mode`. Partial outcomes with
     /// nothing skipped answer as plain `Entries`, so a healthy daemon's
     /// responses are identical in both modes.
     fn distributed(&self, home: String, text: String, mode: ConsistencyMode) -> WireResponse {
-        let home = if home.is_empty() {
-            self.cluster.node(0).config.name.clone()
-        } else {
-            home
-        };
+        let home = self.default_home(home);
         let query = match parse_query(&text) {
             Ok(q) => q,
             Err(e) => return WireResponse::Error(format!("bad query: {e}")),
         };
         let pager = netdir_pager::default_pager();
+        let started = std::time::Instant::now();
         match self.cluster.query_from_with(&home, &pager, &query, mode) {
-            Ok(outcome) if outcome.is_complete() => {
-                WireResponse::Entries(encode_entries(&outcome.entries))
+            Ok(outcome) => {
+                let elapsed =
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.observe_query(&pager, elapsed);
+                if outcome.is_complete() {
+                    WireResponse::Entries(encode_entries(&outcome.entries))
+                } else {
+                    WireResponse::Partial {
+                        entries: encode_entries(&outcome.entries),
+                        skipped: outcome.partial,
+                    }
+                }
             }
-            Ok(outcome) => WireResponse::Partial {
-                entries: encode_entries(&outcome.entries),
-                skipped: outcome.partial,
-            },
             Err(e) => WireResponse::Error(e.to_string()),
         }
+    }
+
+    /// Full strict query plus its per-operator trace.
+    fn analyzed(&self, home: String, text: String) -> WireResponse {
+        let home = self.default_home(home);
+        let query = match parse_query(&text) {
+            Ok(q) => q,
+            Err(e) => return WireResponse::Error(format!("bad query: {e}")),
+        };
+        let pager = netdir_pager::default_pager();
+        match self
+            .cluster
+            .query_analyzed_from(&home, &pager, &query, ConsistencyMode::Strict)
+        {
+            Ok((outcome, trace)) => {
+                self.observe_query(&pager, trace.elapsed_nanos);
+                WireResponse::Analyzed {
+                    entries: encode_entries(&outcome.entries),
+                    trace,
+                }
+            }
+            Err(e) => WireResponse::Error(e.to_string()),
+        }
+    }
+
+    /// Refresh the registry from every subsystem and render the
+    /// Prometheus exposition.
+    fn stats(&self) -> WireResponse {
+        let router = self.cluster.router();
+        bridge::sync_net(&self.metrics, router.net().snapshot());
+        bridge::sync_retry(&self.metrics, router.retry_stats().snapshot());
+        bridge::sync_health(&self.metrics, router.health().transitions());
+        WireResponse::Stats(self.metrics.render_prometheus())
     }
 }
 
@@ -205,7 +264,9 @@ fn main() {
         );
     }
 
-    let service = Arc::new(ClusterService { cluster });
+    let metrics = MetricsRegistry::default();
+    bridge::register_all(&metrics);
+    let service = Arc::new(ClusterService { cluster, metrics });
     let mut server = match WireServer::bind(listen.as_str(), service, opts) {
         Ok(s) => s,
         Err(e) => {

@@ -331,6 +331,42 @@ impl WireClient {
         Ok(encoded)
     }
 
+    /// Fetch the daemon's metrics in Prometheus exposition format.
+    pub fn stats(&self) -> WireResult<String> {
+        match self.call_counted(&WireRequest::Stats)? {
+            (WireResponse::Stats(text), _) => Ok(text),
+            (WireResponse::Error(e), _) => Err(WireError::Remote(e)),
+            (other, _) => Err(WireError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Full L0–L3 query returning the entries *and* the remote
+    /// evaluation's per-operator [`netdir_obs::QueryTrace`] —
+    /// `EXPLAIN ANALYZE` over the wire.
+    pub fn query_analyze(
+        &self,
+        home: &str,
+        text: &str,
+    ) -> WireResult<(Vec<Entry>, netdir_obs::QueryTrace)> {
+        let req = WireRequest::QueryAnalyze {
+            home: home.to_string(),
+            text: text.to_string(),
+        };
+        match self.call_counted(&req)? {
+            (WireResponse::Analyzed { entries, trace }, _) => {
+                let entries = decode_entries(&entries)
+                    .map_err(|e| WireError::Protocol(e.to_string()))?;
+                Ok((entries, trace))
+            }
+            (WireResponse::Error(e), _) => Err(WireError::Remote(e)),
+            (other, _) => Err(WireError::Protocol(format!(
+                "expected analyzed entries, got {other:?}"
+            ))),
+        }
+    }
+
     /// Full L0–L3 query under graceful degradation: zones the remote
     /// cluster cannot reach are skipped and reported in
     /// [`QueryOutcome::partial`] instead of failing the query.

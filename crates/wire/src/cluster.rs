@@ -18,10 +18,13 @@ use crate::server::{ServerOptions, WireServer, WireService};
 use crate::socket::SocketTransport;
 use crossbeam::channel::{unbounded, Sender};
 use netdir_model::{Directory, Entry};
+use netdir_obs::MetricsRegistry;
 use netdir_pager::record::Record;
+use netdir_pager::Pager;
 use netdir_query::parse_query;
 use netdir_query::{Query, QueryError, QueryResult};
 use netdir_server::delegation::ServerId;
+use netdir_server::metrics as bridge;
 use netdir_server::node::Request;
 use netdir_server::{
     BreakerConfig, ClusterBuilder, ConsistencyMode, FaultConfig, FaultStats, FaultTransport,
@@ -55,6 +58,11 @@ struct NodeService {
     /// Distributed evaluator over socket transport; set once all
     /// listeners are bound (requests racing launch get a clean error).
     router: Arc<OnceLock<Router>>,
+    /// Cluster-wide metrics, served by `Stats` frames.
+    metrics: MetricsRegistry,
+    /// Fault-injection counters, set at launch when a [`FaultPlan`] is
+    /// active (same race rules as `router`).
+    fault: Arc<OnceLock<FaultStats>>,
 }
 
 impl NodeService {
@@ -73,6 +81,26 @@ impl NodeService {
         }
     }
 
+    /// Resolve a `Query` frame's `home` field (empty = this daemon).
+    fn resolve_home(&self, home: &str) -> Result<ServerId, WireResponse> {
+        if home.is_empty() {
+            return Ok(self.home);
+        }
+        self.names
+            .iter()
+            .position(|n| n == home)
+            .ok_or_else(|| WireResponse::Error(format!("no such server: {home}")))
+    }
+
+    /// Feed one finished query into the cluster metrics: the scratch
+    /// pager's whole ledger is this query's I/O (each query gets a
+    /// fresh pager).
+    fn observe_query(&self, pager: &Pager, elapsed_nanos: u64) {
+        let io = pager.io();
+        bridge::absorb_io(&self.metrics, io);
+        bridge::record_query(&self.metrics, elapsed_nanos, io.total());
+    }
+
     /// Answer a full distributed query under `mode`. A partial outcome
     /// with nothing skipped answers as a plain `Entries` frame, so a
     /// healthy cluster's traffic is indistinguishable from strict mode.
@@ -80,29 +108,73 @@ impl NodeService {
         let Some(router) = self.router.get() else {
             return WireResponse::Error("cluster still launching".into());
         };
-        let home_id = if home.is_empty() {
-            self.home
-        } else {
-            match self.names.iter().position(|n| n == home) {
-                Some(id) => id,
-                None => return WireResponse::Error(format!("no such server: {home}")),
-            }
+        let home_id = match self.resolve_home(home) {
+            Ok(id) => id,
+            Err(resp) => return resp,
         };
         let query = match parse_query(text) {
             Ok(q) => q,
             Err(e) => return WireResponse::Error(format!("bad query: {e}")),
         };
         let pager = netdir_pager::default_pager();
+        let started = std::time::Instant::now();
         match router.query_with(home_id, &pager, &query, mode) {
-            Ok(outcome) if outcome.is_complete() => {
-                WireResponse::Entries(encode_entries(&outcome.entries))
+            Ok(outcome) => {
+                let elapsed =
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.observe_query(&pager, elapsed);
+                if outcome.is_complete() {
+                    WireResponse::Entries(encode_entries(&outcome.entries))
+                } else {
+                    WireResponse::Partial {
+                        entries: encode_entries(&outcome.entries),
+                        skipped: outcome.partial,
+                    }
+                }
             }
-            Ok(outcome) => WireResponse::Partial {
-                entries: encode_entries(&outcome.entries),
-                skipped: outcome.partial,
-            },
             Err(e) => WireResponse::Error(e.to_string()),
         }
+    }
+
+    /// Answer a `QueryAnalyze` frame: strict distributed evaluation
+    /// plus the per-operator trace.
+    fn analyzed(&self, home: &str, text: &str) -> WireResponse {
+        let Some(router) = self.router.get() else {
+            return WireResponse::Error("cluster still launching".into());
+        };
+        let home_id = match self.resolve_home(home) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        let query = match parse_query(text) {
+            Ok(q) => q,
+            Err(e) => return WireResponse::Error(format!("bad query: {e}")),
+        };
+        let pager = netdir_pager::default_pager();
+        match router.query_analyzed(home_id, &pager, &query, ConsistencyMode::Strict) {
+            Ok((outcome, trace)) => {
+                self.observe_query(&pager, trace.elapsed_nanos);
+                WireResponse::Analyzed {
+                    entries: encode_entries(&outcome.entries),
+                    trace,
+                }
+            }
+            Err(e) => WireResponse::Error(e.to_string()),
+        }
+    }
+
+    /// Answer a `Stats` frame: refresh the registry from every live
+    /// subsystem, then render the Prometheus exposition.
+    fn stats(&self) -> WireResponse {
+        if let Some(router) = self.router.get() {
+            bridge::sync_net(&self.metrics, router.net().snapshot());
+            bridge::sync_retry(&self.metrics, router.retry_stats().snapshot());
+            bridge::sync_health(&self.metrics, router.health().transitions());
+        }
+        if let Some(fault) = self.fault.get() {
+            bridge::sync_fault(&self.metrics, fault.snapshot());
+        }
+        WireResponse::Stats(self.metrics.render_prometheus())
     }
 }
 
@@ -132,6 +204,8 @@ impl WireService for NodeService {
             WireRequest::QueryPartial { home, text } => {
                 self.distributed(&home, &text, ConsistencyMode::Partial)
             }
+            WireRequest::QueryAnalyze { home, text } => self.analyzed(&home, &text),
+            WireRequest::Stats => self.stats(),
         }
     }
 }
@@ -161,6 +235,9 @@ pub struct WireCluster {
     client_opts: ClientOptions,
     /// Fault-injection counters, when launched with a [`FaultPlan`].
     fault_stats: Option<FaultStats>,
+    /// Cluster-wide metrics registry (shared with every daemon's
+    /// service; served by `Stats` frames).
+    metrics: MetricsRegistry,
 }
 
 impl WireCluster {
@@ -205,6 +282,9 @@ impl WireCluster {
             .map(|(cfg, entries)| ServerNode::spawn(cfg, entries))
             .collect();
         let router: Arc<OnceLock<Router>> = Arc::new(OnceLock::new());
+        let metrics = MetricsRegistry::default();
+        bridge::register_all(&metrics);
+        let fault_slot: Arc<OnceLock<FaultStats>> = Arc::new(OnceLock::new());
         let mut servers = Vec::with_capacity(nodes.len());
         let mut addrs = Vec::with_capacity(nodes.len());
         for (id, node) in nodes.iter().enumerate() {
@@ -213,6 +293,8 @@ impl WireCluster {
                 home: id,
                 names: names.clone(),
                 router: router.clone(),
+                metrics: metrics.clone(),
+                fault: fault_slot.clone(),
             });
             let server = WireServer::bind("127.0.0.1:0", service, server_opts.clone())?;
             addrs.push(server.local_addr());
@@ -231,6 +313,9 @@ impl WireCluster {
             }
         };
         let _ = router.set(shared_router);
+        if let Some(stats) = &fault_stats {
+            let _ = fault_slot.set(stats.clone());
+        }
         Ok(WireCluster {
             names,
             addrs,
@@ -240,6 +325,7 @@ impl WireCluster {
             orphaned: parts.orphaned,
             client_opts,
             fault_stats,
+            metrics,
         })
     }
 
@@ -263,6 +349,11 @@ impl WireCluster {
     /// [`FaultPlan`]).
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault_stats.as_ref()
+    }
+
+    /// The cluster-wide metrics registry (what `Stats` frames serve).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Zone-fetch retry counters of the shared router.
@@ -335,6 +426,22 @@ impl WireCluster {
             detail: "no such server".into(),
         })?;
         self.router().query_with(home, pager, query, mode)
+    }
+
+    /// Like [`WireCluster::query_from`], but also returns the
+    /// per-operator [`netdir_obs::QueryTrace`] of the evaluation.
+    pub fn query_analyzed_from(
+        &self,
+        home: &str,
+        pager: &netdir_pager::Pager,
+        query: &Query,
+        mode: ConsistencyMode,
+    ) -> QueryResult<(QueryOutcome, netdir_obs::QueryTrace)> {
+        let home = self.server_id(home).ok_or_else(|| QueryError::Parse {
+            input: home.into(),
+            detail: "no such server".into(),
+        })?;
+        self.router().query_analyzed(home, pager, query, mode)
     }
 
     /// Stop every daemon gracefully.

@@ -25,6 +25,7 @@ use bytes::Bytes;
 use netdir_filter::atomic::IntOp;
 use netdir_filter::{AtomicFilter, CompositeFilter, Scope, SubstringPattern};
 use netdir_model::{AttrName, Dn};
+use netdir_obs::{OperatorSpan, QueryTrace};
 use netdir_pager::record::codec::{put_i64, put_str, put_u32, Reader};
 use netdir_pager::{PagerError, PagerResult};
 use netdir_server::PartitionError;
@@ -72,10 +73,24 @@ pub enum WireRequest {
         /// Query text (parsed by `netdir_query::parse_query` remotely).
         text: String,
     },
+    /// Ask for the daemon's metrics in Prometheus exposition format.
+    /// A new tag beyond the legacy range: version tolerance means a
+    /// pre-observability peer answers with an "unknown request tag"
+    /// error rather than misparsing, and strict query traffic is
+    /// untouched.
+    Stats,
+    /// Like `Query`, but the response also carries a per-operator
+    /// [`QueryTrace`] — `EXPLAIN ANALYZE` over the wire.
+    QueryAnalyze {
+        /// Name of the server the query is posed to.
+        home: String,
+        /// Query text (parsed by `netdir_query::parse_query` remotely).
+        text: String,
+    },
 }
 
 /// A response frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WireResponse {
     /// Acknowledgement carrying no entries (Ping, Shutdown).
     Pong,
@@ -92,6 +107,17 @@ pub enum WireResponse {
         /// Zones skipped by graceful degradation.
         skipped: Vec<PartitionError>,
     },
+    /// The daemon's metrics in Prometheus exposition format. Only ever
+    /// sent in answer to a `Stats` request.
+    Stats(String),
+    /// A query result plus its per-operator trace. Only ever sent in
+    /// answer to a `QueryAnalyze` request.
+    Analyzed {
+        /// Sorted result entries in their on-page encoding.
+        entries: Vec<Vec<u8>>,
+        /// The `EXPLAIN ANALYZE` trace of the remote evaluation.
+        trace: QueryTrace,
+    },
 }
 
 const REQ_PING: u8 = 0;
@@ -100,11 +126,15 @@ const REQ_LDAP: u8 = 2;
 const REQ_QUERY: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_QUERY_PARTIAL: u8 = 5;
+const REQ_STATS: u8 = 6;
+const REQ_QUERY_ANALYZE: u8 = 7;
 
 const RESP_PONG: u8 = 0;
 const RESP_ENTRIES: u8 = 1;
 const RESP_ERROR: u8 = 2;
 const RESP_PARTIAL: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_ANALYZED: u8 = 5;
 
 const AF_PRESENT: u8 = 0;
 const AF_EQ: u8 = 1;
@@ -344,6 +374,73 @@ fn get_partition_error(r: &mut Reader<'_>) -> PagerResult<PartitionError> {
     })
 }
 
+// Unsigned and floating-point fields ride the record codec's i64 slot:
+// u64 through a lossless bit-cast, f64 through its IEEE-754 bits. Both
+// directions are exact, so traces survive the wire unchanged.
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    put_i64(out, v as i64);
+}
+
+fn get_u64(r: &mut Reader<'_>) -> PagerResult<u64> {
+    Ok(r.get_i64()? as u64)
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_i64(out, v.to_bits() as i64);
+}
+
+fn get_f64(r: &mut Reader<'_>) -> PagerResult<f64> {
+    Ok(f64::from_bits(r.get_i64()? as u64))
+}
+
+fn put_trace(out: &mut Vec<u8>, t: &QueryTrace) {
+    put_str(out, &t.query);
+    put_u32(out, t.spans.len() as u32);
+    for s in &t.spans {
+        put_str(out, &s.node);
+        put_u32(out, s.depth);
+        put_u64(out, s.entries_in);
+        put_u64(out, s.entries_out);
+        put_u64(out, s.pages_out);
+        put_u64(out, s.reads);
+        put_u64(out, s.writes);
+        put_u64(out, s.elapsed_nanos);
+        put_f64(out, s.predicted_io);
+    }
+    put_f64(out, t.predicted_io);
+    put_u64(out, t.observed_io);
+    put_u64(out, t.elapsed_nanos);
+}
+
+fn get_trace(r: &mut Reader<'_>) -> PagerResult<QueryTrace> {
+    let query = r.get_str()?.to_string();
+    let n = r.get_u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let node = r.get_str()?.to_string();
+        let depth = r.get_u32()?;
+        spans.push(OperatorSpan {
+            node,
+            depth,
+            entries_in: get_u64(r)?,
+            entries_out: get_u64(r)?,
+            pages_out: get_u64(r)?,
+            reads: get_u64(r)?,
+            writes: get_u64(r)?,
+            elapsed_nanos: get_u64(r)?,
+            predicted_io: get_f64(r)?,
+        });
+    }
+    Ok(QueryTrace {
+        query,
+        spans,
+        predicted_io: get_f64(r)?,
+        observed_io: get_u64(r)?,
+        elapsed_nanos: get_u64(r)?,
+    })
+}
+
 fn put_encoded_entries(out: &mut Vec<u8>, entries: &[Vec<u8>]) {
     put_u32(out, entries.len() as u32);
     for e in entries {
@@ -390,6 +487,12 @@ impl WireRequest {
                 put_str(&mut out, home);
                 put_str(&mut out, text);
             }
+            WireRequest::Stats => out.push(REQ_STATS),
+            WireRequest::QueryAnalyze { home, text } => {
+                out.push(REQ_QUERY_ANALYZE);
+                put_str(&mut out, home);
+                put_str(&mut out, text);
+            }
         }
         Bytes::from(out)
     }
@@ -422,6 +525,12 @@ impl WireRequest {
                 let text = r.get_str()?.to_string();
                 WireRequest::QueryPartial { home, text }
             }
+            REQ_STATS => WireRequest::Stats,
+            REQ_QUERY_ANALYZE => {
+                let home = r.get_str()?.to_string();
+                let text = r.get_str()?.to_string();
+                WireRequest::QueryAnalyze { home, text }
+            }
             t => return Err(corrupt(format!("unknown request tag {t}"))),
         };
         r.finish()?;
@@ -451,6 +560,15 @@ impl WireResponse {
                     put_partition_error(&mut out, p);
                 }
             }
+            WireResponse::Stats(text) => {
+                out.push(RESP_STATS);
+                put_str(&mut out, text);
+            }
+            WireResponse::Analyzed { entries, trace } => {
+                out.push(RESP_ANALYZED);
+                put_encoded_entries(&mut out, entries);
+                put_trace(&mut out, trace);
+            }
         }
         Bytes::from(out)
     }
@@ -470,6 +588,12 @@ impl WireResponse {
                     skipped.push(get_partition_error(&mut r)?);
                 }
                 WireResponse::Partial { entries, skipped }
+            }
+            RESP_STATS => WireResponse::Stats(r.get_str()?.to_string()),
+            RESP_ANALYZED => {
+                let entries = get_encoded_entries(&mut r)?;
+                let trace = get_trace(&mut r)?;
+                WireResponse::Analyzed { entries, trace }
             }
             t => return Err(corrupt(format!("unknown response tag {t}"))),
         };
@@ -497,11 +621,16 @@ mod tests {
     fn requests_round_trip() {
         round_trip_req(WireRequest::Ping);
         round_trip_req(WireRequest::Shutdown);
+        round_trip_req(WireRequest::Stats);
         round_trip_req(WireRequest::Query {
             home: "att".into(),
             text: "(dc=com ? sub ? surName=jagadish)".into(),
         });
         round_trip_req(WireRequest::QueryPartial {
+            home: "att".into(),
+            text: "(dc=com ? sub ? surName=jagadish)".into(),
+        });
+        round_trip_req(WireRequest::QueryAnalyze {
             home: "att".into(),
             text: "(dc=com ? sub ? surName=jagadish)".into(),
         });
@@ -590,6 +719,38 @@ mod tests {
     }
 
     #[test]
+    fn stats_and_analyzed_responses_round_trip() {
+        use netdir_obs::{OperatorSpan, QueryTrace};
+        let stats = WireResponse::Stats(
+            "# TYPE netdir_queries_total counter\nnetdir_queries_total 7\n".into(),
+        );
+        assert_eq!(WireResponse::decode(&stats.encode()).unwrap(), stats);
+        // A trace with extreme values: f64 must survive bit-exactly,
+        // u64 fields must not be mangled by the signed wire slot.
+        let analyzed = WireResponse::Analyzed {
+            entries: vec![vec![1, 2, 3]],
+            trace: QueryTrace {
+                query: "(dc=com ? sub ? objectClass=*)".into(),
+                spans: vec![OperatorSpan {
+                    node: "atomic".into(),
+                    depth: 0,
+                    entries_in: 0,
+                    entries_out: 5,
+                    pages_out: 1,
+                    reads: u64::MAX,
+                    writes: 3,
+                    elapsed_nanos: u64::MAX - 1,
+                    predicted_io: 0.1 + 0.2, // not exactly representable
+                }],
+                predicted_io: f64::MAX,
+                observed_io: u64::MAX,
+                elapsed_nanos: 12_345,
+            },
+        };
+        assert_eq!(WireResponse::decode(&analyzed.encode()).unwrap(), analyzed);
+    }
+
+    #[test]
     fn strict_tags_are_unchanged_by_the_fault_model() {
         // Version tolerance: pre-fault-model peers never see the new
         // tags, so strict-mode traffic must stay byte-identical. Pin the
@@ -615,6 +776,25 @@ mod tests {
             skipped: vec![],
         };
         assert_eq!(p.encode()[0], 3);
+        // Observability tags extend the range again without renumbering.
+        assert_eq!(WireRequest::Stats.encode()[0], 6);
+        let qa = WireRequest::QueryAnalyze {
+            home: "a".into(),
+            text: "t".into(),
+        };
+        assert_eq!(qa.encode()[0], 7);
+        assert_eq!(WireResponse::Stats(String::new()).encode()[0], 4);
+        // And the legacy Query payload is byte-identical to its
+        // pre-observability encoding: tag, then home and text as
+        // length-prefixed strings.
+        let q = WireRequest::Query {
+            home: "a".into(),
+            text: "t".into(),
+        };
+        let mut legacy = vec![3u8];
+        put_str(&mut legacy, "a");
+        put_str(&mut legacy, "t");
+        assert_eq!(q.encode().to_vec(), legacy);
     }
 
     #[test]
@@ -644,5 +824,22 @@ mod tests {
         req.push(REQ_QUERY_PARTIAL);
         put_str(&mut req, "att");
         assert!(WireRequest::decode(&req).is_err());
+        // A truncated QueryAnalyze (home but no text).
+        let mut req = Vec::new();
+        req.push(REQ_QUERY_ANALYZE);
+        put_str(&mut req, "att");
+        assert!(WireRequest::decode(&req).is_err());
+        // A Stats request with trailing garbage.
+        let mut req = WireRequest::Stats.encode().to_vec();
+        req.push(7);
+        assert!(WireRequest::decode(&req).is_err());
+        // An Analyzed response whose trace claims more spans than it
+        // carries.
+        let mut resp = Vec::new();
+        resp.push(RESP_ANALYZED);
+        put_u32(&mut resp, 0); // no entries
+        put_str(&mut resp, "(q)");
+        put_u32(&mut resp, 1000); // 1000 spans, none present
+        assert!(WireResponse::decode(&resp).is_err());
     }
 }

@@ -239,6 +239,67 @@ fn partial_mode_over_tcp_matches_strict_on_a_healthy_cluster() {
 }
 
 #[test]
+fn analyze_over_tcp_traces_every_operator_and_matches_strict() {
+    // `ndquery --analyze`'s wire path: a QueryAnalyze frame returns the
+    // same entries a strict Query returns, plus one span per operator
+    // node with entries/pages and predicted-vs-observed I/O.
+    let dir = dir();
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let client = wire.client(wire.server_id("att").unwrap());
+    for (_, text) in level_queries() {
+        let strict = client.query_encoded("att", text).unwrap();
+        let (entries, trace) = client.query_analyze("att", text).unwrap();
+        assert_eq!(
+            encode_entries(&entries),
+            strict,
+            "analyzed != strict: {text}"
+        );
+        let query = parse_query(text).unwrap();
+        assert_eq!(trace.spans.len(), query.num_nodes(), "span per node: {text}");
+        assert_eq!(trace.root_entries(), entries.len() as u64, "{text}");
+        assert!(trace.predicted_io > 0.0, "no prediction: {text}");
+        let span_io: u64 = trace.spans.iter().map(|s| s.observed_io()).sum();
+        assert_eq!(trace.observed_io, span_io, "totals must reconcile: {text}");
+        // The rendering carries the per-operator story end to end.
+        let rendered = trace.render(netdir_obs::TimeDisplay::Show);
+        assert!(rendered.starts_with("analyze: "), "{rendered}");
+        assert!(rendered.contains("predicted_io="), "{rendered}");
+        assert!(rendered.contains("observed_io="), "{rendered}");
+        assert!(rendered.trim_end().ends_with("µs"), "{rendered}");
+    }
+}
+
+#[test]
+fn stats_frame_serves_every_tracked_metric() {
+    let dir = dir();
+    let wire = WireCluster::launch_default(builder(), &dir).unwrap();
+    let client = wire.client(wire.server_id("att").unwrap());
+    // Before any query: every tracked name is present (explicit zeros).
+    let cold = client.stats().unwrap();
+    for name in netdir_obs::names::TRACKED {
+        assert!(cold.contains(name), "exposition missing {name}");
+    }
+    // After a distributed query: queries counted, I/O and shipping
+    // nonzero.
+    let (_, text) = &level_queries()[0];
+    client.query("att", text).unwrap();
+    let warm = client.stats().unwrap();
+    let gauge = |name: &str| -> u64 {
+        warm.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample for {name} in:\n{warm}"))
+    };
+    assert!(gauge("netdir_queries_total") >= 1);
+    assert!(gauge("netdir_net_requests_total") > 0, "remote fetch expected");
+    assert!(gauge("netdir_net_bytes_shipped_total") > 0);
+    // Small results can stay pool-resident (no write-back), but every
+    // operator output list allocates pages.
+    assert!(gauge("netdir_io_allocs_total") > 0, "operator output pages");
+}
+
+#[test]
 fn shutdown_cluster_refuses_further_queries() {
     let dir = dir();
     let mut wire = WireCluster::launch_default(builder(), &dir).unwrap();

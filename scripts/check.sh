@@ -3,18 +3,24 @@
 # (all targets, warnings promoted to errors). Run from anywhere in the
 # repo.
 #
-#   scripts/check.sh           the gate
-#   scripts/check.sh --chaos   gate + the seeded fault-injection suites
-#                              run explicitly (they are part of `cargo
-#                              test` too; this names them for a loud,
-#                              separate verdict)
+#   scripts/check.sh                the gate
+#   scripts/check.sh --chaos        gate + the seeded fault-injection
+#                                   suites run explicitly (they are part
+#                                   of `cargo test` too; this names them
+#                                   for a loud, separate verdict)
+#   scripts/check.sh --bench-smoke  gate + the instrumented benchmark
+#                                   smoke suite: emits target/
+#                                   BENCH_smoke.json and validates its
+#                                   schema and tracked-metric coverage
 set -eu
 cd "$(dirname "$0")/.."
 
 chaos=0
+bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
+    --bench-smoke) bench_smoke=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
   esac
 done
@@ -29,6 +35,14 @@ if [ "$chaos" = 1 ]; then
   cargo test -q -p netdir-server retry
   cargo test -q -p netdir-server health
   cargo test -q -p netdir-wire --test chaos
+fi
+
+if [ "$bench_smoke" = 1 ]; then
+  echo "check.sh: running instrumented benchmark smoke suite"
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --smoke --json target/BENCH_smoke.json
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --validate target/BENCH_smoke.json
 fi
 
 echo "check.sh: all green"

@@ -16,6 +16,9 @@
 //! assert_eq!(dn.depth(), 2);
 //! ```
 
+/// Observability: metrics registry, injectable clocks, query traces.
+pub use netdir_obs as obs;
+
 /// External-memory substrate: pages, buffer pool, I/O ledger, lists,
 /// stacks, external sort.
 pub use netdir_pager as pager;
