@@ -1,0 +1,54 @@
+//! E16 — parallel bottom-up evaluation: wall-clock speedup of the
+//! L0–L3 suite at worker degrees 1/2/4/8 over a latency-bearing pager,
+//! with the page-I/O ledger pinned identical at every degree. Also
+//! sweeps parallel run formation in the external sort.
+//!
+//! ```sh
+//! cargo run --release -p netdir-bench --bin exp_parallel
+//! ```
+
+use netdir_bench::par::{degree_sweep, full_config};
+use netdir_bench::{cells, table};
+use netdir_obs::MetricsRegistry;
+use netdir_server::metrics::register_all;
+
+fn main() {
+    let cfg = full_config();
+    println!(
+        "E16 — parallel evaluation speedup ({} zones x {} entries, {:?} read latency)\n",
+        cfg.zones, cfg.per_zone, cfg.read_delay
+    );
+    let registry = MetricsRegistry::default();
+    register_all(&registry);
+    let rows = degree_sweep(&cfg, &registry);
+
+    for suite in ["eval", "sort"] {
+        println!("suite ({suite}):");
+        table::header(&["degree", "wall ms", "speedup", "reads", "writes", "allocs"]);
+        for r in rows.iter().filter(|r| r.suite == suite) {
+            table::row(cells![
+                r.degree,
+                format!("{:.2}", r.wall_secs * 1e3),
+                format!("{:.2}x", r.speedup),
+                r.io_reads,
+                r.io_writes,
+                r.io_allocs
+            ]);
+        }
+        println!();
+    }
+
+    let d4 = rows
+        .iter()
+        .find(|r| r.suite == "eval" && r.degree == 4)
+        .expect("degree-4 eval row");
+    println!(
+        "eval suite at degree 4: {:.2}x over degree 1 (I/O identical across degrees)",
+        d4.speedup
+    );
+    assert!(
+        d4.speedup > 1.5,
+        "degree 4 must beat degree 1 by >1.5x, measured {:.2}x",
+        d4.speedup
+    );
+}

@@ -10,12 +10,14 @@
 //!   algorithms, by re-scanning `L2` once per `L1` entry.
 //! * [`measure`] — cold-cache I/O measurement around a closure.
 //! * [`report`] — machine-readable `BENCH_*.json` emission/validation.
+//! * [`par`] — the parallel-evaluation degree sweep (speedup vs I/O).
 //! * [`smoke`] — the instrumented observability suite behind
 //!   `run_experiments --smoke`.
 
 use netdir_model::Entry;
 use netdir_pager::{IoSnapshot, ListWriter, PagedList, Pager, PagerResult};
 
+pub mod par;
 pub mod report;
 pub mod smoke;
 

@@ -1,0 +1,331 @@
+//! The parallel-evaluation speedup sweep (`exp_parallel`, and the
+//! `"parallel"` section of `BENCH_*.json`).
+//!
+//! On a one-core box, intra-query parallelism pays off exactly where the
+//! paper's cost model says the money is: overlapping *page fetches*. The
+//! sweep therefore runs the L0–L3 suite against a [`Pager::with_latency`]
+//! whose reads carry a synthetic per-page delay (a disk, in miniature),
+//! and measures wall clock at increasing worker degrees. The frame
+//! budget is set large enough that no evictions occur, so the page-I/O
+//! ledger must come out **identical at every degree** — parallelism may
+//! only reorder fetches, never add or drop one. The sweep enforces both
+//! invariants (identical I/O, byte-identical entries) and reports
+//! wall-clock speedup relative to degree 1.
+//!
+//! A second suite sweeps [`external_sort_by_par`] run formation the same
+//! way. Run boundaries legitimately differ with the worker count there,
+//! so only the sorted output — not the ledger — is pinned.
+
+use netdir_index::IndexedDirectory;
+use netdir_model::{Directory, Dn, Entry};
+use netdir_obs::MetricsRegistry;
+use netdir_pager::{external_sort_by_par, ExtSortConfig, IoSnapshot, PagedList, Pager};
+use netdir_query::{parse_query, Evaluator};
+use netdir_server::metrics as bridge;
+use std::time::{Duration, Instant};
+
+/// One measured (suite, degree) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct DegreeRow {
+    /// `"eval"` (L0–L3 query suite) or `"sort"` (parallel run formation).
+    pub suite: String,
+    /// Worker degree this row ran at.
+    pub degree: usize,
+    /// Wall-clock seconds for the whole suite at this degree.
+    pub wall_secs: f64,
+    /// `wall(degree 1) / wall(this degree)` within the same suite.
+    pub speedup: f64,
+    /// Pages read during the measured region.
+    pub io_reads: u64,
+    /// Pages written during the measured region (including final flush).
+    pub io_writes: u64,
+    /// Pages allocated during the measured region.
+    pub io_allocs: u64,
+}
+
+/// Knobs for one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker degrees to measure, in order; the first is the baseline.
+    pub degrees: Vec<usize>,
+    /// Directory zones (one per leaf atom of the widest query).
+    pub zones: usize,
+    /// Entries per zone.
+    pub per_zone: usize,
+    /// Synthetic per-page read latency.
+    pub read_delay: Duration,
+}
+
+/// The seconds-scale configuration behind `--smoke` and the unit test.
+pub fn smoke_config() -> SweepConfig {
+    SweepConfig {
+        degrees: vec![1, 2, 4],
+        zones: 8,
+        per_zone: 12,
+        read_delay: Duration::from_micros(100),
+    }
+}
+
+/// The full configuration recorded in `results/BENCH_full.json`.
+pub fn full_config() -> SweepConfig {
+    SweepConfig {
+        degrees: vec![1, 2, 4, 8],
+        zones: 8,
+        per_zone: 48,
+        read_delay: Duration::from_micros(250),
+    }
+}
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).expect("sweep DN")
+}
+
+/// A deterministic `zones`-ary forest under `dc=bench`. Zone `i`'s
+/// entries alternate `kind=red`/`kind=blue`, and every third entry
+/// carries a DN-valued `ref` into zone `i+1` — so boolean, hierarchy,
+/// aggregate and embedded-reference operators all have real work.
+fn bench_directory(cfg: &SweepConfig) -> Directory {
+    let mut d = Directory::new();
+    let mut add = |e: Entry| d.insert(e).expect("sweep entry");
+    add(Entry::builder(dn("dc=bench")).class("thing").build().expect("root"));
+    for z in 0..cfg.zones {
+        add(
+            Entry::builder(dn(&format!("ou=z{z}, dc=bench")))
+                .class("thing")
+                .build()
+                .expect("zone"),
+        );
+    }
+    for z in 0..cfg.zones {
+        for j in 0..cfg.per_zone {
+            let kind = if j % 2 == 0 { "red" } else { "blue" };
+            let mut b = Entry::builder(dn(&format!("n=e{j}, ou=z{z}, dc=bench")))
+                .class("thing")
+                .attr("kind", kind)
+                .attr("weight", (j % 5) as i64)
+                .attr("pad", "x".repeat(64 + (j * 7) % 64));
+            if j % 3 == 0 {
+                b = b.attr("ref", dn(&format!("ou=z{}, dc=bench", (z + 1) % cfg.zones)));
+            }
+            add(b.build().expect("leaf"));
+        }
+    }
+    d
+}
+
+/// Binary-tree union of `atoms` — the shape that hands the scheduler a
+/// ready set as wide as the atom list.
+fn union(atoms: &[String]) -> String {
+    match atoms {
+        [one] => one.clone(),
+        _ => {
+            let (a, b) = atoms.split_at(atoms.len() / 2);
+            format!("(| {} {})", union(a), union(b))
+        }
+    }
+}
+
+fn atoms(zones: std::ops::Range<usize>, filter: &str) -> Vec<String> {
+    zones
+        .map(|z| format!("(ou=z{z}, dc=bench ? sub ? {filter})"))
+        .collect()
+}
+
+/// One query per language level, each fanning out to eight leaf atoms
+/// over distinct zones (so a wave exposes eight concurrent subtrees).
+fn suite_queries(cfg: &SweepConfig) -> Vec<(&'static str, String)> {
+    let z = cfg.zones;
+    let (lo, hi) = (0..z / 2, z / 2..z);
+    vec![
+        ("L0", union(&atoms(0..z, "kind=red"))),
+        (
+            "L1",
+            format!(
+                "(p {} {})",
+                union(&atoms(lo.clone(), "objectClass=thing")),
+                union(&atoms(lo.clone(), "kind=red"))
+            ),
+        ),
+        (
+            "L2",
+            format!(
+                "(c {} {} count($2) > 0)",
+                union(&atoms(hi.clone(), "objectClass=thing")),
+                union(&atoms(hi.clone(), "kind=blue"))
+            ),
+        ),
+        (
+            "L3",
+            format!(
+                "(vd {} {} ref)",
+                union(&atoms(lo, "ref=*")),
+                union(&atoms(hi, "objectClass=thing"))
+            ),
+        ),
+    ]
+}
+
+/// A pager whose reads cost `read_delay` and whose frame budget is far
+/// beyond the sweep's working set — no evictions, so the ledger is a
+/// pure function of what the evaluator asked for.
+fn sweep_pager(cfg: &SweepConfig) -> Pager {
+    Pager::with_latency(512, 4096, cfg.read_delay, Duration::ZERO)
+}
+
+/// Run the L0–L3 suite at every degree of `cfg`, recording schedules
+/// into `registry` and enforcing the two determinism invariants.
+fn eval_sweep(cfg: &SweepConfig, registry: &MetricsRegistry) -> Vec<DegreeRow> {
+    let dir = bench_directory(cfg);
+    let suite = suite_queries(cfg);
+    let mut rows: Vec<DegreeRow> = Vec::new();
+    let mut baseline: Option<(f64, IoSnapshot, Vec<Vec<Entry>>)> = None;
+
+    for &degree in &cfg.degrees {
+        // A fresh pager + index per degree: identical construction gives
+        // an identical page layout, so ledgers are comparable.
+        let pager = sweep_pager(cfg);
+        let idx = IndexedDirectory::build(&pager, &dir).expect("build sweep index");
+        let queries: Vec<_> = suite
+            .iter()
+            .map(|(level, text)| (*level, parse_query(text).expect("parse sweep query")))
+            .collect();
+        let ev = Evaluator::new(&idx, &pager);
+
+        pager.flush().expect("flush index");
+        pager.pool().clear_cache().expect("cold cache");
+        pager.reset_io();
+        let mut outputs = Vec::new();
+        let started = Instant::now();
+        for (_, query) in &queries {
+            // Every level starts cold, so each query's page fetches —
+            // not just the first level's — are in the measured region.
+            pager.flush().expect("flush between levels");
+            pager.pool().clear_cache().expect("cold level");
+            let (out, par) = ev
+                .evaluate_parallel_report(query, degree)
+                .expect("sweep query evaluates");
+            bridge::record_par(registry, &par);
+            outputs.push(out.to_vec().expect("materialize sweep output"));
+        }
+        pager.flush().expect("flush outputs");
+        let wall = started.elapsed().as_secs_f64();
+        let io = pager.io();
+
+        match &baseline {
+            None => baseline = Some((wall, io, outputs)),
+            Some((_, io1, out1)) => {
+                assert_eq!(
+                    io, *io1,
+                    "degree {degree} changed the page-I/O ledger — parallel \
+                     evaluation may only reorder fetches"
+                );
+                assert_eq!(
+                    outputs, *out1,
+                    "degree {degree} changed query output bytes"
+                );
+            }
+        }
+        let wall1 = baseline.as_ref().map(|(w, _, _)| *w).expect("baseline");
+        rows.push(DegreeRow {
+            suite: "eval".into(),
+            degree,
+            wall_secs: wall,
+            speedup: wall1 / wall.max(1e-9),
+            io_reads: io.reads,
+            io_writes: io.writes,
+            io_allocs: io.allocs,
+        });
+    }
+    rows
+}
+
+/// Sweep parallel run formation over the same entry population. Run
+/// boundaries differ with the worker count, so the ledger may too; the
+/// sorted output may not.
+fn sort_sweep(cfg: &SweepConfig) -> Vec<DegreeRow> {
+    let dir = bench_directory(cfg);
+    // A deterministic shuffle: strided order breaks the sortedness of
+    // `iter_sorted` so run formation has real work.
+    let entries: Vec<Entry> = dir.iter_sorted().cloned().collect();
+    let mut input = Vec::with_capacity(entries.len());
+    for start in 0..7 {
+        input.extend(entries.iter().skip(start).step_by(7).cloned());
+    }
+    let cmp = |a: &Entry, b: &Entry| a.dn().sort_key().cmp(b.dn().sort_key());
+
+    let mut rows: Vec<DegreeRow> = Vec::new();
+    let mut baseline: Option<(f64, Vec<Entry>)> = None;
+    for &degree in &cfg.degrees {
+        let pager = sweep_pager(cfg);
+        let list = PagedList::from_iter(&pager, input.iter().cloned()).expect("sort input");
+        pager.flush().expect("flush input");
+        pager.pool().clear_cache().expect("cold sort");
+        pager.reset_io();
+        let started = Instant::now();
+        let sorted =
+            external_sort_by_par(&pager, &list, ExtSortConfig { fan_in: 8 }, degree, cmp)
+                .expect("parallel sort");
+        pager.flush().expect("flush runs");
+        let wall = started.elapsed().as_secs_f64();
+        let io = pager.io();
+        let out = sorted.to_vec().expect("materialize sorted");
+
+        match &baseline {
+            None => baseline = Some((wall, out)),
+            Some((_, out1)) => {
+                assert_eq!(out, *out1, "degree {degree} changed the sorted output");
+            }
+        }
+        let wall1 = baseline.as_ref().map(|(w, _)| *w).expect("baseline");
+        rows.push(DegreeRow {
+            suite: "sort".into(),
+            degree,
+            wall_secs: wall,
+            speedup: wall1 / wall.max(1e-9),
+            io_reads: io.reads,
+            io_writes: io.writes,
+            io_allocs: io.allocs,
+        });
+    }
+    rows
+}
+
+/// Run both sweeps and return their rows (eval first, then sort).
+/// Panics if any determinism invariant breaks — a speedup bought by
+/// changing the answer is not a speedup.
+pub fn degree_sweep(cfg: &SweepConfig, registry: &MetricsRegistry) -> Vec<DegreeRow> {
+    let mut rows = eval_sweep(cfg, registry);
+    rows.extend(sort_sweep(cfg));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_server::metrics::register_all;
+
+    #[test]
+    fn smoke_sweep_keeps_io_pinned_and_measures_every_degree() {
+        let cfg = smoke_config();
+        let registry = MetricsRegistry::default();
+        register_all(&registry);
+        let rows = degree_sweep(&cfg, &registry);
+        assert_eq!(rows.len(), 2 * cfg.degrees.len());
+
+        let eval: Vec<_> = rows.iter().filter(|r| r.suite == "eval").collect();
+        assert_eq!(eval[0].degree, 1);
+        assert!((eval[0].speedup - 1.0).abs() < 1e-9);
+        for r in &eval {
+            // The sweep itself asserts ledger equality; double-check the
+            // reported numbers carry it too.
+            assert_eq!((r.io_reads, r.io_writes, r.io_allocs),
+                       (eval[0].io_reads, eval[0].io_writes, eval[0].io_allocs));
+            assert!(r.io_reads > 0, "sweep measured no page fetches");
+            assert!(r.wall_secs > 0.0);
+        }
+        // The schedule series saw real traffic.
+        use netdir_obs::names;
+        assert!(registry.counter(names::PAR_WORKERS_SPAWNED).get() > 0);
+        assert!(registry.histogram(names::PAR_READY_WIDTH).snapshot().count > 0);
+    }
+}

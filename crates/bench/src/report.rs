@@ -6,12 +6,15 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "mode": "smoke",
 //!   "experiments": [{"name": "exp_hs_linear", "status": "ok",
 //!                    "wall_time_secs": 1.2}],
 //!   "queries": [{"level": "L0", "query": "(- ...)", "entries": 1,
 //!                "spans": 3, "predicted_io": 3.0, "observed_io": 5}],
+//!   "parallel": [{"suite": "eval", "degree": 4, "wall_secs": 0.02,
+//!                 "speedup": 3.1, "io_reads": 160, "io_writes": 0,
+//!                 "io_allocs": 40}],
 //!   "metrics": {"netdir_io_reads_total": 12, "...": 0}
 //! }
 //! ```
@@ -24,6 +27,7 @@
 //! JSON this module writes (no unicode escapes, no exponent-free giant
 //! numbers), which is all the validator needs.
 
+use crate::par::DegreeRow;
 use netdir_obs::{names, MetricsRegistry, QueryTrace};
 
 /// One experiment binary's outcome in a full run.
@@ -77,12 +81,15 @@ pub struct BenchReport {
     pub experiments: Vec<ExperimentResult>,
     /// Instrumented per-level query reports.
     pub queries: Vec<QueryReport>,
+    /// Parallel-evaluation degree-sweep rows.
+    pub parallel: Vec<DegreeRow>,
     /// Flattened metrics registry.
     pub metrics: Vec<(String, u64)>,
 }
 
 /// The only schema this writer emits (and the validator accepts).
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the `parallel` degree-sweep section.
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -118,6 +125,7 @@ impl BenchReport {
             mode: mode.to_string(),
             experiments: Vec::new(),
             queries: Vec::new(),
+            parallel: Vec::new(),
             metrics: registry.flatten(),
         }
     }
@@ -151,6 +159,23 @@ impl BenchReport {
                 q.spans,
                 num(q.predicted_io),
                 q.observed_io,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"parallel\": [\n");
+        for (i, r) in self.parallel.iter().enumerate() {
+            let comma = if i + 1 < self.parallel.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"suite\": \"{}\", \"degree\": {}, \"wall_secs\": {}, \
+                 \"speedup\": {}, \"io_reads\": {}, \"io_writes\": {}, \
+                 \"io_allocs\": {}}}{comma}\n",
+                escape(&r.suite),
+                r.degree,
+                num(r.wall_secs),
+                num(r.speedup),
+                r.io_reads,
+                r.io_writes,
+                r.io_allocs,
             ));
         }
         out.push_str("  ],\n");
@@ -424,6 +449,18 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             q.get(key).and_then(Json::as_num).ok_or(format!("query without {key}"))?;
         }
     }
+    let parallel = doc
+        .get("parallel")
+        .and_then(Json::as_arr)
+        .ok_or("missing parallel array")?;
+    for r in parallel {
+        r.get("suite").and_then(Json::as_str).ok_or("parallel row without suite")?;
+        for key in ["degree", "wall_secs", "speedup", "io_reads", "io_writes", "io_allocs"] {
+            r.get(key)
+                .and_then(Json::as_num)
+                .ok_or(format!("parallel row without {key}"))?;
+        }
+    }
     let metrics = doc.get("metrics").ok_or("missing metrics object")?;
     for name in names::TRACKED {
         // Histograms flatten to `<name>_count` / `<name>_sum`.
@@ -463,6 +500,15 @@ mod tests {
             predicted_io: 3.0,
             observed_io: 5,
         });
+        report.parallel.push(DegreeRow {
+            suite: "eval".into(),
+            degree: 4,
+            wall_secs: 0.02,
+            speedup: 3.1,
+            io_reads: 160,
+            io_writes: 0,
+            io_allocs: 40,
+        });
         report
     }
 
@@ -491,8 +537,13 @@ mod tests {
         let text = sample_report().to_json();
         assert!(validate_bench_json(&text[..text.len() / 2]).is_err());
         // Wrong schema version.
-        let wrong = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let wrong = text.replace("\"schema_version\": 2", "\"schema_version\": 99");
         assert!(validate_bench_json(&wrong).is_err());
+        // A v1 document (no parallel section) no longer validates.
+        let v1 = text
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace("\"parallel\"", "\"parallel_gone\"");
+        assert!(validate_bench_json(&v1).is_err());
         // A tracked metric missing entirely.
         let gone = text.replace(names::NET_REQUESTS, "netdir_not_a_metric");
         let err = validate_bench_json(&gone).unwrap_err();

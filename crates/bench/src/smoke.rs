@@ -9,6 +9,7 @@
 //! [`BenchReport`](crate::report::BenchReport) that `BENCH_*.json`
 //! persists.
 
+use crate::par::{self, SweepConfig};
 use crate::report::{BenchReport, QueryReport};
 use netdir_index::IndexedDirectory;
 use netdir_model::{Directory, Dn, Entry};
@@ -91,12 +92,19 @@ fn level_queries() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
-/// Run the instrumented suite and return its report (mode `"smoke"`;
-/// the caller may relabel it and append experiment results).
+/// Run the instrumented suite with the smoke-sized degree sweep and
+/// return its report (mode `"smoke"`; the caller may relabel it and
+/// append experiment results).
 ///
 /// Panics on any failure — a benchmark that cannot run its own smoke
 /// suite should fail loudly, not emit a hollow report.
 pub fn instrumented_suite() -> BenchReport {
+    instrumented_suite_with(&par::smoke_config())
+}
+
+/// [`instrumented_suite`] with an explicit degree-sweep configuration
+/// (the full run swaps in [`par::full_config`]).
+pub fn instrumented_suite_with(sweep: &SweepConfig) -> BenchReport {
     let registry = MetricsRegistry::new();
     bridge::register_all(&registry);
     let dir = fixture();
@@ -154,8 +162,13 @@ pub fn instrumented_suite() -> BenchReport {
     bridge::sync_health(&registry, wire.router().health().transitions());
     wire.shutdown();
 
+    // Parallel phase: the degree sweep, recording worker/wave series
+    // into the same registry the report flattens.
+    let parallel = par::degree_sweep(sweep, &registry);
+
     let mut report = BenchReport::new("smoke", &registry);
     report.queries = queries;
+    report.parallel = parallel;
     report
 }
 
@@ -182,6 +195,9 @@ mod tests {
                 .unwrap_or_else(|| panic!("metric {name} missing"))
         };
         assert!(get("netdir_queries_total") >= 5);
+        // The degree sweep ran and recorded its schedule series.
+        assert!(!report.parallel.is_empty());
+        assert!(get("netdir_par_workers_spawned_total") > 0);
         // The fixture fits in the buffer pool, so physical reads can be
         // zero — but every operator output list allocates fresh pages.
         assert!(get("netdir_io_allocs_total") > 0);

@@ -23,7 +23,10 @@ use crate::{agg_simple, boolean, er_join, hs_stack};
 use netdir_filter::{AtomicFilter, Scope};
 use netdir_index::IndexedDirectory;
 use netdir_model::{Dn, Entry};
-use netdir_pager::{IoSnapshot, PagedList, Pager, PagerResult};
+use netdir_pager::{parallel_map, IoSnapshot, PagedList, Pager, PagerResult};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// A source of atomic-query results: sorted entry lists.
 pub trait AtomicSource {
@@ -64,6 +67,72 @@ pub struct NodeTrace {
     pub elapsed_nanos: u64,
 }
 
+/// Summary of one [`Evaluator::evaluate_parallel_report`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ParReport {
+    /// Requested parallelism degree.
+    pub degree: usize,
+    /// Number of scheduling waves (tree depth of the ready-set walk).
+    pub waves: usize,
+    /// Ready-set width per wave — how much independent work each wave had.
+    pub ready_widths: Vec<usize>,
+    /// Total worker threads used across all waves.
+    pub workers_spawned: u64,
+    /// Per-worker I/O sub-ledgers, one per worker per wave. Their sum
+    /// equals the shared ledger's delta for the run.
+    pub worker_io: Vec<IoSnapshot>,
+}
+
+/// Memoized sub-query results, sharded by query hash so concurrent
+/// workers contend on different locks. Replaces the earlier `RefCell`
+/// map, which panicked on reentrant use and blocked `Sync`.
+struct Memo {
+    shards: [Mutex<HashMap<Query, PagedList<Entry>>>; Memo::SHARDS],
+}
+
+impl Memo {
+    const SHARDS: usize = 8;
+
+    fn new() -> Self {
+        Memo {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, q: &Query) -> &Mutex<HashMap<Query, PagedList<Entry>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        q.hash(&mut h);
+        &self.shards[(h.finish() as usize) % Memo::SHARDS]
+    }
+
+    fn get(&self, q: &Query) -> Option<PagedList<Entry>> {
+        self.shard(q)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(q)
+            .cloned()
+    }
+
+    fn insert(&self, q: &Query, out: &PagedList<Entry>) {
+        self.shard(q)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(q.clone(), out.clone());
+    }
+}
+
+/// The children of a node, in operand order.
+fn children_of(q: &Query) -> Vec<&Query> {
+    match q {
+        Query::Atomic { .. } => Vec::new(),
+        Query::And(a, b) | Query::Or(a, b) | Query::Diff(a, b) => vec![a, b],
+        Query::Hier { q1, q2, .. } => vec![q1, q2],
+        Query::HierPath { q1, q2, q3, .. } => vec![q1, q2, q3],
+        Query::AggSelect { query, .. } => vec![query],
+        Query::EmbedRef { q1, q2, .. } => vec![q1, q2],
+    }
+}
+
 /// The query evaluator.
 pub struct Evaluator<'s, S: AtomicSource> {
     source: &'s S,
@@ -72,7 +141,7 @@ pub struct Evaluator<'s, S: AtomicSource> {
     /// sub-expression elimination). Off by default so cost experiments
     /// measure each node; applications with self-referential compositions
     /// (the QoS engine's `top` appears three times) switch it on.
-    memo: Option<std::cell::RefCell<std::collections::HashMap<Query, PagedList<Entry>>>>,
+    memo: Option<Memo>,
 }
 
 impl<'s, S: AtomicSource> Evaluator<'s, S> {
@@ -87,13 +156,136 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
 
     /// Enable common-sub-expression caching for this evaluator.
     pub fn with_memo(mut self) -> Self {
-        self.memo = Some(std::cell::RefCell::new(std::collections::HashMap::new()));
+        self.memo = Some(Memo::new());
         self
     }
 
     /// Evaluate `q` to a sorted entry list.
     pub fn evaluate(&self, q: &Query) -> QueryResult<PagedList<Entry>> {
         self.eval_node(q, &mut None)
+    }
+
+    /// Evaluate `q` with up to `degree` concurrent workers.
+    ///
+    /// See [`Evaluator::evaluate_parallel_report`]; this discards the
+    /// scheduling report.
+    pub fn evaluate_parallel(&self, q: &Query, degree: usize) -> QueryResult<PagedList<Entry>>
+    where
+        S: Sync,
+    {
+        Ok(self.evaluate_parallel_report(q, degree)?.0)
+    }
+
+    /// Evaluate `q` bottom-up with up to `degree` concurrent workers,
+    /// returning the result plus a [`ParReport`] of the schedule.
+    ///
+    /// The tree is walked in *waves*: each wave's ready set is every node
+    /// whose children are all resolved (wave 0 = the atomic leaves), and
+    /// the whole wave is handed to a scoped worker pool. Because each
+    /// node's evaluation is a pure function of its child lists, and
+    /// results are collected by node identity rather than completion
+    /// order, the output is byte-identical to sequential [`evaluate`]
+    /// (reverse-DN sorted, same entries, same order) at every degree.
+    /// `degree <= 1` takes the sequential path directly.
+    ///
+    /// [`evaluate`]: Evaluator::evaluate
+    pub fn evaluate_parallel_report(
+        &self,
+        q: &Query,
+        degree: usize,
+    ) -> QueryResult<(PagedList<Entry>, ParReport)>
+    where
+        S: Sync,
+    {
+        if degree <= 1 {
+            let out = self.evaluate(q)?;
+            return Ok((
+                out,
+                ParReport {
+                    degree: 1,
+                    ..ParReport::default()
+                },
+            ));
+        }
+
+        // Flatten the tree into an arena (post-order, so the root is last).
+        fn build<'q>(
+            q: &'q Query,
+            nodes: &mut Vec<&'q Query>,
+            children: &mut Vec<Vec<usize>>,
+            parent: &mut Vec<Option<usize>>,
+        ) -> usize {
+            let kids: Vec<usize> = children_of(q)
+                .into_iter()
+                .map(|c| build(c, nodes, children, parent))
+                .collect();
+            let idx = nodes.len();
+            nodes.push(q);
+            children.push(kids.clone());
+            parent.push(None);
+            for k in kids {
+                parent[k] = Some(idx);
+            }
+            idx
+        }
+        let mut nodes = Vec::new();
+        let mut children = Vec::new();
+        let mut parent = Vec::new();
+        let root = build(q, &mut nodes, &mut children, &mut parent);
+
+        let mut pending: Vec<usize> = children.iter().map(|c| c.len()).collect();
+        let mut results: Vec<Option<PagedList<Entry>>> = vec![None; nodes.len()];
+        let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| pending[i] == 0).collect();
+        let mut report = ParReport {
+            degree,
+            ..ParReport::default()
+        };
+
+        while !ready.is_empty() {
+            report.waves += 1;
+            report.ready_widths.push(ready.len());
+            let wave = std::mem::take(&mut ready);
+            let (outs, workers) = parallel_map(degree, wave.clone(), |_, idx: usize| {
+                let kids: Vec<PagedList<Entry>> = children[idx]
+                    .iter()
+                    .map(|&k| results[k].clone().expect("child resolved before parent"))
+                    .collect();
+                self.eval_ready(nodes[idx], &kids)
+            })?;
+            report.workers_spawned += workers.len() as u64;
+            report.worker_io.extend(workers.iter().map(|w| w.io));
+            for (idx, out) in wave.into_iter().zip(outs) {
+                results[idx] = Some(out);
+                if let Some(p) = parent[idx] {
+                    pending[p] -= 1;
+                    if pending[p] == 0 {
+                        ready.push(p);
+                    }
+                }
+            }
+        }
+
+        let out = results[root].take().expect("root evaluated last");
+        Ok((out, report))
+    }
+
+    /// Evaluate one node whose children are already resolved (memo-aware,
+    /// trace-free — per-node I/O attribution needs the sequential walk).
+    fn eval_ready(
+        &self,
+        q: &Query,
+        children: &[PagedList<Entry>],
+    ) -> QueryResult<PagedList<Entry>> {
+        if let Some(memo) = &self.memo {
+            if let Some(hit) = memo.get(q) {
+                return Ok(hit);
+            }
+        }
+        let out = self.apply(q, children, &mut None)?;
+        if let Some(memo) = &self.memo {
+            memo.insert(q, &out);
+        }
+        Ok(out)
     }
 
     /// Evaluate `q`, also collecting a per-node trace (post-order).
@@ -112,118 +304,81 @@ impl<'s, S: AtomicSource> Evaluator<'s, S> {
         traces: &mut Option<Vec<NodeTrace>>,
     ) -> QueryResult<PagedList<Entry>> {
         if let Some(memo) = &self.memo {
-            if let Some(hit) = memo.borrow().get(q) {
-                return Ok(hit.clone());
+            if let Some(hit) = memo.get(q) {
+                return Ok(hit);
             }
         }
-        let out = self.eval_node_uncached(q, traces)?;
+        // Children first (their I/O is attributed to them).
+        let children: Vec<PagedList<Entry>> = children_of(q)
+            .into_iter()
+            .map(|c| self.eval_node(c, traces))
+            .collect::<QueryResult<_>>()?;
+        let out = self.apply(q, &children, traces)?;
         if let Some(memo) = &self.memo {
-            memo.borrow_mut().insert(q.clone(), out.clone());
+            memo.insert(q, &out);
         }
         Ok(out)
     }
 
-    fn eval_node_uncached(
+    /// Apply the operator at `q` to its already-evaluated child lists —
+    /// the single code path shared by sequential and parallel evaluation,
+    /// which is what makes their results identical by construction.
+    fn apply(
         &self,
         q: &Query,
+        children: &[PagedList<Entry>],
         traces: &mut Option<Vec<NodeTrace>>,
     ) -> QueryResult<PagedList<Entry>> {
-        // Children first (their I/O is attributed to them).
-        let result = match q {
+        let before = self.pager.io();
+        let started = std::time::Instant::now();
+        let out = match q {
             Query::Atomic {
                 base,
                 scope,
                 filter,
-            } => {
-                let before = self.pager.io();
-                let started = std::time::Instant::now();
-                let out = self.source.evaluate_atomic(base, *scope, filter)?;
-                self.trace(traces, q, &out, 0, before, started);
-                out
-            }
-            Query::And(a, b) | Query::Or(a, b) | Query::Diff(a, b) => {
+            } => self.source.evaluate_atomic(base, *scope, filter)?,
+            Query::And(..) | Query::Or(..) | Query::Diff(..) => {
                 let op = match q {
                     Query::And(..) => boolean::BoolOp::And,
                     Query::Or(..) => boolean::BoolOp::Or,
                     _ => boolean::BoolOp::Diff,
                 };
-                let la = self.eval_node(a, traces)?;
-                let lb = self.eval_node(b, traces)?;
-                let before = self.pager.io();
-                let started = std::time::Instant::now();
-                let out = boolean::merge(&self.pager, op, &la, &lb)?;
-                self.trace(traces, q, &out, la.len() + lb.len(), before, started);
-                out
+                boolean::merge(&self.pager, op, &children[0], &children[1])?
             }
-            Query::Hier { op, q1, q2, agg } => {
-                let l1 = self.eval_node(q1, traces)?;
-                let l2 = self.eval_node(q2, traces)?;
+            Query::Hier { op, agg, .. } => {
                 let filter = compile_structural(agg)?;
-                let before = self.pager.io();
-                let started = std::time::Instant::now();
-                let out = hs_stack::hs_select(
+                hs_stack::hs_select(
                     &self.pager,
                     (*op).into(),
-                    &l1,
-                    &l2,
+                    &children[0],
+                    &children[1],
                     None,
                     &filter,
-                )?;
-                self.trace(traces, q, &out, l1.len() + l2.len(), before, started);
-                out
+                )?
             }
-            Query::HierPath {
-                op,
-                q1,
-                q2,
-                q3,
-                agg,
-            } => {
-                let l1 = self.eval_node(q1, traces)?;
-                let l2 = self.eval_node(q2, traces)?;
-                let l3 = self.eval_node(q3, traces)?;
+            Query::HierPath { op, agg, .. } => {
                 let filter = compile_structural(agg)?;
-                let before = self.pager.io();
-                let started = std::time::Instant::now();
-                let out = hs_stack::hs_select(
+                hs_stack::hs_select(
                     &self.pager,
                     (*op).into(),
-                    &l1,
-                    &l2,
-                    Some(&l3),
+                    &children[0],
+                    &children[1],
+                    Some(&children[2]),
                     &filter,
-                )?;
-                self.trace(traces, q, &out, l1.len() + l2.len() + l3.len(), before, started);
-                out
+                )?
             }
-            Query::AggSelect { query, filter } => {
-                let l1 = self.eval_node(query, traces)?;
+            Query::AggSelect { filter, .. } => {
                 let compiled = CompiledAggFilter::compile(filter, false)?;
-                let before = self.pager.io();
-                let started = std::time::Instant::now();
-                let out = agg_simple::simple_agg_select(&self.pager, &l1, &compiled)?;
-                self.trace(traces, q, &out, l1.len(), before, started);
-                out
+                agg_simple::simple_agg_select(&self.pager, &children[0], &compiled)?
             }
-            Query::EmbedRef {
-                op,
-                q1,
-                q2,
-                attr,
-                agg,
-            } => {
-                let l1 = self.eval_node(q1, traces)?;
-                let l2 = self.eval_node(q2, traces)?;
+            Query::EmbedRef { op, attr, agg, .. } => {
                 let filter = compile_structural(agg)?;
-                let before = self.pager.io();
-                let started = std::time::Instant::now();
-                let out =
-                    er_join::er_select(&self.pager, *op, &l1, &l2, attr, &filter)?;
-                self.trace(traces, q, &out, l1.len() + l2.len(), before, started);
-                out
+                er_join::er_select(&self.pager, *op, &children[0], &children[1], attr, &filter)?
             }
         };
-        Ok(result)
+        let input_len = children.iter().map(|c| c.len()).sum();
+        self.trace(traces, q, &out, input_len, before, started);
+        Ok(out)
     }
 
     fn trace(
@@ -440,6 +595,80 @@ mod tests {
         let q = q.unwrap();
         let err = Evaluator::new(&idx, &pager).evaluate(&q).unwrap_err();
         assert!(matches!(err, QueryError::BadAggFilter { .. }));
+    }
+
+    #[test]
+    fn memoized_evaluation_matches_unmemoized() {
+        // The QoS-style shape: the same subquery appears three times.
+        let (idx, pager) = setup();
+        let q = parse_query(
+            "(| (| (dc=att, dc=com ? sub ? objectClass=person) \
+                   (dc=att, dc=com ? sub ? objectClass=person)) \
+                (& (dc=att, dc=com ? sub ? objectClass=person) \
+                   (dc=att, dc=com ? sub ? surName=jagadish)))",
+        )
+        .unwrap();
+        let plain = Evaluator::new(&idx, &pager).evaluate(&q).unwrap();
+        let memoed = Evaluator::new(&idx, &pager)
+            .with_memo()
+            .evaluate(&q)
+            .unwrap();
+        assert_eq!(
+            plain.to_vec().unwrap(),
+            memoed.to_vec().unwrap(),
+            "memoized and unmemoized evaluation must return identical lists"
+        );
+        // And the memo actually deduplicates: the repeated atom costs one
+        // source evaluation's worth of allocations, not three.
+        pager.reset_io();
+        Evaluator::new(&idx, &pager).evaluate(&q).unwrap();
+        let unmemo_allocs = pager.io().allocs;
+        pager.reset_io();
+        Evaluator::new(&idx, &pager).with_memo().evaluate(&q).unwrap();
+        assert!(pager.io().allocs < unmemo_allocs);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical_and_reports_schedule() {
+        let (idx, pager) = setup();
+        let q = parse_query(
+            "(- (| (dc=att, dc=com ? sub ? surName=jagadish) \
+                   (dc=att, dc=com ? sub ? objectClass=organizationalUnit)) \
+                (c (dc=att, dc=com ? sub ? objectClass=organizationalUnit) \
+                   (dc=research, dc=att, dc=com ? sub ? surName=jagadish)))",
+        )
+        .unwrap();
+        let ev = Evaluator::new(&idx, &pager);
+        let expect = ev.evaluate(&q).unwrap().to_vec().unwrap();
+        for degree in [1, 2, 4, 8] {
+            let (out, report) = ev.evaluate_parallel_report(&q, degree).unwrap();
+            assert_eq!(out.to_vec().unwrap(), expect, "degree {degree}");
+            if degree > 1 {
+                // 7 nodes in 3 waves: 4 leaves, then (|) and (c), then (-).
+                assert_eq!(report.waves, 3);
+                assert_eq!(report.ready_widths, vec![4, 2, 1]);
+                assert!(report.workers_spawned > 0);
+                let shard_io: u64 = report.worker_io.iter().map(|io| io.total()).sum();
+                let _ = shard_io; // pool may serve everything warm here
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_surfaces_the_sequential_error() {
+        let (idx, pager) = setup();
+        // The bad agg filter is compiled at its node's evaluation; the
+        // parallel path must report it just like the sequential one.
+        let q = parse_query(
+            "(| (g (dc=com ? sub ? a=*) count($2) > 0) \
+                (dc=com ? sub ? objectClass=dcObject))",
+        )
+        .unwrap();
+        let ev = Evaluator::new(&idx, &pager);
+        let seq = ev.evaluate(&q).unwrap_err();
+        let par = ev.evaluate_parallel(&q, 4).unwrap_err();
+        assert!(matches!(seq, QueryError::BadAggFilter { .. }));
+        assert!(matches!(par, QueryError::BadAggFilter { .. }));
     }
 
     #[test]

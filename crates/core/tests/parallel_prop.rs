@@ -1,0 +1,163 @@
+//! Determinism guard for parallel evaluation (ISSUE 5 satellite).
+//!
+//! For randomized L0–L3 query trees over a randomized directory,
+//! `Evaluator::evaluate_parallel` must produce output *byte-identical* to
+//! sequential `evaluate` at every degree 1–8: same entries, same
+//! reverse-DN order, same encoded bytes — regardless of which worker
+//! finished which subtree first.
+
+use netdir_index::IndexedDirectory;
+use netdir_model::{Directory, Dn, Entry};
+use netdir_pager::Pager;
+use netdir_query::{parse_query, Evaluator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+/// A random directory tree: ~`n` entries under `dc=test`, tagged with a
+/// `kind` attribute and sprinkled with DN-valued `ref` attributes so that
+/// every operator family (boolean, hierarchical, aggregation, embedded
+/// reference) has real work to do.
+fn random_directory(rng: &mut StdRng, n: usize) -> (Directory, Vec<Dn>) {
+    let mut d = Directory::new();
+    let root = dn("dc=test");
+    d.insert(Entry::builder(root.clone()).class("thing").build().unwrap())
+        .unwrap();
+    let mut dns = vec![root];
+    for i in 0..n {
+        let parent = dns[rng.gen_range(0..dns.len())].clone();
+        let child = dn(&format!("n=e{i}, {parent}"));
+        let kind = ["red", "blue", "green"][rng.gen_range(0..3)];
+        let mut b = Entry::builder(child.clone())
+            .class("thing")
+            .attr("kind", kind)
+            .attr("weight", rng.gen_range(0..6) as i64);
+        if rng.gen_bool(0.3) {
+            let target = dns[rng.gen_range(0..dns.len())].clone();
+            b = b.attr("ref", target);
+        }
+        d.insert(b.build().unwrap()).unwrap();
+        dns.push(child);
+    }
+    (d, dns)
+}
+
+/// A random atomic query (L0 leaf).
+fn random_atom(rng: &mut StdRng, dns: &[Dn]) -> String {
+    let base = &dns[rng.gen_range(0..dns.len().min(20))];
+    let scope = ["base", "one", "sub"][rng.gen_range(0..3)];
+    let filter = match rng.gen_range(0..5) {
+        0 => "kind=red".to_string(),
+        1 => "kind=blue".to_string(),
+        2 => "objectClass=thing".to_string(),
+        3 => format!("weight={}", rng.gen_range(0..6)),
+        _ => "ref=*".to_string(),
+    };
+    format!("({base} ? {scope} ? {filter})")
+}
+
+/// A random query tree of the given depth spanning L0–L3 operators.
+fn random_tree(rng: &mut StdRng, dns: &[Dn], depth: usize) -> String {
+    if depth == 0 {
+        return random_atom(rng, dns);
+    }
+    let sub = |rng: &mut StdRng| random_tree(rng, dns, depth - 1);
+    match rng.gen_range(0..8) {
+        0 => format!("(& {} {})", sub(rng), sub(rng)),
+        1 => format!("(| {} {})", sub(rng), sub(rng)),
+        2 => format!("(- {} {})", sub(rng), sub(rng)),
+        3 => {
+            let op = ["p", "c", "a", "d"][rng.gen_range(0..4)];
+            format!("({op} {} {})", sub(rng), sub(rng))
+        }
+        4 => {
+            // L2: hierarchical selection with an aggregate filter.
+            let op = ["p", "c", "a", "d"][rng.gen_range(0..4)];
+            format!("({op} {} {} count($2) > {})", sub(rng), sub(rng), rng.gen_range(0..2))
+        }
+        5 => {
+            let op = ["ac", "dc"][rng.gen_range(0..2)];
+            format!("({op} {} {} {})", sub(rng), sub(rng), sub(rng))
+        }
+        6 => format!("(g {} count($1) > {})", sub(rng), rng.gen_range(0..2)),
+        _ => {
+            let op = ["vd", "dv"][rng.gen_range(0..2)];
+            format!("({op} {} {} ref)", sub(rng), sub(rng))
+        }
+    }
+}
+
+#[test]
+fn parallel_evaluation_is_byte_identical_for_random_trees() {
+    let mut checked = 0usize;
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xD15C0 + seed);
+        let (dir, dns) = random_directory(&mut rng, 80);
+        let pager = Pager::new(512, 64);
+        let idx = IndexedDirectory::build(&pager, &dir).unwrap();
+        let ev = Evaluator::new(&idx, &pager);
+
+        for _ in 0..4 {
+            let depth = rng.gen_range(1..4);
+            let text = random_tree(&mut rng, &dns, depth);
+            let q = parse_query(&text).unwrap_or_else(|e| panic!("parse {text}: {e}"));
+            let expect: Vec<Entry> = match ev.evaluate(&q) {
+                Ok(out) => out.to_vec().unwrap(),
+                // A tree whose agg filter is rejected must be rejected in
+                // parallel too; that's covered below, skip the comparison.
+                Err(_) => {
+                    for degree in [2, 8] {
+                        ev.evaluate_parallel(&q, degree).unwrap_err();
+                    }
+                    continue;
+                }
+            };
+            // Reverse-DN sort order is part of the contract.
+            for w in expect.windows(2) {
+                assert!(
+                    w[0].dn().sort_key() <= w[1].dn().sort_key(),
+                    "sequential output not reverse-DN sorted for {text}"
+                );
+            }
+            for degree in 1..=8usize {
+                let got = ev
+                    .evaluate_parallel(&q, degree)
+                    .unwrap_or_else(|e| panic!("degree {degree} on {text}: {e}"))
+                    .to_vec()
+                    .unwrap();
+                assert_eq!(got, expect, "degree {degree} diverged on {text}");
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 48, "only {checked} trees exercised the comparison");
+}
+
+#[test]
+fn memoized_parallel_evaluation_stays_identical() {
+    // Memo hits under concurrency must hand back the same lists.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let (dir, dns) = random_directory(&mut rng, 60);
+    let pager = Pager::new(512, 64);
+    let idx = IndexedDirectory::build(&pager, &dir).unwrap();
+    let plain = Evaluator::new(&idx, &pager);
+    let memoed = Evaluator::new(&idx, &pager).with_memo();
+    for _ in 0..12 {
+        let shared = random_tree(&mut rng, &dns, 1);
+        // The same subtree appears twice — a guaranteed memo collision
+        // between concurrent workers.
+        let text = format!("(| {shared} (& {shared} {shared}))");
+        let q = parse_query(&text).unwrap();
+        let Ok(expect) = plain.evaluate(&q) else {
+            continue;
+        };
+        let expect = expect.to_vec().unwrap();
+        for degree in [2, 4, 8] {
+            let got = memoed.evaluate_parallel(&q, degree).unwrap().to_vec().unwrap();
+            assert_eq!(got, expect, "memoized degree {degree} diverged on {text}");
+        }
+    }
+}

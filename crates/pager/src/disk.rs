@@ -125,12 +125,93 @@ impl Disk for MemDisk {
     }
 }
 
+/// A decorator that charges wall-clock time per transfer on top of an
+/// inner device.
+///
+/// The paper's cost model counts page transfers; `LatencyDisk` gives each
+/// transfer a (simulated) seek-and-transfer *duration* as well, so that
+/// overlap of independent I/Os — the thing parallel evaluation buys — shows
+/// up as measured wall-clock speedup even where transfer *counts* are
+/// identical. I/O accounting is delegated unchanged to the inner device.
+pub struct LatencyDisk {
+    inner: Box<dyn Disk>,
+    read_delay: std::time::Duration,
+    write_delay: std::time::Duration,
+}
+
+impl LatencyDisk {
+    /// Wrap `inner`, sleeping `read_delay` per page read and `write_delay`
+    /// per page write. Allocations stay free, as in the paper's model.
+    pub fn new(
+        inner: Box<dyn Disk>,
+        read_delay: std::time::Duration,
+        write_delay: std::time::Duration,
+    ) -> Self {
+        LatencyDisk {
+            inner,
+            read_delay,
+            write_delay,
+        }
+    }
+}
+
+impl Disk for LatencyDisk {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&self) -> PageId {
+        self.inner.allocate()
+    }
+
+    fn read_page(&self, id: PageId) -> PagerResult<Bytes> {
+        if !self.read_delay.is_zero() {
+            std::thread::sleep(self.read_delay);
+        }
+        self.inner.read_page(id)
+    }
+
+    fn write_page(&self, id: PageId, data: Bytes) -> PagerResult<()> {
+        if !self.write_delay.is_zero() {
+            std::thread::sleep(self.write_delay);
+        }
+        self.inner.write_page(id, data)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn disk() -> MemDisk {
         MemDisk::new(128, IoStats::new())
+    }
+
+    #[test]
+    fn latency_disk_delegates_and_charges_inner_ledger() {
+        let stats = IoStats::new();
+        let inner = MemDisk::new(128, stats.clone());
+        let d = LatencyDisk::new(
+            Box::new(inner),
+            std::time::Duration::from_micros(50),
+            std::time::Duration::ZERO,
+        );
+        let p = d.allocate();
+        let t0 = std::time::Instant::now();
+        d.read_page(p).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(50));
+        d.write_page(p, BytesMut::zeroed(128).freeze()).unwrap();
+        let snap = d.stats().snapshot();
+        assert_eq!((snap.reads, snap.writes, snap.allocs), (1, 1, 1));
+        assert_eq!(stats.snapshot(), snap);
     }
 
     #[test]

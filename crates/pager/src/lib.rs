@@ -34,20 +34,22 @@ pub mod disk;
 pub mod error;
 pub mod extsort;
 pub mod list;
+pub mod par;
 pub mod pool;
 pub mod record;
 pub mod stack;
 pub mod stats;
 
 pub use chain::{Chain, ChainArena};
-pub use disk::{Disk, MemDisk, PageId, PAGE_HEADER_BYTES};
+pub use disk::{Disk, LatencyDisk, MemDisk, PageId, PAGE_HEADER_BYTES};
 pub use error::{PagerError, PagerResult};
-pub use extsort::{external_sort, external_sort_by, ExtSortConfig};
+pub use extsort::{external_sort, external_sort_by, external_sort_by_par, ExtSortConfig};
 pub use list::{ListReader, ListWriter, PagedList};
+pub use par::{parallel_map, WorkerReport};
 pub use pool::{BufferPool, FrameGuard, PoolConfig};
 pub use record::Record;
 pub use stack::PagedStack;
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoShard, IoSnapshot, IoStats, ShardGuard};
 
 use std::sync::Arc;
 
@@ -78,6 +80,27 @@ impl Pager {
     pub fn new(page_size: usize, frames: usize) -> Self {
         let stats = IoStats::new();
         let disk = MemDisk::new(page_size, stats.clone());
+        let pool = BufferPool::new(Box::new(disk), PoolConfig { frames }, stats);
+        Pager {
+            inner: Arc::new(PagerInner { pool, page_size }),
+        }
+    }
+
+    /// Create a pager over an in-memory disk that additionally charges
+    /// wall-clock latency per transfer (see [`LatencyDisk`]).
+    ///
+    /// Used by the parallel-evaluation benchmarks: on such a device,
+    /// overlapping independent page reads across workers shows up as
+    /// measured speedup while the transfer *counts* stay identical.
+    pub fn with_latency(
+        page_size: usize,
+        frames: usize,
+        read_delay: std::time::Duration,
+        write_delay: std::time::Duration,
+    ) -> Self {
+        let stats = IoStats::new();
+        let disk = MemDisk::new(page_size, stats.clone());
+        let disk = LatencyDisk::new(Box::new(disk), read_delay, write_delay);
         let pool = BufferPool::new(Box::new(disk), PoolConfig { frames }, stats);
         Pager {
             inner: Arc::new(PagerInner { pool, page_size }),

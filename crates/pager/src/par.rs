@@ -1,0 +1,230 @@
+//! Scoped worker pool for intra-query parallelism.
+//!
+//! The paper's evaluator walks the query tree bottom-up; nothing in its
+//! cost model requires the walk to be *serial*. Sibling subtrees are
+//! data-independent until they meet at their parent operator, so they may
+//! be evaluated concurrently — the I/O cost (page transfers) is unchanged,
+//! only the wall-clock time shrinks as independent transfers overlap.
+//!
+//! [`parallel_map`] is the only primitive: run a closure over a batch of
+//! items on up to `degree` scoped threads (`std::thread::scope`, no new
+//! dependencies), preserving the *sequential* semantics observably:
+//!
+//! * Results come back in item order, regardless of completion order.
+//! * Items are claimed in index order and an error aborts the claiming of
+//!   further items, so the reported error is exactly the one sequential
+//!   execution would have hit first (the lowest-index failure).
+//! * Each worker installs an [`IoShard`] sub-ledger, so callers get a
+//!   per-worker I/O breakdown whose sum equals the shared ledger's delta.
+//!
+//! With `degree <= 1` (or a single item) everything runs inline on the
+//! caller's thread — the sequential fallback costs no thread spawn.
+
+use crate::stats::{IoShard, IoSnapshot};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What one worker thread did during a [`parallel_map`] call.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index within the pool (0-based).
+    pub worker: usize,
+    /// Number of items this worker completed.
+    pub tasks: usize,
+    /// The worker's I/O sub-ledger for the call.
+    pub io: IoSnapshot,
+}
+
+/// Apply `f` to every item on up to `degree` scoped worker threads.
+///
+/// Returns the results in item order plus one [`WorkerReport`] per worker
+/// actually used. On error, returns the failure that sequential execution
+/// would have reported first: items are claimed in index order, every item
+/// claimed before the failing one runs to completion, and the lowest-index
+/// error wins.
+pub fn parallel_map<T, R, E, F>(
+    degree: usize,
+    items: Vec<T>,
+    f: F,
+) -> Result<(Vec<R>, Vec<WorkerReport>), E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let workers = degree.min(n).max(1);
+    if workers == 1 {
+        // Sequential fallback: same claim order, same first-error rule,
+        // still shard-accounted so callers see a uniform report shape.
+        let shard = IoShard::new();
+        let mut out = Vec::with_capacity(n);
+        {
+            let _guard = shard.install();
+            for (idx, item) in items.into_iter().enumerate() {
+                out.push(f(idx, item)?);
+            }
+        }
+        let report = WorkerReport {
+            worker: 0,
+            tasks: n,
+            io: shard.snapshot(),
+        };
+        return Ok((out, vec![report]));
+    }
+
+    // Work claiming: a shared cursor hands out item indices in order; the
+    // per-item slots let workers take ownership of a `T` without a global
+    // queue lock being held during `f`.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+
+    struct WorkerOutcome<R, E> {
+        worker: usize,
+        results: Vec<(usize, R)>,
+        error: Option<(usize, E)>,
+        io: IoSnapshot,
+    }
+
+    let outcomes: Vec<WorkerOutcome<R, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let slots = &slots;
+                let cursor = &cursor;
+                let failed = &failed;
+                let f = &f;
+                scope.spawn(move || {
+                    let shard = IoShard::new();
+                    let mut results = Vec::new();
+                    let mut error = None;
+                    {
+                        let _guard = shard.install();
+                        while !failed.load(Ordering::Acquire) {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= slots.len() {
+                                break;
+                            }
+                            let item = slots[idx]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .take()
+                                .expect("each slot is claimed exactly once");
+                            match f(idx, item) {
+                                Ok(r) => results.push((idx, r)),
+                                Err(e) => {
+                                    failed.store(true, Ordering::Release);
+                                    error = Some((idx, e));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    WorkerOutcome {
+                        worker,
+                        results,
+                        error,
+                        io: shard.snapshot(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+
+    // The cursor hands indices out in order, so by the time index `i`
+    // failed every index below `i` was already claimed and ran to
+    // completion — the minimum-index error is the sequential one.
+    let mut first_error: Option<(usize, E)> = None;
+    let mut slots_out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut reports = Vec::with_capacity(workers);
+    for outcome in outcomes {
+        reports.push(WorkerReport {
+            worker: outcome.worker,
+            tasks: outcome.results.len() + usize::from(outcome.error.is_some()),
+            io: outcome.io,
+        });
+        for (idx, r) in outcome.results {
+            slots_out[idx] = Some(r);
+        }
+        if let Some((idx, e)) = outcome.error {
+            if first_error.as_ref().is_none_or(|(i, _)| idx < *i) {
+                first_error = Some((idx, e));
+            }
+        }
+    }
+    reports.sort_by_key(|r| r.worker);
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    let out = slots_out
+        .into_iter()
+        .map(|r| r.expect("no error, so every item completed"))
+        .collect();
+    Ok((out, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<u64> = (0..40).collect();
+        for degree in [1, 2, 4, 8] {
+            let (out, reports) =
+                parallel_map(degree, items.clone(), |_, x| Ok::<_, ()>(x * 2)).unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            let total: usize = reports.iter().map(|r| r.tasks).sum();
+            assert_eq!(total, items.len());
+            assert!(reports.len() <= degree.max(1));
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        // Items 7 and 23 both fail; the reported error must be 7's at any
+        // degree — the same error sequential execution reports.
+        for degree in [1, 2, 4, 8] {
+            let err = parallel_map(degree, (0..40).collect::<Vec<u64>>(), |idx, _| {
+                if idx == 7 || idx == 23 {
+                    Err(idx)
+                } else {
+                    Ok(idx)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 7, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn degree_one_runs_inline() {
+        let tid = std::thread::current().id();
+        let (out, reports) = parallel_map(1, vec![(), ()], |idx, _| {
+            assert_eq!(std::thread::current().id(), tid);
+            Ok::<_, ()>(idx)
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn worker_shards_partition_the_work() {
+        let counter = AtomicU64::new(0);
+        let (out, reports) = parallel_map(4, (0..32).collect::<Vec<u64>>(), |_, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, ()>(x)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 32);
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(reports.iter().map(|r| r.tasks).sum::<usize>(), 32);
+    }
+}

@@ -142,24 +142,60 @@ impl BufferPool {
     }
 
     /// Pin `page` into a frame, reading it from disk on a miss.
+    ///
+    /// The disk transfer happens *outside* the pool's state lock so that
+    /// concurrent workers overlap their misses instead of serialising on
+    /// the pool. A miss publishes a pinned "loading" frame whose data lock
+    /// is held for writing until the bytes arrive; a concurrent fetch of
+    /// the same page finds the frame resident and blocks on the data lock,
+    /// so every cold page costs exactly one read I/O no matter how many
+    /// threads race for it (keeping I/O counts degree-independent).
     pub fn fetch(&self, page: PageId) -> PagerResult<FrameGuard> {
-        let mut state = self.state.lock();
-        if let Some(cell) = state.resident.get(&page) {
-            cell.pins.fetch_add(1, Ordering::AcqRel);
-            cell.last_used.store(self.tick(), Ordering::Relaxed);
-            return Ok(FrameGuard { cell: cell.clone() });
+        let cell: Arc<FrameCell>;
+        let mut loading;
+        {
+            let mut state = self.state.lock();
+            if let Some(hit) = state.resident.get(&page) {
+                hit.pins.fetch_add(1, Ordering::AcqRel);
+                hit.last_used.store(self.tick(), Ordering::Relaxed);
+                let cell = hit.clone();
+                drop(state);
+                // Wait out an in-flight load (no-op for settled frames).
+                drop(cell.data.read());
+                return Ok(FrameGuard { cell });
+            }
+            self.make_room(&mut state)?;
+            cell = Arc::new(FrameCell {
+                page,
+                data: RwLock::new(BytesMut::new()),
+                dirty: AtomicBool::new(false),
+                pins: AtomicU32::new(1),
+                last_used: AtomicU64::new(self.tick()),
+            });
+            // Take the data write lock *before* publishing the cell: the
+            // cell is brand new so this cannot block, and it keeps racing
+            // fetchers of the same page parked until the bytes are in.
+            // The frame is born pinned, so mid-load it can be neither an
+            // eviction victim nor a flush candidate (it is not dirty).
+            loading = cell.data.write();
+            state.resident.insert(page, cell.clone());
         }
-        self.make_room(&mut state)?;
-        let data = self.disk.read_page(page)?;
-        let cell = Arc::new(FrameCell {
-            page,
-            data: RwLock::new(BytesMut::from(&data[..])),
-            dirty: AtomicBool::new(false),
-            pins: AtomicU32::new(1),
-            last_used: AtomicU64::new(self.tick()),
-        });
-        state.resident.insert(page, cell.clone());
-        Ok(FrameGuard { cell })
+        match self.disk.read_page(page) {
+            Ok(data) => {
+                loading.extend_from_slice(&data);
+                drop(loading);
+                Ok(FrameGuard { cell })
+            }
+            Err(e) => {
+                // Leave any waiters a defined (zeroed) page, then
+                // un-publish the frame so later fetches retry the device.
+                loading.resize(self.disk.page_size(), 0);
+                drop(loading);
+                self.state.lock().resident.remove(&page);
+                cell.pins.fetch_sub(1, Ordering::AcqRel);
+                Err(e)
+            }
+        }
     }
 
     /// Pin `page` without reading it from disk — for pages about to be

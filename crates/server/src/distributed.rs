@@ -26,10 +26,10 @@ use crate::retry::{RetryPolicy, RetryStats};
 use crate::transport::{ChannelTransport, Transport};
 use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::{Directory, Dn, Entry};
-use netdir_pager::{ListWriter, PagedList, Pager, PagerError, PagerResult};
+use netdir_pager::{parallel_map, ListWriter, PagedList, Pager, PagerError, PagerResult};
 use netdir_query::eval::{AtomicSource, Evaluator};
 use netdir_query::{Query, QueryError, QueryResult};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// How a distributed query treats unreachable partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +94,8 @@ pub struct ClusterBuilder {
     /// Indices of configs that are secondaries (replicas) of an earlier
     /// context registration.
     secondaries: Vec<bool>,
+    /// Intra-query parallelism degree for the built router (0 → 1).
+    eval_threads: usize,
 }
 
 /// The outcome of partitioning a directory across declared contexts,
@@ -132,6 +134,14 @@ impl ClusterBuilder {
     pub fn secondary(mut self, name: impl Into<String>, context: Dn) -> Self {
         self.configs.push(ServerConfig::new(name, context));
         self.secondaries.push(true);
+        self
+    }
+
+    /// Set the intra-query parallelism degree of the built cluster's
+    /// router (see [`Router::with_eval_threads`]). Defaults to 1
+    /// (sequential).
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = threads;
         self
     }
 
@@ -177,6 +187,7 @@ impl ClusterBuilder {
 
     /// Partition `dir` by longest-matching context and spawn the nodes.
     pub fn build(self, dir: &Directory) -> Cluster {
+        let eval_threads = self.eval_threads.max(1);
         let parts = self.into_parts(dir);
         let nodes: Vec<ServerNode> = parts
             .configs
@@ -187,7 +198,8 @@ impl ClusterBuilder {
         let transport =
             ChannelTransport::new(nodes.iter().map(|n| n.sender()).collect());
         Cluster {
-            router: Router::new(parts.delegation, Box::new(transport)),
+            router: Router::new(parts.delegation, Box::new(transport))
+                .with_eval_threads(eval_threads),
             nodes,
             orphaned: parts.orphaned,
         }
@@ -204,6 +216,10 @@ pub struct Router {
     health: HealthTracker,
     retry: RetryPolicy,
     retry_stats: RetryStats,
+    /// Intra-query parallelism degree: >1 evaluates independent query
+    /// subtrees concurrently and fans atomic sub-queries out to their
+    /// zones in parallel. 1 (the default) is the sequential path.
+    eval_threads: usize,
 }
 
 impl Router {
@@ -217,6 +233,7 @@ impl Router {
             health,
             retry: RetryPolicy::default(),
             retry_stats: RetryStats::new(),
+            eval_threads: 1,
         }
     }
 
@@ -224,6 +241,27 @@ impl Router {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Router {
         self.retry = retry;
         self
+    }
+
+    /// Set the intra-query parallelism degree (builder-style).
+    ///
+    /// With `threads > 1`, [`Router::query_with`] evaluates independent
+    /// query subtrees concurrently and each atomic sub-query fans out to
+    /// its zones in parallel. Results are byte-identical to the
+    /// sequential path (zone responses merge in delegation order, subtree
+    /// results join by node identity); under Strict mode the first error
+    /// in zone order is reported, exactly as sequentially. The default of
+    /// 1 keeps the sequential path — fault-injection harnesses that seed
+    /// per-call fault schedules rely on the deterministic call order that
+    /// only sequential evaluation provides, so parallelism is opt-in.
+    pub fn with_eval_threads(mut self, threads: usize) -> Router {
+        self.eval_threads = threads.max(1);
+        self
+    }
+
+    /// The configured intra-query parallelism degree.
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads
     }
 
     /// Replace the circuit-breaker configuration (builder-style, before
@@ -321,13 +359,18 @@ impl Router {
             home,
             pager: pager.clone(),
             mode,
-            partial: RefCell::new(Vec::new()),
+            partial: Mutex::new(Vec::new()),
         };
-        let out = Evaluator::new(&source, pager).evaluate(query)?;
+        let evaluator = Evaluator::new(&source, pager);
+        let out = if self.eval_threads > 1 {
+            evaluator.evaluate_parallel(query, self.eval_threads)?
+        } else {
+            evaluator.evaluate(query)?
+        };
         let entries = out.to_vec().map_err(QueryError::from)?;
         Ok(QueryOutcome {
             entries,
-            partial: source.partial.into_inner(),
+            partial: source.into_partial(),
         })
     }
 
@@ -348,8 +391,11 @@ impl Router {
             home,
             pager: pager.clone(),
             mode,
-            partial: RefCell::new(Vec::new()),
+            partial: Mutex::new(Vec::new()),
         };
+        // Traced evaluation stays sequential regardless of `eval_threads`:
+        // per-node I/O attribution snapshots the shared ledger around each
+        // node, which is only meaningful when nodes run one at a time.
         let started = std::time::Instant::now();
         let (out, traces) = Evaluator::new(&source, pager).evaluate_traced(query)?;
         let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -358,7 +404,7 @@ impl Router {
         Ok((
             QueryOutcome {
                 entries,
-                partial: source.partial.into_inner(),
+                partial: source.into_partial(),
             },
             trace,
         ))
@@ -380,7 +426,7 @@ impl Router {
             home,
             pager: pager.clone(),
             mode: ConsistencyMode::Strict,
-            partial: RefCell::new(Vec::new()),
+            partial: Mutex::new(Vec::new()),
         };
         source.evaluate_atomic(base, scope, filter)?.to_vec()
     }
@@ -573,17 +619,23 @@ struct RoutingSource<'r> {
     pager: Pager,
     mode: ConsistencyMode,
     /// Zones skipped so far (Partial mode), deduplicated by context.
-    /// RefCell because the [`Evaluator`] drives `&self` sources; one
-    /// source belongs to one evaluation, so no sharing across threads.
-    partial: RefCell<Vec<PartitionError>>,
+    /// A `Mutex` (not `RefCell`) so the source is `Sync` — parallel
+    /// evaluation drives one source from several scoped workers at once.
+    partial: Mutex<Vec<PartitionError>>,
 }
 
 impl RoutingSource<'_> {
     fn record_skip(&self, err: PartitionError) {
-        let mut partial = self.partial.borrow_mut();
+        let mut partial = self.partial.lock().unwrap_or_else(|e| e.into_inner());
         if !partial.iter().any(|p| p.zone == err.zone) {
             partial.push(err);
         }
+    }
+
+    fn into_partial(self) -> Vec<PartitionError> {
+        self.partial
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -600,13 +652,34 @@ impl AtomicSource for RoutingSource<'_> {
         };
         // Fetch each zone from its owner group (§3.3 failover + retry);
         // under Partial mode a zone that stays unreachable is skipped
-        // and accounted for instead of failing the query.
-        let mut responses: Vec<Vec<Entry>> = Vec::with_capacity(zones.len());
-        for (zone, group) in zones {
-            match self
-                .router
-                .fetch_zone(zone, group, self.home, base, scope, filter)
-            {
+        // and accounted for instead of failing the query. With
+        // `eval_threads > 1` the zones are fetched concurrently, but
+        // outcomes are *collected in zone (delegation) order*, so the
+        // merged bytes, the Strict-mode first error, and the Partial-mode
+        // skip accounting are identical to the sequential loop.
+        let degree = self.router.eval_threads;
+        let outcomes: Vec<Result<Vec<Entry>, PartitionError>> =
+            if degree > 1 && zones.len() > 1 {
+                let (outcomes, _reports) =
+                    parallel_map(degree, zones, |_, (zone, group)| {
+                        Ok::<_, std::convert::Infallible>(self.router.fetch_zone(
+                            zone, group, self.home, base, scope, filter,
+                        ))
+                    })
+                    .expect("zone fetch outcomes are data, not errors");
+                outcomes
+            } else {
+                zones
+                    .into_iter()
+                    .map(|(zone, group)| {
+                        self.router
+                            .fetch_zone(zone, group, self.home, base, scope, filter)
+                    })
+                    .collect()
+            };
+        let mut responses: Vec<Vec<Entry>> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
                 Ok(entries) => responses.push(entries),
                 Err(err) => match self.mode {
                     ConsistencyMode::Strict => {
@@ -726,6 +799,49 @@ mod tests {
         };
         assert_eq!(names(&a), names(&b));
         assert_eq!(names(&a), vec!["uid=jag, ou=people, dc=att, dc=com"]);
+    }
+
+    #[test]
+    fn parallel_eval_threads_pin_strict_bytes_and_partial_accounts() {
+        let seq = cluster();
+        let par = ClusterBuilder::new()
+            .server("root", dn("dc=com"))
+            .server("att", dn("dc=att, dc=com"))
+            .server("research", dn("dc=research, dc=att, dc=com"))
+            .server("org", dn("dc=org"))
+            .eval_threads(4)
+            .build(&dir());
+        assert_eq!(par.router().eval_threads(), 4);
+        let pager = netdir_pager::default_pager();
+        let queries = [
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+               (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+            "(null-dn ? sub ? objectClass=thing)",
+            "(c (dc=com ? sub ? objectClass=thing) \
+                (dc=research, dc=att, dc=com ? base ? objectClass=thing))",
+        ];
+        for text in queries {
+            let q = parse_query(text).unwrap();
+            // Strict mode: the encoded entry stream must be byte-identical.
+            let a = seq.query_from("att", &pager, &q).unwrap();
+            let b = par.query_from("att", &pager, &q).unwrap();
+            assert_eq!(a, b, "strict results diverged for {text}");
+        }
+        // Partial mode with a dead unreplicated zone: same surviving
+        // entries, same skip account, at any degree.
+        seq.force_down("research", true);
+        par.force_down("research", true);
+        let q = parse_query("(null-dn ? sub ? objectClass=thing)").unwrap();
+        let a = seq
+            .query_from_with("att", &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        let b = par
+            .query_from_with("att", &pager, &q, ConsistencyMode::Partial)
+            .unwrap();
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.partial.len(), 1);
+        assert_eq!(a.partial[0].zone, b.partial[0].zone);
+        assert_eq!(a.partial[0].servers, b.partial[0].servers);
     }
 
     #[test]

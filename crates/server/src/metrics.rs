@@ -25,7 +25,10 @@ use netdir_pager::IoSnapshot;
 pub fn register_all(reg: &MetricsRegistry) {
     for &name in names::TRACKED {
         match name {
-            names::QUERY_DURATION_US | names::QUERY_PAGES => {
+            names::QUERY_DURATION_US
+            | names::QUERY_PAGES
+            | names::PAR_READY_WIDTH
+            | names::PAR_WORKER_PAGES => {
                 reg.histogram(name);
             }
             _ => {
@@ -95,6 +98,19 @@ pub fn record_query(reg: &MetricsRegistry, elapsed_nanos: u64, pages: u64) {
     reg.histogram(names::QUERY_PAGES).observe(pages);
 }
 
+/// Record one parallel evaluation's schedule: how many workers ran,
+/// how wide each ready-set wave was, and how many pages each worker's
+/// sub-ledger absorbed.
+pub fn record_par(reg: &MetricsRegistry, par: &netdir_query::ParReport) {
+    reg.counter(names::PAR_WORKERS_SPAWNED).add(par.workers_spawned);
+    for &width in &par.ready_widths {
+        reg.histogram(names::PAR_READY_WIDTH).observe(width as u64);
+    }
+    for io in &par.worker_io {
+        reg.histogram(names::PAR_WORKER_PAGES).observe(io.total());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +147,28 @@ mod tests {
             },
         );
         assert_eq!(reg.counter(names::BREAKER_OPENED).get(), 2);
+    }
+
+    #[test]
+    fn record_par_feeds_schedule_series() {
+        let reg = MetricsRegistry::default();
+        let par = netdir_query::ParReport {
+            degree: 4,
+            waves: 2,
+            ready_widths: vec![3, 1],
+            workers_spawned: 4,
+            worker_io: vec![
+                netdir_pager::IoSnapshot { reads: 2, writes: 1, allocs: 3 },
+                netdir_pager::IoSnapshot { reads: 4, writes: 0, allocs: 0 },
+            ],
+        };
+        record_par(&reg, &par);
+        assert_eq!(reg.counter(names::PAR_WORKERS_SPAWNED).get(), 4);
+        let w = reg.histogram(names::PAR_READY_WIDTH).snapshot();
+        assert_eq!((w.count, w.sum), (2, 4));
+        let p = reg.histogram(names::PAR_WORKER_PAGES).snapshot();
+        // `total()` counts physical page I/O: reads + writes.
+        assert_eq!((p.count, p.sum), (2, 7));
     }
 
     #[test]

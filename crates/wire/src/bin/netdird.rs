@@ -9,7 +9,8 @@
 //! netdird --listen 127.0.0.1:3890 --ldif dir.ldif \
 //!         --context root= --context att="dc=att, dc=com" \
 //!         [--secondary att2="dc=att, dc=com"] \
-//!         [--workers 4] [--max-frame 16777216] [--timeout-ms 30000]
+//!         [--workers 4] [--eval-threads 4] \
+//!         [--max-frame 16777216] [--timeout-ms 30000]
 //! ```
 //!
 //! With no `--context`, a single server named `root` owning the whole
@@ -159,7 +160,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: netdird --listen ADDR [--ldif FILE] [--context NAME=DN]... \\\n\
          \x20              [--secondary NAME=DN]... [--workers N] \\\n\
-         \x20              [--max-frame BYTES] [--timeout-ms MS]\n\
+         \x20              [--eval-threads N] [--max-frame BYTES] [--timeout-ms MS]\n\
          \n\
          Serves the netdir frame protocol over TCP. With no --context, one\n\
          server named `root` owns the whole namespace. With no --ldif, an\n\
@@ -187,6 +188,7 @@ fn main() {
     let mut ldif_path: Option<String> = None;
     let mut contexts: Vec<(String, Dn, bool)> = Vec::new();
     let mut opts = ServerOptions::default();
+    let mut eval_threads: usize = 1;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -209,6 +211,9 @@ fn main() {
             }
             "--workers" => {
                 opts.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--eval-threads" => {
+                eval_threads = value("--eval-threads").parse().unwrap_or_else(|_| usage())
             }
             "--max-frame" => {
                 opts.max_frame = value("--max-frame").parse().unwrap_or_else(|_| usage())
@@ -245,7 +250,7 @@ fn main() {
         }
     };
 
-    let mut builder = ClusterBuilder::new();
+    let mut builder = ClusterBuilder::new().eval_threads(eval_threads);
     for (name, dn, secondary) in contexts {
         builder = if secondary {
             builder.secondary(name, dn)

@@ -12,15 +12,23 @@
 #                                   smoke suite: emits target/
 #                                   BENCH_smoke.json and validates its
 #                                   schema and tracked-metric coverage
+#   scripts/check.sh --par-smoke    gate + the parallel-evaluation
+#                                   guards run explicitly: determinism
+#                                   property tests, the buffer-pool
+#                                   concurrency hammer, and a degree
+#                                   sweep landing in target/
+#                                   BENCH_smoke.json (schema validated)
 set -eu
 cd "$(dirname "$0")/.."
 
 chaos=0
 bench_smoke=0
+par_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
     --bench-smoke) bench_smoke=1 ;;
+    --par-smoke) par_smoke=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
   esac
 done
@@ -39,6 +47,18 @@ fi
 
 if [ "$bench_smoke" = 1 ]; then
   echo "check.sh: running instrumented benchmark smoke suite"
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --smoke --json target/BENCH_smoke.json
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --validate target/BENCH_smoke.json
+fi
+
+if [ "$par_smoke" = 1 ]; then
+  echo "check.sh: running parallel-evaluation guards"
+  cargo test -q -p netdir-query --test parallel_prop
+  cargo test -q -p netdir-pager --test concurrent_pool
+  cargo test -q -p netdir-pager par
+  cargo test -q -p netdir-bench smoke_sweep
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
     --smoke --json target/BENCH_smoke.json
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
