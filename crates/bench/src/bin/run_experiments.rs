@@ -133,6 +133,12 @@ fn main() {
             r.suite, r.degree, r.wall_secs, r.speedup, r.io_reads, r.io_writes, r.io_allocs
         );
     }
+    for m in &report.mutation {
+        println!(
+            "{:>7}  batches={} mutations={} wall={:.4}s wal_fsyncs={} wal_page_writes={}",
+            m.phase, m.batches, m.mutations, m.wall_secs, m.wal_fsyncs, m.wal_page_writes
+        );
+    }
 
     let text = report.to_json();
     validate_bench_json(&text).expect("self-check: emitted report must validate");

@@ -11,12 +11,14 @@
 //! * [`measure`] — cold-cache I/O measurement around a closure.
 //! * [`report`] — machine-readable `BENCH_*.json` emission/validation.
 //! * [`par`] — the parallel-evaluation degree sweep (speedup vs I/O).
+//! * [`mutation`] — the write-path suite (apply throughput, WAL replay).
 //! * [`smoke`] — the instrumented observability suite behind
 //!   `run_experiments --smoke`.
 
 use netdir_model::Entry;
 use netdir_pager::{IoSnapshot, ListWriter, PagedList, Pager, PagerResult};
 
+pub mod mutation;
 pub mod par;
 pub mod report;
 pub mod smoke;

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "mode": "smoke",
 //!   "experiments": [{"name": "exp_hs_linear", "status": "ok",
 //!                    "wall_time_secs": 1.2}],
@@ -15,6 +15,9 @@
 //!   "parallel": [{"suite": "eval", "degree": 4, "wall_secs": 0.02,
 //!                 "speedup": 3.1, "io_reads": 160, "io_writes": 0,
 //!                 "io_allocs": 40}],
+//!   "mutation": [{"phase": "apply", "batches": 10, "mutations": 237,
+//!                 "wall_secs": 0.01, "wal_fsyncs": 10,
+//!                 "wal_page_writes": 12}],
 //!   "metrics": {"netdir_io_reads_total": 12, "...": 0}
 //! }
 //! ```
@@ -27,6 +30,7 @@
 //! JSON this module writes (no unicode escapes, no exponent-free giant
 //! numbers), which is all the validator needs.
 
+use crate::mutation::MutationRow;
 use crate::par::DegreeRow;
 use netdir_obs::{names, MetricsRegistry, QueryTrace};
 
@@ -83,13 +87,16 @@ pub struct BenchReport {
     pub queries: Vec<QueryReport>,
     /// Parallel-evaluation degree-sweep rows.
     pub parallel: Vec<DegreeRow>,
+    /// Write-path suite rows (apply throughput, WAL replay).
+    pub mutation: Vec<MutationRow>,
     /// Flattened metrics registry.
     pub metrics: Vec<(String, u64)>,
 }
 
 /// The only schema this writer emits (and the validator accepts).
-/// Version 2 added the `parallel` degree-sweep section.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 2 added the `parallel` degree-sweep section; version 3
+/// added the `mutation` write-path section.
+pub const SCHEMA_VERSION: u64 = 3;
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -126,6 +133,7 @@ impl BenchReport {
             experiments: Vec::new(),
             queries: Vec::new(),
             parallel: Vec::new(),
+            mutation: Vec::new(),
             metrics: registry.flatten(),
         }
     }
@@ -176,6 +184,22 @@ impl BenchReport {
                 r.io_reads,
                 r.io_writes,
                 r.io_allocs,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"mutation\": [\n");
+        for (i, m) in self.mutation.iter().enumerate() {
+            let comma = if i + 1 < self.mutation.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"phase\": \"{}\", \"batches\": {}, \"mutations\": {}, \
+                 \"wall_secs\": {}, \"wal_fsyncs\": {}, \
+                 \"wal_page_writes\": {}}}{comma}\n",
+                escape(&m.phase),
+                m.batches,
+                m.mutations,
+                num(m.wall_secs),
+                m.wal_fsyncs,
+                m.wal_page_writes,
             ));
         }
         out.push_str("  ],\n");
@@ -461,6 +485,18 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 .ok_or(format!("parallel row without {key}"))?;
         }
     }
+    let mutation = doc
+        .get("mutation")
+        .and_then(Json::as_arr)
+        .ok_or("missing mutation array")?;
+    for m in mutation {
+        m.get("phase").and_then(Json::as_str).ok_or("mutation row without phase")?;
+        for key in ["batches", "mutations", "wall_secs", "wal_fsyncs", "wal_page_writes"] {
+            m.get(key)
+                .and_then(Json::as_num)
+                .ok_or(format!("mutation row without {key}"))?;
+        }
+    }
     let metrics = doc.get("metrics").ok_or("missing metrics object")?;
     for name in names::TRACKED {
         // Histograms flatten to `<name>_count` / `<name>_sum`.
@@ -509,6 +545,14 @@ mod tests {
             io_writes: 0,
             io_allocs: 40,
         });
+        report.mutation.push(MutationRow {
+            phase: "apply".into(),
+            batches: 10,
+            mutations: 237,
+            wall_secs: 0.01,
+            wal_fsyncs: 10,
+            wal_page_writes: 12,
+        });
         report
     }
 
@@ -537,13 +581,18 @@ mod tests {
         let text = sample_report().to_json();
         assert!(validate_bench_json(&text[..text.len() / 2]).is_err());
         // Wrong schema version.
-        let wrong = text.replace("\"schema_version\": 2", "\"schema_version\": 99");
+        let wrong = text.replace("\"schema_version\": 3", "\"schema_version\": 99");
         assert!(validate_bench_json(&wrong).is_err());
         // A v1 document (no parallel section) no longer validates.
         let v1 = text
-            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace("\"schema_version\": 3", "\"schema_version\": 1")
             .replace("\"parallel\"", "\"parallel_gone\"");
         assert!(validate_bench_json(&v1).is_err());
+        // A v2 document (no mutation section) no longer validates.
+        let v2 = text
+            .replace("\"schema_version\": 3", "\"schema_version\": 2")
+            .replace("\"mutation\"", "\"mutation_gone\"");
+        assert!(validate_bench_json(&v2).is_err());
         // A tracked metric missing entirely.
         let gone = text.replace(names::NET_REQUESTS, "netdir_not_a_metric");
         let err = validate_bench_json(&gone).unwrap_err();

@@ -9,6 +9,7 @@
 //! [`BenchReport`](crate::report::BenchReport) that `BENCH_*.json`
 //! persists.
 
+use crate::mutation;
 use crate::par::{self, SweepConfig};
 use crate::report::{BenchReport, QueryReport};
 use netdir_index::IndexedDirectory;
@@ -166,9 +167,15 @@ pub fn instrumented_suite_with(sweep: &SweepConfig) -> BenchReport {
     // into the same registry the report flattens.
     let parallel = par::degree_sweep(sweep, &registry);
 
+    // Write-path phase: apply a burst of mutation batches through a
+    // journal and replay its WAL, so the wal/mutation/epoch series
+    // carry real work.
+    let mutation = mutation::smoke_suite(&registry);
+
     let mut report = BenchReport::new("smoke", &registry);
     report.queries = queries;
     report.parallel = parallel;
+    report.mutation = mutation;
     report
 }
 
@@ -202,5 +209,10 @@ mod tests {
         // zero — but every operator output list allocates fresh pages.
         assert!(get("netdir_io_allocs_total") > 0);
         assert!(get("netdir_net_requests_total") > 0);
+        // The write-path phase logged and replayed real batches.
+        assert_eq!(report.mutation.len(), 2);
+        assert!(get("netdir_mutation_batches_total") > 0);
+        assert!(get("netdir_wal_fsyncs_total") > 0);
+        assert!(get("netdir_wal_replay_us_count") > 0);
     }
 }

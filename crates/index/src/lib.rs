@@ -27,11 +27,13 @@
 pub mod btree;
 pub mod directory_index;
 pub mod dn_table;
+pub mod live;
 pub mod suffix;
 pub mod trie;
 
 pub use btree::StaticBTree;
 pub use directory_index::IndexedDirectory;
 pub use dn_table::DnTable;
+pub use live::{LiveIntIndex, LiveSuffixIndex};
 pub use suffix::SuffixIndex;
 pub use trie::Trie;

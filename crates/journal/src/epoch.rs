@@ -1,0 +1,257 @@
+//! Epoch-based page reclamation: snapshot isolation without blocking.
+//!
+//! The copy-on-write entry list never overwrites a page a reader might
+//! still reach — a superseding write allocates fresh pages and *retires*
+//! the old ones. Retired pages stay readable until every reader that
+//! could have captured them drains:
+//!
+//! * Readers [`pin`](EpochRegistry::pin) the current epoch while they
+//!   hold a snapshot. The pin is a refcount keyed by epoch.
+//! * Writers retire superseded pages at the epoch current when they
+//!   replaced them, then [`advance`](EpochRegistry::advance) after
+//!   commit.
+//! * A retired page is reclaimed (moved to the free list, handed back
+//!   to the allocator) once no reader is pinned at or below its retire
+//!   epoch. With no readers at all, reclamation happens on the next
+//!   advance — bounded garbage, no background thread.
+
+use netdir_pager::PageId;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared epoch state. Cheap to clone via `Arc`.
+#[derive(Debug, Default)]
+pub struct EpochRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    current: u64,
+    /// epoch → number of readers pinned there.
+    pinned: BTreeMap<u64, usize>,
+    /// (retire epoch, page): readers pinned at or below the retire
+    /// epoch may still reach the page.
+    retired: Vec<(u64, PageId)>,
+    free: Vec<PageId>,
+    retired_total: u64,
+    reclaimed_total: u64,
+}
+
+/// A point-in-time census of the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochStats {
+    /// The writer's epoch.
+    pub current: u64,
+    /// Readers currently pinned.
+    pub pinned_readers: usize,
+    /// Oldest pinned epoch, if any.
+    pub min_pinned: Option<u64>,
+    /// Pages retired but not yet reclaimable.
+    pub retired_pending: usize,
+    /// Pages on the free list.
+    pub free_pages: usize,
+    /// Pages retired over the registry's lifetime.
+    pub retired_total: u64,
+    /// Pages reclaimed over the registry's lifetime.
+    pub reclaimed_total: u64,
+}
+
+impl EpochRegistry {
+    /// A fresh registry at epoch 0.
+    pub fn new() -> Arc<EpochRegistry> {
+        Arc::new(EpochRegistry::default())
+    }
+
+    /// The writer's current epoch.
+    pub fn current(&self) -> u64 {
+        self.lock().current
+    }
+
+    /// Pin the current epoch; the guard unpins on drop.
+    pub fn pin(self: &Arc<Self>) -> EpochGuard {
+        let epoch = {
+            let mut inner = self.lock();
+            let e = inner.current;
+            *inner.pinned.entry(e).or_insert(0) += 1;
+            e
+        };
+        EpochGuard {
+            registry: Arc::clone(self),
+            epoch,
+        }
+    }
+
+    /// Advance to a new epoch (a writer committed) and reclaim whatever
+    /// became unreachable. Returns the new epoch.
+    pub fn advance(&self) -> u64 {
+        let mut inner = self.lock();
+        inner.current += 1;
+        let now = inner.current;
+        Self::reclaim(&mut inner);
+        now
+    }
+
+    /// Retire pages superseded at the current epoch. They become free
+    /// once no reader is pinned at or below it.
+    pub fn retire(&self, pages: impl IntoIterator<Item = PageId>) {
+        let mut inner = self.lock();
+        let epoch = inner.current;
+        for p in pages {
+            inner.retired.push((epoch, p));
+            inner.retired_total += 1;
+        }
+    }
+
+    /// Take a reclaimed page for reuse, if any.
+    pub fn take_free(&self) -> Option<PageId> {
+        self.lock().free.pop()
+    }
+
+    /// Oldest epoch a reader still pins.
+    pub fn min_pinned(&self) -> Option<u64> {
+        self.lock().pinned.keys().next().copied()
+    }
+
+    /// How far the oldest reader trails the writer (0 when idle).
+    pub fn lag(&self) -> u64 {
+        let inner = self.lock();
+        let min = inner.pinned.keys().next().copied().unwrap_or(inner.current);
+        inner.current - min
+    }
+
+    /// Snapshot the registry's counters.
+    pub fn stats(&self) -> EpochStats {
+        let inner = self.lock();
+        EpochStats {
+            current: inner.current,
+            pinned_readers: inner.pinned.values().sum(),
+            min_pinned: inner.pinned.keys().next().copied(),
+            retired_pending: inner.retired.len(),
+            free_pages: inner.free.len(),
+            retired_total: inner.retired_total,
+            reclaimed_total: inner.reclaimed_total,
+        }
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let mut inner = self.lock();
+        if let Some(n) = inner.pinned.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                inner.pinned.remove(&epoch);
+            }
+        }
+        Self::reclaim(&mut inner);
+    }
+
+    /// A page retired at epoch `e` is reachable by readers pinned at
+    /// epochs ≤ `e` (their snapshot predates the replacement). It frees
+    /// once the horizon — the oldest pin, or the current epoch when
+    /// nobody is pinned — moves strictly past `e`.
+    fn reclaim(inner: &mut Inner) {
+        let horizon = inner
+            .pinned
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(inner.current);
+        let mut freed = 0u64;
+        let free = &mut inner.free;
+        inner.retired.retain(|&(e, p)| {
+            if e < horizon {
+                free.push(p);
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        inner.reclaimed_total += freed;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Keeps an epoch pinned; dropping it releases the pin and lets the
+/// registry reclaim pages the reader could have reached.
+#[derive(Debug)]
+pub struct EpochGuard {
+    registry: Arc<EpochRegistry>,
+    epoch: u64,
+}
+
+impl EpochGuard {
+    /// The epoch this guard pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochGuard {
+    fn drop(&mut self) {
+        self.registry.unpin(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_free_on_advance_when_unpinned() {
+        let reg = EpochRegistry::new();
+        reg.retire([1, 2]);
+        assert_eq!(reg.take_free(), None, "still reachable at current epoch");
+        reg.advance();
+        assert!(reg.take_free().is_some());
+        assert!(reg.take_free().is_some());
+        assert_eq!(reg.take_free(), None);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclaim() {
+        let reg = EpochRegistry::new();
+        let guard = reg.pin(); // pins epoch 0
+        reg.retire([7]);
+        reg.advance();
+        assert_eq!(reg.take_free(), None, "reader at epoch 0 may reach page 7");
+        assert_eq!(reg.lag(), 1);
+        drop(guard);
+        assert_eq!(reg.take_free(), Some(7));
+        assert_eq!(reg.lag(), 0);
+    }
+
+    #[test]
+    fn newer_readers_do_not_block_older_garbage() {
+        let reg = EpochRegistry::new();
+        reg.retire([1]);
+        reg.advance(); // epoch 1; page 1 now free
+        assert_eq!(reg.take_free(), Some(1));
+        let g1 = reg.pin(); // pins epoch 1
+        reg.retire([2]); // retired at epoch 1 — g1 can reach it
+        reg.advance(); // epoch 2
+        let _g2 = reg.pin(); // pins epoch 2
+        assert_eq!(reg.take_free(), None);
+        drop(g1);
+        // g2 (epoch 2) cannot reach page 2 (retired at 1): it frees.
+        assert_eq!(reg.take_free(), Some(2));
+    }
+
+    #[test]
+    fn stats_census() {
+        let reg = EpochRegistry::new();
+        let _g = reg.pin();
+        reg.retire([1, 2, 3]);
+        reg.advance();
+        let s = reg.stats();
+        assert_eq!(s.current, 1);
+        assert_eq!(s.pinned_readers, 1);
+        assert_eq!(s.min_pinned, Some(0));
+        assert_eq!(s.retired_pending, 3);
+        assert_eq!(s.retired_total, 3);
+        assert_eq!(s.reclaimed_total, 0);
+    }
+}

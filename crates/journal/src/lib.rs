@@ -1,0 +1,46 @@
+//! The live write path: DN-keyed mutations over a running directory.
+//!
+//! The paper evaluates queries over a *static* bulk-loaded directory; this
+//! crate adds the piece a deployed server needs — mutations that land
+//! while queries run — without giving up the two properties the rest of
+//! the workspace is built on:
+//!
+//! * **Sorted-by-reverse-DN storage.** Inserts splice into the paged
+//!   entry list at sort position with a page-local copy-on-write
+//!   split, never a global re-sort, so every query-side invariant
+//!   (contiguous subtrees, fence-guided scope scans) keeps holding.
+//! * **Exact page-transfer accounting.** The WAL flushes through the
+//!   same [`netdir_pager::Disk`] abstraction as everything else, so
+//!   durability costs are measured in the same ledger currency as
+//!   query I/O.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`mutation`] — [`Mutation`]/[`MutationBatch`], the unit of change,
+//!   convertible from RFC 2849 change records
+//!   ([`netdir_model::ldif::ChangeRecord`]).
+//! * [`wal`] — a checksummed, length-prefixed write-ahead log over raw
+//!   disk pages; recovery returns the committed prefix.
+//! * [`epoch`] — epoch-based reclamation: readers pin an epoch, writers
+//!   retire superseded pages, pages free when the last straggler drains.
+//! * [`live_list`] — the copy-on-write sorted entry list with fence
+//!   keys; exports immutable page-table snapshots.
+//! * [`indexes`] — incremental maintenance of the attribute indices
+//!   (tries, int B-trees, suffix indexes, presence) mirroring
+//!   `IndexedDirectory`'s probe semantics.
+//! * [`store`] — [`JournalStore`] ties it together: validate → WAL
+//!   append (durability point) → apply → advance epoch. Snapshots
+//!   implement [`netdir_query::eval::AtomicSource`] so a long
+//!   evaluation pins one consistent view while writers proceed.
+
+pub mod epoch;
+pub mod indexes;
+pub mod live_list;
+pub mod mutation;
+pub mod store;
+pub mod wal;
+
+pub use epoch::{EpochGuard, EpochRegistry, EpochStats};
+pub use mutation::{Mutation, MutationBatch};
+pub use store::{ApplyOutcome, JournalError, JournalStats, JournalStore, RecoveryReport, Snapshot};
+pub use wal::Wal;

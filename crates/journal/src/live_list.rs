@@ -1,0 +1,456 @@
+//! A copy-on-write paged entry list, sorted by reverse-DN key.
+//!
+//! The static pipeline bulk-loads entries into a [`PagedList`] once; this
+//! structure keeps the same on-page format *live*: an insert locates its
+//! page through fence keys, splices the record at sort position, and
+//! rewrites that one page (splitting into two when it overflows) onto
+//! **fresh** page ids. Old pages are never modified — they are retired
+//! through the [`EpochRegistry`] so concurrent snapshot readers keep a
+//! consistent view, and their ids return to the allocator once the last
+//! reader drains.
+//!
+//! Because page images are byte-compatible with [`ListWriter`]'s output,
+//! a snapshot of the page table *is* a [`PagedList`]: queries, parallel
+//! evaluation, and the I/O ledger all work unchanged on top of it.
+
+use crate::epoch::EpochRegistry;
+use netdir_model::Entry;
+use netdir_pager::record::{Record, LEN_PREFIX_BYTES};
+use netdir_pager::{PageId, PagedList, Pager, PagerError, PagerResult, PAGE_HEADER_BYTES};
+use std::sync::Arc;
+
+/// Metadata for one live page (contents live in the pager).
+#[derive(Debug, Clone)]
+struct LivePage {
+    id: PageId,
+    /// Sort key of the first record on the page.
+    fence: Vec<u8>,
+    count: u32,
+}
+
+/// The live, mutable, sorted entry list.
+pub struct LiveList {
+    pager: Pager,
+    epochs: Arc<EpochRegistry>,
+    pages: Vec<LivePage>,
+    len: u64,
+}
+
+fn entry_key(e: &Entry) -> Vec<u8> {
+    e.dn().sort_key().as_bytes().to_vec()
+}
+
+impl LiveList {
+    /// An empty list.
+    pub fn new(pager: &Pager, epochs: Arc<EpochRegistry>) -> LiveList {
+        LiveList {
+            pager: pager.clone(),
+            epochs,
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Bulk-load from already-sorted entries (the static build path).
+    pub fn bulk_load<'a>(
+        pager: &Pager,
+        epochs: Arc<EpochRegistry>,
+        entries: impl Iterator<Item = &'a Entry>,
+    ) -> PagerResult<LiveList> {
+        let mut list = LiveList::new(pager, epochs);
+        let payload = pager.payload_size();
+        let mut pending: Vec<Entry> = Vec::new();
+        let mut pending_bytes = 0usize;
+        for e in entries {
+            let sz = e.encoded_len() + LEN_PREFIX_BYTES;
+            if sz > payload {
+                return Err(PagerError::RecordTooLarge {
+                    record: sz - LEN_PREFIX_BYTES,
+                    payload: payload - LEN_PREFIX_BYTES,
+                });
+            }
+            if pending_bytes + sz > payload {
+                let page = list.write_page(&pending)?;
+                list.pages.push(page);
+                pending.clear();
+                pending_bytes = 0;
+            }
+            pending_bytes += sz;
+            pending.push(e.clone());
+        }
+        if !pending.is_empty() {
+            let page = list.write_page(&pending)?;
+            list.pages.push(page);
+        }
+        list.len = list.pages.iter().map(|p| u64::from(p.count)).sum();
+        Ok(list)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Insert an entry whose key is absent (callers validate).
+    pub fn insert(&mut self, entry: &Entry) -> PagerResult<()> {
+        let key = entry_key(entry);
+        if self.pages.is_empty() {
+            let page = self.write_page(std::slice::from_ref(entry))?;
+            self.pages.push(page);
+            self.len = 1;
+            return Ok(());
+        }
+        let p = self.locate(&key);
+        let mut recs = self.read_page(self.pages[p].id)?;
+        let pos = match recs.binary_search_by(|e| entry_key(e).cmp(&key)) {
+            Ok(_) => {
+                return Err(PagerError::CorruptRecord {
+                    detail: format!("insert of existing key for {}", entry.dn()),
+                })
+            }
+            Err(pos) => pos,
+        };
+        recs.insert(pos, entry.clone());
+        self.rewrite(p, &recs)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Replace the record with `entry`'s key (which must exist).
+    pub fn replace(&mut self, entry: &Entry) -> PagerResult<()> {
+        let key = entry_key(entry);
+        let p = self.locate_existing(&key)?;
+        let mut recs = self.read_page(self.pages[p].id)?;
+        let pos = recs
+            .binary_search_by(|e| entry_key(e).cmp(&key))
+            .map_err(|_| PagerError::CorruptRecord {
+                detail: format!("replace of missing key for {}", entry.dn()),
+            })?;
+        recs[pos] = entry.clone();
+        self.rewrite(p, &recs)
+    }
+
+    /// Remove the record with this key (which must exist).
+    pub fn remove(&mut self, key: &[u8]) -> PagerResult<()> {
+        let p = self.locate_existing(key)?;
+        let mut recs = self.read_page(self.pages[p].id)?;
+        let pos = recs
+            .binary_search_by(|e| entry_key(e).as_slice().cmp(key))
+            .map_err(|_| PagerError::CorruptRecord {
+                detail: "remove of missing key".into(),
+            })?;
+        recs.remove(pos);
+        if recs.is_empty() {
+            let old = self.pages.remove(p);
+            self.epochs.retire([old.id]);
+        } else {
+            self.rewrite(p, &recs)?;
+        }
+        self.len -= 1;
+        Ok(())
+    }
+
+    /// Fetch the entry with this key, if present (≤ 1 page read cold).
+    pub fn fetch(&self, key: &[u8]) -> PagerResult<Option<Entry>> {
+        if self.pages.is_empty() {
+            return Ok(None);
+        }
+        let p = self.locate(key);
+        let recs = self.read_page(self.pages[p].id)?;
+        Ok(recs.into_iter().find(|e| entry_key(e) == key))
+    }
+
+    /// Export the page table as an immutable [`PagedList`] plus fence
+    /// keys — the snapshot readers evaluate over. O(pages), no I/O.
+    pub fn snapshot(&self) -> (PagedList<Entry>, Vec<Vec<u8>>) {
+        let ids: Vec<PageId> = self.pages.iter().map(|p| p.id).collect();
+        let counts: Vec<u32> = self.pages.iter().map(|p| p.count).collect();
+        let fences = self.pages.iter().map(|p| p.fence.clone()).collect();
+        (PagedList::from_parts(&self.pager, ids, &counts), fences)
+    }
+
+    /// Index of the page that would hold `key`: the last page whose
+    /// fence is ≤ `key` (the first page if `key` precedes every fence).
+    fn locate(&self, key: &[u8]) -> usize {
+        match self
+            .pages
+            .binary_search_by(|p| p.fence[..].cmp(key))
+        {
+            Ok(p) => p,
+            Err(0) => 0,
+            Err(p) => p - 1,
+        }
+    }
+
+    fn locate_existing(&self, key: &[u8]) -> PagerResult<usize> {
+        if self.pages.is_empty() {
+            return Err(PagerError::CorruptRecord {
+                detail: "operation on empty live list".into(),
+            });
+        }
+        Ok(self.locate(key))
+    }
+
+    fn read_page(&self, id: PageId) -> PagerResult<Vec<Entry>> {
+        let guard = self.pager.pool().fetch(id)?;
+        guard.with(|data| {
+            let count = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+            let mut out = Vec::with_capacity(count);
+            let mut pos = PAGE_HEADER_BYTES;
+            for _ in 0..count {
+                let len =
+                    u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += LEN_PREFIX_BYTES;
+                out.push(Entry::decode(&data[pos..pos + len])?);
+                pos += len;
+            }
+            Ok(out)
+        })
+    }
+
+    /// Write `recs` (sorted, fitting one page) to a fresh page id and
+    /// return its metadata. Reuses reclaimed ids before allocating.
+    fn write_page(&self, recs: &[Entry]) -> PagerResult<LivePage> {
+        debug_assert!(!recs.is_empty());
+        let id = self
+            .epochs
+            .take_free()
+            .unwrap_or_else(|| self.pager.pool().allocate());
+        let mut body = Vec::with_capacity(self.pager.payload_size());
+        for e in recs {
+            let mut scratch = Vec::new();
+            e.encode(&mut scratch);
+            body.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+            body.extend_from_slice(&scratch);
+        }
+        if body.len() > self.pager.payload_size() {
+            return Err(PagerError::RecordTooLarge {
+                record: body.len(),
+                payload: self.pager.payload_size(),
+            });
+        }
+        let guard = self.pager.pool().fetch_zeroed(id)?;
+        guard.with_mut(|data| {
+            // A reclaimed id may still have its stale frame resident:
+            // overwrite the whole page, not just the prefix.
+            data.fill(0);
+            data[..4].copy_from_slice(&(recs.len() as u32).to_le_bytes());
+            data[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + body.len()].copy_from_slice(&body);
+        });
+        Ok(LivePage {
+            id,
+            fence: entry_key(&recs[0]),
+            count: recs.len() as u32,
+        })
+    }
+
+    /// Replace page `p` with the new record set, splitting when it no
+    /// longer fits. The old page id is retired, never overwritten.
+    fn rewrite(&mut self, p: usize, recs: &[Entry]) -> PagerResult<()> {
+        let payload = self.pager.payload_size();
+        let sizes: Vec<usize> = recs
+            .iter()
+            .map(|e| e.encoded_len() + LEN_PREFIX_BYTES)
+            .collect();
+        if let Some(&big) = sizes.iter().find(|&&s| s > payload) {
+            return Err(PagerError::RecordTooLarge {
+                record: big - LEN_PREFIX_BYTES,
+                payload: payload - LEN_PREFIX_BYTES,
+            });
+        }
+        let total: usize = sizes.iter().sum();
+        let old = self.pages[p].id;
+        if total <= payload {
+            self.pages[p] = self.write_page(recs)?;
+        } else {
+            // Split: greedy-fill the left page; the remainder always
+            // fits (total ≤ old page content + one record ≤ 2·payload).
+            let mut split = 0;
+            let mut left_bytes = 0;
+            while left_bytes + sizes[split] <= payload {
+                left_bytes += sizes[split];
+                split += 1;
+            }
+            let left = self.write_page(&recs[..split])?;
+            let right = self.write_page(&recs[split..])?;
+            self.pages[p] = left;
+            self.pages.insert(p + 1, right);
+        }
+        self.epochs.retire([old]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_model::{Directory, Dn};
+    use netdir_pager::tiny_pager;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn person(i: usize) -> Entry {
+        Entry::builder(dn(&format!("uid=u{i:03}, ou=people, dc=com")))
+            .class("person")
+            .attr("surName", format!("name{i:03}"))
+            .build()
+            .unwrap()
+    }
+
+    fn sorted_dns(list: &LiveList) -> Vec<String> {
+        let (snap, _) = list.snapshot();
+        snap.to_vec()
+            .unwrap()
+            .iter()
+            .map(|e| e.dn().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn inserts_land_in_sort_order() {
+        let pager = tiny_pager();
+        let epochs = EpochRegistry::new();
+        let mut list = LiveList::new(&pager, epochs);
+        // Insert out of order.
+        for i in [5usize, 1, 9, 0, 7, 3, 8, 2, 6, 4] {
+            list.insert(&person(i)).unwrap();
+        }
+        assert_eq!(list.len(), 10);
+        let got = sorted_dns(&list);
+        let mut want: Vec<String> = (0..10)
+            .map(|i| format!("uid=u{i:03}, ou=people, dc=com"))
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert!(list.num_pages() > 1, "tiny pages must split");
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let pager = tiny_pager();
+        let mut d = Directory::new();
+        for i in 0..20 {
+            d.insert(person(i)).unwrap();
+        }
+        let bulk =
+            LiveList::bulk_load(&pager, EpochRegistry::new(), d.iter_sorted()).unwrap();
+        let mut inc = LiveList::new(&pager, EpochRegistry::new());
+        for i in (0..20).rev() {
+            inc.insert(&person(i)).unwrap();
+        }
+        assert_eq!(sorted_dns(&bulk), sorted_dns(&inc));
+    }
+
+    #[test]
+    fn remove_and_fetch() {
+        let pager = tiny_pager();
+        let mut list = LiveList::new(&pager, EpochRegistry::new());
+        for i in 0..8 {
+            list.insert(&person(i)).unwrap();
+        }
+        let key = person(3).dn().sort_key().as_bytes().to_vec();
+        assert!(list.fetch(&key).unwrap().is_some());
+        list.remove(&key).unwrap();
+        assert!(list.fetch(&key).unwrap().is_none());
+        assert_eq!(list.len(), 7);
+        // Double-remove errors.
+        assert!(list.remove(&key).is_err());
+    }
+
+    #[test]
+    fn replace_rewrites_in_place() {
+        let pager = tiny_pager();
+        let mut list = LiveList::new(&pager, EpochRegistry::new());
+        for i in 0..6 {
+            list.insert(&person(i)).unwrap();
+        }
+        let bigger = Entry::builder(dn("uid=u002, ou=people, dc=com"))
+            .class("person")
+            .attr("surName", "renamed")
+            .attr("note", "x".repeat(60))
+            .build()
+            .unwrap();
+        list.replace(&bigger).unwrap();
+        let key = bigger.dn().sort_key().as_bytes().to_vec();
+        let got = list.fetch(&key).unwrap().unwrap();
+        assert_eq!(got.first_str(&"note".into()), Some("x".repeat(60)).as_deref());
+        assert_eq!(list.len(), 6);
+    }
+
+    #[test]
+    fn cow_preserves_snapshots_across_mutations() {
+        let pager = tiny_pager();
+        let epochs = EpochRegistry::new();
+        let mut list = LiveList::new(&pager, Arc::clone(&epochs));
+        for i in 0..10 {
+            list.insert(&person(i)).unwrap();
+        }
+        let guard = epochs.pin();
+        let (snap, _) = list.snapshot();
+        let before = sorted_dns(&list);
+        // Mutate heavily: snapshot pages are retired but pinned.
+        for i in 10..30 {
+            list.insert(&person(i)).unwrap();
+            epochs.advance();
+        }
+        for i in 0..5 {
+            list.remove(person(i).dn().sort_key().as_bytes()).unwrap();
+            epochs.advance();
+        }
+        let after: Vec<String> = snap
+            .to_vec()
+            .unwrap()
+            .iter()
+            .map(|e| e.dn().to_string())
+            .collect();
+        assert_eq!(after, before, "pinned snapshot changed under mutation");
+        drop(guard);
+        epochs.advance();
+        assert!(
+            epochs.stats().free_pages > 0,
+            "dropping the reader frees superseded pages"
+        );
+    }
+
+    #[test]
+    fn reclaimed_pages_are_reused() {
+        let pager = tiny_pager();
+        let epochs = EpochRegistry::new();
+        let mut list = LiveList::new(&pager, Arc::clone(&epochs));
+        for i in 0..12 {
+            list.insert(&person(i)).unwrap();
+            epochs.advance();
+        }
+        let allocated_before = pager.io().allocs;
+        // With no pinned readers, every rewrite frees its old page, so
+        // continued churn stabilizes allocation.
+        for round in 0..5 {
+            for i in 0..12 {
+                let key = person(i).dn().sort_key().as_bytes().to_vec();
+                list.remove(&key).unwrap();
+                epochs.advance();
+                list.insert(&person(i)).unwrap();
+                epochs.advance();
+                let _ = round;
+            }
+        }
+        let allocated_after = pager.io().allocs;
+        assert!(
+            allocated_after - allocated_before <= 4,
+            "churn leaked pages: {} new allocations",
+            allocated_after - allocated_before
+        );
+    }
+}

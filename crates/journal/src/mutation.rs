@@ -1,0 +1,343 @@
+//! Mutations: the unit of change submitted to the journal.
+//!
+//! A [`MutationBatch`] is applied atomically — either every mutation in
+//! it lands (and is durably logged first), or none does. Batches encode
+//! with the same hand-rolled codec as on-page records, so a batch *is*
+//! the WAL payload; replay decodes and re-applies it through the same
+//! code path as the original submission, which keeps entry-id assignment
+//! deterministic.
+
+use netdir_model::ldif::{Change, ChangeRecord};
+use netdir_model::{AttrName, Dn, Entry, Value};
+use netdir_pager::record::codec::{put_str, put_u32, Reader};
+use netdir_pager::record::Record;
+use netdir_pager::{PagerError, PagerResult};
+
+/// One change to one entry, keyed by DN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Insert a new entry (its DN must not exist).
+    Add(Entry),
+    /// Edit an existing entry's attribute pairs.
+    Modify {
+        /// Target entry.
+        dn: Dn,
+        /// Pairs to add.
+        add: Vec<(AttrName, Value)>,
+        /// Exact pairs to remove.
+        remove: Vec<(AttrName, Value)>,
+        /// Attributes to remove wholesale (every value).
+        remove_attrs: Vec<AttrName>,
+    },
+    /// Remove the entry with this DN (descendants stay; the model is a
+    /// forest).
+    Delete(Dn),
+}
+
+impl Mutation {
+    /// The DN this mutation targets.
+    pub fn dn(&self) -> &Dn {
+        match self {
+            Mutation::Add(e) => e.dn(),
+            Mutation::Modify { dn, .. } => dn,
+            Mutation::Delete(dn) => dn,
+        }
+    }
+}
+
+/// An ordered, atomically-applied sequence of mutations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MutationBatch {
+    muts: Vec<Mutation>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> MutationBatch {
+        MutationBatch::default()
+    }
+
+    /// Wrap a list of mutations.
+    pub fn from_mutations(muts: Vec<Mutation>) -> MutationBatch {
+        MutationBatch { muts }
+    }
+
+    /// Build from parsed LDIF change records.
+    pub fn from_changes(recs: Vec<ChangeRecord>) -> MutationBatch {
+        let muts = recs
+            .into_iter()
+            .map(|r| match r.change {
+                Change::Add(e) => Mutation::Add(e),
+                Change::Modify {
+                    add,
+                    remove,
+                    remove_attrs,
+                } => Mutation::Modify {
+                    dn: r.dn,
+                    add,
+                    remove,
+                    remove_attrs,
+                },
+                Change::Delete => Mutation::Delete(r.dn),
+            })
+            .collect();
+        MutationBatch { muts }
+    }
+
+    /// Parse an LDIF change document (RFC 2849) into a batch.
+    pub fn from_ldif(text: &str) -> netdir_model::ModelResult<MutationBatch> {
+        Ok(MutationBatch::from_changes(
+            netdir_model::ldif::changes_from_ldif(text)?,
+        ))
+    }
+
+    /// Append a mutation.
+    pub fn push(&mut self, m: Mutation) {
+        self.muts.push(m);
+    }
+
+    /// The mutations, in application order.
+    pub fn mutations(&self) -> &[Mutation] {
+        &self.muts
+    }
+
+    /// Number of mutations.
+    pub fn len(&self) -> usize {
+        self.muts.len()
+    }
+
+    /// True iff the batch holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.muts.is_empty()
+    }
+}
+
+const TAG_ADD: u8 = 0;
+const TAG_MODIFY: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Dn(d) => {
+            out.push(2);
+            put_str(out, &d.to_string());
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> PagerResult<Value> {
+    match r.get_u8()? {
+        0 => Ok(Value::Str(r.get_str()?.to_string())),
+        1 => Ok(Value::Int(r.get_i64()?)),
+        2 => Ok(Value::Dn(parse_dn(r.get_str()?)?)),
+        t => Err(PagerError::CorruptRecord {
+            detail: format!("unknown value tag {t}"),
+        }),
+    }
+}
+
+fn parse_dn(s: &str) -> PagerResult<Dn> {
+    Dn::parse(s).map_err(|e| PagerError::CorruptRecord {
+        detail: format!("bad DN in mutation: {e}"),
+    })
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(AttrName, Value)]) {
+    put_u32(out, pairs.len() as u32);
+    for (a, v) in pairs {
+        put_str(out, a.as_str());
+        put_value(out, v);
+    }
+}
+
+fn get_pairs(r: &mut Reader<'_>) -> PagerResult<Vec<(AttrName, Value)>> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let a: AttrName = r.get_str()?.into();
+        let v = get_value(r)?;
+        out.push((a, v));
+    }
+    Ok(out)
+}
+
+impl Record for Mutation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Mutation::Add(e) => {
+                // Entry::encode is not self-delimiting inside a longer
+                // stream, so Add frames its entry with a length prefix.
+                out.push(TAG_ADD);
+                let mut body = Vec::new();
+                e.encode(&mut body);
+                put_u32(out, body.len() as u32);
+                out.extend_from_slice(&body);
+            }
+            Mutation::Modify {
+                dn,
+                add,
+                remove,
+                remove_attrs,
+            } => {
+                out.push(TAG_MODIFY);
+                put_str(out, &dn.to_string());
+                put_pairs(out, add);
+                put_pairs(out, remove);
+                put_u32(out, remove_attrs.len() as u32);
+                for a in remove_attrs {
+                    put_str(out, a.as_str());
+                }
+            }
+            Mutation::Delete(dn) => {
+                out.push(TAG_DELETE);
+                put_str(out, &dn.to_string());
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> PagerResult<Mutation> {
+        let mut r = Reader::new(bytes);
+        let m = decode_one(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(PagerError::CorruptRecord {
+                detail: format!("{} trailing bytes after mutation", r.remaining()),
+            });
+        }
+        Ok(m)
+    }
+}
+
+fn decode_one(r: &mut Reader<'_>) -> PagerResult<Mutation> {
+    match r.get_u8()? {
+        TAG_ADD => {
+            // Entries are length-delimited within the batch framing.
+            let body = r.get_bytes()?;
+            Ok(Mutation::Add(Entry::decode(body)?))
+        }
+        TAG_MODIFY => {
+            let dn = parse_dn(r.get_str()?)?;
+            let add = get_pairs(r)?;
+            let remove = get_pairs(r)?;
+            let n = r.get_u32()? as usize;
+            let mut remove_attrs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                remove_attrs.push(r.get_str()?.into());
+            }
+            Ok(Mutation::Modify {
+                dn,
+                add,
+                remove,
+                remove_attrs,
+            })
+        }
+        TAG_DELETE => Ok(Mutation::Delete(parse_dn(r.get_str()?)?)),
+        t => Err(PagerError::CorruptRecord {
+            detail: format!("unknown mutation tag {t}"),
+        }),
+    }
+}
+
+impl Record for MutationBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.muts.len() as u32);
+        for m in &self.muts {
+            m.encode(out);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> PagerResult<MutationBatch> {
+        let mut r = Reader::new(bytes);
+        let n = r.get_u32()? as usize;
+        let mut muts = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            muts.push(decode_one(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(PagerError::CorruptRecord {
+                detail: format!("{} trailing bytes after batch", r.remaining()),
+            });
+        }
+        Ok(MutationBatch { muts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_pager::record::Record;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn sample_batch() -> MutationBatch {
+        let e = Entry::builder(dn("uid=jag, dc=att, dc=com"))
+            .class("person")
+            .attr("surName", "jagadish")
+            .attr("priority", 7i64)
+            .attr("manager", Value::Dn(dn("uid=boss, dc=att, dc=com")))
+            .build()
+            .unwrap();
+        MutationBatch::from_mutations(vec![
+            Mutation::Add(e),
+            Mutation::Modify {
+                dn: dn("uid=jag, dc=att, dc=com"),
+                add: vec![("title".into(), Value::Str("researcher".into()))],
+                remove: vec![("priority".into(), Value::Int(7))],
+                remove_attrs: vec!["manager".into()],
+            },
+            Mutation::Delete(dn("uid=jag, dc=att, dc=com")),
+        ])
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let b = sample_batch();
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        let back = MutationBatch::decode(&buf).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let b = sample_batch();
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        buf.push(0xff);
+        assert!(MutationBatch::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let b = sample_batch();
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        for cut in 1..buf.len() {
+            assert!(
+                MutationBatch::decode(&buf[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn from_ldif_feeds_batches() {
+        let text = "dn: uid=x, dc=com\nobjectClass: thing\nuid: x\n\n\
+                    dn: uid=x, dc=com\nchangetype: modify\nadd: note\nnote: hi\n-\n\n\
+                    dn: uid=x, dc=com\nchangetype: delete\n";
+        let b = MutationBatch::from_ldif(text).unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(matches!(b.mutations()[0], Mutation::Add(_)));
+        assert!(matches!(b.mutations()[1], Mutation::Modify { .. }));
+        assert!(matches!(b.mutations()[2], Mutation::Delete(_)));
+    }
+}

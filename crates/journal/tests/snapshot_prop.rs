@@ -1,0 +1,222 @@
+//! Snapshot isolation under concurrency and under random histories.
+//!
+//! The contract: a pinned snapshot is an immutable view of one epoch —
+//! later writes never leak into it, batches are all-or-nothing from any
+//! reader's perspective, and the whole query stack (sequential and
+//! parallel evaluation) answers from the pinned pages alone.
+
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_journal::{JournalStore, Mutation, MutationBatch};
+use netdir_model::{Directory, Dn, Entry};
+use netdir_pager::Pager;
+use netdir_query::{parse_query, Evaluator};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn dn(s: &str) -> Dn {
+    Dn::parse(s).unwrap()
+}
+
+fn seed() -> Directory {
+    let mut d = Directory::new();
+    for s in ["dc=com", "dc=att, dc=com", "ou=people, dc=att, dc=com"] {
+        d.insert(Entry::builder(dn(s)).class("container").build().unwrap())
+            .unwrap();
+    }
+    d
+}
+
+const SEED_LEN: u64 = 3;
+
+/// Batch `i` adds the pair `a{i}`/`b{i}` — two mutations that must be
+/// visible together or not at all.
+fn pair_batch(i: usize) -> MutationBatch {
+    let person = |side: char| {
+        Entry::builder(dn(&format!("uid={side}{i:03}, ou=people, dc=att, dc=com")))
+            .class("person")
+            .attr("surName", format!("{side}{i:03}"))
+            .build()
+            .unwrap()
+    };
+    MutationBatch::from_mutations(vec![
+        Mutation::Add(person('a')),
+        Mutation::Add(person('b')),
+    ])
+}
+
+#[test]
+fn concurrent_readers_never_see_torn_batches() {
+    const BATCHES: usize = 60;
+    let pager = Pager::new(1024, 128);
+    let store = JournalStore::create(&pager, seed()).unwrap();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..BATCHES {
+                store.apply(&pair_batch(i)).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..3 {
+            s.spawn(|| {
+                let mut last_epoch = 0;
+                while !done.load(Ordering::Acquire) {
+                    let snap = store.snapshot();
+                    let entries = snap.to_vec().unwrap();
+                    // Batches are atomic: a-side and b-side arrive
+                    // together, so the count past the seed is even...
+                    let grown = entries.len() as u64 - SEED_LEN;
+                    assert_eq!(grown % 2, 0, "torn batch visible");
+                    // ...and pairwise: a{i} visible iff b{i} visible.
+                    let names: BTreeSet<String> = entries
+                        .iter()
+                        .filter_map(|e| e.dn().to_string().strip_prefix("uid=").map(
+                            |rest| rest.split(',').next().unwrap_or("").to_string(),
+                        ))
+                        .collect();
+                    for i in 0..BATCHES {
+                        assert_eq!(
+                            names.contains(&format!("a{i:03}")),
+                            names.contains(&format!("b{i:03}")),
+                            "pair {i} split across the snapshot"
+                        );
+                    }
+                    // Epochs move forward for every reader.
+                    assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                    last_epoch = snap.epoch();
+                    // The view is frozen: rereading under continued
+                    // writes returns the same bytes.
+                    assert_eq!(entries, snap.to_vec().unwrap());
+                }
+            });
+        }
+    });
+    assert_eq!(store.len(), SEED_LEN + 2 * BATCHES as u64);
+}
+
+#[test]
+fn pinned_snapshot_answers_queries_from_its_own_epoch() {
+    let pager = Pager::new(1024, 128);
+    let store = JournalStore::create(&pager, seed()).unwrap();
+    for i in 0..10 {
+        store.apply(&pair_batch(i)).unwrap();
+    }
+    let snap = store.snapshot();
+    let frozen = snap.to_vec().unwrap();
+
+    // Keep mutating after the pin — including deletes of entries the
+    // snapshot can see.
+    for i in 10..20 {
+        store.apply(&pair_batch(i)).unwrap();
+    }
+    store
+        .apply(&MutationBatch::from_mutations(
+            (0..5)
+                .map(|i| Mutation::Delete(dn(&format!("uid=a{i:03}, ou=people, dc=att, dc=com"))))
+                .collect(),
+        ))
+        .unwrap();
+
+    // The raw view is untouched.
+    assert_eq!(snap.to_vec().unwrap(), frozen);
+
+    // The full evaluator stack over the snapshot sees the pinned epoch:
+    // all 10 a-side entries, none of the later ones, deletes invisible.
+    let scratch = Pager::new(1024, 64);
+    let ev = Evaluator::new(&snap, &scratch);
+    let q = parse_query("(ou=people, dc=att, dc=com ? sub ? surName=a*)").unwrap();
+    let sequential = ev.evaluate(&q).unwrap().to_vec().unwrap();
+    assert_eq!(sequential.len(), 10);
+    for degree in [2, 4] {
+        let parallel = ev.evaluate_parallel(&q, degree).unwrap().to_vec().unwrap();
+        assert_eq!(sequential, parallel, "degree {degree} diverged");
+    }
+
+    // Direct scope selection agrees with the frozen view too.
+    let selected = snap
+        .select_scope(&dn("ou=people, dc=att, dc=com"), Scope::Sub, |e| {
+            AtomicFilter::present("surName").matches(e)
+        })
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    assert_eq!(selected.len(), 20, "10 pairs pinned at the snapshot epoch");
+
+    // Meanwhile the store itself moved on.
+    assert_eq!(store.len(), SEED_LEN + 2 * 20 - 5);
+}
+
+/// Replay a history spec into valid batches: each step toggles one of
+/// 24 slots (absent → Add, present → Delete), chunked into batches.
+fn history_batches(steps: &[u8], chunk: usize) -> (Vec<MutationBatch>, Vec<BTreeSet<u8>>) {
+    let entry = |slot: u8| {
+        Entry::builder(dn(&format!("uid=p{slot:02}, ou=people, dc=att, dc=com")))
+            .class("person")
+            .attr("surName", format!("p{slot:02}"))
+            .build()
+            .unwrap()
+    };
+    let mut live: BTreeSet<u8> = BTreeSet::new();
+    let mut batches = Vec::new();
+    let mut after_each = Vec::new();
+    for chunk_steps in steps.chunks(chunk.max(1)) {
+        let mut muts = Vec::new();
+        for &raw in chunk_steps {
+            let slot = raw % 24;
+            if live.remove(&slot) {
+                muts.push(Mutation::Delete(entry(slot).dn().clone()));
+            } else {
+                live.insert(slot);
+                muts.push(Mutation::Add(entry(slot)));
+            }
+        }
+        batches.push(MutationBatch::from_mutations(muts));
+        after_each.push(live.clone());
+    }
+    (batches, after_each)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshots taken after each batch of a random history keep their
+    /// exact contents even as the rest of the history lands; the final
+    /// state matches the model.
+    #[test]
+    fn snapshots_pin_random_histories(
+        steps in proptest::collection::vec(0u8..48, 1..40),
+        chunk in 1usize..6,
+    ) {
+        let pager = Pager::new(1024, 256);
+        let store = JournalStore::create(&pager, seed()).unwrap();
+        let (batches, after_each) = history_batches(&steps, chunk);
+
+        let mut pinned = Vec::new();
+        for (i, batch) in batches.iter().enumerate() {
+            let outcome = store.apply(batch).unwrap();
+            prop_assert_eq!(outcome.epoch, (i + 1) as u64);
+            pinned.push((store.snapshot(), &after_each[i]));
+        }
+
+        // Every pinned snapshot still shows exactly its epoch's state.
+        for (i, (snap, expected)) in pinned.iter().enumerate() {
+            let got: BTreeSet<u8> = snap
+                .to_vec()
+                .unwrap()
+                .iter()
+                .filter_map(|e| {
+                    let s = e.dn().to_string();
+                    s.strip_prefix("uid=p")?.get(..2)?.parse().ok()
+                })
+                .collect();
+            prop_assert_eq!(&got, *expected, "snapshot {} drifted", i);
+            prop_assert_eq!(snap.len(), SEED_LEN + expected.len() as u64);
+        }
+
+        // The live store agrees with the model's final state.
+        let last = after_each.last().unwrap();
+        prop_assert_eq!(store.len(), SEED_LEN + last.len() as u64);
+    }
+}

@@ -29,6 +29,7 @@
 //!   The writer encodes such values automatically, so *every* string
 //!   value round-trips through export→import unchanged.
 
+use crate::attr::AttrName;
 use crate::directory::Directory;
 use crate::dn::Dn;
 use crate::entry::Entry;
@@ -204,67 +205,87 @@ fn decode_base64_value(line: &str, payload: &str) -> ModelResult<String> {
     })
 }
 
+/// One parsed LDIF logical line: `attr: value`, `attr:: base64`,
+/// `attr:i int`, or `attr:dn dn`.
+struct AttrLine<'a> {
+    attr: &'a str,
+    /// Whether the value travelled base64-encoded.
+    base64: bool,
+    /// Everything after the (first) colon, base64 marker stripped.
+    rest: &'a str,
+}
+
+/// Split one logical line at its first colon.
+fn split_attr_line(line: &str) -> ModelResult<AttrLine<'_>> {
+    let Some(colon) = line.find(':') else {
+        return Err(ModelError::DnParse {
+            input: line.to_string(),
+            detail: "LDIF line has no ':'".into(),
+        });
+    };
+    let attr = line[..colon].trim();
+    let rest = &line[colon + 1..];
+    let (base64, rest) = match rest.strip_prefix(':') {
+        Some(payload) => (true, payload),
+        None => (false, rest),
+    };
+    Ok(AttrLine { attr, base64, rest })
+}
+
+/// Decode the value half of a split line into a typed [`Value`].
+fn parse_value(line: &str, split: &AttrLine) -> ModelResult<Value> {
+    if split.base64 {
+        return Ok(Value::Str(decode_base64_value(line, split.rest)?));
+    }
+    let (tag, value_s) = if let Some(v) = split.rest.strip_prefix("dn ") {
+        ("dn", v)
+    } else if let Some(v) = split.rest.strip_prefix("i ") {
+        ("i", v)
+    } else {
+        ("", split.rest)
+    };
+    let value_s = value_s.trim();
+    match tag {
+        "i" => Ok(Value::Int(value_s.parse().map_err(|_| ModelError::DnParse {
+            input: line.to_string(),
+            detail: format!("{value_s:?} is not an integer"),
+        })?)),
+        "dn" => Ok(Value::Dn(Dn::parse(value_s)?)),
+        _ => Ok(Value::Str(value_s.to_string())),
+    }
+}
+
+/// Parse a `dn:`/`dn::` line's value.
+fn parse_dn_line(line: &str, split: &AttrLine) -> ModelResult<Dn> {
+    let text = if split.base64 {
+        decode_base64_value(line, split.rest)?
+    } else {
+        split.rest.trim().to_string()
+    };
+    Dn::parse(&text)
+}
+
 /// Parse one typed-LDIF entry block (no blank lines inside).
 pub fn entry_from_ldif(block: &str) -> ModelResult<Entry> {
-    let mut dn: Option<Dn> = None;
     let mut builder: Option<crate::entry::EntryBuilder> = None;
     for line in unfold(block) {
         let line = line.as_str();
         if line.trim().is_empty() || line.starts_with('#') {
             continue;
         }
-        let Some(colon) = line.find(':') else {
-            return Err(ModelError::DnParse {
-                input: line.to_string(),
-                detail: "LDIF line has no ':'".into(),
-            });
-        };
-        let attr = line[..colon].trim();
-        let rest = &line[colon + 1..];
-        // `attr:: payload` marks a base64-encoded string value.
-        let (base64, rest) = match rest.strip_prefix(':') {
-            Some(payload) => (true, payload),
-            None => (false, rest),
-        };
-        if dn.is_none() {
-            if !attr.eq_ignore_ascii_case("dn") {
+        let split = split_attr_line(line)?;
+        let Some(b) = builder.take() else {
+            if !split.attr.eq_ignore_ascii_case("dn") {
                 return Err(ModelError::DnParse {
                     input: line.to_string(),
                     detail: "LDIF entry must start with a dn: line".into(),
                 });
             }
-            let text = if base64 {
-                decode_base64_value(line, rest)?
-            } else {
-                rest.trim().to_string()
-            };
-            let parsed = Dn::parse(&text)?;
-            builder = Some(Entry::builder(parsed.clone()));
-            dn = Some(parsed);
+            builder = Some(Entry::builder(parse_dn_line(line, &split)?));
             continue;
-        }
-        let b = builder.take().expect("builder exists after dn line");
-        let value = if base64 {
-            Value::Str(decode_base64_value(line, rest)?)
-        } else {
-            let (tag, value_s) = if let Some(v) = rest.strip_prefix("dn ") {
-                ("dn", v)
-            } else if let Some(v) = rest.strip_prefix("i ") {
-                ("i", v)
-            } else {
-                ("", rest)
-            };
-            let value_s = value_s.trim();
-            match tag {
-                "i" => Value::Int(value_s.parse().map_err(|_| ModelError::DnParse {
-                    input: line.to_string(),
-                    detail: format!("{value_s:?} is not an integer"),
-                })?),
-                "dn" => Value::Dn(Dn::parse(value_s)?),
-                _ => Value::Str(value_s.to_string()),
-            }
         };
-        builder = Some(b.attr(attr, value));
+        let value = parse_value(line, &split)?;
+        builder = Some(b.attr(split.attr, value));
     }
     let Some(builder) = builder else {
         return Err(ModelError::EmptyDn);
@@ -285,6 +306,225 @@ pub fn directory_from_ldif(text: &str) -> ModelResult<Directory> {
         dir.insert(entry_from_ldif(block)?)?;
     }
     Ok(dir)
+}
+
+/// The operation of one RFC 2849 *change record*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Change {
+    /// `changetype: add` — insert the entry.
+    Add(Entry),
+    /// `changetype: modify` — add/remove values on an existing entry.
+    Modify {
+        /// Pairs to add (`add: attr` sub-operations, and the value half
+        /// of `replace:`).
+        add: Vec<(AttrName, Value)>,
+        /// Specific pairs to remove (`delete: attr` with values).
+        remove: Vec<(AttrName, Value)>,
+        /// Attributes to strip entirely (`delete: attr` without values,
+        /// and the clearing half of `replace:`).
+        remove_attrs: Vec<AttrName>,
+    },
+    /// `changetype: delete` — remove the entry (descendants stay; the
+    /// model is a forest).
+    Delete,
+}
+
+/// One change record: a target DN plus the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// The entry the change applies to.
+    pub dn: Dn,
+    /// What to do to it.
+    pub change: Change,
+}
+
+fn bad_line(line: &str, detail: impl Into<String>) -> ModelError {
+    ModelError::DnParse {
+        input: line.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Parse one change-record block: a `dn:` line, a `changetype:` line,
+/// then the operation body. A block *without* a `changetype:` line is an
+/// RFC 2849 content record and parses as an implicit `add` — so a plain
+/// directory LDIF feeds a mutation batch directly.
+pub fn change_from_ldif(block: &str) -> ModelResult<ChangeRecord> {
+    let lines: Vec<String> = unfold(block)
+        .into_iter()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .collect();
+    let Some(dn_line) = lines.first() else {
+        return Err(ModelError::EmptyDn);
+    };
+    let dn_split = split_attr_line(dn_line)?;
+    if !dn_split.attr.eq_ignore_ascii_case("dn") {
+        return Err(bad_line(dn_line, "change record must start with a dn: line"));
+    }
+    let dn = parse_dn_line(dn_line, &dn_split)?;
+
+    let changetype = lines.get(1).and_then(|l| {
+        let s = split_attr_line(l).ok()?;
+        s.attr
+            .eq_ignore_ascii_case("changetype")
+            .then(|| (s.rest.trim().to_ascii_lowercase(), 2usize))
+    });
+    let (kind, body_start) = match changetype {
+        Some((kind, start)) => (kind, start),
+        // Content record: every line after the dn is an attribute.
+        None => ("add".to_string(), 1),
+    };
+
+    let change = match kind.as_str() {
+        "add" => {
+            let mut builder = Entry::builder(dn.clone());
+            for line in &lines[body_start..] {
+                let split = split_attr_line(line)?;
+                let value = parse_value(line, &split)?;
+                builder = builder.attr(split.attr, value);
+            }
+            Change::Add(builder.build()?)
+        }
+        "delete" => {
+            if lines.len() > body_start {
+                return Err(bad_line(
+                    &lines[body_start],
+                    "changetype: delete takes no body",
+                ));
+            }
+            Change::Delete
+        }
+        "modify" => {
+            let mut add = Vec::new();
+            let mut remove = Vec::new();
+            let mut remove_attrs = Vec::new();
+            let mut i = body_start;
+            while i < lines.len() {
+                let op_line = &lines[i];
+                let op = split_attr_line(op_line)?;
+                let target = AttrName::new(op.rest.trim());
+                // Collect this sub-operation's value lines up to the
+                // next `-` separator.
+                let mut values = Vec::new();
+                i += 1;
+                while i < lines.len() && lines[i].trim() != "-" {
+                    let line = &lines[i];
+                    let split = split_attr_line(line)?;
+                    if !AttrName::new(split.attr).eq(&target) {
+                        return Err(bad_line(
+                            line,
+                            format!("value line for {:?} inside a {} of {:?}",
+                                split.attr, op.attr, target.as_str()),
+                        ));
+                    }
+                    values.push(parse_value(line, &split)?);
+                    i += 1;
+                }
+                i += 1; // skip the `-`
+                match op.attr.to_ascii_lowercase().as_str() {
+                    "add" => {
+                        if values.is_empty() {
+                            return Err(bad_line(op_line, "add: wants at least one value"));
+                        }
+                        add.extend(values.into_iter().map(|v| (target.clone(), v)));
+                    }
+                    "delete" => {
+                        if values.is_empty() {
+                            remove_attrs.push(target);
+                        } else {
+                            remove.extend(values.into_iter().map(|v| (target.clone(), v)));
+                        }
+                    }
+                    "replace" => {
+                        remove_attrs.push(target.clone());
+                        add.extend(values.into_iter().map(|v| (target.clone(), v)));
+                    }
+                    other => {
+                        return Err(bad_line(
+                            op_line,
+                            format!("unknown modify sub-operation {other:?}"),
+                        ));
+                    }
+                }
+            }
+            Change::Modify { add, remove, remove_attrs }
+        }
+        other => {
+            return Err(bad_line(
+                &lines[1],
+                format!("unknown changetype {other:?}"),
+            ));
+        }
+    };
+    Ok(ChangeRecord { dn, change })
+}
+
+/// Parse a whole change-record document (blank-line-separated blocks).
+pub fn changes_from_ldif(text: &str) -> ModelResult<Vec<ChangeRecord>> {
+    let mut out = Vec::new();
+    for block in text.split("\n\n") {
+        let meaningful = block
+            .lines()
+            .any(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+        if !meaningful {
+            continue;
+        }
+        out.push(change_from_ldif(block)?);
+    }
+    Ok(out)
+}
+
+/// Render one typed value line (`attr: v`, `attr:i v`, `attr:dn v`, or
+/// base64) into `out`.
+fn push_value_line(out: &mut String, attr: &str, v: &Value) {
+    match v {
+        Value::Str(s) => push_str_line(out, attr, s),
+        Value::Int(i) => push_folded(out, &format!("{attr}:i {i}")),
+        Value::Dn(d) => push_folded(out, &format!("{attr}:dn {d}")),
+    }
+}
+
+/// Serialize one change record.
+pub fn change_to_ldif(rec: &ChangeRecord) -> String {
+    let mut out = String::new();
+    push_str_line(&mut out, "dn", &rec.dn.to_string());
+    match &rec.change {
+        Change::Add(entry) => {
+            push_folded(&mut out, "changetype: add");
+            for (a, v) in entry.pairs() {
+                push_value_line(&mut out, &a.to_string(), v);
+            }
+        }
+        Change::Delete => push_folded(&mut out, "changetype: delete"),
+        Change::Modify { add, remove, remove_attrs } => {
+            push_folded(&mut out, "changetype: modify");
+            for a in remove_attrs {
+                push_folded(&mut out, &format!("delete: {a}"));
+                push_folded(&mut out, "-");
+            }
+            for (a, v) in remove {
+                push_folded(&mut out, &format!("delete: {a}"));
+                push_value_line(&mut out, &a.to_string(), v);
+                push_folded(&mut out, "-");
+            }
+            for (a, v) in add {
+                push_folded(&mut out, &format!("add: {a}"));
+                push_value_line(&mut out, &a.to_string(), v);
+                push_folded(&mut out, "-");
+            }
+        }
+    }
+    out
+}
+
+/// Serialize a change-record document.
+pub fn changes_to_ldif(recs: &[ChangeRecord]) -> String {
+    let mut out = String::new();
+    for r in recs {
+        out.push_str(&change_to_ldif(r));
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -420,6 +660,110 @@ mod tests {
         assert!(text.lines().any(|l| l.starts_with(' ')), "nothing folded");
         let back = entry_from_ldif(&text).unwrap();
         assert_eq!(back.pairs(), e.pairs());
+    }
+
+    #[test]
+    fn change_records_parse() {
+        let text = "\
+dn: uid=new, dc=com
+changetype: add
+objectClass: person
+priority:i 3
+
+dn: uid=old, dc=com
+changetype: delete
+
+dn: uid=mod, dc=com
+changetype: modify
+add: description
+description: fresh
+-
+delete: description
+description: stale
+-
+delete: obsolete
+-
+replace: priority
+priority:i 9
+-
+";
+        let changes = changes_from_ldif(text).unwrap();
+        assert_eq!(changes.len(), 3);
+        let Change::Add(e) = &changes[0].change else {
+            panic!("expected add")
+        };
+        assert_eq!(e.first_int(&"priority".into()), Some(3));
+        assert_eq!(changes[1].change, Change::Delete);
+        assert_eq!(changes[1].dn.to_string(), "uid=old, dc=com");
+        let Change::Modify { add, remove, remove_attrs } = &changes[2].change else {
+            panic!("expected modify")
+        };
+        assert_eq!(add.len(), 2, "add: plus replace's value half");
+        assert_eq!(remove, &[("description".into(), Value::str("stale"))]);
+        assert_eq!(remove_attrs.len(), 2, "valueless delete plus replace");
+    }
+
+    #[test]
+    fn content_records_are_implicit_adds() {
+        let text = "dn: dc=com\nobjectClass: dcObject\n";
+        let changes = changes_from_ldif(text).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(changes[0].change, Change::Add(_)));
+    }
+
+    #[test]
+    fn change_records_roundtrip() {
+        let recs = vec![
+            ChangeRecord {
+                dn: Dn::parse("uid=a, dc=com").unwrap(),
+                change: Change::Add(
+                    Entry::builder(Dn::parse("uid=a, dc=com").unwrap())
+                        .class("person")
+                        .attr("priority", 7i64)
+                        .attr("ref", Dn::parse("dc=com").unwrap())
+                        .build()
+                        .unwrap(),
+                ),
+            },
+            ChangeRecord {
+                dn: Dn::parse("uid=b, dc=com").unwrap(),
+                change: Change::Modify {
+                    add: vec![("cn".into(), Value::str("x y"))],
+                    remove: vec![("cn".into(), Value::str(" tricky "))],
+                    remove_attrs: vec!["stale".into()],
+                },
+            },
+            ChangeRecord {
+                dn: Dn::parse("uid=c, dc=com").unwrap(),
+                change: Change::Delete,
+            },
+        ];
+        let text = changes_to_ldif(&recs);
+        let back = changes_from_ldif(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn malformed_change_records_are_rejected() {
+        // Unknown changetype.
+        assert!(changes_from_ldif("dn: dc=com\nchangetype: rename\n").is_err());
+        // Body after a delete.
+        assert!(changes_from_ldif("dn: dc=com\nchangetype: delete\nx: y\n").is_err());
+        // Modify value line for the wrong attribute.
+        assert!(changes_from_ldif(
+            "dn: dc=com\nchangetype: modify\nadd: cn\nsn: nope\n-\n"
+        )
+        .is_err());
+        // add: with no values.
+        assert!(changes_from_ldif(
+            "dn: dc=com\nchangetype: modify\nadd: cn\n-\n"
+        )
+        .is_err());
+        // Unknown sub-operation.
+        assert!(changes_from_ldif(
+            "dn: dc=com\nchangetype: modify\nincrement: cn\ncn: v\n-\n"
+        )
+        .is_err());
     }
 
     #[test]

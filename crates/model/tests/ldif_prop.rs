@@ -3,8 +3,11 @@
 //! (newlines, leading/trailing spaces, colons, non-ASCII, lines past
 //! the 76-column fold).
 
-use netdir_model::ldif::{directory_from_ldif, directory_to_ldif, entry_from_ldif, entry_to_ldif};
-use netdir_model::{Directory, Dn, Entry};
+use netdir_model::ldif::{
+    changes_from_ldif, changes_to_ldif, directory_from_ldif, directory_to_ldif,
+    entry_from_ldif, entry_to_ldif, Change, ChangeRecord,
+};
+use netdir_model::{Directory, Dn, Entry, Value};
 use proptest::prelude::*;
 
 /// String values chosen to stress every special case in the format:
@@ -36,6 +39,51 @@ fn arb_adversarial_value() -> impl Strategy<Value = String> {
 
 fn arb_attr_name() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9]{0,11}"
+}
+
+/// Typed values for change records: adversarial strings, integers, DNs.
+fn arb_typed_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_adversarial_value().prop_map(Value::Str),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        Just(Value::Dn(Dn::parse("ou=ref, dc=com").unwrap())),
+    ]
+}
+
+/// One arbitrary change record over a small fixed DN pool.
+fn arb_change_record() -> impl Strategy<Value = ChangeRecord> {
+    let dn = prop_oneof![
+        Just("uid=x, dc=com"),
+        Just("cn=a b, ou=people, dc=att, dc=com"),
+        Just("dc=org"),
+    ]
+    .prop_map(|s| Dn::parse(s).unwrap());
+    let adds = proptest::collection::vec((arb_attr_name(), arb_typed_value()), 0..4);
+    let removes = proptest::collection::vec((arb_attr_name(), arb_typed_value()), 0..4);
+    let names = proptest::collection::vec(arb_attr_name(), 0..3);
+    (dn, adds, removes, names, 0..3u8).prop_map(
+        |(dn, add, remove, names, kind)| {
+            let change = match kind {
+                0 => {
+                    let mut b = Entry::builder(dn.clone()).class("thing");
+                    for (a, v) in add {
+                        b = b.attr(a.as_str(), v);
+                    }
+                    Change::Add(b.build().unwrap())
+                }
+                1 => Change::Modify {
+                    add: add.into_iter().map(|(a, v)| (a.as_str().into(), v)).collect(),
+                    remove: remove
+                        .into_iter()
+                        .map(|(a, v)| (a.as_str().into(), v))
+                        .collect(),
+                    remove_attrs: names.into_iter().map(|n| n.as_str().into()).collect(),
+                },
+                _ => Change::Delete,
+            };
+            ChangeRecord { dn, change }
+        },
+    )
 }
 
 proptest! {
@@ -95,5 +143,19 @@ proptest! {
             prop_assert_eq!(x.dn(), y.dn());
             prop_assert_eq!(x.pairs(), y.pairs());
         }
+    }
+
+    /// Change-record documents (add / modify / delete, typed and
+    /// adversarial values) survive export→import exactly.
+    #[test]
+    fn change_records_roundtrip(
+        recs in proptest::collection::vec(arb_change_record(), 1..6),
+    ) {
+        let text = changes_to_ldif(&recs);
+        for line in text.lines() {
+            prop_assert!(line.len() <= 76, "unfolded line {line:?}");
+        }
+        let back = changes_from_ldif(&text).unwrap();
+        prop_assert_eq!(back, recs, "change records mangled in transit");
     }
 }

@@ -59,6 +59,24 @@ pub const PAR_READY_WIDTH: &str = "netdir_par_ready_width";
 /// `ParReport`.
 pub const PAR_WORKER_PAGES: &str = "netdir_par_worker_pages";
 
+/// WAL durability barriers (one per committed batch). From `JournalStats`.
+pub const WAL_FSYNCS: &str = "netdir_wal_fsyncs_total";
+/// Pages written through the WAL's disk. From `JournalStats`.
+pub const WAL_PAGE_WRITES: &str = "netdir_wal_page_writes_total";
+/// WAL replay latency on reopen, microseconds, histogram. From
+/// `RecoveryReport`.
+pub const WAL_REPLAY_US: &str = "netdir_wal_replay_us";
+/// Mutation batches durably applied. From `JournalStats`.
+pub const MUTATION_BATCHES: &str = "netdir_mutation_batches_total";
+/// Individual mutations applied. From `JournalStats`.
+pub const MUTATIONS_APPLIED: &str = "netdir_mutations_applied_total";
+/// Epochs the oldest pinned reader trails the writer, gauge. From
+/// `EpochStats`.
+pub const EPOCH_LAG: &str = "netdir_epoch_lag";
+/// Copy-on-write pages reclaimed after the last reader drained. From
+/// `EpochStats`.
+pub const JOURNAL_PAGES_RECLAIMED: &str = "netdir_journal_pages_reclaimed_total";
+
 /// Queries evaluated end to end.
 pub const QUERIES: &str = "netdir_queries_total";
 /// End-to-end query latency histogram, microseconds.
@@ -93,6 +111,13 @@ pub const TRACKED: &[&str] = &[
     PAR_WORKERS_SPAWNED,
     PAR_READY_WIDTH,
     PAR_WORKER_PAGES,
+    WAL_FSYNCS,
+    WAL_PAGE_WRITES,
+    WAL_REPLAY_US,
+    MUTATION_BATCHES,
+    MUTATIONS_APPLIED,
+    EPOCH_LAG,
+    JOURNAL_PAGES_RECLAIMED,
     QUERIES,
     QUERY_DURATION_US,
     QUERY_PAGES,

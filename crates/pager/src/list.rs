@@ -78,6 +78,31 @@ impl<T: Record> PagedList<T> {
         w.finish()
     }
 
+    /// Assemble a list from an existing page table.
+    ///
+    /// `counts[i]` is the number of records on `pages[i]`; the pages must
+    /// already hold records in the on-page format [`ListWriter`] produces
+    /// (count header, then length-prefixed records). This is how a
+    /// copy-on-write store exposes a point-in-time page table as an
+    /// ordinary list without rewriting a single page: the page table is
+    /// metadata, so the export costs no I/O.
+    pub fn from_parts(pager: &Pager, pages: Vec<PageId>, counts: &[u32]) -> Self {
+        debug_assert_eq!(pages.len(), counts.len());
+        let mut cum = Vec::with_capacity(counts.len());
+        let mut total = 0u64;
+        for &c in counts {
+            total += u64::from(c);
+            cum.push(total);
+        }
+        PagedList {
+            pager: pager.clone(),
+            pages: Arc::new(pages),
+            cum_counts: Arc::new(cum),
+            len: total,
+            _marker: PhantomData,
+        }
+    }
+
     /// Number of records.
     pub fn len(&self) -> u64 {
         self.len

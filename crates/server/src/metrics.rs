@@ -28,8 +28,12 @@ pub fn register_all(reg: &MetricsRegistry) {
             names::QUERY_DURATION_US
             | names::QUERY_PAGES
             | names::PAR_READY_WIDTH
-            | names::PAR_WORKER_PAGES => {
+            | names::PAR_WORKER_PAGES
+            | names::WAL_REPLAY_US => {
                 reg.histogram(name);
+            }
+            names::EPOCH_LAG => {
+                reg.gauge(name);
             }
             _ => {
                 reg.counter(name);

@@ -25,7 +25,14 @@
 //!
 //! With `--stats`, the daemon's metrics print in Prometheus exposition
 //! format.
+//!
+//! With `--apply FILE`, FILE is parsed as an LDIF change document
+//! (RFC 2849 `changetype` records; plain entry records mean add) and
+//! submitted as one atomic mutation batch: either every change lands
+//! durably on the daemon, or none does and the rejection prints.
+//! `--apply -` reads the changes from stdin.
 
+use netdir_journal::MutationBatch;
 use netdir_model::ldif::entry_to_ldif;
 use netdir_obs::TimeDisplay;
 use netdir_wire::{ClientOptions, WireClient};
@@ -36,6 +43,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: ndquery ADDR [--home NAME] [--partial | --analyze] [--timeout-ms MS] QUERY\n\
+         \x20      ndquery ADDR --apply FILE   (LDIF changes; - for stdin)\n\
          \x20      ndquery ADDR --ping | --stats | --shutdown"
     );
     exit(2)
@@ -50,6 +58,7 @@ fn main() {
     let mut partial = false;
     let mut analyze = false;
     let mut stats = false;
+    let mut apply: Option<String> = None;
     let mut opts = ClientOptions::default();
 
     let mut args = std::env::args().skip(1);
@@ -71,6 +80,7 @@ fn main() {
             "--partial" => partial = true,
             "--analyze" => analyze = true,
             "--stats" => stats = true,
+            "--apply" => apply = Some(value("--apply")),
             "--help" | "-h" => usage(),
             other if addr.is_none() => addr = Some(other.to_string()),
             other if query.is_none() => query = Some(other.to_string()),
@@ -114,6 +124,47 @@ fn main() {
     if stats {
         match client.stats() {
             Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("ndquery: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+
+    if let Some(path) = apply {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            use std::io::Read;
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("ndquery: cannot read stdin: {e}");
+                exit(1)
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("ndquery: cannot read {path}: {e}");
+                    exit(1)
+                }
+            }
+        };
+        let batch = match MutationBatch::from_ldif(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ndquery: bad LDIF changes: {e}");
+                exit(1)
+            }
+        };
+        if batch.is_empty() {
+            eprintln!("ndquery: no changes in input");
+            exit(1)
+        }
+        match client.apply(&batch) {
+            Ok((epoch, mutations)) => {
+                println!("applied {mutations} mutations; directory at epoch {epoch}");
+            }
             Err(e) => {
                 eprintln!("ndquery: {e}");
                 exit(1)

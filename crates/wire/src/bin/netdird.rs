@@ -17,6 +17,7 @@
 //! namespace is assumed. The daemon runs until killed or until a client
 //! sends a Shutdown frame (`ndquery ADDR --shutdown`).
 
+use netdir_journal::{JournalStore, MutationBatch};
 use netdir_model::{ldif, Directory, Dn};
 use netdir_obs::MetricsRegistry;
 use netdir_query::parse_query;
@@ -26,15 +27,30 @@ use netdir_wire::{
     encode_entries, ServerOptions, WireRequest, WireResponse, WireServer, WireService,
 };
 use std::process::exit;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Serve a whole in-process cluster behind one listener. The daemon
 /// presents itself as its first declared server: atomic and full
 /// queries are evaluated "as posed to" that server (or to `home` when a
 /// Query frame names one).
+///
+/// The read side (the cluster) is an immutable structure swapped
+/// wholesale behind a lock: queries clone the `Arc` and keep evaluating
+/// against their generation even while a mutation builds the next one.
+/// The write side is the journal — every `Mutate` frame validates and
+/// durably logs its batch there before the cluster is rebuilt from the
+/// updated directory mirror.
 struct ClusterService {
-    cluster: Cluster,
+    cluster: RwLock<Arc<Cluster>>,
+    /// The live write path: WAL, mirror, incremental indexes.
+    journal: JournalStore,
+    /// Cluster shape, kept to rebuild after a mutation:
+    /// (name, context DN, is_secondary).
+    contexts: Vec<(String, Dn, bool)>,
+    eval_threads: usize,
+    /// Where the WAL image persists between runs, if anywhere.
+    wal_path: Option<String>,
     /// Daemon-wide metrics, served by `Stats` frames.
     metrics: MetricsRegistry,
 }
@@ -44,21 +60,23 @@ impl WireService for ClusterService {
         match req {
             WireRequest::Ping | WireRequest::Shutdown => WireResponse::Pong,
             WireRequest::Atomic { base, scope, filter } => {
+                let cluster = self.cluster();
                 let pager = netdir_pager::default_pager();
-                match self.cluster.router().atomic(0, &pager, &base, scope, &filter) {
+                match cluster.router().atomic(0, &pager, &base, scope, &filter) {
                     Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
                     Err(e) => WireResponse::Error(e.to_string()),
                 }
             }
             WireRequest::Ldap { base, scope, filter } => {
-                let Some(group) = self.cluster.delegation().owner_group_of(&base) else {
+                let cluster = self.cluster();
+                let Some(group) = cluster.delegation().owner_group_of(&base) else {
                     return WireResponse::Error(format!("no server manages {base}"));
                 };
-                let Some(&owner) = group.iter().find(|&&id| !self.cluster.is_down(id))
+                let Some(&owner) = group.iter().find(|&&id| !cluster.is_down(id))
                 else {
                     return WireResponse::Error(format!("no live server for {base}"));
                 };
-                match self.cluster.node(owner).ldap(&base, scope, &filter) {
+                match cluster.node(owner).ldap(&base, scope, &filter) {
                     Ok(entries) => WireResponse::Entries(encode_entries(&entries)),
                     Err(e) => WireResponse::Error(e),
                 }
@@ -71,17 +89,63 @@ impl WireService for ClusterService {
             }
             WireRequest::QueryAnalyze { home, text } => self.analyzed(home, text),
             WireRequest::Stats => self.stats(),
+            WireRequest::Mutate { batch } => self.mutate(batch),
         }
     }
 }
 
 impl ClusterService {
+    /// The current read-side generation.
+    fn cluster(&self) -> Arc<Cluster> {
+        self.cluster
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// The server a frame with an empty `home` is posed to.
-    fn default_home(&self, home: String) -> String {
+    fn default_home(&self, cluster: &Cluster, home: String) -> String {
         if home.is_empty() {
-            self.cluster.node(0).config.name.clone()
+            cluster.node(0).config.name.clone()
         } else {
             home
+        }
+    }
+
+    /// Apply one batch: journal first (validate → WAL → apply →
+    /// publish), then rebuild the read-side cluster from the updated
+    /// mirror and swap it in. In-flight queries finish on the old
+    /// generation; the next query sees the mutation.
+    fn mutate(&self, batch: MutationBatch) -> WireResponse {
+        let outcome = match self.journal.apply(&batch) {
+            Ok(o) => o,
+            Err(e) => return WireResponse::Error(e.to_string()),
+        };
+        if let Some(path) = &self.wal_path {
+            match self.journal.wal_bytes() {
+                Ok(bytes) => {
+                    if let Err(e) = std::fs::write(path, bytes) {
+                        eprintln!("netdird: warning: cannot persist WAL to {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("netdird: warning: cannot snapshot WAL: {e}"),
+            }
+        }
+        let rebuilt = self.journal.with_directory(|dir| {
+            let mut b = ClusterBuilder::new().eval_threads(self.eval_threads);
+            for (name, dn, secondary) in &self.contexts {
+                b = if *secondary {
+                    b.secondary(name.clone(), dn.clone())
+                } else {
+                    b.server(name.clone(), dn.clone())
+                };
+            }
+            b.build(dir)
+        });
+        *self.cluster.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(rebuilt);
+        WireResponse::Mutated {
+            epoch: outcome.epoch,
+            mutations: outcome.mutations as u32,
         }
     }
 
@@ -97,14 +161,15 @@ impl ClusterService {
     /// nothing skipped answer as plain `Entries`, so a healthy daemon's
     /// responses are identical in both modes.
     fn distributed(&self, home: String, text: String, mode: ConsistencyMode) -> WireResponse {
-        let home = self.default_home(home);
+        let cluster = self.cluster();
+        let home = self.default_home(&cluster, home);
         let query = match parse_query(&text) {
             Ok(q) => q,
             Err(e) => return WireResponse::Error(format!("bad query: {e}")),
         };
         let pager = netdir_pager::default_pager();
         let started = std::time::Instant::now();
-        match self.cluster.query_from_with(&home, &pager, &query, mode) {
+        match cluster.query_from_with(&home, &pager, &query, mode) {
             Ok(outcome) => {
                 let elapsed =
                     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -124,15 +189,14 @@ impl ClusterService {
 
     /// Full strict query plus its per-operator trace.
     fn analyzed(&self, home: String, text: String) -> WireResponse {
-        let home = self.default_home(home);
+        let cluster = self.cluster();
+        let home = self.default_home(&cluster, home);
         let query = match parse_query(&text) {
             Ok(q) => q,
             Err(e) => return WireResponse::Error(format!("bad query: {e}")),
         };
         let pager = netdir_pager::default_pager();
-        match self
-            .cluster
-            .query_analyzed_from(&home, &pager, &query, ConsistencyMode::Strict)
+        match cluster.query_analyzed_from(&home, &pager, &query, ConsistencyMode::Strict)
         {
             Ok((outcome, trace)) => {
                 self.observe_query(&pager, trace.elapsed_nanos);
@@ -148,23 +212,27 @@ impl ClusterService {
     /// Refresh the registry from every subsystem and render the
     /// Prometheus exposition.
     fn stats(&self) -> WireResponse {
-        let router = self.cluster.router();
+        let cluster = self.cluster();
+        let router = cluster.router();
         bridge::sync_net(&self.metrics, router.net().snapshot());
         bridge::sync_retry(&self.metrics, router.retry_stats().snapshot());
         bridge::sync_health(&self.metrics, router.health().transitions());
+        self.journal.sync_metrics(&self.metrics);
         WireResponse::Stats(self.metrics.render_prometheus())
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: netdird --listen ADDR [--ldif FILE] [--context NAME=DN]... \\\n\
+        "usage: netdird --listen ADDR [--ldif FILE] [--wal FILE] [--context NAME=DN]... \\\n\
          \x20              [--secondary NAME=DN]... [--workers N] \\\n\
          \x20              [--eval-threads N] [--max-frame BYTES] [--timeout-ms MS]\n\
          \n\
          Serves the netdir frame protocol over TCP. With no --context, one\n\
          server named `root` owns the whole namespace. With no --ldif, an\n\
-         empty directory is served."
+         empty directory is served. With --wal, committed mutation batches\n\
+         persist to FILE and replay over the seed LDIF on the next start\n\
+         (keep the same --ldif across restarts)."
     );
     exit(2)
 }
@@ -186,6 +254,7 @@ fn parse_name_dn(spec: &str) -> (String, Dn) {
 fn main() {
     let mut listen: Option<String> = None;
     let mut ldif_path: Option<String> = None;
+    let mut wal_path: Option<String> = None;
     let mut contexts: Vec<(String, Dn, bool)> = Vec::new();
     let mut opts = ServerOptions::default();
     let mut eval_threads: usize = 1;
@@ -201,6 +270,7 @@ fn main() {
         match arg.as_str() {
             "--listen" => listen = Some(value("--listen")),
             "--ldif" => ldif_path = Some(value("--ldif")),
+            "--wal" => wal_path = Some(value("--wal")),
             "--context" => {
                 let (name, dn) = parse_name_dn(&value("--context"));
                 contexts.push((name, dn, false));
@@ -250,15 +320,59 @@ fn main() {
         }
     };
 
-    let mut builder = ClusterBuilder::new().eval_threads(eval_threads);
-    for (name, dn, secondary) in contexts {
-        builder = if secondary {
-            builder.secondary(name, dn)
-        } else {
-            builder.server(name, dn)
-        };
-    }
-    let cluster = builder.build(&dir);
+    // The journal owns the live state: seed it with the LDIF directory
+    // and, when a WAL file is present, replay its committed prefix over
+    // the seed before serving a single query.
+    let journal_pager = netdir_pager::default_pager();
+    let journal = match &wal_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("netdird: cannot read WAL {path}: {e}");
+                exit(1)
+            });
+            match JournalStore::open_from_wal_bytes(
+                &journal_pager,
+                dir,
+                &bytes,
+                journal_pager.page_size(),
+            ) {
+                Ok((store, report)) => {
+                    println!(
+                        "netdird: replayed {} batches ({} mutations) from {path} in {}us{}",
+                        report.batches,
+                        report.mutations,
+                        report.replay_us,
+                        if report.truncated_bytes > 0 {
+                            format!(" ({} torn bytes discarded)", report.truncated_bytes)
+                        } else {
+                            String::new()
+                        }
+                    );
+                    store
+                }
+                Err(e) => {
+                    eprintln!("netdird: bad WAL {path}: {e}");
+                    exit(1)
+                }
+            }
+        }
+        _ => JournalStore::create(&journal_pager, dir).unwrap_or_else(|e| {
+            eprintln!("netdird: cannot initialise journal: {e}");
+            exit(1)
+        }),
+    };
+
+    let cluster = journal.with_directory(|d| {
+        let mut builder = ClusterBuilder::new().eval_threads(eval_threads);
+        for (name, dn, secondary) in &contexts {
+            builder = if *secondary {
+                builder.secondary(name.clone(), dn.clone())
+            } else {
+                builder.server(name.clone(), dn.clone())
+            };
+        }
+        builder.build(d)
+    });
     let num_entries: usize = (0..cluster.num_servers())
         .map(|id| cluster.node(id).num_entries)
         .sum();
@@ -271,7 +385,14 @@ fn main() {
 
     let metrics = MetricsRegistry::default();
     bridge::register_all(&metrics);
-    let service = Arc::new(ClusterService { cluster, metrics });
+    let service = Arc::new(ClusterService {
+        cluster: RwLock::new(Arc::new(cluster)),
+        journal,
+        contexts,
+        eval_threads,
+        wal_path,
+        metrics,
+    });
     let mut server = match WireServer::bind(listen.as_str(), service, opts) {
         Ok(s) => s,
         Err(e) => {

@@ -10,6 +10,7 @@
 use crate::codec::{WireRequest, WireResponse};
 use crate::frame::{frame_len, read_frame, write_frame, DEFAULT_MAX_FRAME};
 use netdir_filter::{AtomicFilter, CompositeFilter, Scope};
+use netdir_journal::MutationBatch;
 use netdir_model::{Dn, Entry};
 use netdir_server::node::decode_entries;
 use netdir_server::{QueryOutcome, RetryPolicy, Retryable};
@@ -390,5 +391,36 @@ impl WireClient {
         let entries =
             decode_entries(&encoded).map_err(|e| WireError::Protocol(e.to_string()))?;
         Ok(QueryOutcome { entries, partial })
+    }
+
+    /// Apply a mutation batch atomically on the daemon. Returns the
+    /// journal epoch after the commit and the number of mutations
+    /// applied. A rejected batch (unknown DN, duplicate add, …) comes
+    /// back as [`WireError::Remote`] with nothing applied.
+    ///
+    /// Unlike queries, mutations are **never retried**: an I/O error
+    /// after the request was written leaves the commit status unknown,
+    /// and a blind redo could apply the batch twice. Each call uses a
+    /// fresh connection so a stale pooled socket cannot eat the request
+    /// either; on error, re-query and resubmit deliberately.
+    pub fn apply(&self, batch: &MutationBatch) -> WireResult<(u64, u32)> {
+        let req = WireRequest::Mutate {
+            batch: batch.clone(),
+        };
+        let payload = req.encode();
+        let mut conn = self.fresh_conn()?;
+        let resp_payload = self
+            .exchange(&mut conn, &payload)?
+            .ok_or_else(|| WireError::Io("server closed connection without answering".into()))?;
+        let resp = WireResponse::decode(&resp_payload)
+            .map_err(|e| WireError::Protocol(e.to_string()))?;
+        self.checkin(conn);
+        match resp {
+            WireResponse::Mutated { epoch, mutations } => Ok((epoch, mutations)),
+            WireResponse::Error(e) => Err(WireError::Remote(e)),
+            other => Err(WireError::Protocol(format!(
+                "expected mutated ack, got {other:?}"
+            ))),
+        }
     }
 }

@@ -206,6 +206,11 @@ impl WireService for NodeService {
             }
             WireRequest::QueryAnalyze { home, text } => self.analyzed(&home, &text),
             WireRequest::Stats => self.stats(),
+            // The loopback cluster's nodes are bulk-loaded read replicas;
+            // the single-daemon `netdird` owns the write path.
+            WireRequest::Mutate { .. } => {
+                WireResponse::Error("this node is read-only; mutate the primary daemon".into())
+            }
         }
     }
 }

@@ -24,9 +24,11 @@
 use bytes::Bytes;
 use netdir_filter::atomic::IntOp;
 use netdir_filter::{AtomicFilter, CompositeFilter, Scope, SubstringPattern};
+use netdir_journal::MutationBatch;
 use netdir_model::{AttrName, Dn};
 use netdir_obs::{OperatorSpan, QueryTrace};
 use netdir_pager::record::codec::{put_i64, put_str, put_u32, Reader};
+use netdir_pager::record::Record;
 use netdir_pager::{PagerError, PagerResult};
 use netdir_server::PartitionError;
 
@@ -87,6 +89,14 @@ pub enum WireRequest {
         /// Query text (parsed by `netdir_query::parse_query` remotely).
         text: String,
     },
+    /// Apply a mutation batch atomically against the receiving daemon's
+    /// journal. Another tag beyond the legacy range: read-only peers
+    /// answer "unknown request tag" rather than misparsing, and
+    /// read-only traffic stays byte-identical.
+    Mutate {
+        /// The batch, applied all-or-nothing.
+        batch: MutationBatch,
+    },
 }
 
 /// A response frame.
@@ -118,6 +128,14 @@ pub enum WireResponse {
         /// The `EXPLAIN ANALYZE` trace of the remote evaluation.
         trace: QueryTrace,
     },
+    /// A mutation batch committed. Only ever sent in answer to a
+    /// `Mutate` request.
+    Mutated {
+        /// The journal epoch after the commit.
+        epoch: u64,
+        /// Mutations applied (the batch length).
+        mutations: u32,
+    },
 }
 
 const REQ_PING: u8 = 0;
@@ -128,6 +146,7 @@ const REQ_SHUTDOWN: u8 = 4;
 const REQ_QUERY_PARTIAL: u8 = 5;
 const REQ_STATS: u8 = 6;
 const REQ_QUERY_ANALYZE: u8 = 7;
+const REQ_MUTATE: u8 = 8;
 
 const RESP_PONG: u8 = 0;
 const RESP_ENTRIES: u8 = 1;
@@ -135,6 +154,7 @@ const RESP_ERROR: u8 = 2;
 const RESP_PARTIAL: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_ANALYZED: u8 = 5;
+const RESP_MUTATED: u8 = 6;
 
 const AF_PRESENT: u8 = 0;
 const AF_EQ: u8 = 1;
@@ -493,6 +513,15 @@ impl WireRequest {
                 put_str(&mut out, home);
                 put_str(&mut out, text);
             }
+            WireRequest::Mutate { batch } => {
+                out.push(REQ_MUTATE);
+                // The batch's Record encoding, length-framed — the same
+                // bytes the journal logs to its WAL.
+                let mut body = Vec::new();
+                batch.encode(&mut body);
+                put_u32(&mut out, body.len() as u32);
+                out.extend_from_slice(&body);
+            }
         }
         Bytes::from(out)
     }
@@ -530,6 +559,10 @@ impl WireRequest {
                 let home = r.get_str()?.to_string();
                 let text = r.get_str()?.to_string();
                 WireRequest::QueryAnalyze { home, text }
+            }
+            REQ_MUTATE => {
+                let batch = MutationBatch::decode(r.get_bytes()?)?;
+                WireRequest::Mutate { batch }
             }
             t => return Err(corrupt(format!("unknown request tag {t}"))),
         };
@@ -569,6 +602,11 @@ impl WireResponse {
                 put_encoded_entries(&mut out, entries);
                 put_trace(&mut out, trace);
             }
+            WireResponse::Mutated { epoch, mutations } => {
+                out.push(RESP_MUTATED);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, *mutations);
+            }
         }
         Bytes::from(out)
     }
@@ -594,6 +632,11 @@ impl WireResponse {
                 let entries = get_encoded_entries(&mut r)?;
                 let trace = get_trace(&mut r)?;
                 WireResponse::Analyzed { entries, trace }
+            }
+            RESP_MUTATED => {
+                let epoch = get_u64(&mut r)?;
+                let mutations = r.get_u32()?;
+                WireResponse::Mutated { epoch, mutations }
             }
             t => return Err(corrupt(format!("unknown response tag {t}"))),
         };
@@ -659,6 +702,36 @@ mod tests {
             )
             .unwrap(),
         });
+    }
+
+    #[test]
+    fn mutate_round_trips() {
+        use netdir_journal::{Mutation, MutationBatch};
+        let e = netdir_model::Entry::builder(dn("uid=new, dc=att, dc=com"))
+            .class("person")
+            .attr("surName", "fresh")
+            .attr("priority", 3i64)
+            .build()
+            .unwrap();
+        let batch = MutationBatch::from_mutations(vec![
+            Mutation::Add(e),
+            Mutation::Modify {
+                dn: dn("uid=new, dc=att, dc=com"),
+                add: vec![("title".into(), netdir_model::Value::Str("dr".into()))],
+                remove: vec![],
+                remove_attrs: vec!["priority".into()],
+            },
+            Mutation::Delete(dn("uid=old, dc=att, dc=com")),
+        ]);
+        round_trip_req(WireRequest::Mutate { batch });
+        round_trip_req(WireRequest::Mutate {
+            batch: MutationBatch::new(),
+        });
+        let resp = WireResponse::Mutated {
+            epoch: u64::MAX - 3,
+            mutations: 42,
+        };
+        assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]
@@ -784,6 +857,18 @@ mod tests {
         };
         assert_eq!(qa.encode()[0], 7);
         assert_eq!(WireResponse::Stats(String::new()).encode()[0], 4);
+        // The write path extends the range once more: Mutate/Mutated
+        // sit past every read-only tag, so a read-only conversation
+        // never produces them and an old peer rejects them cleanly.
+        let m = WireRequest::Mutate {
+            batch: netdir_journal::MutationBatch::new(),
+        };
+        assert_eq!(m.encode()[0], 8);
+        let md = WireResponse::Mutated {
+            epoch: 0,
+            mutations: 0,
+        };
+        assert_eq!(md.encode()[0], 6);
         // And the legacy Query payload is byte-identical to its
         // pre-observability encoding: tag, then home and text as
         // length-prefixed strings.
@@ -840,6 +925,25 @@ mod tests {
         put_u32(&mut resp, 0); // no entries
         put_str(&mut resp, "(q)");
         put_u32(&mut resp, 1000); // 1000 spans, none present
+        assert!(WireResponse::decode(&resp).is_err());
+        // A Mutate whose framed batch is garbage.
+        let mut req = Vec::new();
+        req.push(REQ_MUTATE);
+        put_u32(&mut req, 3);
+        req.extend_from_slice(&[0xff, 0xff, 0xff]);
+        assert!(WireRequest::decode(&req).is_err());
+        // A Mutate with bytes after the framed batch.
+        let mut req = WireRequest::Mutate {
+            batch: netdir_journal::MutationBatch::new(),
+        }
+        .encode()
+        .to_vec();
+        req.push(0);
+        assert!(WireRequest::decode(&req).is_err());
+        // A truncated Mutated response (epoch but no count).
+        let mut resp = Vec::new();
+        resp.push(RESP_MUTATED);
+        put_u64(&mut resp, 1);
         assert!(WireResponse::decode(&resp).is_err());
     }
 }

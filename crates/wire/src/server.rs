@@ -274,7 +274,26 @@ fn serve_conn(
                 shared.request_stop();
                 break;
             }
-            Ok(req) => service.handle(req),
+            // A service panic (poisoned lock, indexing slip in a query
+            // operator) must not take the worker thread down with it —
+            // that would shrink the pool permanently, one panic at a
+            // time. Contain it to an error response; the sibling
+            // handlers and other connections keep running.
+            Ok(req) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.handle(req)
+                })) {
+                    Ok(resp) => resp,
+                    Err(panic) => {
+                        let detail = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".into());
+                        WireResponse::Error(format!("internal error: {detail}"))
+                    }
+                }
+            }
             Err(e) => WireResponse::Error(format!("malformed request: {e}")),
         };
         write_frame(&mut conn, &resp.encode(), opts.max_frame)?;
@@ -422,6 +441,44 @@ mod tests {
             "shutdown blocked on an idle connection for {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn panicking_service_answers_error_and_keeps_serving() {
+        /// Panics on Stats, answers Ping — exercises panic containment.
+        struct Grenade;
+        impl WireService for Grenade {
+            fn handle(&self, req: WireRequest) -> WireResponse {
+                match req {
+                    WireRequest::Ping => WireResponse::Pong,
+                    _ => panic!("service blew up"),
+                }
+            }
+        }
+        let opts = ServerOptions {
+            workers: 2,
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind("127.0.0.1:0", Arc::new(Grenade), opts).unwrap();
+        let addr = srv.local_addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // The panic becomes an error response on the same connection...
+        match call(&mut conn, &WireRequest::Stats).unwrap() {
+            WireResponse::Error(e) => assert!(e.contains("service blew up"), "got: {e}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // ...and neither the connection nor the worker pool is lost:
+        // more panics than workers, then normal service, all succeed.
+        for _ in 0..4 {
+            assert!(matches!(
+                call(&mut conn, &WireRequest::Stats).unwrap(),
+                WireResponse::Error(_)
+            ));
+        }
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        let mut fresh = TcpStream::connect(addr).unwrap();
+        assert_eq!(call(&mut fresh, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        srv.shutdown();
     }
 
     #[test]

@@ -18,17 +18,25 @@
 #                                   concurrency hammer, and a degree
 #                                   sweep landing in target/
 #                                   BENCH_smoke.json (schema validated)
+#   scripts/check.sh --wal-smoke    gate + the write-path guards run
+#                                   explicitly: the crash-recovery
+#                                   torture suite (WAL truncated at
+#                                   every byte), the snapshot-isolation
+#                                   property suite, and the journal
+#                                   unit tests
 set -eu
 cd "$(dirname "$0")/.."
 
 chaos=0
 bench_smoke=0
 par_smoke=0
+wal_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --par-smoke) par_smoke=1 ;;
+    --wal-smoke) wal_smoke=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
   esac
 done
@@ -63,6 +71,14 @@ if [ "$par_smoke" = 1 ]; then
     --smoke --json target/BENCH_smoke.json
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
     --validate target/BENCH_smoke.json
+fi
+
+if [ "$wal_smoke" = 1 ]; then
+  echo "check.sh: running write-path guards"
+  cargo test -q -p netdir-journal
+  cargo test -q -p netdir-journal --test recovery_torture
+  cargo test -q -p netdir-journal --test snapshot_prop
+  cargo test -q -p netdir-bench mutation
 fi
 
 echo "check.sh: all green"
