@@ -18,7 +18,7 @@
 //! ```
 
 use netdir_bench::report::{validate_bench_json, ExperimentResult};
-use netdir_bench::{par, smoke};
+use netdir_bench::{load, par, smoke};
 use std::process::{exit, Command};
 use std::time::Instant;
 
@@ -118,7 +118,8 @@ fn main() {
     // Full runs record the full-sized degree sweep (degrees 1/2/4/8);
     // smoke keeps the seconds-scale one.
     let sweep = if smoke_only { par::smoke_config() } else { par::full_config() };
-    let mut report = smoke::instrumented_suite_with(&sweep);
+    let load_cfg = if smoke_only { load::smoke_config() } else { load::full_config() };
+    let mut report = smoke::instrumented_suite_with(&sweep, &load_cfg);
     report.mode = if smoke_only { "smoke" } else { "full" }.to_string();
     report.experiments = results;
     for q in &report.queries {
@@ -137,6 +138,22 @@ fn main() {
         println!(
             "{:>7}  batches={} mutations={} wall={:.4}s wal_fsyncs={} wal_page_writes={}",
             m.phase, m.batches, m.mutations, m.wall_secs, m.wal_fsyncs, m.wal_page_writes
+        );
+    }
+    for l in &report.load {
+        println!(
+            "{:>9}  clients={:<3} offered={:<4} completed={:<4} busy={:<4} deadline={} \
+             rps={:.0} p50={}us p99={}us p999={}us",
+            l.mode,
+            l.clients,
+            l.offered,
+            l.completed,
+            l.busy,
+            l.deadline,
+            l.throughput_rps,
+            l.p50_us,
+            l.p99_us,
+            l.p999_us
         );
     }
 

@@ -12,12 +12,14 @@
 //! * [`report`] — machine-readable `BENCH_*.json` emission/validation.
 //! * [`par`] — the parallel-evaluation degree sweep (speedup vs I/O).
 //! * [`mutation`] — the write-path suite (apply throughput, WAL replay).
+//! * [`load`] — the closed-loop overload sweep (admission vs unbounded).
 //! * [`smoke`] — the instrumented observability suite behind
 //!   `run_experiments --smoke`.
 
 use netdir_model::Entry;
 use netdir_pager::{IoSnapshot, ListWriter, PagedList, Pager, PagerResult};
 
+pub mod load;
 pub mod mutation;
 pub mod par;
 pub mod report;

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "mode": "smoke",
 //!   "experiments": [{"name": "exp_hs_linear", "status": "ok",
 //!                    "wall_time_secs": 1.2}],
@@ -18,6 +18,10 @@
 //!   "mutation": [{"phase": "apply", "batches": 10, "mutations": 237,
 //!                 "wall_secs": 0.01, "wal_fsyncs": 10,
 //!                 "wal_page_writes": 12}],
+//!   "load": [{"mode": "admission", "clients": 16, "offered": 320,
+//!             "completed": 120, "busy": 200, "deadline": 0, "errors": 0,
+//!             "wall_secs": 0.4, "throughput_rps": 300.0, "p50_us": 900,
+//!             "p99_us": 2400, "p999_us": 3100}],
 //!   "metrics": {"netdir_io_reads_total": 12, "...": 0}
 //! }
 //! ```
@@ -30,6 +34,7 @@
 //! JSON this module writes (no unicode escapes, no exponent-free giant
 //! numbers), which is all the validator needs.
 
+use crate::load::LoadRow;
 use crate::mutation::MutationRow;
 use crate::par::DegreeRow;
 use netdir_obs::{names, MetricsRegistry, QueryTrace};
@@ -89,14 +94,17 @@ pub struct BenchReport {
     pub parallel: Vec<DegreeRow>,
     /// Write-path suite rows (apply throughput, WAL replay).
     pub mutation: Vec<MutationRow>,
+    /// Closed-loop overload sweep rows (admission vs unbounded).
+    pub load: Vec<LoadRow>,
     /// Flattened metrics registry.
     pub metrics: Vec<(String, u64)>,
 }
 
 /// The only schema this writer emits (and the validator accepts).
 /// Version 2 added the `parallel` degree-sweep section; version 3
-/// added the `mutation` write-path section.
-pub const SCHEMA_VERSION: u64 = 3;
+/// added the `mutation` write-path section; version 4 added the `load`
+/// overload-sweep section.
+pub const SCHEMA_VERSION: u64 = 4;
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -134,6 +142,7 @@ impl BenchReport {
             queries: Vec::new(),
             parallel: Vec::new(),
             mutation: Vec::new(),
+            load: Vec::new(),
             metrics: registry.flatten(),
         }
     }
@@ -200,6 +209,29 @@ impl BenchReport {
                 num(m.wall_secs),
                 m.wal_fsyncs,
                 m.wal_page_writes,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"load\": [\n");
+        for (i, l) in self.load.iter().enumerate() {
+            let comma = if i + 1 < self.load.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"clients\": {}, \"offered\": {}, \
+                 \"completed\": {}, \"busy\": {}, \"deadline\": {}, \
+                 \"errors\": {}, \"wall_secs\": {}, \"throughput_rps\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}{comma}\n",
+                escape(&l.mode),
+                l.clients,
+                l.offered,
+                l.completed,
+                l.busy,
+                l.deadline,
+                l.errors,
+                num(l.wall_secs),
+                num(l.throughput_rps),
+                l.p50_us,
+                l.p99_us,
+                l.p999_us,
             ));
         }
         out.push_str("  ],\n");
@@ -497,6 +529,31 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 .ok_or(format!("mutation row without {key}"))?;
         }
     }
+    let load = doc
+        .get("load")
+        .and_then(Json::as_arr)
+        .ok_or("missing load array")?;
+    for l in load {
+        l.get("mode")
+            .and_then(Json::as_str)
+            .filter(|m| *m == "unbounded" || *m == "admission")
+            .ok_or("load row mode must be \"unbounded\" or \"admission\"")?;
+        for key in [
+            "clients",
+            "offered",
+            "completed",
+            "busy",
+            "deadline",
+            "errors",
+            "wall_secs",
+            "throughput_rps",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+        ] {
+            l.get(key).and_then(Json::as_num).ok_or(format!("load row without {key}"))?;
+        }
+    }
     let metrics = doc.get("metrics").ok_or("missing metrics object")?;
     for name in names::TRACKED {
         // Histograms flatten to `<name>_count` / `<name>_sum`.
@@ -553,6 +610,20 @@ mod tests {
             wal_fsyncs: 10,
             wal_page_writes: 12,
         });
+        report.load.push(LoadRow {
+            mode: "admission".into(),
+            clients: 16,
+            offered: 320,
+            completed: 120,
+            busy: 200,
+            deadline: 0,
+            errors: 0,
+            wall_secs: 0.4,
+            throughput_rps: 300.0,
+            p50_us: 900,
+            p99_us: 2_400,
+            p999_us: 3_100,
+        });
         report
     }
 
@@ -581,18 +652,26 @@ mod tests {
         let text = sample_report().to_json();
         assert!(validate_bench_json(&text[..text.len() / 2]).is_err());
         // Wrong schema version.
-        let wrong = text.replace("\"schema_version\": 3", "\"schema_version\": 99");
+        let wrong = text.replace("\"schema_version\": 4", "\"schema_version\": 99");
         assert!(validate_bench_json(&wrong).is_err());
         // A v1 document (no parallel section) no longer validates.
         let v1 = text
-            .replace("\"schema_version\": 3", "\"schema_version\": 1")
+            .replace("\"schema_version\": 4", "\"schema_version\": 1")
             .replace("\"parallel\"", "\"parallel_gone\"");
         assert!(validate_bench_json(&v1).is_err());
         // A v2 document (no mutation section) no longer validates.
         let v2 = text
-            .replace("\"schema_version\": 3", "\"schema_version\": 2")
+            .replace("\"schema_version\": 4", "\"schema_version\": 2")
             .replace("\"mutation\"", "\"mutation_gone\"");
         assert!(validate_bench_json(&v2).is_err());
+        // A v3 document (no load section) no longer validates.
+        let v3 = text
+            .replace("\"schema_version\": 4", "\"schema_version\": 3")
+            .replace("\"load\"", "\"load_gone\"");
+        assert!(validate_bench_json(&v3).is_err());
+        // A load row with a bogus mode is rejected.
+        let bad_mode = text.replace("\"mode\": \"admission\"", "\"mode\": \"yolo\"");
+        assert!(validate_bench_json(&bad_mode).is_err());
         // A tracked metric missing entirely.
         let gone = text.replace(names::NET_REQUESTS, "netdir_not_a_metric");
         let err = validate_bench_json(&gone).unwrap_err();

@@ -9,6 +9,7 @@
 //! [`BenchReport`](crate::report::BenchReport) that `BENCH_*.json`
 //! persists.
 
+use crate::load::{self, LoadConfig};
 use crate::mutation;
 use crate::par::{self, SweepConfig};
 use crate::report::{BenchReport, QueryReport};
@@ -100,12 +101,13 @@ fn level_queries() -> Vec<(&'static str, &'static str)> {
 /// Panics on any failure — a benchmark that cannot run its own smoke
 /// suite should fail loudly, not emit a hollow report.
 pub fn instrumented_suite() -> BenchReport {
-    instrumented_suite_with(&par::smoke_config())
+    instrumented_suite_with(&par::smoke_config(), &load::smoke_config())
 }
 
-/// [`instrumented_suite`] with an explicit degree-sweep configuration
-/// (the full run swaps in [`par::full_config`]).
-pub fn instrumented_suite_with(sweep: &SweepConfig) -> BenchReport {
+/// [`instrumented_suite`] with explicit degree-sweep and overload-sweep
+/// configurations (the full run swaps in [`par::full_config`] and
+/// [`load::full_config`]).
+pub fn instrumented_suite_with(sweep: &SweepConfig, load_cfg: &LoadConfig) -> BenchReport {
     let registry = MetricsRegistry::new();
     bridge::register_all(&registry);
     let dir = fixture();
@@ -172,10 +174,17 @@ pub fn instrumented_suite_with(sweep: &SweepConfig) -> BenchReport {
     // carry real work.
     let mutation = mutation::smoke_suite(&registry);
 
+    // Overload phase: the closed-loop load sweep, admission-controlled
+    // daemon vs unbounded baseline, with its shedding invariants
+    // asserted (a sweep that did not saturate is a broken benchmark).
+    let load_rows = load::overload_sweep(load_cfg, &registry);
+    load::assert_sweep_shape(&load_rows);
+
     let mut report = BenchReport::new("smoke", &registry);
     report.queries = queries;
     report.parallel = parallel;
     report.mutation = mutation;
+    report.load = load_rows;
     report
 }
 
@@ -214,5 +223,13 @@ mod tests {
         assert!(get("netdir_mutation_batches_total") > 0);
         assert!(get("netdir_wal_fsyncs_total") > 0);
         assert!(get("netdir_wal_replay_us_count") > 0);
+        // The overload sweep ran both modes at every client count and
+        // its admission decisions landed in the registry.
+        assert_eq!(
+            report.load.len(),
+            2 * crate::load::smoke_config().client_sweep.len()
+        );
+        assert!(get("netdir_admission_admitted_total") > 0);
+        assert!(get("netdir_busy_rejections_total") > 0);
     }
 }

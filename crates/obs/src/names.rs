@@ -77,6 +77,32 @@ pub const EPOCH_LAG: &str = "netdir_epoch_lag";
 /// `EpochStats`.
 pub const JOURNAL_PAGES_RECLAIMED: &str = "netdir_journal_pages_reclaimed_total";
 
+/// Requests admitted past the policy layer. From `AdmissionSnapshot`.
+pub const ADMISSION_ADMITTED: &str = "netdir_admission_admitted_total";
+/// Requests shed with a `Busy` frame, all causes (queue full, inflight
+/// cap, rate limit, enumeration cap). From `AdmissionSnapshot`.
+pub const BUSY_REJECTIONS: &str = "netdir_busy_rejections_total";
+/// `Busy` rejections caused by a per-peer token bucket running dry.
+/// From `AdmissionSnapshot`.
+pub const ADMISSION_RATE_LIMITED: &str = "netdir_admission_rate_limited_total";
+/// `Busy` rejections caused by the anti-enumeration results cap.
+/// From `AdmissionSnapshot`.
+pub const ADMISSION_ENUM_CAPPED: &str = "netdir_admission_enum_capped_total";
+/// Requests currently admitted and executing, gauge. From
+/// `AdmissionSnapshot`.
+pub const ADMISSION_INFLIGHT: &str = "netdir_admission_inflight";
+/// Accepted connections waiting for a worker, gauge.
+pub const ADMISSION_QUEUE_DEPTH: &str = "netdir_admission_queue_depth";
+/// Requests whose execution deadline expired before the evaluator
+/// finished. From `AdmissionSnapshot`.
+pub const DEADLINE_EXCEEDED: &str = "netdir_deadline_exceeded_total";
+/// Evaluator threads still running after their deadline fired (the
+/// worker was released; the runaway finishes in the background), gauge.
+pub const DEADLINE_ABANDONED: &str = "netdir_deadline_abandoned";
+/// Execution time of requests that ran under a deadline and finished in
+/// budget, microseconds, histogram.
+pub const DEADLINE_USED_US: &str = "netdir_deadline_used_us";
+
 /// Queries evaluated end to end.
 pub const QUERIES: &str = "netdir_queries_total";
 /// End-to-end query latency histogram, microseconds.
@@ -118,6 +144,15 @@ pub const TRACKED: &[&str] = &[
     MUTATIONS_APPLIED,
     EPOCH_LAG,
     JOURNAL_PAGES_RECLAIMED,
+    ADMISSION_ADMITTED,
+    BUSY_REJECTIONS,
+    ADMISSION_RATE_LIMITED,
+    ADMISSION_ENUM_CAPPED,
+    ADMISSION_INFLIGHT,
+    ADMISSION_QUEUE_DEPTH,
+    DEADLINE_EXCEEDED,
+    DEADLINE_ABANDONED,
+    DEADLINE_USED_US,
     QUERIES,
     QUERY_DURATION_US,
     QUERY_PAGES,

@@ -1,0 +1,533 @@
+//! Admission control: the policy layer that decides, request by
+//! request, whether the daemon does work or sheds load.
+//!
+//! Three independent limits compose, checked in this order:
+//!
+//! 1. **Concurrency cap** (`max_inflight`) — a global ceiling on
+//!    requests admitted and not yet finished. The cheapest check, and
+//!    refusing here charges no per-peer state.
+//! 2. **Anti-enumeration cap** (`enumeration`) — a per-peer ceiling on
+//!    result entries read per window, so a client cannot walk the whole
+//!    directory by issuing many individually-cheap queries (ZippyViewer's
+//!    dirnode hardening list names exactly this).
+//! 3. **Rate limit** (`rate`) — a per-peer token bucket over request
+//!    *count*; bursts up to `burst`, sustained at `per_sec`.
+//!
+//! Every rejection maps to one wire frame — `Busy { retry_after_ms }` —
+//! carrying the limiter's own estimate of when retrying could succeed.
+//! The controller never sleeps and never reads the wall clock directly:
+//! time comes from an injected [`Clock`], so every limiter decision is
+//! deterministic under a [`ManualClock`](netdir_obs::ManualClock) and
+//! the chaos suite can pin `Busy` accounting bit-for-bit.
+//!
+//! Token-bucket arithmetic is integer-only (nanotokens: one token =
+//! 10⁹), so two controllers fed the same clock readings agree exactly.
+
+use netdir_obs::{names, Clock, Counter, Gauge, Histogram, MetricsRegistry, MonotonicClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One token, in nanotokens.
+const TOKEN: u64 = 1_000_000_000;
+
+/// A per-peer token bucket over request count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained refill rate, requests per second.
+    pub per_sec: u32,
+    /// Bucket capacity: how many requests a cold peer may burst.
+    pub burst: u32,
+}
+
+/// A per-peer ceiling on result entries per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumCap {
+    /// Entries a peer may read per window before being shed.
+    pub max_entries: u64,
+    /// Window length; the counter resets when it elapses.
+    pub window: Duration,
+}
+
+/// The policy knobs. `Default` is fully permissive (no limits), so a
+/// controller is safe to install unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Max concurrently admitted requests; `0` = unlimited.
+    pub max_inflight: usize,
+    /// Per-peer request-rate limit, if any.
+    pub rate: Option<RateLimit>,
+    /// Per-peer anti-enumeration cap, if any.
+    pub enumeration: Option<EnumCap>,
+    /// Retry hint attached to rejections that have no natural horizon
+    /// of their own (queue full, inflight cap).
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight: 0,
+            rate: None,
+            enumeration: None,
+            retry_after: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Why a request was shed. Every variant carries the limiter's estimate
+/// of when a retry could succeed; all of them travel as `Busy` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The concurrency cap (or the accept queue) is full.
+    Busy {
+        /// Suggested client backoff.
+        retry_after: Duration,
+    },
+    /// The peer's token bucket ran dry.
+    RateLimited {
+        /// Time until the bucket holds one whole token again.
+        retry_after: Duration,
+    },
+    /// The peer exhausted its per-window results budget.
+    EnumCapped {
+        /// Time until the current window rolls over.
+        retry_after: Duration,
+    },
+}
+
+impl Rejection {
+    /// The retry hint, whatever the cause.
+    pub fn retry_after(&self) -> Duration {
+        match *self {
+            Rejection::Busy { retry_after }
+            | Rejection::RateLimited { retry_after }
+            | Rejection::EnumCapped { retry_after } => retry_after,
+        }
+    }
+
+    /// The retry hint in whole milliseconds, as the `Busy` frame
+    /// carries it (rounded up so "0.4ms" does not become "retry now").
+    pub fn retry_after_ms(&self) -> u32 {
+        let ms = self.retry_after().as_millis();
+        let ms = if ms == 0 && !self.retry_after().is_zero() { 1 } else { ms };
+        u32::try_from(ms).unwrap_or(u32::MAX)
+    }
+}
+
+/// Per-peer limiter state.
+#[derive(Debug)]
+struct PeerState {
+    /// Bucket level in nanotokens.
+    tokens: u64,
+    /// Clock reading of the last refill.
+    refilled_at: Duration,
+    /// Start of the current enumeration window.
+    window_start: Duration,
+    /// Entries charged in the current window.
+    window_entries: u64,
+}
+
+/// A point-in-time view of the admission counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed with `Busy`, all causes.
+    pub busy_rejections: u64,
+    /// ... of which: token bucket dry.
+    pub rate_limited: u64,
+    /// ... of which: enumeration cap hit.
+    pub enum_capped: u64,
+    /// Requests admitted and not yet released.
+    pub inflight: u64,
+    /// Requests whose execution deadline expired.
+    pub deadline_exceeded: u64,
+}
+
+/// The shared admission policy: one per daemon, consulted by the accept
+/// thread (queue bound) and by every worker (per-request limits).
+///
+/// All series are recorded through [`MetricsRegistry`] handles, so a
+/// controller built on the daemon's registry surfaces in its Prometheus
+/// exposition with no extra sync step.
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    clock: Arc<dyn Clock>,
+    peers: Mutex<HashMap<IpAddr, PeerState>>,
+    /// Authoritative inflight count (the gauge mirrors it).
+    inflight_raw: AtomicU64,
+    /// Runaway evaluator threads (deadline fired, thread still running).
+    abandoned_raw: AtomicU64,
+    admitted: Counter,
+    busy: Counter,
+    rate_limited: Counter,
+    enum_capped: Counter,
+    deadline_exceeded: Counter,
+    inflight: Gauge,
+    queue_depth: Gauge,
+    abandoned: Gauge,
+    deadline_used: Histogram,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionController")
+            .field("cfg", &self.cfg)
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// A controller enforcing `cfg`, reading time from `clock`,
+    /// recording into `reg`.
+    pub fn new(
+        cfg: AdmissionConfig,
+        clock: Arc<dyn Clock>,
+        reg: &MetricsRegistry,
+    ) -> AdmissionController {
+        AdmissionController {
+            cfg,
+            clock,
+            peers: Mutex::new(HashMap::new()),
+            inflight_raw: AtomicU64::new(0),
+            abandoned_raw: AtomicU64::new(0),
+            admitted: reg.counter(names::ADMISSION_ADMITTED),
+            busy: reg.counter(names::BUSY_REJECTIONS),
+            rate_limited: reg.counter(names::ADMISSION_RATE_LIMITED),
+            enum_capped: reg.counter(names::ADMISSION_ENUM_CAPPED),
+            deadline_exceeded: reg.counter(names::DEADLINE_EXCEEDED),
+            inflight: reg.gauge(names::ADMISSION_INFLIGHT),
+            queue_depth: reg.gauge(names::ADMISSION_QUEUE_DEPTH),
+            abandoned: reg.gauge(names::DEADLINE_ABANDONED),
+            deadline_used: reg.histogram(names::DEADLINE_USED_US),
+        }
+    }
+
+    /// A fully permissive controller on its own private registry — the
+    /// default when a server is built without an explicit policy, so
+    /// accounting always works even when no limit ever fires.
+    pub fn unlimited() -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig::default(),
+            Arc::new(MonotonicClock::new()),
+            &MetricsRegistry::new(),
+        )
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Decide one request from `peer`. `Ok` means the caller owns one
+    /// inflight slot and must call [`release`](Self::release) when the
+    /// response has been written.
+    pub fn admit(&self, peer: Option<IpAddr>) -> Result<(), Rejection> {
+        // 1. Concurrency cap.
+        if self.cfg.max_inflight > 0 {
+            let cap = self.cfg.max_inflight as u64;
+            let won = self
+                .inflight_raw
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    (cur < cap).then_some(cur + 1)
+                })
+                .is_ok();
+            if !won {
+                self.busy.inc();
+                return Err(Rejection::Busy {
+                    retry_after: self.cfg.retry_after,
+                });
+            }
+        } else {
+            self.inflight_raw.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if let Some(ip) = peer {
+            if let Err(rejection) = self.admit_peer(ip) {
+                // Give the slot back before reporting the shed.
+                self.inflight_raw.fetch_sub(1, Ordering::Relaxed);
+                self.mirror_inflight();
+                self.busy.inc();
+                match rejection {
+                    Rejection::RateLimited { .. } => self.rate_limited.inc(),
+                    Rejection::EnumCapped { .. } => self.enum_capped.inc(),
+                    Rejection::Busy { .. } => {}
+                }
+                return Err(rejection);
+            }
+        }
+
+        self.admitted.inc();
+        self.mirror_inflight();
+        Ok(())
+    }
+
+    /// The per-peer limits (enumeration window, then token bucket).
+    fn admit_peer(&self, ip: IpAddr) -> Result<(), Rejection> {
+        let now = self.clock.now();
+        let mut peers = self.peers.lock();
+        let burst = self.cfg.rate.map_or(0, |r| u64::from(r.burst));
+        let st = peers.entry(ip).or_insert(PeerState {
+            tokens: burst.saturating_mul(TOKEN),
+            refilled_at: now,
+            window_start: now,
+            window_entries: 0,
+        });
+
+        if let Some(cap) = self.cfg.enumeration {
+            if now >= st.window_start + cap.window {
+                st.window_start = now;
+                st.window_entries = 0;
+            }
+            if st.window_entries >= cap.max_entries {
+                return Err(Rejection::EnumCapped {
+                    retry_after: (st.window_start + cap.window) - now,
+                });
+            }
+        }
+
+        if let Some(rate) = self.cfg.rate {
+            // Refill in nanotokens: `per_sec` tokens/s is exactly
+            // `per_sec` nanotokens per nanosecond.
+            let elapsed = now.saturating_sub(st.refilled_at).as_nanos();
+            let refill = elapsed.saturating_mul(u128::from(rate.per_sec));
+            let cap = u64::from(rate.burst).saturating_mul(TOKEN);
+            st.tokens = u64::try_from(u128::from(st.tokens).saturating_add(refill))
+                .unwrap_or(u64::MAX)
+                .min(cap);
+            st.refilled_at = now;
+            if st.tokens >= TOKEN {
+                st.tokens -= TOKEN;
+            } else {
+                let deficit = TOKEN - st.tokens;
+                let nanos = deficit.div_ceil(u64::from(rate.per_sec.max(1)));
+                return Err(Rejection::RateLimited {
+                    retry_after: Duration::from_nanos(nanos),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Return an admitted request's inflight slot.
+    pub fn release(&self) {
+        self.inflight_raw.fetch_sub(1, Ordering::Relaxed);
+        self.mirror_inflight();
+    }
+
+    fn mirror_inflight(&self) {
+        self.inflight.set(self.inflight_raw.load(Ordering::Relaxed));
+    }
+
+    /// Charge `entries` result entries to `peer`'s enumeration window.
+    pub fn note_results(&self, peer: Option<IpAddr>, entries: u64) {
+        let (Some(ip), Some(cap)) = (peer, self.cfg.enumeration) else {
+            return;
+        };
+        let now = self.clock.now();
+        let mut peers = self.peers.lock();
+        if let Some(st) = peers.get_mut(&ip) {
+            if now >= st.window_start + cap.window {
+                st.window_start = now;
+                st.window_entries = 0;
+            }
+            st.window_entries = st.window_entries.saturating_add(entries);
+        }
+    }
+
+    /// Count a shed performed before admission — the accept thread's
+    /// queue bound — and return the retry hint to put on the wire.
+    pub fn reject_queue_full(&self) -> Duration {
+        self.busy.inc();
+        self.cfg.retry_after
+    }
+
+    /// Mirror the accept→worker queue depth into its gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.set(depth);
+    }
+
+    /// Count one request whose execution deadline expired.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.inc();
+    }
+
+    /// Record the execution time of a request that finished in budget.
+    pub fn record_deadline_used(&self, elapsed: Duration) {
+        self.deadline_used
+            .observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// A runaway evaluator thread outlived its deadline…
+    pub fn abandon_begin(&self) {
+        self.abandoned
+            .set(self.abandoned_raw.fetch_add(1, Ordering::Relaxed) + 1);
+    }
+
+    /// …and eventually finished.
+    pub fn abandon_end(&self) {
+        self.abandoned
+            .set(self.abandoned_raw.fetch_sub(1, Ordering::Relaxed).saturating_sub(1));
+    }
+
+    /// Point-in-time counter values.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            admitted: self.admitted.get(),
+            busy_rejections: self.busy.get(),
+            rate_limited: self.rate_limited.get(),
+            enum_capped: self.enum_capped.get(),
+            inflight: self.inflight_raw.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdir_obs::ManualClock;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> Option<IpAddr> {
+        Some(IpAddr::V4(Ipv4Addr::new(127, 0, 0, last)))
+    }
+
+    fn controller(cfg: AdmissionConfig) -> (AdmissionController, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let reg = MetricsRegistry::new();
+        (AdmissionController::new(cfg, clock.clone(), &reg), clock)
+    }
+
+    #[test]
+    fn inflight_cap_rejects_then_recovers_on_release() {
+        let (c, _) = controller(AdmissionConfig {
+            max_inflight: 2,
+            ..AdmissionConfig::default()
+        });
+        assert!(c.admit(ip(1)).is_ok());
+        assert!(c.admit(ip(1)).is_ok());
+        let rej = c.admit(ip(1)).unwrap_err();
+        assert!(matches!(rej, Rejection::Busy { .. }));
+        assert!(rej.retry_after_ms() > 0);
+        c.release();
+        assert!(c.admit(ip(1)).is_ok());
+        let snap = c.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.inflight, 2);
+    }
+
+    #[test]
+    fn token_bucket_bursts_then_refills_with_the_clock() {
+        let (c, clock) = controller(AdmissionConfig {
+            rate: Some(RateLimit { per_sec: 1, burst: 2 }),
+            ..AdmissionConfig::default()
+        });
+        assert!(c.admit(ip(1)).is_ok());
+        assert!(c.admit(ip(1)).is_ok());
+        let rej = c.admit(ip(1)).unwrap_err();
+        match rej {
+            Rejection::RateLimited { retry_after } => {
+                assert_eq!(retry_after, Duration::from_secs(1));
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // Frozen clock: still dry.
+        assert!(c.admit(ip(1)).is_err());
+        // One second refills exactly one token.
+        clock.advance(Duration::from_secs(1));
+        assert!(c.admit(ip(1)).is_ok());
+        assert!(c.admit(ip(1)).is_err());
+        // Rejected requests release their inflight slot.
+        assert_eq!(c.snapshot().inflight, 3);
+        let snap = c.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.rate_limited, 3);
+        assert_eq!(snap.busy_rejections, 3);
+    }
+
+    #[test]
+    fn buckets_are_per_peer() {
+        let (c, _) = controller(AdmissionConfig {
+            rate: Some(RateLimit { per_sec: 1, burst: 1 }),
+            ..AdmissionConfig::default()
+        });
+        assert!(c.admit(ip(1)).is_ok());
+        assert!(c.admit(ip(1)).is_err());
+        assert!(c.admit(ip(2)).is_ok(), "a different peer has its own bucket");
+        // A peerless caller (e.g. a unix-domain future) skips the
+        // per-peer limits entirely.
+        assert!(c.admit(None).is_ok());
+    }
+
+    #[test]
+    fn enumeration_cap_sheds_until_the_window_rolls() {
+        let (c, clock) = controller(AdmissionConfig {
+            enumeration: Some(EnumCap {
+                max_entries: 10,
+                window: Duration::from_secs(60),
+            }),
+            ..AdmissionConfig::default()
+        });
+        assert!(c.admit(ip(1)).is_ok());
+        c.note_results(ip(1), 12);
+        c.release();
+        let rej = c.admit(ip(1)).unwrap_err();
+        match rej {
+            Rejection::EnumCapped { retry_after } => {
+                assert_eq!(retry_after, Duration::from_secs(60));
+            }
+            other => panic!("expected EnumCapped, got {other:?}"),
+        }
+        assert_eq!(c.snapshot().enum_capped, 1);
+        clock.advance(Duration::from_secs(60));
+        assert!(c.admit(ip(1)).is_ok(), "fresh window, fresh budget");
+    }
+
+    #[test]
+    fn identical_histories_produce_identical_snapshots() {
+        let cfg = AdmissionConfig {
+            max_inflight: 3,
+            rate: Some(RateLimit { per_sec: 5, burst: 2 }),
+            enumeration: Some(EnumCap {
+                max_entries: 100,
+                window: Duration::from_secs(1),
+            }),
+            ..AdmissionConfig::default()
+        };
+        let run = || {
+            let (c, clock) = controller(cfg);
+            let mut outcomes = Vec::new();
+            for i in 0..20u64 {
+                let r = c.admit(ip((i % 3) as u8));
+                outcomes.push(r.map_err(|e| e.retry_after()));
+                if r.is_ok() {
+                    c.note_results(ip((i % 3) as u8), 7);
+                    c.release();
+                }
+                clock.advance(Duration::from_millis(37));
+            }
+            (outcomes, c.snapshot())
+        };
+        assert_eq!(run(), run(), "admission is a pure function of the clock");
+    }
+
+    #[test]
+    fn queue_and_deadline_accounting_feed_the_snapshot() {
+        let (c, _) = controller(AdmissionConfig::default());
+        assert_eq!(c.reject_queue_full(), Duration::from_millis(50));
+        c.record_deadline_exceeded();
+        c.abandon_begin();
+        c.abandon_end();
+        c.record_deadline_used(Duration::from_micros(1234));
+        let snap = c.snapshot();
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.deadline_exceeded, 1);
+    }
+}

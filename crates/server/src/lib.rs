@@ -17,6 +17,7 @@
 //! DNS-based server location is an in-process longest-prefix match — the
 //! resolution mechanism is not part of any theorem (DESIGN.md §5).
 
+pub mod admission;
 pub mod delegation;
 pub mod distributed;
 pub mod fault;
@@ -27,6 +28,9 @@ pub mod node;
 pub mod retry;
 pub mod transport;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, EnumCap, RateLimit, Rejection,
+};
 pub use delegation::Delegation;
 pub use distributed::{
     Cluster, ClusterBuilder, ClusterParts, ConsistencyMode, PartitionError, QueryOutcome,

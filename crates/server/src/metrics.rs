@@ -29,10 +29,14 @@ pub fn register_all(reg: &MetricsRegistry) {
             | names::QUERY_PAGES
             | names::PAR_READY_WIDTH
             | names::PAR_WORKER_PAGES
-            | names::WAL_REPLAY_US => {
+            | names::WAL_REPLAY_US
+            | names::DEADLINE_USED_US => {
                 reg.histogram(name);
             }
-            names::EPOCH_LAG => {
+            names::EPOCH_LAG
+            | names::ADMISSION_INFLIGHT
+            | names::ADMISSION_QUEUE_DEPTH
+            | names::DEADLINE_ABANDONED => {
                 reg.gauge(name);
             }
             _ => {

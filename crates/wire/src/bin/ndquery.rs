@@ -35,10 +35,15 @@
 use netdir_journal::MutationBatch;
 use netdir_model::ldif::entry_to_ldif;
 use netdir_obs::TimeDisplay;
-use netdir_wire::{ClientOptions, WireClient};
+use netdir_wire::{ClientOptions, WireClient, WireError};
 use std::net::ToSocketAddrs;
 use std::process::exit;
 use std::time::Duration;
+
+/// Overloaded daemon shed the request (transient): sysexits EX_TEMPFAIL.
+const EXIT_BUSY: i32 = 75;
+/// The daemon's execution deadline expired (the `timeout(1)` convention).
+const EXIT_DEADLINE: i32 = 124;
 
 fn usage() -> ! {
     eprintln!(
@@ -47,6 +52,32 @@ fn usage() -> ! {
          \x20      ndquery ADDR --ping | --stats | --shutdown"
     );
     exit(2)
+}
+
+/// Print `e` and exit with a status distinguishing transient overload
+/// (retry later, exit 75) and a blown server-side deadline (exit 124)
+/// from every other failure (exit 1).
+fn fail(e: WireError) -> ! {
+    match e {
+        WireError::Busy { retry_after_ms } => {
+            eprintln!(
+                "ndquery: server busy, request shed before execution; \
+                 retry in {retry_after_ms}ms or later"
+            );
+            exit(EXIT_BUSY)
+        }
+        WireError::DeadlineExceeded { budget_ms } => {
+            eprintln!(
+                "ndquery: server gave up after its {budget_ms}ms execution deadline; \
+                 retrying the same request will blow the same budget"
+            );
+            exit(EXIT_DEADLINE)
+        }
+        e => {
+            eprintln!("ndquery: {e}");
+            exit(1)
+        }
+    }
 }
 
 fn main() {
@@ -104,30 +135,21 @@ fn main() {
     if ping {
         match client.ping() {
             Ok(()) => println!("{addr} is alive"),
-            Err(e) => {
-                eprintln!("ndquery: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         }
         return;
     }
     if shutdown {
         match client.shutdown_server() {
             Ok(()) => println!("{addr} acknowledged shutdown"),
-            Err(e) => {
-                eprintln!("ndquery: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         }
         return;
     }
     if stats {
         match client.stats() {
             Ok(text) => print!("{text}"),
-            Err(e) => {
-                eprintln!("ndquery: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         }
         return;
     }
@@ -165,10 +187,7 @@ fn main() {
             Ok((epoch, mutations)) => {
                 println!("applied {mutations} mutations; directory at epoch {epoch}");
             }
-            Err(e) => {
-                eprintln!("ndquery: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         }
         return;
     }
@@ -180,10 +199,7 @@ fn main() {
                 print!("{}", trace.render(TimeDisplay::Show));
                 eprintln!("# {} entries", entries.len());
             }
-            Err(e) => {
-                eprintln!("ndquery: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         }
         return;
     }
@@ -205,10 +221,7 @@ fn main() {
                     outcome.partial.len()
                 );
             }
-            Err(e) => {
-                eprintln!("ndquery: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         }
         return;
     }
@@ -222,9 +235,6 @@ fn main() {
             }
             eprintln!("# {} entries", entries.len());
         }
-        Err(e) => {
-            eprintln!("ndquery: {e}");
-            exit(1)
-        }
+        Err(e) => fail(e),
     }
 }

@@ -22,7 +22,10 @@ use netdir_model::{ldif, Directory, Dn};
 use netdir_obs::MetricsRegistry;
 use netdir_query::parse_query;
 use netdir_server::metrics as bridge;
-use netdir_server::{Cluster, ClusterBuilder, ConsistencyMode};
+use netdir_server::{
+    AdmissionConfig, AdmissionController, Cluster, ClusterBuilder, ConsistencyMode, EnumCap,
+    RateLimit,
+};
 use netdir_wire::{
     encode_entries, ServerOptions, WireRequest, WireResponse, WireServer, WireService,
 };
@@ -226,15 +229,37 @@ fn usage() -> ! {
     eprintln!(
         "usage: netdird --listen ADDR [--ldif FILE] [--wal FILE] [--context NAME=DN]... \\\n\
          \x20              [--secondary NAME=DN]... [--workers N] \\\n\
-         \x20              [--eval-threads N] [--max-frame BYTES] [--timeout-ms MS]\n\
+         \x20              [--eval-threads N] [--max-frame BYTES] [--timeout-ms MS] \\\n\
+         \x20              [--max-inflight N] [--max-pending N] [--request-deadline-ms MS] \\\n\
+         \x20              [--rate-limit PER_SEC[:BURST]] [--enum-cap ENTRIES[:WINDOW_MS]]\n\
          \n\
          Serves the netdir frame protocol over TCP. With no --context, one\n\
          server named `root` owns the whole namespace. With no --ldif, an\n\
          empty directory is served. With --wal, committed mutation batches\n\
          persist to FILE and replay over the seed LDIF on the next start\n\
-         (keep the same --ldif across restarts)."
+         (keep the same --ldif across restarts).\n\
+         \n\
+         Overload policy (all off by default): --max-inflight caps requests\n\
+         executing at once, --max-pending caps connections queued for a\n\
+         worker, --request-deadline-ms bounds one request's execution,\n\
+         --rate-limit token-buckets each client address, and --enum-cap\n\
+         bounds entries shipped per client per window. Work past a limit is\n\
+         shed with a fast Busy frame instead of queueing without bound."
     );
     exit(2)
+}
+
+/// Parse `A[:B]` where both halves are integers; `B` is `None` when the
+/// spec only gives `A` (each flag picks its own default).
+fn parse_pair(flag: &str, spec: &str) -> (u64, Option<u64>) {
+    let parsed = match spec.split_once(':') {
+        Some((a, b)) => a.parse().ok().zip(b.parse().ok()).map(|(a, b)| (a, Some(b))),
+        None => spec.parse().ok().map(|a| (a, None)),
+    };
+    parsed.unwrap_or_else(|| {
+        eprintln!("netdird: {flag} wants N or N:M, got {spec:?}");
+        exit(2)
+    })
 }
 
 fn parse_name_dn(spec: &str) -> (String, Dn) {
@@ -258,6 +283,8 @@ fn main() {
     let mut contexts: Vec<(String, Dn, bool)> = Vec::new();
     let mut opts = ServerOptions::default();
     let mut eval_threads: usize = 1;
+    let mut admission = AdmissionConfig::default();
+    let mut any_admission_flag = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -293,6 +320,39 @@ fn main() {
                 let t = Some(Duration::from_millis(ms));
                 opts.read_timeout = t;
                 opts.write_timeout = t;
+            }
+            "--max-inflight" => {
+                admission.max_inflight =
+                    value("--max-inflight").parse().unwrap_or_else(|_| usage());
+                any_admission_flag = true;
+            }
+            "--max-pending" => {
+                opts.max_pending = value("--max-pending").parse().unwrap_or_else(|_| usage())
+            }
+            "--request-deadline-ms" => {
+                let ms: u64 = value("--request-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                opts.request_deadline = Some(Duration::from_millis(ms));
+            }
+            "--rate-limit" => {
+                let spec = value("--rate-limit");
+                let (per_sec, burst) = parse_pair("--rate-limit", &spec);
+                admission.rate = Some(RateLimit {
+                    per_sec: per_sec.try_into().unwrap_or_else(|_| usage()),
+                    // Default burst: one second's worth of tokens.
+                    burst: burst.unwrap_or(per_sec).try_into().unwrap_or_else(|_| usage()),
+                });
+                any_admission_flag = true;
+            }
+            "--enum-cap" => {
+                let spec = value("--enum-cap");
+                let (max_entries, window_ms) = parse_pair("--enum-cap", &spec);
+                admission.enumeration = Some(EnumCap {
+                    max_entries,
+                    window: Duration::from_millis(window_ms.unwrap_or(1_000)),
+                });
+                any_admission_flag = true;
             }
             "--help" | "-h" => usage(),
             other => {
@@ -385,6 +445,21 @@ fn main() {
 
     let metrics = MetricsRegistry::default();
     bridge::register_all(&metrics);
+    // Always build the controller on the daemon registry (even with no
+    // limit configured) so admission/deadline accounting shows up in
+    // `ndquery --stats`; with the default config it never rejects.
+    opts.admission = Some(Arc::new(AdmissionController::new(
+        admission,
+        Arc::new(netdir_obs::MonotonicClock::new()),
+        &metrics,
+    )));
+    if any_admission_flag || opts.request_deadline.is_some() {
+        let cfg = opts.admission.as_ref().unwrap().config();
+        println!(
+            "netdird: overload policy: max_inflight={} max_pending={} deadline={:?} rate={:?} enum={:?}",
+            cfg.max_inflight, opts.max_pending, opts.request_deadline, cfg.rate, cfg.enumeration
+        );
+    }
     let service = Arc::new(ClusterService {
         cluster: RwLock::new(Arc::new(cluster)),
         journal,

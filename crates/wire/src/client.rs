@@ -30,16 +30,33 @@ pub enum WireError {
     Protocol(String),
     /// The daemon executed the request and reported an error.
     Remote(String),
+    /// The daemon shed the request at admission (queue full, rate
+    /// limit, enumeration cap) without executing it. Retryable after
+    /// the hinted delay.
+    Busy {
+        /// Server's suggested wait before retrying.
+        retry_after_ms: u32,
+    },
+    /// The daemon started the request but its execution deadline
+    /// expired. **Not** retryable: the same request blows the same
+    /// budget again.
+    DeadlineExceeded {
+        /// The budget that was exhausted.
+        budget_ms: u32,
+    },
 }
 
 impl WireError {
-    /// May another attempt succeed? Only connection weather ([`Io`])
-    /// qualifies: a protocol violation repeats identically and a remote
-    /// evaluation error means the query itself fails over there.
+    /// May another attempt succeed? Connection weather ([`Io`]) and
+    /// admission shedding ([`Busy`]) qualify: both are transient server
+    /// states. A protocol violation repeats identically, a remote
+    /// evaluation error means the query itself fails over there, and a
+    /// blown deadline blows again.
     ///
     /// [`Io`]: WireError::Io
+    /// [`Busy`]: WireError::Busy
     pub fn is_retryable(&self) -> bool {
-        matches!(self, WireError::Io(_))
+        matches!(self, WireError::Io(_) | WireError::Busy { .. })
     }
 
     /// Classify an I/O failure from the frame layer: the size guards
@@ -68,6 +85,12 @@ impl fmt::Display for WireError {
             WireError::Io(e) => write!(f, "i/o error: {e}"),
             WireError::Protocol(e) => write!(f, "protocol error: {e}"),
             WireError::Remote(e) => write!(f, "remote error: {e}"),
+            WireError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms}ms)")
+            }
+            WireError::DeadlineExceeded { budget_ms } => {
+                write!(f, "request deadline exceeded ({budget_ms}ms budget)")
+            }
         }
     }
 }
@@ -178,10 +201,13 @@ impl WireClient {
     ///
     /// Failure handling, in order: a failed exchange on a *pooled*
     /// connection is redone once immediately on a fresh one (a server
-    /// idle-timeout is not weather); after that, retryable errors get
-    /// [`ClientOptions::retry`] attempts with capped jittered backoff;
-    /// fatal errors ([`WireError::Protocol`], [`WireError::Remote`])
-    /// surface immediately.
+    /// idle-timeout is not weather); after that, retryable errors
+    /// ([`WireError::Io`], [`WireError::Busy`]) get
+    /// [`ClientOptions::retry`] attempts with capped jittered backoff —
+    /// a `Busy` frame additionally raises the delay to the server's
+    /// `retry_after` hint (itself capped by the policy's `max_delay`);
+    /// fatal errors ([`WireError::Protocol`], [`WireError::Remote`],
+    /// [`WireError::DeadlineExceeded`]) surface immediately.
     pub fn call_counted(&self, req: &WireRequest) -> WireResult<(WireResponse, u64)> {
         let payload = req.encode();
         let mut last_err = WireError::Io("no attempt made".into());
@@ -200,7 +226,18 @@ impl WireClient {
                         let resp = WireResponse::decode(&resp_payload)
                             .map_err(|e| WireError::Protocol(e.to_string()))?;
                         self.checkin(conn);
-                        return Ok((resp, on_wire));
+                        match resp {
+                            // Shed at admission: the connection stays
+                            // usable, the request was never executed —
+                            // retry with backoff, honouring the hint.
+                            WireResponse::Busy { retry_after_ms } => {
+                                last_err = WireError::Busy { retry_after_ms };
+                            }
+                            WireResponse::DeadlineExceeded { budget_ms } => {
+                                return Err(WireError::DeadlineExceeded { budget_ms });
+                            }
+                            resp => return Ok((resp, on_wire)),
+                        }
                     }
                     Ok(None) => {
                         last_err =
@@ -233,7 +270,15 @@ impl WireClient {
             attempt += 1;
             if attempt < max_attempts {
                 self.retries.fetch_add(1, Ordering::Relaxed);
-                let delay = self.opts.retry.backoff(attempt - 1, self.addr.port() as u64);
+                let mut delay = self.opts.retry.backoff(attempt - 1, self.addr.port() as u64);
+                if let WireError::Busy { retry_after_ms } = last_err {
+                    // Respect the server's hint, but never wait longer
+                    // than the policy's own cap (so an immediate test
+                    // policy with max_delay=0 stays immediate).
+                    let hint = Duration::from_millis(u64::from(retry_after_ms))
+                        .min(self.opts.retry.max_delay);
+                    delay = delay.max(hint);
+                }
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
@@ -418,9 +463,116 @@ impl WireClient {
         match resp {
             WireResponse::Mutated { epoch, mutations } => Ok((epoch, mutations)),
             WireResponse::Error(e) => Err(WireError::Remote(e)),
+            // Shed before execution: nothing was applied, and since
+            // mutations are never auto-retried the caller decides when
+            // to resubmit.
+            WireResponse::Busy { retry_after_ms } => Err(WireError::Busy { retry_after_ms }),
+            WireResponse::DeadlineExceeded { budget_ms } => {
+                Err(WireError::DeadlineExceeded { budget_ms })
+            }
             other => Err(WireError::Protocol(format!(
                 "expected mutated ack, got {other:?}"
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// A scripted daemon: hands out the responses in `script` one per
+    /// request (across however many connections the client opens), then
+    /// stops answering.
+    fn scripted_server(script: Vec<WireResponse>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut script = script.into_iter();
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { continue };
+                while let Ok(Some(_req)) = read_frame(&mut conn, DEFAULT_MAX_FRAME) {
+                    let Some(resp) = script.next() else { return };
+                    if write_frame(&mut conn, &resp.encode(), DEFAULT_MAX_FRAME).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    fn client(addr: SocketAddr, retry: RetryPolicy) -> WireClient {
+        WireClient::connect(
+            addr,
+            ClientOptions {
+                timeout: Duration::from_secs(5),
+                retry,
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn busy_frames_are_retried_until_admitted() {
+        let addr = scripted_server(vec![
+            WireResponse::Busy { retry_after_ms: 1 },
+            WireResponse::Busy { retry_after_ms: 1 },
+            WireResponse::Pong,
+        ]);
+        let c = client(addr, RetryPolicy::immediate(5));
+        c.ping().unwrap();
+        assert_eq!(c.retries(), 2, "each Busy costs one policy retry");
+    }
+
+    #[test]
+    fn persistent_busy_exhausts_the_policy_and_surfaces() {
+        let addr = scripted_server(vec![
+            WireResponse::Busy { retry_after_ms: 7 },
+            WireResponse::Busy { retry_after_ms: 7 },
+            WireResponse::Busy { retry_after_ms: 7 },
+        ]);
+        let c = client(addr, RetryPolicy::immediate(3));
+        let err = c.ping().unwrap_err();
+        assert_eq!(err, WireError::Busy { retry_after_ms: 7 });
+        assert!(err.is_retryable(), "Busy classifies as retryable");
+    }
+
+    #[test]
+    fn deadline_exceeded_is_fatal_and_never_retried() {
+        let addr = scripted_server(vec![WireResponse::DeadlineExceeded { budget_ms: 50 }]);
+        let c = client(addr, RetryPolicy::immediate(4));
+        let err = c.ping().unwrap_err();
+        assert_eq!(err, WireError::DeadlineExceeded { budget_ms: 50 });
+        assert!(!err.is_retryable(), "the same request blows the same budget");
+        assert_eq!(c.retries(), 0, "fatal errors must not burn retries");
+    }
+
+    #[test]
+    fn busy_retry_waits_at_least_the_server_hint() {
+        let addr = scripted_server(vec![
+            WireResponse::Busy { retry_after_ms: 30 },
+            WireResponse::Pong,
+        ]);
+        // base_delay ZERO makes the policy's own backoff zero, so any
+        // wait observed comes from honouring the hint (capped at 100ms).
+        let c = client(
+            addr,
+            RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::ZERO,
+                max_delay: Duration::from_millis(100),
+                ..RetryPolicy::default()
+            },
+        );
+        let started = Instant::now();
+        c.ping().unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "hint ignored: retried after {:?}",
+            started.elapsed()
+        );
     }
 }

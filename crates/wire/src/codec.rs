@@ -136,6 +136,23 @@ pub enum WireResponse {
         /// Mutations applied (the batch length).
         mutations: u32,
     },
+    /// The daemon shed this request at admission — queue full, inflight
+    /// cap reached, rate limit or anti-enumeration cap hit — without
+    /// executing it. A new tag beyond the legacy range: pre-admission
+    /// peers never see it, and admitted traffic stays byte-identical.
+    /// Retryable after the hinted delay.
+    Busy {
+        /// Server's backoff hint; clients clamp it to their own policy.
+        retry_after_ms: u32,
+    },
+    /// The request was admitted but its execution deadline expired
+    /// before the evaluator finished; the worker was released and the
+    /// partial work discarded. Unlike `Busy` this is **not** retryable:
+    /// the same request would blow the same budget.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, as configured on the daemon.
+        budget_ms: u32,
+    },
 }
 
 const REQ_PING: u8 = 0;
@@ -155,6 +172,8 @@ const RESP_PARTIAL: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_ANALYZED: u8 = 5;
 const RESP_MUTATED: u8 = 6;
+const RESP_BUSY: u8 = 7;
+const RESP_DEADLINE: u8 = 8;
 
 const AF_PRESENT: u8 = 0;
 const AF_EQ: u8 = 1;
@@ -607,6 +626,14 @@ impl WireResponse {
                 put_u64(&mut out, *epoch);
                 put_u32(&mut out, *mutations);
             }
+            WireResponse::Busy { retry_after_ms } => {
+                out.push(RESP_BUSY);
+                put_u32(&mut out, *retry_after_ms);
+            }
+            WireResponse::DeadlineExceeded { budget_ms } => {
+                out.push(RESP_DEADLINE);
+                put_u32(&mut out, *budget_ms);
+            }
         }
         Bytes::from(out)
     }
@@ -638,6 +665,12 @@ impl WireResponse {
                 let mutations = r.get_u32()?;
                 WireResponse::Mutated { epoch, mutations }
             }
+            RESP_BUSY => WireResponse::Busy {
+                retry_after_ms: r.get_u32()?,
+            },
+            RESP_DEADLINE => WireResponse::DeadlineExceeded {
+                budget_ms: r.get_u32()?,
+            },
             t => return Err(corrupt(format!("unknown response tag {t}"))),
         };
         r.finish()?;
@@ -792,6 +825,23 @@ mod tests {
     }
 
     #[test]
+    fn overload_responses_round_trip() {
+        for resp in [
+            WireResponse::Busy { retry_after_ms: 0 },
+            WireResponse::Busy {
+                retry_after_ms: u32::MAX,
+            },
+            WireResponse::DeadlineExceeded { budget_ms: 0 },
+            WireResponse::DeadlineExceeded {
+                budget_ms: u32::MAX,
+            },
+        ] {
+            let bytes = resp.encode();
+            assert_eq!(WireResponse::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
     fn stats_and_analyzed_responses_round_trip() {
         use netdir_obs::{OperatorSpan, QueryTrace};
         let stats = WireResponse::Stats(
@@ -869,6 +919,13 @@ mod tests {
             mutations: 0,
         };
         assert_eq!(md.encode()[0], 6);
+        // The overload responses extend the range yet again: a daemon
+        // under no overload never emits them, so pre-admission traffic
+        // stays byte-identical, and an old peer rejects them cleanly.
+        let b = WireResponse::Busy { retry_after_ms: 50 };
+        assert_eq!(b.encode()[0], 7);
+        let d = WireResponse::DeadlineExceeded { budget_ms: 100 };
+        assert_eq!(d.encode()[0], 8);
         // And the legacy Query payload is byte-identical to its
         // pre-observability encoding: tag, then home and text as
         // length-prefixed strings.
@@ -945,5 +1002,12 @@ mod tests {
         resp.push(RESP_MUTATED);
         put_u64(&mut resp, 1);
         assert!(WireResponse::decode(&resp).is_err());
+        // A truncated Busy (no retry hint) and one with trailing bytes.
+        assert!(WireResponse::decode(&[RESP_BUSY]).is_err());
+        let mut resp = WireResponse::Busy { retry_after_ms: 1 }.encode().to_vec();
+        resp.push(0);
+        assert!(WireResponse::decode(&resp).is_err());
+        // A truncated DeadlineExceeded (no budget).
+        assert!(WireResponse::decode(&[RESP_DEADLINE]).is_err());
     }
 }

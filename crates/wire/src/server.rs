@@ -6,31 +6,47 @@
 //! threads-and-channels idiom the in-process [`ServerNode`] uses).
 //!
 //! Robustness guards, all per-connection:
-//! * read/write timeouts — a stalled peer costs one worker for at most
-//!   the timeout, then the connection is dropped;
+//! * read/write timeouts — a stalled or silent peer costs one worker
+//!   for at most the timeout, then the connection is dropped;
 //! * max-frame-size enforcement on both directions (see [`crate::frame`]);
 //! * malformed payloads get a [`WireResponse::Error`] and the connection
 //!   survives; transport-level damage (truncated frame) closes it.
 //!
-//! Shutdown is graceful and prompt: [`WireServer::shutdown`] (also
+//! Overload guards, so the daemon sheds load early and predictably
+//! instead of queueing unboundedly (DESIGN.md §10):
+//! * the accept→worker queue is bounded (`max_pending`); when it is
+//!   full the accept thread answers a [`WireResponse::Busy`] frame and
+//!   closes, before any worker is occupied;
+//! * each decoded request passes the [`AdmissionController`] policy
+//!   layer (inflight cap, per-peer token bucket, anti-enumeration cap);
+//!   shed requests get `Busy` on the still-open connection;
+//! * an optional per-request execution deadline (`request_deadline`)
+//!   runs the service on a watched thread: if the budget expires the
+//!   worker is released with a [`WireResponse::DeadlineExceeded`] and
+//!   the runaway evaluation is tracked until it burns out.
+//!
+//! Shutdown is a graceful drain: [`WireServer::shutdown`] (also
 //! triggered by a remote [`WireRequest::Shutdown`] frame) stops the
 //! accept loop via a flag plus a self-connection to unblock `accept`,
 //! half-closes the read side of every open connection so workers parked
 //! in `read` wake immediately, lets requests already being processed
-//! write their responses, then joins every thread.
+//! write their responses, then joins every thread. Connections still
+//! waiting in the accept queue are dropped unanswered — their clients
+//! see a clean close and retry elsewhere.
 //!
 //! [`ServerNode`]: netdir_server::ServerNode
 
 use crate::codec::{WireRequest, WireResponse};
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use crossbeam::channel::{unbounded, Receiver};
+use netdir_server::AdmissionController;
 use std::collections::HashMap;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a daemon does with each decoded request.
 ///
@@ -55,6 +71,17 @@ pub struct ServerOptions {
     pub write_timeout: Option<Duration>,
     /// Maximum frame payload size accepted or produced.
     pub max_frame: usize,
+    /// Bound on accepted connections waiting for a worker; beyond it
+    /// the accept thread sheds with a `Busy` frame instead of queueing.
+    /// `0` = unbounded (the pre-admission behaviour).
+    pub max_pending: usize,
+    /// Per-request execution budget. When the service blows it, the
+    /// worker is released with `DeadlineExceeded` and the runaway
+    /// evaluation finishes detached. `None` = no deadline.
+    pub request_deadline: Option<Duration>,
+    /// The admission policy. `None` installs a fully permissive
+    /// controller (accounting still works; no limit ever fires).
+    pub admission: Option<Arc<AdmissionController>>,
 }
 
 impl Default for ServerOptions {
@@ -64,6 +91,9 @@ impl Default for ServerOptions {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_frame: DEFAULT_MAX_FRAME,
+            max_pending: 64,
+            request_deadline: None,
+            admission: None,
         }
     }
 }
@@ -76,6 +106,10 @@ struct Shared {
     /// workers parked in `read` without waiting out their timeout.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// Connections accepted but not yet picked up by a worker.
+    pending: AtomicU64,
+    /// The admission policy (always present; permissive by default).
+    admission: Arc<AdmissionController>,
 }
 
 impl Shared {
@@ -138,11 +172,17 @@ impl WireServer {
         opts: ServerOptions,
     ) -> io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
+        let admission = opts
+            .admission
+            .clone()
+            .unwrap_or_else(|| Arc::new(AdmissionController::unlimited()));
         let shared = Arc::new(Shared {
             addr: listener.local_addr()?,
             stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            admission,
         });
         let (tx, rx) = unbounded::<TcpStream>();
         let workers = (0..opts.workers.max(1))
@@ -158,6 +198,8 @@ impl WireServer {
             .collect::<io::Result<Vec<_>>>()?;
         let accept = {
             let shared = shared.clone();
+            let max_pending = opts.max_pending;
+            let max_frame = opts.max_frame;
             std::thread::Builder::new()
                 .name("netdird-accept".into())
                 .spawn(move || {
@@ -167,6 +209,19 @@ impl WireServer {
                                 if shared.stopping() {
                                     break; // the wake-up self-connection
                                 }
+                                // Admission at the door: when every
+                                // worker is busy and the queue is at its
+                                // bound, shed this connection with a
+                                // fast Busy frame instead of letting the
+                                // backlog (and every queued client's
+                                // latency) grow without limit.
+                                let depth = shared.pending.load(Ordering::Relaxed);
+                                if max_pending > 0 && depth >= max_pending as u64 {
+                                    busy_reject(conn, &shared, max_frame);
+                                    continue;
+                                }
+                                let depth = shared.pending.fetch_add(1, Ordering::Relaxed) + 1;
+                                shared.admission.set_queue_depth(depth);
                                 let _ = tx.send(conn);
                             }
                             Err(_) => {
@@ -191,6 +246,12 @@ impl WireServer {
     /// The bound address (resolves port 0 to the real ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The admission policy this server consults (the one passed in
+    /// [`ServerOptions::admission`], or the default permissive one).
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        self.shared.admission.clone()
     }
 
     /// Has shutdown been requested (locally or by a remote frame)?
@@ -223,6 +284,38 @@ impl Drop for WireServer {
     }
 }
 
+/// Shed one connection at the door: count the rejection, write a `Busy`
+/// frame, and close. The pending request frame is drained first —
+/// closing with unread bytes in the receive buffer turns the close into
+/// a TCP reset, which can discard the very `Busy` frame the client
+/// needs to see. Drain and write happen on a short-lived detached
+/// thread with tight timeouts: the accept thread must keep admitting
+/// (and shedding) at full speed no matter how slowly a shed peer reads,
+/// and each shed thread is bounded to ~1s of life.
+fn busy_reject(mut conn: TcpStream, shared: &Shared, max_frame: usize) {
+    let retry = shared.admission.reject_queue_full();
+    let retry_after_ms = u32::try_from(retry.as_millis()).unwrap_or(u32::MAX).max(1);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = conn.set_nodelay(true);
+    let shed = move || {
+        let _ = read_frame(&mut conn, max_frame);
+        let _ = write_frame(
+            &mut conn,
+            &WireResponse::Busy { retry_after_ms }.encode(),
+            max_frame,
+        );
+    };
+    if std::thread::Builder::new()
+        .name("netdird-shed".into())
+        .spawn(shed)
+        .is_err()
+    {
+        // Out of threads: the connection drops unanswered, which the
+        // client classifies as retryable i/o weather anyway.
+    }
+}
+
 fn worker_loop(
     rx: Receiver<TcpStream>,
     service: Arc<dyn WireService>,
@@ -230,12 +323,14 @@ fn worker_loop(
     shared: Arc<Shared>,
 ) {
     for conn in rx.iter() {
+        let depth = shared.pending.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        shared.admission.set_queue_depth(depth);
         let peer = conn.peer_addr().ok();
         let id = shared.register(&conn);
         // A failing connection (truncated frame, oversized header, reset
         // peer) costs exactly that connection: log it and serve the next
         // one. The daemon itself must be unkillable from the outside.
-        if let Err(e) = serve_conn(conn, service.as_ref(), &opts, &shared) {
+        if let Err(e) = serve_conn(conn, &service, &opts, &shared) {
             if !shared.stopping() {
                 match peer {
                     Some(p) => eprintln!("netdird: connection {p}: {e}"),
@@ -250,15 +345,107 @@ fn worker_loop(
     }
 }
 
+/// Run the service with panic containment: a service panic (poisoned
+/// lock, indexing slip in a query operator) must not take the calling
+/// thread down with it — that would shrink the worker pool permanently,
+/// one panic at a time.
+fn contained(service: &dyn WireService, req: WireRequest) -> WireResponse {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.handle(req))) {
+        Ok(resp) => resp,
+        Err(panic) => {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            WireResponse::Error(format!("internal error: {detail}"))
+        }
+    }
+}
+
+/// Run one admitted request, enforcing the execution deadline if one is
+/// configured.
+///
+/// With a deadline, the service runs on a watched thread. If the budget
+/// expires first, the worker walks away with `DeadlineExceeded` — the
+/// runaway evaluation cannot be cancelled mid-page-scan, so it finishes
+/// detached (tracked by the `netdir_deadline_abandoned` gauge) and its
+/// eventual result is discarded. The admission inflight cap is what
+/// bounds how many runaways can pile up.
+fn execute(service: &Arc<dyn WireService>, req: WireRequest, shared: &Shared,
+           deadline: Option<Duration>) -> WireResponse {
+    let Some(budget) = deadline else {
+        return contained(service.as_ref(), req);
+    };
+    let budget_ms = u32::try_from(budget.as_millis()).unwrap_or(u32::MAX);
+    let (tx, rx) = unbounded::<WireResponse>();
+    let abandoned = Arc::new(Mutex::new(false));
+    let handle = {
+        let service = service.clone();
+        let admission = shared.admission.clone();
+        let abandoned = abandoned.clone();
+        std::thread::Builder::new()
+            .name("netdird-eval".into())
+            .spawn(move || {
+                let resp = contained(service.as_ref(), req);
+                let left_behind = abandoned.lock().unwrap_or_else(|e| e.into_inner());
+                if *left_behind {
+                    admission.abandon_end();
+                } else {
+                    let _ = tx.send(resp);
+                }
+            })
+    };
+    let Ok(handle) = handle else {
+        return WireResponse::Error("internal error: cannot spawn evaluator".into());
+    };
+    let started = Instant::now();
+    match rx.recv_timeout(budget) {
+        Ok(resp) => {
+            shared.admission.record_deadline_used(started.elapsed());
+            let _ = handle.join();
+            resp
+        }
+        Err(_) => {
+            // Hold the flag while double-checking the channel: the
+            // evaluator either already sent (we take its answer) or will
+            // observe the flag and account itself as abandoned.
+            let mut left_behind = abandoned.lock().unwrap_or_else(|e| e.into_inner());
+            if let Ok(resp) = rx.try_recv() {
+                drop(left_behind);
+                shared.admission.record_deadline_used(started.elapsed());
+                let _ = handle.join();
+                return resp;
+            }
+            *left_behind = true;
+            drop(left_behind);
+            shared.admission.record_deadline_exceeded();
+            shared.admission.abandon_begin();
+            WireResponse::DeadlineExceeded { budget_ms }
+        }
+    }
+}
+
+/// Result entries shipped by a response, for anti-enumeration charging.
+fn entries_shipped(resp: &WireResponse) -> u64 {
+    match resp {
+        WireResponse::Entries(e) => e.len() as u64,
+        WireResponse::Partial { entries, .. } => entries.len() as u64,
+        WireResponse::Analyzed { entries, .. } => entries.len() as u64,
+        _ => 0,
+    }
+}
+
 fn serve_conn(
     mut conn: TcpStream,
-    service: &dyn WireService,
+    service: &Arc<dyn WireService>,
     opts: &ServerOptions,
     shared: &Shared,
 ) -> io::Result<()> {
     conn.set_read_timeout(opts.read_timeout)?;
     conn.set_write_timeout(opts.write_timeout)?;
     let _ = conn.set_nodelay(true);
+    let peer_ip: Option<IpAddr> = conn.peer_addr().ok().map(|a| a.ip());
     loop {
         if shared.stopping() {
             break;
@@ -274,26 +461,19 @@ fn serve_conn(
                 shared.request_stop();
                 break;
             }
-            // A service panic (poisoned lock, indexing slip in a query
-            // operator) must not take the worker thread down with it —
-            // that would shrink the pool permanently, one panic at a
-            // time. Contain it to an error response; the sibling
-            // handlers and other connections keep running.
-            Ok(req) => {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    service.handle(req)
-                })) {
-                    Ok(resp) => resp,
-                    Err(panic) => {
-                        let detail = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "opaque panic payload".into());
-                        WireResponse::Error(format!("internal error: {detail}"))
-                    }
+            Ok(req) => match shared.admission.admit(peer_ip) {
+                Err(rejection) => WireResponse::Busy {
+                    retry_after_ms: rejection.retry_after_ms(),
+                },
+                Ok(()) => {
+                    let resp = execute(service, req, shared, opts.request_deadline);
+                    shared
+                        .admission
+                        .note_results(peer_ip, entries_shipped(&resp));
+                    shared.admission.release();
+                    resp
                 }
-            }
+            },
             Err(e) => WireResponse::Error(format!("malformed request: {e}")),
         };
         write_frame(&mut conn, &resp.encode(), opts.max_frame)?;
@@ -479,6 +659,242 @@ mod tests {
         let mut fresh = TcpStream::connect(addr).unwrap();
         assert_eq!(call(&mut fresh, &WireRequest::Ping).unwrap(), WireResponse::Pong);
         srv.shutdown();
+    }
+
+    /// Sleeps on Stats (a stand-in for an expensive query), answers
+    /// Ping instantly.
+    struct SlowStats(Duration);
+    impl WireService for SlowStats {
+        fn handle(&self, req: WireRequest) -> WireResponse {
+            match req {
+                WireRequest::Ping => WireResponse::Pong,
+                WireRequest::Stats => {
+                    std::thread::sleep(self.0);
+                    WireResponse::Stats("done".into())
+                }
+                other => WireResponse::Error(format!("unsupported: {other:?}")),
+            }
+        }
+    }
+
+    #[test]
+    fn silent_connection_cannot_pin_a_worker() {
+        // Satellite regression: a client that connects and sends nothing
+        // must cost the single worker at most the read timeout.
+        let opts = ServerOptions {
+            workers: 1,
+            read_timeout: Some(Duration::from_millis(100)),
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), opts).unwrap();
+        let addr = srv.local_addr();
+        let silent = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(30)); // let the worker adopt it
+        let started = Instant::now();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "silent connection pinned the worker for {:?}",
+            started.elapsed()
+        );
+        drop(silent);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn full_accept_queue_is_shed_with_busy() {
+        // One worker, a queue of one: a slow request occupies the
+        // worker, a second connection fills the queue, and the third is
+        // answered Busy by the accept thread without any worker's help.
+        let opts = ServerOptions {
+            workers: 1,
+            max_pending: 1,
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(SlowStats(Duration::from_millis(600))),
+            opts,
+        )
+        .unwrap();
+        let addr = srv.local_addr();
+        let mut busy_conn = TcpStream::connect(addr).unwrap();
+        write_frame(&mut busy_conn, &WireRequest::Stats.encode(), DEFAULT_MAX_FRAME).unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // worker now inside the sleep
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // accept thread queued it
+        let mut shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // The Busy frame arrives without the client sending anything.
+        let payload = read_frame(&mut shed, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        match WireResponse::decode(&payload).unwrap() {
+            WireResponse::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+            other => panic!("expected Busy at the door, got {other:?}"),
+        }
+        assert!(srv.admission().snapshot().busy_rejections >= 1);
+        // The slow request itself was never harmed.
+        let payload = read_frame(&mut busy_conn, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(
+            WireResponse::decode(&payload).unwrap(),
+            WireResponse::Stats("done".into())
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn blown_deadline_frees_the_worker_and_reports_it() {
+        let opts = ServerOptions {
+            workers: 1,
+            request_deadline: Some(Duration::from_millis(100)),
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(SlowStats(Duration::from_secs(2))),
+            opts,
+        )
+        .unwrap();
+        let addr = srv.local_addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        assert_eq!(
+            call(&mut conn, &WireRequest::Stats).unwrap(),
+            WireResponse::DeadlineExceeded { budget_ms: 100 }
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "deadline did not release the worker: {:?}",
+            started.elapsed()
+        );
+        // The (single) worker is free while the runaway still sleeps.
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        let snap = srv.admission().snapshot();
+        assert_eq!(snap.deadline_exceeded, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn in_budget_requests_are_untouched_by_the_deadline() {
+        let opts = ServerOptions {
+            request_deadline: Some(Duration::from_secs(5)),
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(SlowStats(Duration::from_millis(10))),
+            opts,
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        assert_eq!(
+            call(&mut conn, &WireRequest::Stats).unwrap(),
+            WireResponse::Stats("done".into())
+        );
+        assert_eq!(srv.admission().snapshot().deadline_exceeded, 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn rate_limited_peer_gets_busy_on_the_open_connection() {
+        use netdir_obs::{ManualClock, MetricsRegistry};
+        use netdir_server::{AdmissionConfig, RateLimit};
+        // A frozen manual clock: the bucket never refills, so outcomes
+        // are exact — two admitted, the rest Busy.
+        let controller = Arc::new(AdmissionController::new(
+            AdmissionConfig {
+                rate: Some(RateLimit { per_sec: 1, burst: 2 }),
+                ..AdmissionConfig::default()
+            },
+            Arc::new(ManualClock::new()),
+            &MetricsRegistry::new(),
+        ));
+        let opts = ServerOptions {
+            admission: Some(controller.clone()),
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind("127.0.0.1:0", Arc::new(PingOnly), opts).unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        assert_eq!(call(&mut conn, &WireRequest::Ping).unwrap(), WireResponse::Pong);
+        // Shed requests answer Busy but the connection stays usable.
+        for _ in 0..3 {
+            match call(&mut conn, &WireRequest::Ping).unwrap() {
+                WireResponse::Busy { retry_after_ms } => assert!(retry_after_ms >= 1000),
+                other => panic!("expected Busy, got {other:?}"),
+            }
+        }
+        let snap = controller.snapshot();
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.rate_limited, 3);
+        assert_eq!(snap.busy_rejections, 3);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn enumeration_cap_counts_shipped_entries() {
+        use netdir_obs::{ManualClock, MetricsRegistry};
+        use netdir_server::{AdmissionConfig, EnumCap};
+        /// Ships five (fake) entries per request.
+        struct FiveEntries;
+        impl WireService for FiveEntries {
+            fn handle(&self, _req: WireRequest) -> WireResponse {
+                WireResponse::Entries(vec![vec![0u8; 8]; 5])
+            }
+        }
+        let controller = Arc::new(AdmissionController::new(
+            AdmissionConfig {
+                enumeration: Some(EnumCap {
+                    max_entries: 9,
+                    window: Duration::from_secs(60),
+                }),
+                ..AdmissionConfig::default()
+            },
+            Arc::new(ManualClock::new()),
+            &MetricsRegistry::new(),
+        ));
+        let opts = ServerOptions {
+            admission: Some(controller.clone()),
+            ..ServerOptions::default()
+        };
+        let mut srv = WireServer::bind("127.0.0.1:0", Arc::new(FiveEntries), opts).unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        // 5 entries, then 10 — the second request crosses the cap only
+        // after shipping, so it succeeds; the third is shed.
+        for _ in 0..2 {
+            assert!(matches!(
+                call(&mut conn, &WireRequest::Ping).unwrap(),
+                WireResponse::Entries(_)
+            ));
+        }
+        assert!(matches!(
+            call(&mut conn, &WireRequest::Ping).unwrap(),
+            WireResponse::Busy { .. }
+        ));
+        assert_eq!(controller.snapshot().enum_capped, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_the_inflight_request() {
+        // Graceful drain: a request being processed when shutdown is
+        // requested still gets its full response.
+        let mut srv = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(SlowStats(Duration::from_millis(300))),
+            ServerOptions::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        write_frame(&mut conn, &WireRequest::Stats.encode(), DEFAULT_MAX_FRAME).unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // request is now executing
+        srv.shutdown(); // blocks until every thread exits
+        let payload = read_frame(&mut conn, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(
+            WireResponse::decode(&payload).unwrap(),
+            WireResponse::Stats("done".into())
+        );
     }
 
     #[test]

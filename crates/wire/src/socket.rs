@@ -25,6 +25,10 @@ fn to_transport_error(e: WireError) -> TransportError {
         WireError::Io(d) => TransportError::new(d),
         WireError::Protocol(d) => TransportError::protocol(d),
         WireError::Remote(d) => TransportError::remote(d),
+        // Admission shedding is transient server weather (retryable,
+        // possibly on a replica); a blown deadline repeats over there.
+        e @ WireError::Busy { .. } => TransportError::new(e.to_string()),
+        e @ WireError::DeadlineExceeded { .. } => TransportError::remote(e.to_string()),
     }
 }
 

@@ -4,13 +4,19 @@
 //! a fixed seed replays the whole scenario bit-identically (same retry
 //! counts, same fault draws, same partial sets, same entry bytes).
 
+use netdir_filter::{parse_atomic, Scope};
 use netdir_model::{Directory, Dn, Entry};
+use netdir_obs::{ManualClock, MetricsRegistry};
 use netdir_query::parse_query;
 use netdir_server::{
-    BreakerConfig, BreakerState, ConsistencyMode, FaultConfig, RetryPolicy,
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, BreakerConfig, BreakerState,
+    ConsistencyMode, FaultConfig, RateLimit, RetryPolicy,
 };
 use netdir_server::ClusterBuilder;
-use netdir_wire::{encode_entries, ClientOptions, FaultPlan, ServerOptions, WireCluster};
+use netdir_wire::{
+    encode_entries, ClientOptions, FaultPlan, ServerOptions, WireClient, WireCluster, WireError,
+};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn dn(s: &str) -> Dn {
@@ -218,6 +224,170 @@ fn chaos_run(
         wire.retry_stats().snapshot(),
         wire.fault_stats().unwrap().snapshot(),
     )
+}
+
+/// The atomic probe used to drain the admission bucket: answered by the
+/// `att` daemon alone, no cross-zone fetches.
+fn probe_filter() -> (Dn, netdir_filter::AtomicFilter) {
+    (dn("dc=att, dc=com"), parse_atomic("surName=jagadish").unwrap())
+}
+
+/// Shed probes issued past the drained bucket in [`overloaded_run`].
+const SHED_PROBES: usize = 12;
+
+/// Rate-limit burst armed in [`overloaded_run`] — sized so the strict
+/// phase never overdraws it (the run asserts this).
+const BURST: u32 = 400;
+
+/// Everything observable from one overloaded chaos scenario.
+struct OverloadRun {
+    /// Encoded strict answers, one per level query.
+    strict: Vec<Vec<Vec<u8>>>,
+    /// Encoded answers of the *accepted* drain probes, in order.
+    accepted: Vec<Vec<Vec<u8>>>,
+    /// Retry hints of the shed probes, in order.
+    busy_hints: Vec<u32>,
+    admission: AdmissionSnapshot,
+    faults: netdir_server::FaultSnapshot,
+}
+
+/// One overload-under-weather scenario: every daemon shares an
+/// admission controller whose token bucket sits on a *frozen* manual
+/// clock (no refill — the budget is finite and exact), while the
+/// inter-daemon transport drops calls under seeded weather. Phase 1
+/// runs every strict query; phase 2 drains the remaining tokens with
+/// sequential atomic probes until the daemon sheds with `Busy`.
+fn overloaded_run(seed: u64) -> OverloadRun {
+    let registry = MetricsRegistry::new();
+    netdir_server::metrics::register_all(&registry);
+    let admission = Arc::new(AdmissionController::new(
+        AdmissionConfig {
+            rate: Some(RateLimit { per_sec: 1, burst: BURST }),
+            ..AdmissionConfig::default()
+        },
+        Arc::new(ManualClock::new()),
+        &registry,
+    ));
+    let server_opts = ServerOptions {
+        admission: Some(admission.clone()),
+        ..ServerOptions::default()
+    };
+    let plan = FaultPlan {
+        faults: FaultConfig::seeded(seed).with_drop_rate(0.3),
+        retry: RetryPolicy::immediate(4),
+        breaker: BreakerConfig {
+            failure_threshold: 1_000,
+            cooldown: Duration::from_secs(600),
+        },
+    };
+    let wire = WireCluster::launch_with_faults(
+        builder(),
+        &dir(),
+        server_opts,
+        ClientOptions::default(),
+        plan,
+    )
+    .unwrap();
+    let pager = netdir_pager::default_pager();
+
+    // Phase 1: strict queries under drop weather, admission armed but
+    // within budget. Retries burn weather, not tokens the phase cannot
+    // afford.
+    let strict: Vec<Vec<Vec<u8>>> = queries()
+        .iter()
+        .map(|text| {
+            let query = parse_query(text).unwrap();
+            encode_entries(&wire.query_from("att", &pager, &query).unwrap())
+        })
+        .collect();
+
+    // Phase 2: the bucket never refills, so exactly `BURST - admitted`
+    // probes are still fundable; everything past that must shed.
+    let after_queries = admission.snapshot();
+    assert_eq!(
+        after_queries.busy_rejections, 0,
+        "strict phase overdrew the bucket — raise BURST"
+    );
+    let remaining = u64::from(BURST) - after_queries.admitted;
+    let att = wire.server_id("att").unwrap();
+    let probe = WireClient::connect(
+        wire.addr(att),
+        ClientOptions {
+            retry: RetryPolicy::none(),
+            pool_size: 0,
+            ..ClientOptions::default()
+        },
+    );
+    let (base, filter) = probe_filter();
+    let mut accepted = Vec::new();
+    let mut busy_hints = Vec::new();
+    for _ in 0..remaining as usize + SHED_PROBES {
+        match probe.atomic_counted(&base, Scope::Sub, &filter) {
+            Ok((bytes, _)) => accepted.push(bytes),
+            Err(WireError::Busy { retry_after_ms }) => busy_hints.push(retry_after_ms),
+            Err(e) => panic!("probe failed with a non-admission error: {e}"),
+        }
+    }
+    OverloadRun {
+        strict,
+        accepted,
+        busy_hints,
+        admission: admission.snapshot(),
+        faults: wire.fault_stats().unwrap().snapshot(),
+    }
+}
+
+/// Under injected faults *and* admission limits, every accepted strict
+/// answer is byte-identical to a no-overload, no-weather baseline; the
+/// drained bucket sheds exactly and the whole scenario — accepted
+/// bytes, shed counts, retry hints, fault draws — replays
+/// bit-identically under the same seed.
+#[test]
+fn admission_under_chaos_answers_exactly_and_sheds_reproducibly() {
+    // No-overload baseline: same cluster shape, no faults, no limits.
+    let baseline = WireCluster::launch_default(builder(), &dir()).unwrap();
+    let pager = netdir_pager::default_pager();
+    let strict_baseline: Vec<Vec<Vec<u8>>> = queries()
+        .iter()
+        .map(|text| {
+            let query = parse_query(text).unwrap();
+            encode_entries(&baseline.query_from("att", &pager, &query).unwrap())
+        })
+        .collect();
+    let att = baseline.server_id("att").unwrap();
+    let (base, filter) = probe_filter();
+    let (probe_baseline, _) = baseline
+        .client(att)
+        .atomic_counted(&base, Scope::Sub, &filter)
+        .unwrap();
+    drop(baseline);
+
+    let a = overloaded_run(77);
+
+    // Accepted answers are exact: overload shapes *whether* a request
+    // is served, never *what* an accepted one sees.
+    assert_eq!(a.strict, strict_baseline, "strict bytes drifted under overload");
+    assert!(!a.accepted.is_empty(), "bucket left no room for accepted probes");
+    for bytes in &a.accepted {
+        assert_eq!(bytes, &probe_baseline, "accepted probe bytes drifted");
+    }
+
+    // The bucket drained exactly: every probe past `remaining` shed,
+    // none before it, and the accounting matches the arithmetic.
+    assert_eq!(a.busy_hints.len(), SHED_PROBES, "shedding started early or late");
+    assert_eq!(a.admission.admitted, u64::from(BURST));
+    assert_eq!(a.admission.busy_rejections, SHED_PROBES as u64);
+    assert_eq!(a.admission.rate_limited, SHED_PROBES as u64);
+    assert_eq!(a.admission.inflight, 0, "admission slots leaked");
+
+    // The weather was real, and the whole scenario replays bit-for-bit.
+    assert!(a.faults.dropped > 0, "seed 77 never dropped a call");
+    let b = overloaded_run(77);
+    assert_eq!(a.strict, b.strict, "strict bytes diverged across replays");
+    assert_eq!(a.accepted, b.accepted, "accepted probe bytes diverged");
+    assert_eq!(a.busy_hints, b.busy_hints, "Busy accounting diverged");
+    assert_eq!(a.admission, b.admission, "admission counters diverged");
+    assert_eq!(a.faults, b.faults, "fault draws diverged");
 }
 
 /// The same seed must replay the whole scenario bit-identically across

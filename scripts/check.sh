@@ -24,6 +24,13 @@
 #                                   every byte), the snapshot-isolation
 #                                   property suite, and the journal
 #                                   unit tests
+#   scripts/check.sh --load-smoke   gate + the overload guards run
+#                                   explicitly: the daemon's admission/
+#                                   deadline tests, the overload chaos
+#                                   determinism suite, and the closed-
+#                                   loop load sweep landing in target/
+#                                   BENCH_smoke.json (schema validated,
+#                                   shedding invariants asserted)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,12 +38,14 @@ chaos=0
 bench_smoke=0
 par_smoke=0
 wal_smoke=0
+load_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --par-smoke) par_smoke=1 ;;
     --wal-smoke) wal_smoke=1 ;;
+    --load-smoke) load_smoke=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
   esac
 done
@@ -79,6 +88,18 @@ if [ "$wal_smoke" = 1 ]; then
   cargo test -q -p netdir-journal --test recovery_torture
   cargo test -q -p netdir-journal --test snapshot_prop
   cargo test -q -p netdir-bench mutation
+fi
+
+if [ "$load_smoke" = 1 ]; then
+  echo "check.sh: running overload guards"
+  cargo test -q -p netdir-server admission
+  cargo test -q -p netdir-wire --lib
+  cargo test -q -p netdir-wire --test chaos admission_under_chaos
+  cargo test -q --release -p netdir-bench --lib load
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --smoke --json target/BENCH_smoke.json
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --validate target/BENCH_smoke.json
 fi
 
 echo "check.sh: all green"
