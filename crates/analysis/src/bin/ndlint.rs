@@ -1,0 +1,82 @@
+//! `ndlint` — run the workspace invariant lints.
+//!
+//! ```text
+//! ndlint [--root PATH] [--quiet]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 on violations, 2 on usage or I/O
+//! errors. Diagnostics print as `file:line:col: lint: message`, one per
+//! line, so editors and CI annotate them like compiler output. Unused
+//! allowlist entries are reported as warnings (stale exceptions must
+//! not outlive the code they excuse) but do not fail the run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netdir_analysis::{run, Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("ndlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: ndlint [--root PATH] [--quiet]");
+                println!();
+                println!("Lints: clock-discipline, wire-tag-freeze, metric-name-registry,");
+                println!("       no-lock-across-io, panic-path.");
+                println!("Exceptions: compat/ndlint.allow (one rationale per entry).");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ndlint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "ndlint: {} does not look like the workspace root (no crates/ directory)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match run(&root, &Config::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ndlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.violations {
+        println!("{d}");
+    }
+    for w in &report.unused_allows {
+        eprintln!("warning: {w}");
+    }
+    if !quiet {
+        eprintln!(
+            "ndlint: {} file(s) scanned, {} violation(s), {} allowlisted",
+            report.files_scanned,
+            report.violations.len(),
+            report.allowed
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,414 @@
+//! A small self-contained Rust lexer.
+//!
+//! The build environment has no crates.io access, so `ndlint` cannot use
+//! `syn`; the lints in this crate only need a faithful *token* view of
+//! the source — identifiers, punctuation, and literals with comments and
+//! strings correctly skipped — plus line/column spans for diagnostics.
+//! That is exactly what this lexer produces. It understands everything
+//! that trips up naive `grep`-style scanning: nested block comments,
+//! escaped and raw (`r#"…"#`) strings, byte strings, char literals vs
+//! lifetimes, and doc comments.
+//!
+//! It does **not** attempt full parsing; the structural pass in
+//! [`crate::parse`] layers item/block recognition on top of these
+//! tokens.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Instant`, `read_page`, …).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`). The
+    /// token text is the *decoded-enough* content for plain strings
+    /// (escapes left as written) and the raw content for raw strings,
+    /// without the surrounding quotes/hashes.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0x8`, `1_000u64`, `2.5e3`).
+    Num,
+    /// A single punctuation character (`:`, `{`, `!`, …). Multi-char
+    /// operators appear as consecutive single-char tokens, which is all
+    /// the pattern matching here needs (`::` is `:` `:`).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line/column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for literal conventions).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Does the identifier just lexed introduce a string/char literal
+/// (`r"…"`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`)? Returns the number of
+/// leading `#` for raw strings, or `None` if it is a plain identifier.
+fn string_prefix(ident: &str, cur: &Cursor<'_>) -> Option<(bool, bool)> {
+    // (is_raw, is_char): raw strings consume `#…"`, char-likes consume `'`.
+    let raw = matches!(ident, "r" | "br" | "cr");
+    let plain = matches!(ident, "b" | "c");
+    if raw {
+        match cur.peek(0) {
+            Some(b'"') | Some(b'#') => Some((true, false)),
+            _ => None,
+        }
+    } else if plain {
+        match cur.peek(0) {
+            Some(b'"') => Some((false, false)),
+            Some(b'\'') if ident == "b" => Some((false, true)),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Lex `src` into tokens, skipping whitespace and comments.
+///
+/// The lexer is deliberately forgiving: malformed input (an unterminated
+/// string at EOF, say) yields the tokens seen so far rather than an
+/// error — a linter should degrade to fewer findings, not crash, and the
+/// compiler is the authority on well-formedness.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                let text = lex_plain_string(&mut cur);
+                out.push(Token { kind: TokKind::Str, text, line, col });
+            }
+            b'\'' => {
+                if let Some(tok) = lex_char_or_lifetime(&mut cur, line, col) {
+                    out.push(tok);
+                }
+            }
+            b if is_ident_start(b) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'_') as char);
+                }
+                match string_prefix(&text, &cur) {
+                    Some((true, _)) => {
+                        let body = lex_raw_string(&mut cur);
+                        out.push(Token { kind: TokKind::Str, text: body, line, col });
+                    }
+                    Some((false, false)) => {
+                        let body = lex_plain_string(&mut cur);
+                        out.push(Token { kind: TokKind::Str, text: body, line, col });
+                    }
+                    Some((false, true)) => {
+                        // b'x' — consume the quote then the char body.
+                        if let Some(tok) = lex_char_or_lifetime(&mut cur, line, col) {
+                            out.push(Token { kind: TokKind::Char, ..tok });
+                        }
+                    }
+                    None => out.push(Token { kind: TokKind::Ident, text, line, col }),
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    // Good enough for tag values and spans: digits, hex
+                    // letters, `_`, `.`, exponent signs after e/E.
+                    let take = c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || (c == b'.' && cur.peek(1).is_some_and(|n| n.is_ascii_digit()))
+                        || ((c == b'+' || c == b'-')
+                            && text.as_bytes().last().is_some_and(|l| *l == b'e' || *l == b'E'));
+                    if !take {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'0') as char);
+                }
+                out.push(Token { kind: TokKind::Num, text, line, col });
+            }
+            other => {
+                cur.bump();
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: (other as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consume a `"…"` string (opening quote under the cursor). Returns the
+/// body with escapes left as written.
+fn lex_plain_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let mut body = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => {
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    body.push('\\');
+                    body.push(esc as char);
+                }
+            }
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            _ => {
+                if let Some(c) = cur.bump() {
+                    body.push(c as char);
+                }
+            }
+        }
+    }
+    body
+}
+
+/// Consume a raw string: cursor sits on `#…"` or `"`. Returns the body.
+fn lex_raw_string(cur: &mut Cursor<'_>) -> String {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening quote
+    let mut body = String::new();
+    'outer: while let Some(c) = cur.peek(0) {
+        if c == b'"' {
+            // A quote ends the literal iff followed by `hashes` hashes.
+            let mut ok = true;
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump();
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break 'outer;
+            }
+        }
+        if let Some(c) = cur.bump() {
+            body.push(c as char);
+        }
+    }
+    body
+}
+
+/// Cursor sits on `'`. Distinguish a char literal (`'x'`, `'\n'`) from a
+/// lifetime (`'a`, `'static`). Returns `None` for a stray quote at EOF.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Token> {
+    cur.bump(); // the quote
+    match cur.peek(0)? {
+        b'\\' => {
+            // Escaped char literal: consume `\x`…`'`.
+            let mut text = String::new();
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                if c == b'\'' {
+                    cur.bump();
+                    break;
+                }
+                text.push(cur.bump()? as char);
+            }
+            Some(Token { kind: TokKind::Char, text, line, col })
+        }
+        c if is_ident_start(c) => {
+            // Could be 'a' (char) or 'a / 'static (lifetime): a closing
+            // quote right after one ident char means char literal.
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(cur.bump()? as char);
+            }
+            if cur.peek(0) == Some(b'\'') && text.chars().count() == 1 {
+                cur.bump();
+                Some(Token { kind: TokKind::Char, text, line, col })
+            } else {
+                Some(Token { kind: TokKind::Lifetime, text, line, col })
+            }
+        }
+        _ => {
+            // 'x' where x is punctuation/digit: consume to closing quote.
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == b'\'' {
+                    cur.bump();
+                    break;
+                }
+                text.push(cur.bump()? as char);
+            }
+            Some(Token { kind: TokKind::Char, text, line, col })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_tokens_for_their_content() {
+        let toks = kinds(
+            r#"
+            // Instant::now in a comment
+            /* thread::sleep /* nested */ still comment */
+            let s = "Instant::now()"; // and in a string
+            "#,
+        );
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("Instant")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_one_literal() {
+        let toks = kinds(r##"let a = r#"quote " inside"#; let b = b"bytes"; let c = br#"x"#;"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec!["quote \" inside", "bytes", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_and_puncts_survive() {
+        let toks = kinds("const T: u8 = 0x2A; let f = 1_000.5e-3;");
+        assert!(toks.contains(&(TokKind::Num, "0x2A".into())));
+        assert!(toks.contains(&(TokKind::Num, "1_000.5e-3".into())));
+        assert!(toks.contains(&(TokKind::Punct, ";".into())));
+    }
+}

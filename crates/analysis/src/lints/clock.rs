@@ -1,0 +1,49 @@
+//! `clock-discipline`: all time must flow through the injectable
+//! `obs::Clock` (PR 4). Raw `Instant::now()`, `SystemTime::now()`, and
+//! `thread::sleep` are forbidden outside `crates/obs/src/clock.rs`
+//! (where the trait's real implementations live) and test code. Code
+//! that is genuinely wall-clock-bound — latency simulation, benchmark
+//! harnesses — earns an allowlist entry with a rationale instead.
+
+use crate::lints::path_at;
+use crate::{Config, Diagnostic, Workspace};
+
+/// Lint name.
+pub const NAME: &str = "clock-discipline";
+
+/// Run the lint.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if config.clock_sanctum.iter().any(|s| file.rel_path == *s) {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let hit = if path_at(&file.tokens, i, &["Instant", "now"]) {
+                Some("Instant::now()")
+            } else if path_at(&file.tokens, i, &["SystemTime", "now"]) {
+                Some("SystemTime::now()")
+            } else if path_at(&file.tokens, i, &["thread", "sleep"]) {
+                Some("thread::sleep")
+            } else {
+                None
+            };
+            let Some(what) = hit else { continue };
+            if file.is_test_tok(i) {
+                continue;
+            }
+            let t = &file.tokens[i];
+            out.push(Diagnostic {
+                lint: NAME,
+                file: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                func: file.enclosing_fn(i).map(|f| f.name.clone()),
+                message: format!(
+                    "raw {what}; inject obs::Clock (or add a rationale to the allowlist)"
+                ),
+            });
+        }
+    }
+    out
+}

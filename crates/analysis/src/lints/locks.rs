@@ -1,0 +1,159 @@
+//! `no-lock-across-io`: a lock guard bound with `let` must not stay
+//! live across a pager disk call (`read_page`/`write_page`). Holding a
+//! pool or table lock through device latency serializes every other
+//! thread behind one I/O — the exact pathology the buffer pool's
+//! loading-frame protocol exists to avoid (PR 5). The pool itself
+//! (`crates/pager/src/pool.rs`) is the audited implementation of that
+//! protocol and is excluded here; its concurrency story is checked
+//! dynamically by the interleaving model instead.
+
+use crate::lexer::TokKind;
+use crate::lints::{is_call, is_nullary_call};
+use crate::parse::SourceFile;
+use crate::{Config, Diagnostic, Workspace};
+
+/// Lint name.
+pub const NAME: &str = "no-lock-across-io";
+
+/// Guard-producing methods: `m.lock()`, `rw.read()`, `rw.write()` —
+/// nullary calls only, so `io::Write::write(buf)` stays out.
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Disk-touching calls a guard must not span.
+const IO_CALLS: &[&str] = &["read_page", "write_page"];
+
+/// Run the lint.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if config.lock_audited.iter().any(|s| file.rel_path == *s) {
+            continue;
+        }
+        check_file(file, &mut out);
+    }
+    out
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        // `.lock()` / `.read()` / `.write()` with zero arguments.
+        let is_guard_call = toks[i].kind == TokKind::Ident
+            && GUARD_METHODS.iter().any(|m| toks[i].text == *m)
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && is_nullary_call(toks, i);
+        if !is_guard_call || file.is_test_tok(i) {
+            continue;
+        }
+        // The guard must be bound with `let` to outlive its statement;
+        // a temporary (`m.lock().foo()`) dies at the `;` and cannot
+        // span anything.
+        let Some((guard_name, let_idx)) = binding_of(file, i) else {
+            continue;
+        };
+        // Guard scope: to the end of the binding's enclosing block, or
+        // an explicit `drop(guard)`, whichever comes first.
+        let depth = file.depth[let_idx];
+        let mut j = i + 1;
+        while j < toks.len() && file.depth[j] >= depth {
+            if toks[j].is_ident("drop")
+                && is_call(toks, j)
+                && toks.get(j + 2).is_some_and(|t| t.is_ident(&guard_name))
+            {
+                break;
+            }
+            if toks[j].kind == TokKind::Ident
+                && IO_CALLS.iter().any(|c| toks[j].text == *c)
+                && is_call(toks, j)
+            {
+                let t = &toks[j];
+                out.push(Diagnostic {
+                    lint: NAME,
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    func: file.enclosing_fn(j).map(|f| f.name.clone()),
+                    message: format!(
+                        "disk call {}() while lock guard `{}` (bound at line {}) is still held",
+                        t.text, guard_name, toks[let_idx].line
+                    ),
+                });
+            }
+            j += 1;
+        }
+    }
+}
+
+/// If the guard call at `i` is the initializer of a `let` statement,
+/// return the bound name and the `let` token's index.
+fn binding_of(file: &SourceFile, i: usize) -> Option<(String, usize)> {
+    let toks = &file.tokens;
+    // Walk back to the start of the statement.
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name_tok = toks.get(k)?;
+    if name_tok.kind != TokKind::Ident || name_tok.text == "_" {
+        return None;
+    }
+    Some((name_tok.text.clone(), j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn guard_spanning_io_fires() {
+        let d = diags(
+            "fn f(m: M, d: D) { let g = m.lock(); d.read_page(0); g.touch(); }",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("read_page"));
+        assert!(d[0].message.contains('g'));
+    }
+
+    #[test]
+    fn dropped_guard_is_fine() {
+        let d = diags(
+            "fn f(m: M, d: D) { let g = m.lock(); drop(g); d.read_page(0); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn scoped_guard_is_fine() {
+        let d = diags(
+            "fn f(m: M, d: D) { { let g = m.lock(); g.touch(); } d.write_page(0, b); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn temporaries_and_io_write_do_not_count() {
+        let d = diags(
+            "fn f(m: M, w: W, d: D) { m.lock().bump(); let n = w.write(buf); d.read_page(n); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! `metric-name-registry`: every metric-name string literal in the
+//! workspace must correspond to a constant registered in
+//! `crates/obs/src/names.rs`. Catches three failure modes: a typo'd
+//! name in an assertion or dashboard probe (never matches, silently
+//! green), two constants registering the same name (double counting),
+//! and an orphaned registration nothing references (dead weight in the
+//! exporter). Histogram series legitimately expose `_count`/`_sum`
+//! variants of a registered base name.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::{Config, Diagnostic, Workspace};
+
+/// Lint name.
+pub const NAME: &str = "metric-name-registry";
+
+// Written as `concat!` so the assembled prefix never appears as a
+// literal in this (scanned) file.
+const PREFIX: &str = concat!("netdir", "_");
+
+struct Registry {
+    /// const ident -> (metric name, line).
+    consts: BTreeMap<String, (String, u32)>,
+    /// idents listed in `TRACKED`.
+    tracked: BTreeSet<String>,
+}
+
+fn parse_registry(ws: &Workspace, config: &Config) -> Option<Registry> {
+    let file = ws.file(config.names_file)?;
+    let toks = &file.tokens;
+    let mut consts = BTreeMap::new();
+    let mut tracked = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") || file.is_test_tok(i) {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        if name_tok.text == "TRACKED" {
+            // const TRACKED: &[&str] = &[A, B, …];
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('=') {
+                j += 1;
+            }
+            while j < toks.len() && !toks[j].is_punct(';') {
+                if toks[j].kind == TokKind::Ident {
+                    tracked.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            continue;
+        }
+        // const NAME: &str = "netdir_…";
+        let val = toks
+            .iter()
+            .skip(i + 2)
+            .take(8)
+            .skip_while(|t| !t.is_punct('='))
+            .nth(1)
+            .filter(|t| t.kind == TokKind::Str && t.text.starts_with(PREFIX));
+        if let Some(v) = val {
+            consts.insert(name_tok.text.clone(), (v.text.clone(), name_tok.line));
+        }
+    }
+    Some(Registry { consts, tracked })
+}
+
+/// Words (maximal `[A-Za-z0-9_]+` runs) inside a string literal — a
+/// literal may embed a name in expected-output text like
+/// `"netdir_queries_total 10"`.
+fn words(s: &str) -> impl Iterator<Item = &str> {
+    s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty())
+}
+
+/// Run the lint.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let Some(reg) = parse_registry(ws, config) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    // Duplicate registrations.
+    let mut by_value: BTreeMap<&str, Vec<(&str, u32)>> = BTreeMap::new();
+    for (ident, (value, line)) in &reg.consts {
+        by_value.entry(value).or_default().push((ident, *line));
+    }
+    for (value, idents) in &by_value {
+        if idents.len() > 1 {
+            let names: Vec<&str> = idents.iter().map(|(i, _)| *i).collect();
+            out.push(Diagnostic {
+                lint: NAME,
+                file: config.names_file.to_string(),
+                line: idents[1].1,
+                col: 1,
+                func: None,
+                message: format!("{value:?} registered more than once: {}", names.join(", ")),
+            });
+        }
+    }
+
+    // Orphaned registrations: not in TRACKED and the const is never
+    // referenced outside the registry file.
+    let referenced: BTreeSet<&str> = ws
+        .files
+        .iter()
+        .filter(|f| f.rel_path != config.names_file)
+        .flat_map(|f| f.tokens.iter())
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .filter(|t| reg.consts.contains_key(*t))
+        .collect();
+    for (ident, (value, line)) in &reg.consts {
+        if !reg.tracked.contains(ident) && !referenced.contains(ident.as_str()) {
+            out.push(Diagnostic {
+                lint: NAME,
+                file: config.names_file.to_string(),
+                line: *line,
+                col: 1,
+                func: None,
+                message: format!(
+                    "orphaned registration: {ident} ({value:?}) is neither in TRACKED nor referenced anywhere"
+                ),
+            });
+        }
+    }
+
+    // Every metric-name word in every other file's string literals must
+    // resolve to a registered name (or a histogram _count/_sum series).
+    // Test code is deliberately *included*: a typo'd name in an
+    // assertion matches nothing and passes vacuously — exactly the bug
+    // this lint exists to catch.
+    let known: BTreeSet<&str> = reg.consts.values().map(|(v, _)| v.as_str()).collect();
+    let resolves = |w: &str| {
+        known.contains(w)
+            || w.strip_suffix("_count").is_some_and(|b| known.contains(b))
+            || w.strip_suffix("_sum").is_some_and(|b| known.contains(b))
+    };
+    for file in &ws.files {
+        if file.rel_path == config.names_file {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokKind::Str || !t.text.contains(PREFIX) {
+                continue;
+            }
+            for w in words(&t.text) {
+                if w.starts_with(PREFIX) && !resolves(w) {
+                    out.push(Diagnostic {
+                        lint: NAME,
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        func: file.enclosing_fn(i).map(|f| f.name.clone()),
+                        message: format!(
+                            "{w:?} is not a registered metric name (see {})",
+                            config.names_file
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

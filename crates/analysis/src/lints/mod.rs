@@ -1,0 +1,97 @@
+//! The five project lints. Each submodule exposes
+//! `check(&Workspace, &Config) -> Vec<Diagnostic>`; orchestration and
+//! allowlist filtering live in [`crate::run`].
+
+pub mod clock;
+pub mod locks;
+pub mod metrics;
+pub mod panics;
+pub mod wire_tags;
+
+use crate::lexer::Token;
+
+/// Does the token sequence starting at `i` spell `path` (identifiers
+/// joined by `::`)? E.g. `seq_at(toks, i, &["Instant", "now"])` matches
+/// `Instant::now`.
+pub(crate) fn path_at(tokens: &[Token], i: usize, segs: &[&str]) -> bool {
+    let mut j = i;
+    for (n, seg) in segs.iter().enumerate() {
+        if n > 0 {
+            if !(tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            j += 2;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_ident(seg)) {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Is token `i` an identifier called as a function/method — i.e.
+/// immediately followed by `(`?
+pub(crate) fn is_call(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// Is the call at `i` argument-free — `ident()` with nothing between
+/// the parens? Distinguishes `guard.write()` (lock acquisition) from
+/// `io::Write::write(buf)`.
+pub(crate) fn is_nullary_call(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
+}
+
+/// Parse an integer literal token (`42`, `0x1f`, `1_000`), ignoring a
+/// type suffix.
+pub(crate) fn parse_int(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(hex) = t.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(oct) = t.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = t.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    let digits = digits
+        .find(|c: char| !c.is_digit(radix))
+        .map_or(digits, |end| &digits[..end]);
+    u64::from_str_radix(digits, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn path_matching() {
+        let toks = lex("std::time::Instant::now()");
+        assert!(path_at(&toks, 0, &["std", "time", "Instant", "now"]));
+        assert!(path_at(&toks, 6, &["Instant", "now"]));
+        assert!(!path_at(&toks, 6, &["Instant", "elapsed"]));
+    }
+
+    #[test]
+    fn nullary_detection() {
+        let toks = lex("a.write() b.write(buf)");
+        let w1 = toks.iter().position(|t| t.is_ident("write")).unwrap();
+        assert!(is_nullary_call(&toks, w1));
+        let w2 = toks.iter().rposition(|t| t.is_ident("write")).unwrap();
+        assert!(is_call(&toks, w2));
+        assert!(!is_nullary_call(&toks, w2));
+    }
+
+    #[test]
+    fn int_parsing() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("0x1f"), Some(31));
+        assert_eq!(parse_int("1_000u64"), Some(1000));
+    }
+}

@@ -1,0 +1,177 @@
+//! `wire-tag-freeze`: the on-wire frame/response/filter tag constants
+//! in `crates/wire/src/codec.rs` are append-only. Their values are
+//! frozen in `compat/wire_tags.lock`; renumbering or deleting a tag is
+//! an error (old clients would misparse every frame), and a new tag
+//! must land with a lockfile update in the same diff so the freeze is
+//! an explicit, reviewed act.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::lints::parse_int;
+use crate::{Config, Diagnostic, Workspace};
+
+/// Lint name.
+pub const NAME: &str = "wire-tag-freeze";
+
+/// Tag-constant name prefixes that make up the frozen namespace.
+pub const FAMILIES: &[&str] = &["REQ_", "RESP_", "AF_", "CF_"];
+
+/// Extract `const NAME: u8 = N;` tag constants from the codec file's
+/// non-test code. Public so the `netdir-wire` round-trip test and the
+/// lint share one extraction.
+pub fn extract_tags(ws: &Workspace, config: &Config) -> Option<BTreeMap<String, u64>> {
+    let file = ws.file(config.codec_file)?;
+    let toks = &file.tokens;
+    let mut tags = BTreeMap::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") || file.is_test_tok(i) {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident
+            || !FAMILIES.iter().any(|f| name_tok.text.starts_with(f))
+        {
+            continue;
+        }
+        // const NAME : u8 = <num> ;
+        let val = toks
+            .iter()
+            .skip(i + 2)
+            .take(8)
+            .skip_while(|t| !t.is_punct('='))
+            .nth(1)
+            .filter(|t| t.kind == TokKind::Num)
+            .and_then(|t| parse_int(&t.text));
+        if let Some(v) = val {
+            tags.insert(name_tok.text.clone(), v);
+        }
+    }
+    Some(tags)
+}
+
+/// Parse `NAME = N` lines from lockfile text (`#` comments allowed).
+pub fn parse_lock(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, val)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `NAME = value`", idx + 1));
+        };
+        let name = name.trim().to_string();
+        let Some(v) = parse_int(val.trim()) else {
+            return Err(format!("line {}: bad value {:?}", idx + 1, val.trim()));
+        };
+        if out.insert(name.clone(), v).is_some() {
+            return Err(format!("line {}: duplicate entry {name}", idx + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// Run the lint.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    // No codec file in this tree (e.g. a fixture for a different lint):
+    // nothing to freeze.
+    let Some(tags) = extract_tags(ws, config) else {
+        return Vec::new();
+    };
+    let here = |line: u32, message: String| Diagnostic {
+        lint: NAME,
+        file: config.codec_file.to_string(),
+        line,
+        col: 1,
+        func: None,
+        message,
+    };
+    let line_of = |name: &str| {
+        ws.file(config.codec_file)
+            .and_then(|f| {
+                f.tokens
+                    .iter()
+                    .find(|t| t.kind == TokKind::Ident && t.text == name)
+                    .map(|t| t.line)
+            })
+            .unwrap_or(1)
+    };
+
+    let mut out = Vec::new();
+    let lock_text = match ws.read_rel(config.tag_lock) {
+        Ok(t) => t,
+        Err(_) => {
+            out.push(Diagnostic {
+                lint: NAME,
+                file: config.tag_lock.to_string(),
+                line: 1,
+                col: 1,
+                func: None,
+                message: format!(
+                    "lockfile {} is missing; regenerate it from the codec tags",
+                    config.tag_lock
+                ),
+            });
+            return out;
+        }
+    };
+    let lock = match parse_lock(&lock_text) {
+        Ok(l) => l,
+        Err(e) => {
+            out.push(Diagnostic {
+                lint: NAME,
+                file: config.tag_lock.to_string(),
+                line: 1,
+                col: 1,
+                func: None,
+                message: format!("unparseable lockfile: {e}"),
+            });
+            return out;
+        }
+    };
+
+    for (name, locked) in &lock {
+        match tags.get(name) {
+            None => out.push(here(
+                1,
+                format!("tag {name} (= {locked}) was deleted; wire tags are append-only"),
+            )),
+            Some(actual) if actual != locked => out.push(here(
+                line_of(name),
+                format!("tag {name} renumbered: lockfile says {locked}, code says {actual}"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, actual) in &tags {
+        if !lock.contains_key(name) {
+            out.push(here(
+                line_of(name),
+                format!(
+                    "new tag {name} (= {actual}) is not in {}; append it with the same value",
+                    config.tag_lock
+                ),
+            ));
+        }
+    }
+    // Two live tags in one family sharing a value would make decode
+    // ambiguous regardless of what the lockfile says.
+    for fam in FAMILIES {
+        let mut by_val: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+        for (name, v) in &tags {
+            if name.starts_with(fam) {
+                by_val.entry(*v).or_default().push(name);
+            }
+        }
+        for (v, names) in by_val {
+            if names.len() > 1 {
+                out.push(here(
+                    line_of(names[1]),
+                    format!("duplicate tag value {v} in family {fam}: {}", names.join(", ")),
+                ));
+            }
+        }
+    }
+    out
+}

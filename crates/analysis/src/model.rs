@@ -1,0 +1,244 @@
+//! An exhaustive-interleaving model of the buffer pool's loading-frame
+//! protocol (`crates/pager/src/pool.rs::fetch`).
+//!
+//! The protocol under model: on a miss, the fetching thread publishes a
+//! pinned frame into the page table with its data lock *write-held*,
+//! releases the table lock, performs the disk read outside any table
+//! lock, fills the frame, and releases the data lock. Racing fetchers
+//! that find the published frame pin it under the table lock and then
+//! block on the data lock until the loader finishes. The two properties
+//! that make this correct:
+//!
+//! 1. **exactly-one-read** — no matter how the threads interleave, the
+//!    disk sees one read per cold page;
+//! 2. **no torn reads** — a waiter never observes the frame before the
+//!    loader filled it (on read failure it observes a deliberately
+//!    zeroed page, never uninitialized bytes).
+//!
+//! Each [`Model`] step is one critical section of the real code (the
+//! table-lock section is a single atomic step, exactly as the real
+//! mutex makes it), so the model's interleavings over-approximate the
+//! real thread schedules. `buggy: true` models the classic
+//! check-then-read bug (miss → drop table lock → read → re-insert) and
+//! exists to prove the checker actually catches the race the protocol
+//! prevents.
+
+use crate::interleave::Model;
+
+/// Per-thread program counter through `fetch()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// Before the table-lock critical section.
+    Lookup,
+    /// (buggy variant only) decided to read without publishing.
+    BuggyRead,
+    /// (buggy variant only) insert the frame read privately.
+    BuggyInsert,
+    /// Loader: doing the disk read (table lock released).
+    Read,
+    /// Loader: filling the frame and releasing its data lock.
+    Fill,
+    /// Waiter: blocked until the frame's data lock is released.
+    AwaitData,
+    /// Finished; payload = did this thread observe a filled frame.
+    Done(bool),
+}
+
+/// The published loading frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    /// Data lock still write-held by the loader.
+    write_locked: bool,
+    /// Bytes have arrived (false after a failed read: zeroed page).
+    filled: bool,
+    /// Pin count (waiters + loader).
+    pins: u32,
+}
+
+/// N threads concurrently `fetch()`ing the same cold page.
+#[derive(Debug, Clone)]
+pub struct LoadingFrame {
+    frame: Option<Frame>,
+    reads: u32,
+    pcs: Vec<Pc>,
+    /// Model the loader's disk read failing (waiters must still wake
+    /// and must see a zeroed — not torn — page).
+    read_fails: bool,
+    /// Model the unprotected check-then-read bug instead of the real
+    /// protocol.
+    buggy: bool,
+}
+
+impl LoadingFrame {
+    /// The real protocol with `threads` racing cold fetchers.
+    pub fn correct(threads: usize) -> LoadingFrame {
+        LoadingFrame {
+            frame: None,
+            reads: 0,
+            pcs: vec![Pc::Lookup; threads],
+            read_fails: false,
+            buggy: false,
+        }
+    }
+
+    /// The real protocol, but the single disk read fails.
+    pub fn correct_with_failed_read(threads: usize) -> LoadingFrame {
+        LoadingFrame {
+            read_fails: true,
+            ..LoadingFrame::correct(threads)
+        }
+    }
+
+    /// The check-then-read bug: the miss path releases the table lock
+    /// without publishing a loading frame first.
+    pub fn buggy(threads: usize) -> LoadingFrame {
+        LoadingFrame {
+            buggy: true,
+            ..LoadingFrame::correct(threads)
+        }
+    }
+}
+
+impl Model for LoadingFrame {
+    fn threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        match self.pcs[tid] {
+            Pc::Done(_) => false,
+            // Blocked on the loader's write-held data lock.
+            Pc::AwaitData => self.frame.is_some_and(|f| !f.write_locked),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        match self.pcs[tid] {
+            Pc::Lookup => {
+                // The table-lock critical section: one atomic step.
+                match &mut self.frame {
+                    Some(f) => {
+                        f.pins += 1;
+                        self.pcs[tid] = Pc::AwaitData;
+                    }
+                    None if self.buggy => {
+                        // Bug: observe the miss, release the table
+                        // lock, read privately.
+                        self.pcs[tid] = Pc::BuggyRead;
+                    }
+                    None => {
+                        // Publish the frame write-locked, pinned.
+                        self.frame = Some(Frame {
+                            write_locked: true,
+                            filled: false,
+                            pins: 1,
+                        });
+                        self.pcs[tid] = Pc::Read;
+                    }
+                }
+            }
+            Pc::BuggyRead => {
+                self.reads += 1;
+                self.pcs[tid] = Pc::BuggyInsert;
+            }
+            Pc::BuggyInsert => {
+                if self.frame.is_none() {
+                    self.frame = Some(Frame {
+                        write_locked: false,
+                        filled: true,
+                        pins: 1,
+                    });
+                }
+                self.pcs[tid] = Pc::Done(true);
+            }
+            Pc::Read => {
+                // Outside every lock — this is the step other threads
+                // interleave with.
+                self.reads += 1;
+                self.pcs[tid] = Pc::Fill;
+            }
+            Pc::Fill => {
+                let f = self.frame.as_mut().expect("loader published the frame");
+                // On failure the real code zeroes the page (a defined
+                // value) before releasing; `filled` models "real bytes".
+                f.filled = !self.read_fails;
+                f.write_locked = false;
+                self.pcs[tid] = Pc::Done(!self.read_fails);
+            }
+            Pc::AwaitData => {
+                let f = self.frame.expect("pinned frame cannot vanish");
+                // Read under the (now-shared) data lock.
+                self.pcs[tid] = Pc::Done(f.filled);
+            }
+            Pc::Done(_) => unreachable!("done threads are never enabled"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pcs.iter().all(|p| matches!(p, Pc::Done(_)))
+    }
+
+    fn invariant(&self) -> Option<String> {
+        if self.reads > 1 {
+            return Some(format!("{} disk reads for one cold page", self.reads));
+        }
+        if self.done() {
+            if self.reads != 1 {
+                return Some(format!("{} disk reads at completion", self.reads));
+            }
+            let expected = !self.read_fails;
+            for (tid, pc) in self.pcs.iter().enumerate() {
+                if *pc != Pc::Done(expected) {
+                    return Some(format!(
+                        "thread {tid} observed filled={} (expected {expected})",
+                        matches!(pc, Pc::Done(true)),
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::explore;
+
+    #[test]
+    fn three_racing_fetchers_do_exactly_one_read() {
+        let stats = explore(&LoadingFrame::correct(3)).unwrap_or_else(|v| {
+            panic!("loading-frame protocol violated: {v}");
+        });
+        assert!(stats.schedules > 1, "exploration must branch");
+    }
+
+    #[test]
+    fn four_fetchers_still_hold() {
+        explore(&LoadingFrame::correct(4)).unwrap_or_else(|v| {
+            panic!("loading-frame protocol violated at 4 threads: {v}");
+        });
+    }
+
+    #[test]
+    fn failed_read_wakes_every_waiter_with_a_zeroed_page() {
+        // No deadlock, still exactly one read attempt, and every
+        // thread completes observing the zeroed page.
+        explore(&LoadingFrame::correct_with_failed_read(3)).unwrap_or_else(|v| {
+            panic!("failed-read semantics violated: {v}");
+        });
+    }
+
+    #[test]
+    fn the_checker_catches_the_check_then_read_bug() {
+        let v = explore(&LoadingFrame::buggy(2)).expect_err("double read must be found");
+        assert!(v.message.contains("disk reads"), "{}", v.message);
+        // And the counterexample replays.
+        let mut m = LoadingFrame::buggy(2);
+        for &tid in &v.schedule {
+            m.step(tid);
+        }
+        assert!(m.invariant().is_some());
+    }
+}

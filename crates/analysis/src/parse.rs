@@ -1,0 +1,293 @@
+//! Structural pass over lexed tokens: brace depths, `#[cfg(test)]` /
+//! `#[test]` ranges, and function items with body spans.
+//!
+//! This is deliberately *approximate* parsing — enough structure for the
+//! lints (which code is test-only, which function encloses a finding,
+//! where a `let` binding's block scope ends) without a grammar. The
+//! compiler remains the authority on syntax; this pass only has to be
+//! right about brace matching and attribute placement, which the token
+//! stream makes unambiguous.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// A function item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name (last path segment only).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{` (body tokens are `(body_open,
+    /// body_close)` exclusive).
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+    /// Inside `#[cfg(test)]` / `#[test]` code?
+    pub is_test: bool,
+}
+
+/// One lexed + structurally-indexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Brace depth *before* each token (`{` itself sits at the outer
+    /// depth; its contents are one deeper).
+    pub depth: Vec<u32>,
+    /// Token-index ranges (inclusive start, inclusive end) of test-only
+    /// items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl SourceFile {
+    /// Lex and index `text` as `rel_path`.
+    pub fn parse(rel_path: impl Into<String>, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let depth = depths(&tokens);
+        let test_ranges = find_test_ranges(&tokens, &depth);
+        let fns = find_fns(&tokens, &depth, &test_ranges);
+        SourceFile {
+            rel_path: rel_path.into(),
+            tokens,
+            depth,
+            test_ranges,
+            fns,
+        }
+    }
+
+    /// Is token `i` inside test-only code?
+    pub fn is_test_tok(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| i >= f.body_open && i <= f.body_close)
+            .min_by_key(|f| f.body_close - f.body_open)
+    }
+}
+
+fn depths(tokens: &[Token]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut d: u32 = 0;
+    for t in tokens {
+        if t.is_punct('}') {
+            d = d.saturating_sub(1);
+        }
+        out.push(d);
+        if t.is_punct('{') {
+            d += 1;
+        }
+    }
+    out
+}
+
+/// Token index of the `}` matching the `{` at `open` (which must index a
+/// `{` token). Falls back to the last token on malformed input.
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Find `#[…test…]`-attributed items and return their token ranges.
+///
+/// An attribute whose bracket group contains the identifier `test`
+/// (covers `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, unix))]`) marks
+/// the next item; the item's range runs from the attribute to the `}`
+/// closing its block, or to the terminating `;` for block-less items.
+fn find_test_ranges(tokens: &[Token], _depth: &[u32]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let mut j = i + 1;
+        let mut brackets = 0i64;
+        let mut has_test = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                brackets += 1;
+            } else if t.is_punct(']') {
+                brackets -= 1;
+                if brackets == 0 {
+                    break;
+                }
+            } else if t.is_ident("test") {
+                has_test = true;
+            }
+            j += 1;
+        }
+        if !has_test {
+            i = j + 1;
+            continue;
+        }
+        // The item this attribute decorates: skip further attributes,
+        // then run to its block's `}` (or `;` if block-less).
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+            let mut b = 0i64;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    b += 1;
+                } else if tokens[k].is_punct(']') {
+                    b -= 1;
+                    if b == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut end = k;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.is_punct('{') {
+                end = matching_brace(tokens, end);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            end += 1;
+        }
+        ranges.push((i, end.min(tokens.len().saturating_sub(1))));
+        i = end + 1;
+    }
+    ranges
+}
+
+fn find_fns(tokens: &[Token], _depth: &[u32], test_ranges: &[(usize, usize)]) -> Vec<FnItem> {
+    let in_test =
+        |i: usize| test_ranges.iter().any(|&(s, e)| i >= s && i <= e);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // An `fn` keyword followed by a name is a function item (fn
+        // pointers/`Fn` bounds never put an identifier right after `fn`).
+        let is_item = tokens[i].is_ident("fn")
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident);
+        if !is_item {
+            i += 1;
+            continue;
+        }
+        let name = tokens[i + 1].text.clone();
+        let line = tokens[i].line;
+        // Find the body `{`: the first brace outside parens/brackets.
+        // A `;` there instead means a body-less trait declaration.
+        let mut j = i + 2;
+        let mut nest = 0i64;
+        let mut open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                nest -= 1;
+            } else if nest == 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if nest == 0 && t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let close = matching_brace(tokens, open);
+        out.push(FnItem {
+            name,
+            line,
+            body_open: open,
+            body_close: close,
+            is_test: in_test(i),
+        });
+        // Continue *inside* the body too: nested fns are items as well.
+        i = open + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        pub fn outer(x: u8) -> u8 {
+            let y = x + 1;
+            fn nested() {}
+            y
+        }
+
+        trait T {
+            fn decl_only(&self);
+            fn with_default(&self) {}
+        }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn a_test() { assert!(true); }
+        }
+    "#;
+
+    #[test]
+    fn fns_are_found_with_bodies() {
+        let f = SourceFile::parse("x.rs", SRC);
+        let names: Vec<&str> = f.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "nested", "with_default", "a_test"]);
+        let outer = &f.fns[0];
+        assert!(outer.body_close > outer.body_open);
+        assert!(!outer.is_test);
+    }
+
+    #[test]
+    fn test_mod_contents_are_marked() {
+        let f = SourceFile::parse("x.rs", SRC);
+        let a_test = f.fns.iter().find(|x| x.name == "a_test").unwrap();
+        assert!(a_test.is_test, "#[cfg(test)] mod contents are test code");
+        assert!(f.is_test_tok(a_test.body_open));
+        let outer = f.fns.iter().find(|x| x.name == "outer").unwrap();
+        assert!(!f.is_test_tok(outer.body_open));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let f = SourceFile::parse("x.rs", SRC);
+        let nested = f.fns.iter().find(|x| x.name == "nested").unwrap();
+        let inner_idx = nested.body_open;
+        assert_eq!(f.enclosing_fn(inner_idx).unwrap().name, "nested");
+    }
+
+    #[test]
+    fn cfg_test_without_block_does_not_swallow_the_file() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[cfg(test)]\nuse foo::bar;\nfn real() { body(); }",
+        );
+        let real = f.fns.iter().find(|x| x.name == "real").unwrap();
+        assert!(!real.is_test);
+    }
+}

@@ -1,0 +1,16 @@
+//! clock-discipline fixture: raw time reads outside the clock sanctum.
+
+pub fn hot_path() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_real_time() {
+        // Exempt: test code.
+        let _ = std::time::Instant::now();
+    }
+}

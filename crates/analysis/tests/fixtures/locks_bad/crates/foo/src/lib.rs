@@ -1,0 +1,15 @@
+//! no-lock-across-io fixture: a table lock held across a disk write —
+//! the pathology the pool's loading-frame protocol exists to avoid.
+
+pub fn evict(state: &Mutex<Table>, disk: &dyn Disk) {
+    let guard = state.lock();
+    disk.write_page(guard.victim()); // I/O under the lock: flagged
+}
+
+pub fn evict_properly(state: &Mutex<Table>, disk: &dyn Disk) {
+    let victim = {
+        let guard = state.lock();
+        guard.victim()
+    };
+    disk.write_page(victim); // lock released first: fine
+}

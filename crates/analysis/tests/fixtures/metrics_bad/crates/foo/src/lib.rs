@@ -1,0 +1,4 @@
+//! metric-name-registry fixture consumer: a typo'd metric-name literal
+//! (`totl`) that matches nothing in the registry.
+
+pub const PROBE: &str = "netdir_queries_totl";

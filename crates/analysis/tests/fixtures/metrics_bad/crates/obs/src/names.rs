@@ -1,0 +1,8 @@
+//! metric-name-registry fixture registry: one duplicate registration,
+//! one orphan nothing tracks or references.
+
+pub const QUERIES: &str = "netdir_queries_total";
+pub const QUERIES_AGAIN: &str = "netdir_queries_total"; // duplicate value
+pub const ORPHAN: &str = "netdir_orphan_total"; // not tracked, never referenced
+
+pub const TRACKED: &[&str] = &[QUERIES, QUERIES_AGAIN];

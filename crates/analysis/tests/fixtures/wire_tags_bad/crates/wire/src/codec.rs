@@ -1,0 +1,10 @@
+//! wire-tag-freeze fixture: one renumbered tag, one deleted tag (the
+//! lockfile still lists REQ_ATOMIC), one new tag missing from the
+//! lockfile.
+
+const REQ_PING: u8 = 9; // lockfile says 0: renumbered
+const REQ_NEW_THING: u8 = 42; // not in the lockfile
+
+pub fn tags() -> (u8, u8) {
+    (REQ_PING, REQ_NEW_THING)
+}

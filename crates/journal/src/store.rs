@@ -34,7 +34,7 @@ use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::{
     AttrName, Directory, Dn, Entry, ModelError, SortKey, Value,
 };
-use netdir_obs::{names, MetricsRegistry};
+use netdir_obs::{names, Clock, MetricsRegistry, MonotonicClock};
 use netdir_pager::disk::{Disk, MemDisk};
 use netdir_pager::record::Record;
 use netdir_pager::{
@@ -44,7 +44,6 @@ use netdir_query::AtomicSource;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
 
 /// Everything that can go wrong on the write path.
 #[derive(Debug)]
@@ -168,7 +167,18 @@ impl JournalStore {
         seed: Directory,
         disk: Box<dyn Disk>,
     ) -> PagerResult<(JournalStore, RecoveryReport)> {
-        let t0 = Instant::now();
+        JournalStore::open_with_clock(pager, seed, disk, &MonotonicClock::new())
+    }
+
+    /// [`JournalStore::open`] with an injected time source for the
+    /// recovery-report replay timing.
+    pub fn open_with_clock(
+        pager: &Pager,
+        seed: Directory,
+        disk: Box<dyn Disk>,
+        clock: &dyn Clock,
+    ) -> PagerResult<(JournalStore, RecoveryReport)> {
+        let t0 = clock.now();
         let (wal, records) = Wal::open(disk)?;
         let epochs = EpochRegistry::new();
         let list = LiveList::bulk_load(pager, Arc::clone(&epochs), seed.iter_sorted())?;
@@ -201,7 +211,7 @@ impl JournalStore {
             report.truncated_bytes = full_tail - keep;
             inner.wal.truncate_to(keep)?;
         }
-        report.replay_us = t0.elapsed().as_micros() as u64;
+        report.replay_us = clock.now().saturating_sub(t0).as_micros() as u64;
 
         // Replay must not double-count "applied" work.
         let store = JournalStore {

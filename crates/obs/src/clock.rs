@@ -16,6 +16,15 @@ use std::time::{Duration, Instant};
 pub trait Clock: Send + Sync {
     /// Time elapsed since this clock's origin.
     fn now(&self) -> Duration;
+
+    /// Block the calling thread until `d` of *this clock's* time has
+    /// passed. The production clock really sleeps; [`ManualClock`]
+    /// advances itself instead, so retry/backoff loops written against
+    /// `Clock::sleep` run instantly under test while still observing
+    /// time moving forward.
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
 }
 
 /// The production clock: wall-free monotonic time via [`Instant`],
@@ -79,6 +88,10 @@ impl Clock for ManualClock {
     fn now(&self) -> Duration {
         Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
     }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +123,13 @@ mod tests {
         let viewer: Arc<dyn Clock> = clock.clone();
         clock.advance(Duration::from_secs(3));
         assert_eq!(viewer.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn manual_clock_sleep_advances_instead_of_blocking() {
+        let clock = ManualClock::new();
+        clock.sleep(Duration::from_secs(3600));
+        assert_eq!(clock.now(), Duration::from_secs(3600));
     }
 
     #[test]

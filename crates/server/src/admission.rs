@@ -224,6 +224,14 @@ impl AdmissionController {
         &self.cfg
     }
 
+    /// The controller's time source — the daemon's single clock, shared
+    /// so callers measuring deadlines use the same time the admission
+    /// accounting does (and so tests driving a [`ManualClock`] steer
+    /// both).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
     /// Decide one request from `peer`. `Ok` means the caller owns one
     /// inflight slot and must call [`release`](Self::release) when the
     /// response has been written.

@@ -26,10 +26,11 @@ use crate::retry::{RetryPolicy, RetryStats};
 use crate::transport::{ChannelTransport, Transport};
 use netdir_filter::{AtomicFilter, Scope};
 use netdir_model::{Directory, Dn, Entry};
+use netdir_obs::{Clock, MonotonicClock};
 use netdir_pager::{parallel_map, ListWriter, PagedList, Pager, PagerError, PagerResult};
 use netdir_query::eval::{AtomicSource, Evaluator};
 use netdir_query::{Query, QueryError, QueryResult};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How a distributed query treats unreachable partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -220,6 +221,8 @@ pub struct Router {
     /// subtrees concurrently and fans atomic sub-queries out to their
     /// zones in parallel. 1 (the default) is the sequential path.
     eval_threads: usize,
+    /// Time source for retry backoff and EXPLAIN ANALYZE timings.
+    clock: Arc<dyn Clock>,
 }
 
 impl Router {
@@ -234,7 +237,16 @@ impl Router {
             retry: RetryPolicy::default(),
             retry_stats: RetryStats::new(),
             eval_threads: 1,
+            clock: Arc::new(MonotonicClock::new()),
         }
+    }
+
+    /// Replace the time source driving retry backoff and traced-query
+    /// timings (builder-style). Tests inject a
+    /// [`netdir_obs::ManualClock`] so backoff runs instantly.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Router {
+        self.clock = clock;
+        self
     }
 
     /// Replace the retry policy (builder-style, before first use).
@@ -396,9 +408,10 @@ impl Router {
         // Traced evaluation stays sequential regardless of `eval_threads`:
         // per-node I/O attribution snapshots the shared ledger around each
         // node, which is only meaningful when nodes run one at a time.
-        let started = std::time::Instant::now();
+        let started = self.clock.now();
         let (out, traces) = Evaluator::new(&source, pager).evaluate_traced(query)?;
-        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let elapsed =
+            u64::try_from(self.clock.now().saturating_sub(started).as_nanos()).unwrap_or(u64::MAX);
         let trace = netdir_query::build_trace(query, &traces, elapsed);
         let entries = out.to_vec().map_err(QueryError::from)?;
         Ok((
@@ -491,7 +504,7 @@ impl Router {
                 self.retry_stats.record_retry();
                 let delay = self.retry.backoff(attempt, home as u64);
                 if !delay.is_zero() {
-                    std::thread::sleep(delay);
+                    self.clock.sleep(delay);
                 }
             }
         }

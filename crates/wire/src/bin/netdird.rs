@@ -19,7 +19,7 @@
 
 use netdir_journal::{JournalStore, MutationBatch};
 use netdir_model::{ldif, Directory, Dn};
-use netdir_obs::MetricsRegistry;
+use netdir_obs::{Clock, MetricsRegistry, MonotonicClock};
 use netdir_query::parse_query;
 use netdir_server::metrics as bridge;
 use netdir_server::{
@@ -56,6 +56,8 @@ struct ClusterService {
     wal_path: Option<String>,
     /// Daemon-wide metrics, served by `Stats` frames.
     metrics: MetricsRegistry,
+    /// Time source for query-latency metrics.
+    clock: Arc<dyn Clock>,
 }
 
 impl WireService for ClusterService {
@@ -171,11 +173,13 @@ impl ClusterService {
             Err(e) => return WireResponse::Error(format!("bad query: {e}")),
         };
         let pager = netdir_pager::default_pager();
-        let started = std::time::Instant::now();
+        let started = self.clock.now();
         match cluster.query_from_with(&home, &pager, &query, mode) {
             Ok(outcome) => {
-                let elapsed =
-                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let elapsed = u64::try_from(
+                    self.clock.now().saturating_sub(started).as_nanos(),
+                )
+                .unwrap_or(u64::MAX);
                 self.observe_query(&pager, elapsed);
                 if outcome.is_complete() {
                     WireResponse::Entries(encode_entries(&outcome.entries))
@@ -467,6 +471,7 @@ fn main() {
         eval_threads,
         wal_path,
         metrics,
+        clock: Arc::new(MonotonicClock::new()),
     });
     let mut server = match WireServer::bind(listen.as_str(), service, opts) {
         Ok(s) => s,

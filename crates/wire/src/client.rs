@@ -12,13 +12,14 @@ use crate::frame::{frame_len, read_frame, write_frame, DEFAULT_MAX_FRAME};
 use netdir_filter::{AtomicFilter, CompositeFilter, Scope};
 use netdir_journal::MutationBatch;
 use netdir_model::{Dn, Entry};
+use netdir_obs::{Clock, MonotonicClock};
 use netdir_server::node::decode_entries;
 use netdir_server::{QueryOutcome, RetryPolicy, Retryable};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Client-side failure.
@@ -137,6 +138,7 @@ pub struct WireClient {
     opts: ClientOptions,
     pool: Mutex<Vec<TcpStream>>,
     retries: AtomicU64,
+    clock: Arc<dyn Clock>,
 }
 
 impl WireClient {
@@ -148,7 +150,16 @@ impl WireClient {
             opts,
             pool: Mutex::new(Vec::new()),
             retries: AtomicU64::new(0),
+            clock: Arc::new(MonotonicClock::new()),
         }
+    }
+
+    /// Replace the time source driving retry backoff. Tests inject a
+    /// [`netdir_obs::ManualClock`] so backoff loops complete instantly
+    /// while still advancing observable time.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> WireClient {
+        self.clock = clock;
+        self
     }
 
     /// The daemon this client talks to.
@@ -280,7 +291,7 @@ impl WireClient {
                     delay = delay.max(hint);
                 }
                 if !delay.is_zero() {
-                    std::thread::sleep(delay);
+                    self.clock.sleep(delay);
                 }
             }
         }

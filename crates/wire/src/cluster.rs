@@ -18,7 +18,7 @@ use crate::server::{ServerOptions, WireServer, WireService};
 use crate::socket::SocketTransport;
 use crossbeam::channel::{unbounded, Sender};
 use netdir_model::{Directory, Entry};
-use netdir_obs::MetricsRegistry;
+use netdir_obs::{Clock, MetricsRegistry, MonotonicClock};
 use netdir_pager::record::Record;
 use netdir_pager::Pager;
 use netdir_query::parse_query;
@@ -63,6 +63,8 @@ struct NodeService {
     /// Fault-injection counters, set at launch when a [`FaultPlan`] is
     /// active (same race rules as `router`).
     fault: Arc<OnceLock<FaultStats>>,
+    /// Time source for query-latency metrics.
+    clock: Arc<dyn Clock>,
 }
 
 impl NodeService {
@@ -117,11 +119,13 @@ impl NodeService {
             Err(e) => return WireResponse::Error(format!("bad query: {e}")),
         };
         let pager = netdir_pager::default_pager();
-        let started = std::time::Instant::now();
+        let started = self.clock.now();
         match router.query_with(home_id, &pager, &query, mode) {
             Ok(outcome) => {
-                let elapsed =
-                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let elapsed = u64::try_from(
+                    self.clock.now().saturating_sub(started).as_nanos(),
+                )
+                .unwrap_or(u64::MAX);
                 self.observe_query(&pager, elapsed);
                 if outcome.is_complete() {
                     WireResponse::Entries(encode_entries(&outcome.entries))
@@ -300,6 +304,7 @@ impl WireCluster {
                 router: router.clone(),
                 metrics: metrics.clone(),
                 fault: fault_slot.clone(),
+                clock: Arc::new(MonotonicClock::new()),
             });
             let server = WireServer::bind("127.0.0.1:0", service, server_opts.clone())?;
             addrs.push(server.local_addr());

@@ -940,6 +940,240 @@ mod tests {
     }
 
     #[test]
+    fn every_tag_round_trips_and_matches_the_committed_lockfile() {
+        use std::collections::BTreeMap;
+
+        // The committed freeze (also enforced statically by ndlint's
+        // wire-tag-freeze lint; this test is the dynamic half).
+        let lock_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../compat/wire_tags.lock");
+        let text = std::fs::read_to_string(lock_path).expect("compat/wire_tags.lock exists");
+        let mut locked: BTreeMap<String, u8> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once('=').expect("lock line is `NAME = value`");
+            let prev = locked.insert(
+                name.trim().to_string(),
+                value.trim().parse().expect("tag value fits u8"),
+            );
+            assert!(prev.is_none(), "duplicate lock entry {}", name.trim());
+        }
+
+        // The complete in-code tag table. Adding a constant to the
+        // codec without extending this list (and the lockfile) fails
+        // the set comparison below.
+        let in_code: &[(&str, u8)] = &[
+            ("REQ_PING", REQ_PING),
+            ("REQ_ATOMIC", REQ_ATOMIC),
+            ("REQ_LDAP", REQ_LDAP),
+            ("REQ_QUERY", REQ_QUERY),
+            ("REQ_SHUTDOWN", REQ_SHUTDOWN),
+            ("REQ_QUERY_PARTIAL", REQ_QUERY_PARTIAL),
+            ("REQ_STATS", REQ_STATS),
+            ("REQ_QUERY_ANALYZE", REQ_QUERY_ANALYZE),
+            ("REQ_MUTATE", REQ_MUTATE),
+            ("RESP_PONG", RESP_PONG),
+            ("RESP_ENTRIES", RESP_ENTRIES),
+            ("RESP_ERROR", RESP_ERROR),
+            ("RESP_PARTIAL", RESP_PARTIAL),
+            ("RESP_STATS", RESP_STATS),
+            ("RESP_ANALYZED", RESP_ANALYZED),
+            ("RESP_MUTATED", RESP_MUTATED),
+            ("RESP_BUSY", RESP_BUSY),
+            ("RESP_DEADLINE", RESP_DEADLINE),
+            ("AF_PRESENT", AF_PRESENT),
+            ("AF_EQ", AF_EQ),
+            ("AF_SUBSTRING", AF_SUBSTRING),
+            ("AF_INTCMP", AF_INTCMP),
+            ("AF_DNEQ", AF_DNEQ),
+            ("AF_TRUE", AF_TRUE),
+            ("CF_ATOMIC", CF_ATOMIC),
+            ("CF_AND", CF_AND),
+            ("CF_OR", CF_OR),
+            ("CF_NOT", CF_NOT),
+        ];
+        let code_set: BTreeMap<String, u8> =
+            in_code.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        assert_eq!(
+            code_set, locked,
+            "codec tag constants and compat/wire_tags.lock must be the same set"
+        );
+
+        // A representative frame for every request/response tag:
+        // round-trip it and pin its first byte to the locked value.
+        let attr = |s: &str| AttrName::new(s);
+        let reqs: Vec<(&str, WireRequest)> = vec![
+            ("REQ_PING", WireRequest::Ping),
+            (
+                "REQ_ATOMIC",
+                WireRequest::Atomic {
+                    base: dn("dc=com"),
+                    scope: Scope::Sub,
+                    filter: AtomicFilter::Eq(attr("cn"), "x".into()),
+                },
+            ),
+            (
+                "REQ_LDAP",
+                WireRequest::Ldap {
+                    base: dn("dc=com"),
+                    scope: Scope::Base,
+                    filter: CompositeFilter::Atomic(AtomicFilter::True),
+                },
+            ),
+            (
+                "REQ_QUERY",
+                WireRequest::Query {
+                    home: "a".into(),
+                    text: "t".into(),
+                },
+            ),
+            ("REQ_SHUTDOWN", WireRequest::Shutdown),
+            (
+                "REQ_QUERY_PARTIAL",
+                WireRequest::QueryPartial {
+                    home: "a".into(),
+                    text: "t".into(),
+                },
+            ),
+            ("REQ_STATS", WireRequest::Stats),
+            (
+                "REQ_QUERY_ANALYZE",
+                WireRequest::QueryAnalyze {
+                    home: "a".into(),
+                    text: "t".into(),
+                },
+            ),
+            (
+                "REQ_MUTATE",
+                WireRequest::Mutate {
+                    batch: MutationBatch::new(),
+                },
+            ),
+        ];
+        assert_eq!(
+            reqs.len(),
+            locked.keys().filter(|k| k.starts_with("REQ_")).count(),
+            "every REQ_ tag needs a representative frame here"
+        );
+        for (name, req) in reqs {
+            let bytes = req.encode();
+            assert_eq!(bytes[0], locked[name], "first byte of {name} frame");
+            assert_eq!(WireRequest::decode(&bytes).unwrap(), req, "{name} round-trip");
+        }
+
+        let resps: Vec<(&str, WireResponse)> = vec![
+            ("RESP_PONG", WireResponse::Pong),
+            ("RESP_ENTRIES", WireResponse::Entries(vec![vec![1]])),
+            ("RESP_ERROR", WireResponse::Error("e".into())),
+            (
+                "RESP_PARTIAL",
+                WireResponse::Partial {
+                    entries: vec![],
+                    skipped: vec![],
+                },
+            ),
+            ("RESP_STATS", WireResponse::Stats("x 1\n".into())),
+            (
+                "RESP_ANALYZED",
+                WireResponse::Analyzed {
+                    entries: vec![],
+                    trace: QueryTrace {
+                        query: "q".into(),
+                        spans: vec![],
+                        predicted_io: 0.0,
+                        observed_io: 0,
+                        elapsed_nanos: 1,
+                    },
+                },
+            ),
+            (
+                "RESP_MUTATED",
+                WireResponse::Mutated {
+                    epoch: 1,
+                    mutations: 2,
+                },
+            ),
+            ("RESP_BUSY", WireResponse::Busy { retry_after_ms: 9 }),
+            (
+                "RESP_DEADLINE",
+                WireResponse::DeadlineExceeded { budget_ms: 7 },
+            ),
+        ];
+        assert_eq!(
+            resps.len(),
+            locked.keys().filter(|k| k.starts_with("RESP_")).count(),
+            "every RESP_ tag needs a representative frame here"
+        );
+        for (name, resp) in resps {
+            let bytes = resp.encode();
+            assert_eq!(bytes[0], locked[name], "first byte of {name} frame");
+            assert_eq!(WireResponse::decode(&bytes).unwrap(), resp, "{name} round-trip");
+        }
+
+        // Filter encodings: one representative per AF_/CF_ tag.
+        let atomics: Vec<(&str, AtomicFilter)> = vec![
+            ("AF_PRESENT", AtomicFilter::Present(attr("cn"))),
+            ("AF_EQ", AtomicFilter::Eq(attr("cn"), "x".into())),
+            (
+                "AF_SUBSTRING",
+                AtomicFilter::Substring(
+                    attr("cn"),
+                    SubstringPattern {
+                        initial: Some("a".into()),
+                        any: vec!["b".into()],
+                        final_: None,
+                    },
+                ),
+            ),
+            ("AF_INTCMP", AtomicFilter::IntCmp(attr("n"), IntOp::Ge, 3)),
+            ("AF_DNEQ", AtomicFilter::DnEq(attr("member"), dn("dc=com"))),
+            ("AF_TRUE", AtomicFilter::True),
+        ];
+        assert_eq!(
+            atomics.len(),
+            locked.keys().filter(|k| k.starts_with("AF_")).count(),
+            "every AF_ tag needs a representative filter here"
+        );
+        for (name, f) in atomics {
+            let mut buf = Vec::new();
+            put_atomic_filter(&mut buf, &f);
+            assert_eq!(buf[0], locked[name], "tag byte of {name}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_atomic_filter(&mut r).unwrap(), f, "{name} round-trip");
+        }
+
+        let composites: Vec<(&str, CompositeFilter)> = vec![
+            ("CF_ATOMIC", CompositeFilter::Atomic(AtomicFilter::True)),
+            (
+                "CF_AND",
+                CompositeFilter::And(vec![CompositeFilter::Atomic(AtomicFilter::True)]),
+            ),
+            (
+                "CF_OR",
+                CompositeFilter::Or(vec![CompositeFilter::Atomic(AtomicFilter::True)]),
+            ),
+            (
+                "CF_NOT",
+                CompositeFilter::Not(Box::new(CompositeFilter::Atomic(AtomicFilter::True))),
+            ),
+        ];
+        assert_eq!(
+            composites.len(),
+            locked.keys().filter(|k| k.starts_with("CF_")).count(),
+            "every CF_ tag needs a representative filter here"
+        );
+        for (name, f) in composites {
+            let mut buf = Vec::new();
+            put_composite_filter(&mut buf, &f);
+            assert_eq!(buf[0], locked[name], "tag byte of {name}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_composite_filter(&mut r).unwrap(), f, "{name} round-trip");
+        }
+    }
+
+    #[test]
     fn junk_payloads_are_rejected() {
         assert!(WireRequest::decode(&[]).is_err());
         assert!(WireRequest::decode(&[99]).is_err());

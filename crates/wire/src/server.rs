@@ -44,9 +44,9 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What a daemon does with each decoded request.
 ///
@@ -110,6 +110,11 @@ struct Shared {
     pending: AtomicU64,
     /// The admission policy (always present; permissive by default).
     admission: Arc<AdmissionController>,
+    /// Flag + condvar signalled the moment the accept thread drops the
+    /// listening socket: from then on fresh connects are refused rather
+    /// than queued. Event-driven so waiters wake immediately instead of
+    /// polling with a fixed sleep.
+    listener_closed: (Mutex<bool>, Condvar),
 }
 
 impl Shared {
@@ -144,6 +149,13 @@ impl Shared {
             let _ = conn.shutdown(Shutdown::Read);
         }
         Some(id)
+    }
+
+    /// Record that the listener socket is gone and wake every waiter.
+    fn notify_listener_closed(&self) {
+        let (flag, cv) = &self.listener_closed;
+        *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
     }
 
     fn unregister(&self, id: Option<u64>) {
@@ -183,6 +195,7 @@ impl WireServer {
             next_conn: AtomicU64::new(0),
             pending: AtomicU64::new(0),
             admission,
+            listener_closed: (Mutex::new(false), Condvar::new()),
         });
         let (tx, rx) = unbounded::<TcpStream>();
         let workers = (0..opts.workers.max(1))
@@ -233,6 +246,11 @@ impl WireServer {
                             }
                         }
                     }
+                    // Close the listener *before* signalling, so a
+                    // woken waiter's connect attempt cannot land in the
+                    // dead socket's backlog.
+                    drop(listener);
+                    shared.notify_listener_closed();
                     // tx drops here; workers drain the queue and exit.
                 })?
         };
@@ -257,6 +275,20 @@ impl WireServer {
     /// Has shutdown been requested (locally or by a remote frame)?
     pub fn is_stopping(&self) -> bool {
         self.shared.stopping()
+    }
+
+    /// Block until the accept thread has closed the listening socket —
+    /// after which fresh connects are refused — or `timeout` elapses.
+    /// Returns whether the listener is known closed. Wakes the moment
+    /// the accept thread signals (condvar), so shutdown observers are
+    /// not quantized to a polling interval.
+    pub fn wait_listener_closed(&self, timeout: Duration) -> bool {
+        let (flag, cv) = &self.shared.listener_closed;
+        let closed = flag.lock().unwrap_or_else(|e| e.into_inner());
+        let (closed, _timeout) = cv
+            .wait_timeout_while(closed, timeout, |c| !*c)
+            .unwrap_or_else(|e| e.into_inner());
+        *closed
     }
 
     /// Stop accepting, wake parked readers, let requests already being
@@ -399,10 +431,13 @@ fn execute(service: &Arc<dyn WireService>, req: WireRequest, shared: &Shared,
     let Ok(handle) = handle else {
         return WireResponse::Error("internal error: cannot spawn evaluator".into());
     };
-    let started = Instant::now();
+    let clock = shared.admission.clock().clone();
+    let started = clock.now();
     match rx.recv_timeout(budget) {
         Ok(resp) => {
-            shared.admission.record_deadline_used(started.elapsed());
+            shared
+                .admission
+                .record_deadline_used(clock.now().saturating_sub(started));
             let _ = handle.join();
             resp
         }
@@ -413,7 +448,9 @@ fn execute(service: &Arc<dyn WireService>, req: WireRequest, shared: &Shared,
             let mut left_behind = abandoned.lock().unwrap_or_else(|e| e.into_inner());
             if let Ok(resp) = rx.try_recv() {
                 drop(left_behind);
-                shared.admission.record_deadline_used(started.elapsed());
+                shared
+                    .admission
+                    .record_deadline_used(clock.now().saturating_sub(started));
                 let _ = handle.join();
                 return resp;
             }
@@ -600,8 +637,9 @@ mod tests {
         );
         srv.join();
         assert!(srv.is_stopping());
-        // The listener is gone: fresh connections are refused (or reset).
-        std::thread::sleep(Duration::from_millis(50));
+        // Wait on the accept thread's closed-listener signal (no fixed
+        // sleep): fresh connections are then refused (or reset).
+        assert!(srv.wait_listener_closed(Duration::from_secs(5)));
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
     }
 

@@ -1,7 +1,7 @@
 #!/bin/sh
-# Full pre-merge gate: release build, the whole test suite, and clippy
-# (all targets, warnings promoted to errors). Run from anywhere in the
-# repo.
+# Full pre-merge gate: release build, the whole test suite, clippy
+# (all targets, warnings promoted to errors), and ndlint (the workspace
+# invariant linter — see DESIGN.md §11). Run from anywhere in the repo.
 #
 #   scripts/check.sh                the gate
 #   scripts/check.sh --chaos        gate + the seeded fault-injection
@@ -31,6 +31,23 @@
 #                                   loop load sweep landing in target/
 #                                   BENCH_smoke.json (schema validated,
 #                                   shedding invariants asserted)
+#   scripts/check.sh --analysis     gate + the static/dynamic analysis
+#                                   suites run explicitly: the ndlint
+#                                   fixture tests (each lint proven to
+#                                   fire) and the exhaustive-interleaving
+#                                   model of the buffer pool's
+#                                   loading-frame protocol. ndlint itself
+#                                   is always part of the default gate.
+#   scripts/check.sh --sanitize     nightly-only dynamic analysis:
+#                                   concurrency suites under
+#                                   ThreadSanitizer and codec proptests
+#                                   under Miri. Each job probes for its
+#                                   toolchain component and skips with a
+#                                   message when unavailable (this
+#                                   container's nightly has neither
+#                                   rust-src nor miri); intended for the
+#                                   nightly CI lane, not the default
+#                                   gate.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,6 +56,8 @@ bench_smoke=0
 par_smoke=0
 wal_smoke=0
 load_smoke=0
+analysis=0
+sanitize=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
@@ -46,6 +65,8 @@ for arg in "$@"; do
     --par-smoke) par_smoke=1 ;;
     --wal-smoke) wal_smoke=1 ;;
     --load-smoke) load_smoke=1 ;;
+    --analysis) analysis=1 ;;
+    --sanitize) sanitize=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,6 +74,9 @@ done
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# The invariant linter is part of the default gate: clock discipline,
+# wire-tag freeze, metric-name registry, no-lock-across-io, panic-path.
+cargo run --release -q -p netdir-analysis --bin ndlint
 
 if [ "$chaos" = 1 ]; then
   echo "check.sh: running seeded fault-injection suites"
@@ -100,6 +124,44 @@ if [ "$load_smoke" = 1 ]; then
     --smoke --json target/BENCH_smoke.json
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
     --validate target/BENCH_smoke.json
+fi
+
+if [ "$analysis" = 1 ]; then
+  echo "check.sh: running analysis suites"
+  # Every lint fires on its committed bad fixture; the real tree is clean.
+  cargo test -q -p netdir-analysis --test lints_fire
+  # The loading-frame protocol survives every interleaving (and the
+  # checker catches the planted check-then-read bug).
+  cargo test -q -p netdir-analysis model
+  # The wire-tag freeze, re-checked dynamically against the lockfile.
+  cargo test -q -p netdir-wire every_tag_round_trips
+fi
+
+if [ "$sanitize" = 1 ]; then
+  echo "check.sh: running sanitizer jobs (nightly-only)"
+  if rustup toolchain list 2>/dev/null | grep -q nightly; then
+    # TSan needs -Zbuild-std, which needs the rust-src component.
+    if rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src (installed)'; then
+      echo "check.sh: ThreadSanitizer over the concurrency suites"
+      RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+        -Zbuild-std --target x86_64-unknown-linux-gnu \
+        -p netdir-pager --test concurrent_pool
+    else
+      echo "check.sh: SKIP ThreadSanitizer (nightly rust-src not installed;" \
+           "run: rustup component add rust-src --toolchain nightly)"
+    fi
+    if rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'miri (installed)'; then
+      echo "check.sh: Miri over the codec property tests"
+      cargo +nightly miri test -q -p netdir-wire codec
+    else
+      echo "check.sh: SKIP Miri (not installed;" \
+           "run: rustup component add miri --toolchain nightly)"
+    fi
+  else
+    echo "check.sh: SKIP sanitizers (no nightly toolchain installed)"
+  fi
 fi
 
 echo "check.sh: all green"
