@@ -13,6 +13,7 @@
 //! * [`par`] — the parallel-evaluation degree sweep (speedup vs I/O).
 //! * [`mutation`] — the write-path suite (apply throughput, WAL replay).
 //! * [`load`] — the closed-loop overload sweep (admission vs unbounded).
+//! * [`planner`] — the cost-based planner sweep (chosen vs naive I/O).
 //! * [`smoke`] — the instrumented observability suite behind
 //!   `run_experiments --smoke`.
 
@@ -22,6 +23,7 @@ use netdir_pager::{IoSnapshot, ListWriter, PagedList, Pager, PagerResult};
 pub mod load;
 pub mod mutation;
 pub mod par;
+pub mod planner;
 pub mod report;
 pub mod smoke;
 

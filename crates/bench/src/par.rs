@@ -84,7 +84,7 @@ fn dn(s: &str) -> Dn {
 /// entries alternate `kind=red`/`kind=blue`, and every third entry
 /// carries a DN-valued `ref` into zone `i+1` — so boolean, hierarchy,
 /// aggregate and embedded-reference operators all have real work.
-fn bench_directory(cfg: &SweepConfig) -> Directory {
+pub(crate) fn bench_directory(cfg: &SweepConfig) -> Directory {
     let mut d = Directory::new();
     let mut add = |e: Entry| d.insert(e).expect("sweep entry");
     add(Entry::builder(dn("dc=bench")).class("thing").build().expect("root"));
@@ -133,7 +133,7 @@ fn atoms(zones: std::ops::Range<usize>, filter: &str) -> Vec<String> {
 
 /// One query per language level, each fanning out to eight leaf atoms
 /// over distinct zones (so a wave exposes eight concurrent subtrees).
-fn suite_queries(cfg: &SweepConfig) -> Vec<(&'static str, String)> {
+pub(crate) fn suite_queries(cfg: &SweepConfig) -> Vec<(&'static str, String)> {
     let z = cfg.zones;
     let (lo, hi) = (0..z / 2, z / 2..z);
     vec![
@@ -168,7 +168,7 @@ fn suite_queries(cfg: &SweepConfig) -> Vec<(&'static str, String)> {
 /// A pager whose reads cost `read_delay` and whose frame budget is far
 /// beyond the sweep's working set — no evictions, so the ledger is a
 /// pure function of what the evaluator asked for.
-fn sweep_pager(cfg: &SweepConfig) -> Pager {
+pub(crate) fn sweep_pager(cfg: &SweepConfig) -> Pager {
     Pager::with_latency(512, 4096, cfg.read_delay, Duration::ZERO)
 }
 

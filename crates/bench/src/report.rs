@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "mode": "smoke",
 //!   "experiments": [{"name": "exp_hs_linear", "status": "ok",
 //!                    "wall_time_secs": 1.2}],
@@ -22,6 +22,10 @@
 //!             "completed": 120, "busy": 200, "deadline": 0, "errors": 0,
 //!             "wall_secs": 0.4, "throughput_rps": 300.0, "p50_us": 900,
 //!             "p99_us": 2400, "p999_us": 3100}],
+//!   "planner": [{"label": "and-chain", "steps": 2, "cache_hit": false,
+//!                "predicted_naive": 40.0, "predicted_chosen": 12.0,
+//!                "naive_reads": 38, "chosen_reads": 11,
+//!                "naive_wall_secs": 0.02, "chosen_wall_secs": 0.008}],
 //!   "metrics": {"netdir_io_reads_total": 12, "...": 0}
 //! }
 //! ```
@@ -37,6 +41,7 @@
 use crate::load::LoadRow;
 use crate::mutation::MutationRow;
 use crate::par::DegreeRow;
+use crate::planner::PlannerRow;
 use netdir_obs::{names, MetricsRegistry, QueryTrace};
 
 /// One experiment binary's outcome in a full run.
@@ -96,6 +101,8 @@ pub struct BenchReport {
     pub mutation: Vec<MutationRow>,
     /// Closed-loop overload sweep rows (admission vs unbounded).
     pub load: Vec<LoadRow>,
+    /// Cost-based planner sweep rows (chosen vs naive I/O).
+    pub planner: Vec<PlannerRow>,
     /// Flattened metrics registry.
     pub metrics: Vec<(String, u64)>,
 }
@@ -103,8 +110,9 @@ pub struct BenchReport {
 /// The only schema this writer emits (and the validator accepts).
 /// Version 2 added the `parallel` degree-sweep section; version 3
 /// added the `mutation` write-path section; version 4 added the `load`
-/// overload-sweep section.
-pub const SCHEMA_VERSION: u64 = 4;
+/// overload-sweep section; version 5 added the `planner` chosen-vs-naive
+/// section.
+pub const SCHEMA_VERSION: u64 = 5;
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -143,6 +151,7 @@ impl BenchReport {
             parallel: Vec::new(),
             mutation: Vec::new(),
             load: Vec::new(),
+            planner: Vec::new(),
             metrics: registry.flatten(),
         }
     }
@@ -232,6 +241,26 @@ impl BenchReport {
                 l.p50_us,
                 l.p99_us,
                 l.p999_us,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"planner\": [\n");
+        for (i, p) in self.planner.iter().enumerate() {
+            let comma = if i + 1 < self.planner.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"steps\": {}, \"cache_hit\": {}, \
+                 \"predicted_naive\": {}, \"predicted_chosen\": {}, \
+                 \"naive_reads\": {}, \"chosen_reads\": {}, \
+                 \"naive_wall_secs\": {}, \"chosen_wall_secs\": {}}}{comma}\n",
+                escape(&p.label),
+                p.steps,
+                p.cache_hit,
+                num(p.predicted_naive),
+                num(p.predicted_chosen),
+                p.naive_reads,
+                p.chosen_reads,
+                num(p.naive_wall_secs),
+                num(p.chosen_wall_secs),
             ));
         }
         out.push_str("  ],\n");
@@ -554,6 +583,38 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             l.get(key).and_then(Json::as_num).ok_or(format!("load row without {key}"))?;
         }
     }
+    let planner = doc
+        .get("planner")
+        .and_then(Json::as_arr)
+        .ok_or("missing planner array")?;
+    for p in planner {
+        p.get("label").and_then(Json::as_str).ok_or("planner row without label")?;
+        match p.get("cache_hit") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err("planner row cache_hit must be a boolean".into()),
+        }
+        for key in [
+            "steps",
+            "predicted_naive",
+            "predicted_chosen",
+            "naive_reads",
+            "chosen_reads",
+            "naive_wall_secs",
+            "chosen_wall_secs",
+        ] {
+            p.get(key).and_then(Json::as_num).ok_or(format!("planner row without {key}"))?;
+        }
+        // The optimizer's contract is part of the schema: a report whose
+        // chosen plan read more pages than naive records a broken run.
+        let naive = p.get("naive_reads").and_then(Json::as_num).unwrap_or(0.0);
+        let chosen = p.get("chosen_reads").and_then(Json::as_num).unwrap_or(0.0);
+        if chosen > naive {
+            return Err(format!(
+                "planner row {:?}: chosen_reads {chosen} exceeds naive_reads {naive}",
+                p.get("label").and_then(Json::as_str).unwrap_or("?")
+            ));
+        }
+    }
     let metrics = doc.get("metrics").ok_or("missing metrics object")?;
     for name in names::TRACKED {
         // Histograms flatten to `<name>_count` / `<name>_sum`.
@@ -624,6 +685,17 @@ mod tests {
             p99_us: 2_400,
             p999_us: 3_100,
         });
+        report.planner.push(PlannerRow {
+            label: "and-chain".into(),
+            steps: 2,
+            cache_hit: false,
+            predicted_naive: 40.0,
+            predicted_chosen: 12.0,
+            naive_reads: 38,
+            chosen_reads: 11,
+            naive_wall_secs: 0.02,
+            chosen_wall_secs: 0.008,
+        });
         report
     }
 
@@ -652,26 +724,39 @@ mod tests {
         let text = sample_report().to_json();
         assert!(validate_bench_json(&text[..text.len() / 2]).is_err());
         // Wrong schema version.
-        let wrong = text.replace("\"schema_version\": 4", "\"schema_version\": 99");
+        let wrong = text.replace("\"schema_version\": 5", "\"schema_version\": 99");
         assert!(validate_bench_json(&wrong).is_err());
         // A v1 document (no parallel section) no longer validates.
         let v1 = text
-            .replace("\"schema_version\": 4", "\"schema_version\": 1")
+            .replace("\"schema_version\": 5", "\"schema_version\": 1")
             .replace("\"parallel\"", "\"parallel_gone\"");
         assert!(validate_bench_json(&v1).is_err());
         // A v2 document (no mutation section) no longer validates.
         let v2 = text
-            .replace("\"schema_version\": 4", "\"schema_version\": 2")
+            .replace("\"schema_version\": 5", "\"schema_version\": 2")
             .replace("\"mutation\"", "\"mutation_gone\"");
         assert!(validate_bench_json(&v2).is_err());
         // A v3 document (no load section) no longer validates.
         let v3 = text
-            .replace("\"schema_version\": 4", "\"schema_version\": 3")
+            .replace("\"schema_version\": 5", "\"schema_version\": 3")
             .replace("\"load\"", "\"load_gone\"");
         assert!(validate_bench_json(&v3).is_err());
+        // A v4 document (no planner section) no longer validates.
+        let v4 = text
+            .replace("\"schema_version\": 5", "\"schema_version\": 4")
+            .replace("\"planner\"", "\"planner_gone\"");
+        assert!(validate_bench_json(&v4).is_err());
         // A load row with a bogus mode is rejected.
         let bad_mode = text.replace("\"mode\": \"admission\"", "\"mode\": \"yolo\"");
         assert!(validate_bench_json(&bad_mode).is_err());
+        // A planner row where the chosen plan read more than naive
+        // records a broken optimizer and must not validate.
+        let regressed = text.replace("\"chosen_reads\": 11", "\"chosen_reads\": 99");
+        let err = validate_bench_json(&regressed).unwrap_err();
+        assert!(err.contains("chosen_reads"), "{err}");
+        // cache_hit must be a boolean, not a number.
+        let bad_hit = text.replace("\"cache_hit\": false", "\"cache_hit\": 0");
+        assert!(validate_bench_json(&bad_hit).is_err());
         // A tracked metric missing entirely.
         let gone = text.replace(names::NET_REQUESTS, "netdir_not_a_metric");
         let err = validate_bench_json(&gone).unwrap_err();

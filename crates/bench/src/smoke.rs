@@ -12,6 +12,7 @@
 use crate::load::{self, LoadConfig};
 use crate::mutation;
 use crate::par::{self, SweepConfig};
+use crate::planner;
 use crate::report::{BenchReport, QueryReport};
 use netdir_index::IndexedDirectory;
 use netdir_model::{Directory, Dn, Entry};
@@ -180,11 +181,17 @@ pub fn instrumented_suite_with(sweep: &SweepConfig, load_cfg: &LoadConfig) -> Be
     let load_rows = load::overload_sweep(load_cfg, &registry);
     load::assert_sweep_shape(&load_rows);
 
+    // Planner phase: the chosen-vs-naive sweep over the E16 suite plus
+    // the showcase cells, with the optimizer's byte-identity and
+    // never-read-more contracts asserted per cell.
+    let planner_rows = planner::planner_sweep(sweep, &registry);
+
     let mut report = BenchReport::new("smoke", &registry);
     report.queries = queries;
     report.parallel = parallel;
     report.mutation = mutation;
     report.load = load_rows;
+    report.planner = planner_rows;
     report
 }
 
@@ -231,5 +238,15 @@ mod tests {
         );
         assert!(get("netdir_admission_admitted_total") > 0);
         assert!(get("netdir_busy_rejections_total") > 0);
+        // The planner sweep ran: every cell honored the contract, at
+        // least one plan was transformed, one replayed from cache, and
+        // the counters landed in the registry.
+        assert!(!report.planner.is_empty());
+        assert!(report.planner.iter().all(|p| p.chosen_reads <= p.naive_reads));
+        assert!(report.planner.iter().any(|p| p.steps > 0));
+        assert!(report.planner.iter().any(|p| p.cache_hit));
+        assert!(get("netdir_planner_planned_total") >= report.planner.len() as u64);
+        assert!(get("netdir_planner_cache_hits_total") > 0);
+        assert!(get("netdir_planner_catalog_observations_total") > 0);
     }
 }

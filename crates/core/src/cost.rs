@@ -24,14 +24,20 @@ pub struct CostInputs {
 }
 
 /// Predicted I/O (in pages, up to constants) for evaluating `q`.
+///
+/// Genuinely empty inputs predict 0: only the `log` argument is clamped
+/// (a `log2` of sub-page inputs must not go negative or undefined), not
+/// the page count itself, so EXPLAIN ANALYZE's predictions and the
+/// planner's feedback loop aren't calibrated against a ≥1-page floor
+/// artifact when a sub-query provably produces nothing.
 pub fn predicted_io(q: &Query, inputs: CostInputs) -> f64 {
     let nodes = q.num_nodes() as f64;
-    let pages = inputs.atomic_pages.max(1) as f64;
+    let pages = inputs.atomic_pages as f64;
     match classify(q) {
         Language::L3 => {
             let m = inputs.max_values_per_attr.max(1) as f64;
             let nm = pages * m;
-            nodes * nm * nm.log2().max(1.0)
+            nodes * nm * nm.max(1.0).log2().max(1.0)
         }
         _ => nodes * pages,
     }
@@ -46,13 +52,16 @@ pub fn predicted_io(q: &Query, inputs: CostInputs) -> f64 {
 /// operator below L3 is a single linear pass over sorted inputs
 /// (Theorems 6.1/8.3); the ER join adds Theorem 7.1's sort-merge
 /// `m · log` factor.
+///
+/// As with [`predicted_io`], zero input pages predict zero I/O; only the
+/// `log` argument carries a floor.
 pub fn predicted_node_io(q: &Query, input_pages: u64, inputs: CostInputs) -> f64 {
-    let pages = input_pages.max(1) as f64;
+    let pages = input_pages as f64;
     match q {
         Query::EmbedRef { .. } => {
             let m = inputs.max_values_per_attr.max(1) as f64;
             let nm = pages * m;
-            nm * nm.log2().max(1.0)
+            nm * nm.max(1.0).log2().max(1.0)
         }
         _ => pages,
     }
@@ -100,6 +109,23 @@ mod tests {
         );
         assert!((c2 / c1 - 2.0).abs() < 1e-9, "doubling pages doubles cost");
         assert!(applicable_theorem(&q).contains("8.3"));
+    }
+
+    #[test]
+    fn empty_inputs_predict_zero_io() {
+        let empty = CostInputs {
+            atomic_pages: 0,
+            max_values_per_attr: 4,
+        };
+        let l2 = Query::hier(HierOp::Children, atom(), atom());
+        assert_eq!(predicted_io(&l2, empty), 0.0);
+        let l3 = Query::embed_ref(RefOp::ValueDn, atom(), atom(), "ref");
+        assert_eq!(predicted_io(&l3, empty), 0.0);
+        assert_eq!(predicted_node_io(&l2, 0, empty), 0.0);
+        assert_eq!(predicted_node_io(&l3, 0, empty), 0.0);
+        // One page still predicts at least one page — the log clamp
+        // keeps small inputs from predicting *less* than their size.
+        assert!(predicted_node_io(&l3, 1, empty) >= 1.0);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! The plan cache: winning step sequences keyed by normalized query
+//! shape, so repeated query templates skip enumeration entirely.
+//!
+//! Entries are invalidated *lazily* by epoch: mutating the directory
+//! bumps the planner epoch, and a cached plan from an older epoch is
+//! treated as a miss (and replaced on the next store). This keeps the
+//! mutation path O(1) — no sweep over the cache under a lock.
+
+use crate::planner::enumerate::Step;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cap on cached shapes; on overflow the cache is cleared wholesale
+/// (shapes are templates, so a real workload stays far below this).
+const MAX_SHAPES: usize = 1024;
+
+struct CachedPlan {
+    epoch: u64,
+    steps: Vec<Step>,
+}
+
+/// Epoch-invalidated map from query shape to winning step sequence.
+#[derive(Default)]
+pub struct PlanCache {
+    epoch: AtomicU64,
+    inner: Mutex<HashMap<String, CachedPlan>>,
+}
+
+impl PlanCache {
+    /// An empty cache at epoch 0.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Invalidate every cached plan (called after directory mutation).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The cached steps for `shape`, if present and current-epoch.
+    pub fn get(&self, shape: &str) -> Option<Vec<Step>> {
+        let epoch = self.epoch();
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .get(shape)
+            .filter(|p| p.epoch == epoch)
+            .map(|p| p.steps.clone())
+    }
+
+    /// Store the winning steps for `shape` at the current epoch.
+    pub fn put(&self, shape: String, steps: Vec<Step>) {
+        let epoch = self.epoch();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.len() >= MAX_SHAPES && !inner.contains_key(&shape) {
+            inner.clear();
+        }
+        inner.insert(shape, CachedPlan { epoch, steps });
+    }
+
+    /// Number of cached shapes (stale entries included until replaced).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = PlanCache::new();
+        let steps = vec![Step::ShortCircuitDiff { path: vec![0] }];
+        cache.put("shape-a".into(), steps.clone());
+        assert_eq!(cache.get("shape-a"), Some(steps.clone()));
+        assert_eq!(cache.get("shape-b"), None);
+        cache.bump_epoch();
+        assert_eq!(cache.get("shape-a"), None, "stale epoch must miss");
+        cache.put("shape-a".into(), steps.clone());
+        assert_eq!(cache.get("shape-a"), Some(steps));
+    }
+
+    #[test]
+    fn overflow_clears_rather_than_grows() {
+        let cache = PlanCache::new();
+        for i in 0..MAX_SHAPES + 1 {
+            cache.put(format!("shape-{i}"), Vec::new());
+        }
+        assert!(cache.len() <= MAX_SHAPES);
+    }
+}

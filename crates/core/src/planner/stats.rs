@@ -1,0 +1,151 @@
+//! The per-directory statistics catalog.
+//!
+//! The planner's estimates start from nothing: the catalog maps the
+//! *shape* of an atomic sub-query — base DN, scope, and the filter with
+//! its comparison values abstracted away — to the list cardinality and
+//! page count execution actually observed. Every completed evaluation
+//! feeds it (via [`crate::planner::ObservingSource`] on the normal path
+//! or [`crate::planner::Planner::observe_trace`] on the EXPLAIN ANALYZE
+//! path), so estimates improve over a session's traffic exactly as the
+//! observed-vs-predicted feedback loop of the EXPLAIN subsystem
+//! intended. Template traffic — the same query shapes with different
+//! comparison constants — shares catalog rows by construction.
+
+use netdir_filter::{AtomicFilter, Scope};
+use netdir_model::Dn;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Exponential moving-average weight for new observations. High enough
+/// to track directory drift, low enough that one outlier page-cache
+/// artifact doesn't whipsaw the plans.
+const EWMA_ALPHA: f64 = 0.4;
+
+/// What the catalog remembers about one atomic shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicStats {
+    /// Smoothed observed cardinality.
+    pub entries: f64,
+    /// Smoothed observed size in pages.
+    pub pages: f64,
+}
+
+/// The shape key of an atomic sub-query: base, scope, and the filter
+/// with comparison values abstracted (`kind=red` and `kind=blue` share a
+/// row; `kind=*` does not).
+pub fn atomic_shape(base: &Dn, scope: Scope, filter: &AtomicFilter) -> String {
+    format!("{}\u{1}{scope}\u{1}{}", base.canonical(), filter_shape(filter))
+}
+
+/// The value-abstracted rendering of an atomic filter.
+pub fn filter_shape(filter: &AtomicFilter) -> String {
+    match filter {
+        AtomicFilter::True => "true".to_string(),
+        AtomicFilter::False => "false".to_string(),
+        AtomicFilter::Present(a) => format!("{a}=*"),
+        AtomicFilter::Eq(a, _) => format!("{a}=\u{2}"),
+        AtomicFilter::Substring(a, _) => format!("{a}=sub\u{2}"),
+        AtomicFilter::IntCmp(a, op, _) => format!("{a}{op}\u{2}"),
+        AtomicFilter::DnEq(a, _) => format!("{a}=dn\u{2}"),
+    }
+}
+
+/// Aggregated catalog counters for metrics export.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CatalogSnapshot {
+    /// Distinct atomic shapes with at least one observation.
+    pub shapes: u64,
+    /// Total observations absorbed.
+    pub observations: u64,
+}
+
+/// The stats catalog: atomic-list cardinalities keyed by shape.
+///
+/// Lock discipline: the map's mutex is only held for in-memory reads and
+/// writes — observation happens *after* the pager I/O that produced the
+/// list being recorded.
+#[derive(Debug, Default)]
+pub struct StatsCatalog {
+    rows: Mutex<HashMap<String, AtomicStats>>,
+    observations: std::sync::atomic::AtomicU64,
+}
+
+impl StatsCatalog {
+    /// An empty catalog.
+    pub fn new() -> StatsCatalog {
+        StatsCatalog::default()
+    }
+
+    /// Record one observed atomic evaluation.
+    pub fn observe(&self, base: &Dn, scope: Scope, filter: &AtomicFilter, entries: u64, pages: u64) {
+        let key = atomic_shape(base, scope, filter);
+        let mut rows = self.rows.lock().unwrap_or_else(|e| e.into_inner());
+        let row = rows.entry(key).or_insert(AtomicStats {
+            entries: entries as f64,
+            pages: pages as f64,
+        });
+        row.entries = (1.0 - EWMA_ALPHA) * row.entries + EWMA_ALPHA * entries as f64;
+        row.pages = (1.0 - EWMA_ALPHA) * row.pages + EWMA_ALPHA * pages as f64;
+        self.observations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The smoothed stats for an atomic shape, if it has been observed.
+    pub fn lookup(&self, base: &Dn, scope: Scope, filter: &AtomicFilter) -> Option<AtomicStats> {
+        let key = atomic_shape(base, scope, filter);
+        self.rows
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .copied()
+    }
+
+    /// Counters for metrics export.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            shapes: self.rows.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            observations: self
+                .observations
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    #[test]
+    fn shapes_abstract_comparison_values() {
+        let base = dn("dc=test");
+        let red = atomic_shape(&base, Scope::Sub, &AtomicFilter::eq("kind", "red"));
+        let blue = atomic_shape(&base, Scope::Sub, &AtomicFilter::eq("kind", "blue"));
+        assert_eq!(red, blue, "constants must not split catalog rows");
+        let present = atomic_shape(&base, Scope::Sub, &AtomicFilter::present("kind"));
+        assert_ne!(red, present);
+        let one = atomic_shape(&base, Scope::One, &AtomicFilter::eq("kind", "red"));
+        assert_ne!(red, one, "scope is part of the shape");
+    }
+
+    #[test]
+    fn observations_converge_by_ewma() {
+        let cat = StatsCatalog::new();
+        let base = dn("dc=test");
+        let f = AtomicFilter::eq("kind", "red");
+        assert!(cat.lookup(&base, Scope::Sub, &f).is_none());
+        cat.observe(&base, Scope::Sub, &f, 100, 10);
+        let first = cat.lookup(&base, Scope::Sub, &f).unwrap();
+        assert_eq!(first.entries, 100.0);
+        // Drift toward a new regime without jumping to it.
+        cat.observe(&base, Scope::Sub, &f, 200, 20);
+        let second = cat.lookup(&base, Scope::Sub, &f).unwrap();
+        assert!(second.entries > 100.0 && second.entries < 200.0);
+        let snap = cat.snapshot();
+        assert_eq!(snap.shapes, 1);
+        assert_eq!(snap.observations, 2);
+    }
+}

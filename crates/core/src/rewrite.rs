@@ -29,9 +29,14 @@ pub fn whole_directory() -> Query {
     Query::atomic(Dn::root(), Scope::Sub, AtomicFilter::True)
 }
 
-/// A guaranteed-empty operand: `(- X X)` over the whole directory.
+/// A guaranteed-empty operand: the constant-false atomic `(null-dn ? base ? false)`.
+///
+/// An earlier version built `(- X X)` over the whole directory — two
+/// full scans to produce provably nothing, charged to every `a`/`d`
+/// rewrite. The constant-false filter is answered by the index layer
+/// with an empty candidate list, so the operand costs zero page reads.
 pub fn empty_query() -> Query {
-    Query::diff(whole_directory(), whole_directory())
+    Query::atomic(Dn::root(), Scope::Base, AtomicFilter::False)
 }
 
 /// Rewrite a binary hierarchy operator into its `ac`/`dc` equivalent
@@ -129,7 +134,11 @@ pub fn rewrite_tree(q: &Query) -> Query {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::Evaluator;
     use crate::lang::{classify, Language};
+    use netdir_index::IndexedDirectory;
+    use netdir_model::{Directory, Entry};
+    use netdir_pager::Pager;
 
     fn atom() -> Query {
         Query::atomic(
@@ -164,6 +173,79 @@ mod tests {
             a,
             Query::Atomic { base, scope: Scope::Sub, filter: AtomicFilter::True } if base.is_root()
         )));
+    }
+
+    /// The `a`/`d` rewrites' guaranteed-empty operand must cost nothing:
+    /// the old `(- X X)` form paid two whole-directory scans per rewrite
+    /// (the I/O blow-up E11 measures for `p`/`c` leaked into `a`/`d`,
+    /// where it buys no semantics at all).
+    #[test]
+    fn empty_operand_costs_no_directory_scans() {
+        let mut d = Directory::new();
+        let root = Dn::parse("dc=test").unwrap();
+        d.insert(Entry::builder(root.clone()).class("thing").build().unwrap())
+            .unwrap();
+        for i in 0..60 {
+            let parent = if i % 3 == 0 {
+                root.clone()
+            } else {
+                Dn::parse(&format!("n=e{}, dc=test", i / 3)).unwrap()
+            };
+            let e = Entry::builder(Dn::parse(&format!("n=e{i}, {parent}")).unwrap())
+                .class("thing")
+                .attr("kind", if i % 2 == 0 { "red" } else { "blue" })
+                .build()
+                .unwrap();
+            d.insert(e).unwrap();
+        }
+        let pager = Pager::new(512, 64);
+        let idx = IndexedDirectory::build(&pager, &d).unwrap();
+        let cold = |q: &Query| {
+            pager.flush().unwrap();
+            pager.pool().clear_cache().unwrap();
+            pager.reset_io();
+            let out = Evaluator::new(&idx, &pager)
+                .evaluate(q)
+                .unwrap()
+                .to_vec()
+                .unwrap();
+            (out, pager.io().reads)
+        };
+
+        // The empty operand itself touches no pages at all.
+        let (out, reads) = cold(&empty_query());
+        assert!(out.is_empty());
+        assert_eq!(reads, 0, "constant-false operand must not read pages");
+
+        let atom = || {
+            Query::atomic(
+                Dn::parse("dc=test").unwrap(),
+                Scope::Sub,
+                AtomicFilter::eq("kind", "red"),
+            )
+        };
+        for op in [HierOp::Ancestors, HierOp::Descendants] {
+            let rewritten = rewrite_via_constrained(op, atom(), atom());
+            let legacy_empty = Query::diff(whole_directory(), whole_directory());
+            let legacy = match rewrite_via_constrained(op, atom(), atom()) {
+                Query::HierPath { op, q1, q2, agg, .. } => Query::HierPath {
+                    op,
+                    q1,
+                    q2,
+                    q3: Box::new(legacy_empty),
+                    agg,
+                },
+                _ => unreachable!("rewrite_via_constrained returns HierPath"),
+            };
+            let (out_new, io_new) = cold(&rewritten);
+            let (out_old, io_old) = cold(&legacy);
+            assert_eq!(out_new, out_old, "the two empty operands must agree");
+            assert!(
+                io_new < io_old,
+                "{op:?}: rewritten form must beat the (- X X) operand \
+                 ({io_new} vs {io_old} reads)"
+            );
+        }
     }
 
     #[test]

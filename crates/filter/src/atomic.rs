@@ -102,6 +102,13 @@ pub enum AtomicFilter {
     /// — provided here as `True` so query rewrites (Section 8.1) can build
     /// the "whole directory" operand.
     True,
+    /// The dual neutral element: matches *no* entry. The Section 8.1
+    /// `a`/`d` rewrites need a guaranteed-empty operand, and a constant
+    /// false is the only one that costs nothing to evaluate (indexes
+    /// answer it with an empty candidate list, no scan). Displays and
+    /// parses as the bare token `false`, which was previously a syntax
+    /// error, so the round-trip is unambiguous.
+    False,
 }
 
 /// The integer comparison operators.
@@ -165,6 +172,7 @@ impl AtomicFilter {
     pub fn matches(&self, entry: &Entry) -> bool {
         match self {
             AtomicFilter::True => true,
+            AtomicFilter::False => false,
             AtomicFilter::Present(a) => entry.has_attr(a),
             AtomicFilter::Eq(a, want) => entry.values(a).any(|v| v.canonical() == *want),
             AtomicFilter::Substring(a, pat) => {
@@ -185,6 +193,7 @@ impl fmt::Display for AtomicFilter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AtomicFilter::True => write!(f, "objectClass=*"),
+            AtomicFilter::False => write!(f, "false"),
             AtomicFilter::Present(a) => write!(f, "{a}=*"),
             AtomicFilter::Eq(a, v) => write!(f, "{a}={}", crate::parse::escape_value(v)),
             AtomicFilter::Substring(a, p) => write!(f, "{a}={p}"),
@@ -274,5 +283,11 @@ mod tests {
     #[test]
     fn true_matches_everything() {
         assert!(AtomicFilter::True.matches(&entry()));
+    }
+
+    #[test]
+    fn false_matches_nothing() {
+        assert!(!AtomicFilter::False.matches(&entry()));
+        assert_eq!(AtomicFilter::False.to_string(), "false");
     }
 }

@@ -38,6 +38,11 @@ fn err(input: &str, detail: impl Into<String>) -> FilterParseError {
 /// `attr<5`, `attr<=5`, `attr>5`, `attr>=5`.
 pub fn parse_atomic(input: &str) -> Result<AtomicFilter, FilterParseError> {
     let s = input.trim();
+    // The constant-false filter is the bare token `false` (no operator,
+    // previously a syntax error — unambiguous and round-trips Display).
+    if s.eq_ignore_ascii_case("false") {
+        return Ok(AtomicFilter::False);
+    }
     // Look for the first comparison operator outside the attribute name.
     // Order matters: check two-char ops before their one-char prefixes.
     for (op_str, op) in [

@@ -119,6 +119,8 @@ impl IndexedDirectory {
     pub fn probe(&self, filter: &AtomicFilter) -> Option<Vec<EntryId>> {
         match filter {
             AtomicFilter::True => None,
+            // Constant false: the empty candidate list, no scan needed.
+            AtomicFilter::False => Some(Vec::new()),
             AtomicFilter::Present(a) => {
                 Some(self.presence.get(a.canonical()).cloned().unwrap_or_default())
             }

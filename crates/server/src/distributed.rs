@@ -29,6 +29,7 @@ use netdir_model::{Directory, Dn, Entry};
 use netdir_obs::{Clock, MonotonicClock};
 use netdir_pager::{parallel_map, ListWriter, PagedList, Pager, PagerError, PagerResult};
 use netdir_query::eval::{AtomicSource, Evaluator};
+use netdir_query::planner::{ObservingSource, Planner};
 use netdir_query::{Query, QueryError, QueryResult};
 use std::sync::{Arc, Mutex};
 
@@ -97,6 +98,8 @@ pub struct ClusterBuilder {
     secondaries: Vec<bool>,
     /// Intra-query parallelism degree for the built router (0 → 1).
     eval_threads: usize,
+    /// Cost-based planner for the built router, if any.
+    planner: Option<Arc<Planner>>,
 }
 
 /// The outcome of partitioning a directory across declared contexts,
@@ -146,6 +149,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attach a cost-based planner to the built cluster's router (see
+    /// [`Router::with_planner`]). Pass the *same* `Arc` when rebuilding
+    /// the cluster after a mutation so the stats catalog persists; call
+    /// [`Planner::bump_epoch`] at each rebuild so stale cached plans are
+    /// dropped.
+    pub fn planner(mut self, planner: Arc<Planner>) -> Self {
+        self.planner = Some(planner);
+        self
+    }
+
     /// Partition `dir` by longest-matching context without spawning
     /// anything.
     ///
@@ -187,8 +200,9 @@ impl ClusterBuilder {
     }
 
     /// Partition `dir` by longest-matching context and spawn the nodes.
-    pub fn build(self, dir: &Directory) -> Cluster {
+    pub fn build(mut self, dir: &Directory) -> Cluster {
         let eval_threads = self.eval_threads.max(1);
+        let planner = self.planner.take();
         let parts = self.into_parts(dir);
         let nodes: Vec<ServerNode> = parts
             .configs
@@ -198,9 +212,13 @@ impl ClusterBuilder {
             .collect();
         let transport =
             ChannelTransport::new(nodes.iter().map(|n| n.sender()).collect());
+        let mut router =
+            Router::new(parts.delegation, Box::new(transport)).with_eval_threads(eval_threads);
+        if let Some(p) = planner {
+            router = router.with_planner(p);
+        }
         Cluster {
-            router: Router::new(parts.delegation, Box::new(transport))
-                .with_eval_threads(eval_threads),
+            router,
             nodes,
             orphaned: parts.orphaned,
         }
@@ -223,6 +241,10 @@ pub struct Router {
     eval_threads: usize,
     /// Time source for retry backoff and EXPLAIN ANALYZE timings.
     clock: Arc<dyn Clock>,
+    /// Cost-based planner (opt-in). When set, queries are planned before
+    /// evaluation — byte-identical output, fewer pages — atomic results
+    /// feed its stats catalog, and EXPLAIN ANALYZE traces are harvested.
+    planner: Option<Arc<Planner>>,
 }
 
 impl Router {
@@ -238,7 +260,24 @@ impl Router {
             retry_stats: RetryStats::new(),
             eval_threads: 1,
             clock: Arc::new(MonotonicClock::new()),
+            planner: None,
         }
+    }
+
+    /// Attach a cost-based [`Planner`] (builder-style): every query is
+    /// planned before evaluation, atomic results feed the planner's
+    /// stats catalog, and cached plans replay for repeated query shapes.
+    /// Output is byte-identical to unplanned evaluation. Share one
+    /// planner across generations of a rebuilt cluster so its catalog
+    /// survives mutations.
+    pub fn with_planner(mut self, planner: Arc<Planner>) -> Router {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// The attached planner, if any.
+    pub fn planner(&self) -> Option<&Arc<Planner>> {
+        self.planner.as_ref()
     }
 
     /// Replace the time source driving retry backoff and traced-query
@@ -373,11 +412,28 @@ impl Router {
             mode,
             partial: Mutex::new(Vec::new()),
         };
-        let evaluator = Evaluator::new(&source, pager);
-        let out = if self.eval_threads > 1 {
-            evaluator.evaluate_parallel(query, self.eval_threads)?
-        } else {
-            evaluator.evaluate(query)?
+        // With a planner attached, evaluate the chosen (byte-identical)
+        // plan and feed every atomic result back into the stats catalog.
+        let planned = self.planner.as_ref().map(|p| p.plan(query));
+        let query = planned.as_ref().map_or(query, |p| &p.query);
+        let out = match &self.planner {
+            Some(p) => {
+                let observing = ObservingSource::new(&source, p.catalog());
+                let evaluator = Evaluator::new(&observing, pager);
+                if self.eval_threads > 1 {
+                    evaluator.evaluate_parallel(query, self.eval_threads)?
+                } else {
+                    evaluator.evaluate(query)?
+                }
+            }
+            None => {
+                let evaluator = Evaluator::new(&source, pager);
+                if self.eval_threads > 1 {
+                    evaluator.evaluate_parallel(query, self.eval_threads)?
+                } else {
+                    evaluator.evaluate(query)?
+                }
+            }
         };
         let entries = out.to_vec().map_err(QueryError::from)?;
         Ok(QueryOutcome {
@@ -408,11 +464,18 @@ impl Router {
         // Traced evaluation stays sequential regardless of `eval_threads`:
         // per-node I/O attribution snapshots the shared ledger around each
         // node, which is only meaningful when nodes run one at a time.
+        let planned = self.planner.as_ref().map(|p| p.plan(query));
+        let query = planned.as_ref().map_or(query, |p| &p.query);
         let started = self.clock.now();
         let (out, traces) = Evaluator::new(&source, pager).evaluate_traced(query)?;
         let elapsed =
             u64::try_from(self.clock.now().saturating_sub(started).as_nanos()).unwrap_or(u64::MAX);
         let trace = netdir_query::build_trace(query, &traces, elapsed);
+        // Observed-vs-predicted feedback: per-node cardinalities from the
+        // ANALYZE trace calibrate the planner's estimates.
+        if let Some(p) = &self.planner {
+            p.observe_trace(query, &trace);
+        }
         let entries = out.to_vec().map_err(QueryError::from)?;
         Ok((
             QueryOutcome {
@@ -1002,6 +1065,52 @@ mod tests {
         assert_eq!(trace.spans.len(), q.num_nodes());
         assert_eq!(trace.root_entries(), out.entries.len() as u64);
         assert!(trace.predicted_io > 0.0);
+    }
+
+    #[test]
+    fn planned_cluster_matches_unplanned_and_learns() {
+        let planner = Arc::new(Planner::new());
+        let planned = ClusterBuilder::new()
+            .server("root", dn("dc=com"))
+            .server("att", dn("dc=att, dc=com"))
+            .server("research", dn("dc=research, dc=att, dc=com"))
+            .server("org", dn("dc=org"))
+            .planner(planner.clone())
+            .build(&dir());
+        let plain = cluster();
+        let pager = netdir_pager::default_pager();
+        let queries = [
+            "(& (null-dn ? sub ? objectClass=thing) \
+                (dc=att, dc=com ? sub ? surName=jagadish))",
+            "(a (null-dn ? sub ? surName=jagadish) \
+                (dc=com ? sub ? objectClass=thing))",
+            "(- (dc=att, dc=com ? sub ? surName=jagadish) \
+               (dc=att, dc=com ? sub ? surName=jagadish))",
+        ];
+        for text in queries {
+            let q = parse_query(text).unwrap();
+            let a = plain.query_from("att", &pager, &q).unwrap();
+            let b = planned.query_from("att", &pager, &q).unwrap();
+            assert_eq!(a, b, "planned results diverged for {text}");
+        }
+        let snap = planner.snapshot();
+        assert_eq!(snap.planned, queries.len() as u64);
+        assert!(snap.catalog_observations > 0, "atomic results must feed the catalog");
+        // Repeating a shape (different constant) hits the plan cache.
+        let again = parse_query(
+            "(& (null-dn ? sub ? objectClass=thing) \
+                (dc=att, dc=com ? sub ? surName=someoneelse))",
+        )
+        .unwrap();
+        planned.query_from("att", &pager, &again).unwrap();
+        assert!(planner.snapshot().cache_hits >= 1);
+        // ANALYZE feeds the catalog through the trace path too.
+        let before = planner.snapshot().catalog_observations;
+        let q = parse_query("(dc=org ? sub ? objectClass=thing)").unwrap();
+        planned
+            .query_analyzed_from("att", &pager, &q, ConsistencyMode::Strict)
+            .unwrap();
+        assert!(planner.snapshot().catalog_observations > before);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use netdir_journal::{JournalStore, MutationBatch};
 use netdir_model::{ldif, Directory, Dn};
 use netdir_obs::{Clock, MetricsRegistry, MonotonicClock};
-use netdir_query::parse_query;
+use netdir_query::{parse_query, Planner};
 use netdir_server::metrics as bridge;
 use netdir_server::{
     AdmissionConfig, AdmissionController, Cluster, ClusterBuilder, ConsistencyMode, EnumCap,
@@ -58,6 +58,9 @@ struct ClusterService {
     metrics: MetricsRegistry,
     /// Time source for query-latency metrics.
     clock: Arc<dyn Clock>,
+    /// Cost-based planner (`--planner`), shared across cluster rebuilds
+    /// so its stats catalog survives mutations.
+    planner: Option<Arc<Planner>>,
 }
 
 impl WireService for ClusterService {
@@ -138,6 +141,9 @@ impl ClusterService {
         }
         let rebuilt = self.journal.with_directory(|dir| {
             let mut b = ClusterBuilder::new().eval_threads(self.eval_threads);
+            if let Some(p) = &self.planner {
+                b = b.planner(p.clone());
+            }
             for (name, dn, secondary) in &self.contexts {
                 b = if *secondary {
                     b.secondary(name.clone(), dn.clone())
@@ -147,6 +153,11 @@ impl ClusterService {
             }
             b.build(dir)
         });
+        // Cached plans were chosen against the old generation's list
+        // sizes; drop them (the catalog itself survives and re-converges).
+        if let Some(p) = &self.planner {
+            p.bump_epoch();
+        }
         *self.cluster.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(rebuilt);
         WireResponse::Mutated {
             epoch: outcome.epoch,
@@ -224,6 +235,9 @@ impl ClusterService {
         bridge::sync_net(&self.metrics, router.net().snapshot());
         bridge::sync_retry(&self.metrics, router.retry_stats().snapshot());
         bridge::sync_health(&self.metrics, router.health().transitions());
+        if let Some(p) = &self.planner {
+            bridge::sync_planner(&self.metrics, p.snapshot());
+        }
         self.journal.sync_metrics(&self.metrics);
         WireResponse::Stats(self.metrics.render_prometheus())
     }
@@ -233,7 +247,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: netdird --listen ADDR [--ldif FILE] [--wal FILE] [--context NAME=DN]... \\\n\
          \x20              [--secondary NAME=DN]... [--workers N] \\\n\
-         \x20              [--eval-threads N] [--max-frame BYTES] [--timeout-ms MS] \\\n\
+         \x20              [--eval-threads N] [--planner] [--max-frame BYTES] [--timeout-ms MS] \\\n\
          \x20              [--max-inflight N] [--max-pending N] [--request-deadline-ms MS] \\\n\
          \x20              [--rate-limit PER_SEC[:BURST]] [--enum-cap ENTRIES[:WINDOW_MS]]\n\
          \n\
@@ -242,6 +256,11 @@ fn usage() -> ! {
          empty directory is served. With --wal, committed mutation batches\n\
          persist to FILE and replay over the seed LDIF on the next start\n\
          (keep the same --ldif across restarts).\n\
+         \n\
+         --planner enables the cost-based plan optimizer: queries are\n\
+         rewritten to cheaper byte-identical plans using list-size\n\
+         statistics observed from earlier queries, and repeated query\n\
+         shapes replay cached plans (the planner series in --stats).\n\
          \n\
          Overload policy (all off by default): --max-inflight caps requests\n\
          executing at once, --max-pending caps connections queued for a\n\
@@ -287,6 +306,7 @@ fn main() {
     let mut contexts: Vec<(String, Dn, bool)> = Vec::new();
     let mut opts = ServerOptions::default();
     let mut eval_threads: usize = 1;
+    let mut use_planner = false;
     let mut admission = AdmissionConfig::default();
     let mut any_admission_flag = false;
 
@@ -316,6 +336,7 @@ fn main() {
             "--eval-threads" => {
                 eval_threads = value("--eval-threads").parse().unwrap_or_else(|_| usage())
             }
+            "--planner" => use_planner = true,
             "--max-frame" => {
                 opts.max_frame = value("--max-frame").parse().unwrap_or_else(|_| usage())
             }
@@ -426,8 +447,12 @@ fn main() {
         }),
     };
 
+    let planner = use_planner.then(|| Arc::new(Planner::new()));
     let cluster = journal.with_directory(|d| {
         let mut builder = ClusterBuilder::new().eval_threads(eval_threads);
+        if let Some(p) = &planner {
+            builder = builder.planner(p.clone());
+        }
         for (name, dn, secondary) in &contexts {
             builder = if *secondary {
                 builder.secondary(name.clone(), dn.clone())
@@ -472,6 +497,7 @@ fn main() {
         wal_path,
         metrics,
         clock: Arc::new(MonotonicClock::new()),
+        planner,
     });
     let mut server = match WireServer::bind(listen.as_str(), service, opts) {
         Ok(s) => s,

@@ -181,6 +181,7 @@ const AF_SUBSTRING: u8 = 2;
 const AF_INTCMP: u8 = 3;
 const AF_DNEQ: u8 = 4;
 const AF_TRUE: u8 = 5;
+const AF_FALSE: u8 = 6;
 
 const CF_ATOMIC: u8 = 0;
 const CF_AND: u8 = 1;
@@ -292,6 +293,7 @@ pub fn put_atomic_filter(out: &mut Vec<u8>, f: &AtomicFilter) {
             put_dn(out, dn);
         }
         AtomicFilter::True => out.push(AF_TRUE),
+        AtomicFilter::False => out.push(AF_FALSE),
     }
 }
 
@@ -330,6 +332,7 @@ pub fn get_atomic_filter(r: &mut Reader<'_>) -> PagerResult<AtomicFilter> {
             Ok(AtomicFilter::DnEq(a, dn))
         }
         AF_TRUE => Ok(AtomicFilter::True),
+        AF_FALSE => Ok(AtomicFilter::False),
         t => Err(corrupt(format!("unknown atomic-filter tag {t}"))),
     }
 }
@@ -989,6 +992,7 @@ mod tests {
             ("AF_INTCMP", AF_INTCMP),
             ("AF_DNEQ", AF_DNEQ),
             ("AF_TRUE", AF_TRUE),
+            ("AF_FALSE", AF_FALSE),
             ("CF_ATOMIC", CF_ATOMIC),
             ("CF_AND", CF_AND),
             ("CF_OR", CF_OR),
@@ -1130,6 +1134,7 @@ mod tests {
             ("AF_INTCMP", AtomicFilter::IntCmp(attr("n"), IntOp::Ge, 3)),
             ("AF_DNEQ", AtomicFilter::DnEq(attr("member"), dn("dc=com"))),
             ("AF_TRUE", AtomicFilter::True),
+            ("AF_FALSE", AtomicFilter::False),
         ];
         assert_eq!(
             atomics.len(),

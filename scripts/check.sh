@@ -31,6 +31,13 @@
 #                                   loop load sweep landing in target/
 #                                   BENCH_smoke.json (schema validated,
 #                                   shedding invariants asserted)
+#   scripts/check.sh --planner-smoke  gate + the cost-based planner
+#                                   guards run explicitly: the planner
+#                                   unit tests, the randomized
+#                                   byte-identity/ledger property suite,
+#                                   and the chosen-vs-naive sweep landing
+#                                   in target/BENCH_smoke.json (schema
+#                                   v5, planner section validated)
 #   scripts/check.sh --analysis     gate + the static/dynamic analysis
 #                                   suites run explicitly: the ndlint
 #                                   fixture tests (each lint proven to
@@ -56,6 +63,7 @@ bench_smoke=0
 par_smoke=0
 wal_smoke=0
 load_smoke=0
+planner_smoke=0
 analysis=0
 sanitize=0
 for arg in "$@"; do
@@ -65,6 +73,7 @@ for arg in "$@"; do
     --par-smoke) par_smoke=1 ;;
     --wal-smoke) wal_smoke=1 ;;
     --load-smoke) load_smoke=1 ;;
+    --planner-smoke) planner_smoke=1 ;;
     --analysis) analysis=1 ;;
     --sanitize) sanitize=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
@@ -120,6 +129,17 @@ if [ "$load_smoke" = 1 ]; then
   cargo test -q -p netdir-wire --lib
   cargo test -q -p netdir-wire --test chaos admission_under_chaos
   cargo test -q --release -p netdir-bench --lib load
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --smoke --json target/BENCH_smoke.json
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --validate target/BENCH_smoke.json
+fi
+
+if [ "$planner_smoke" = 1 ]; then
+  echo "check.sh: running cost-based planner guards"
+  cargo test -q -p netdir-query planner
+  cargo test -q -p netdir-query --test planner_prop
+  cargo test -q --release -p netdir-bench --lib planner
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
     --smoke --json target/BENCH_smoke.json
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
