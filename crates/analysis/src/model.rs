@@ -201,6 +201,181 @@ impl Model for LoadingFrame {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Two-queue ghost admission (`pool.rs::admit` + `take_ghost`).
+
+/// Per-thread program counter through `fetch()` of a *ghosted* page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GhostPc {
+    /// Before the table-lock critical section.
+    Lookup,
+    /// (buggy variant only) published the frame, ghost entry left behind;
+    /// will remove it in a second, later lock acquisition.
+    StaleGhostFixup,
+    /// Loader: doing the disk read (table lock released).
+    Read,
+    /// Loader: filling the frame and releasing its data lock.
+    Fill,
+    /// Waiter: blocked until the frame's data lock is released.
+    AwaitData,
+    /// Finished; payload = did this thread observe a filled frame.
+    Done(bool),
+}
+
+/// N threads concurrently `fetch()`ing the same cold page that sits on
+/// the **ghost list** — the two-queue extension of [`LoadingFrame`].
+///
+/// The protocol under model: the miss path's table-lock critical section
+/// removes the page's ghost entry and admits the frame (to protected,
+/// counting one re-admission) in the *same atomic step* as publishing the
+/// loading frame. The checked invariants:
+///
+/// 1. **exactly-one-read** — ghosted pages are still cold pages: racing
+///    fetchers cost one read, no matter the schedule;
+/// 2. **never ghosted-and-resident** — no reachable state has the page
+///    simultaneously on the ghost list and in the resident table;
+/// 3. **one re-admission** — the ghost refault is counted once, by the
+///    publishing loader, not once per racing fetcher.
+///
+/// `stale_ghost_bug` models deferring the ghost removal to a second lock
+/// acquisition after publication (a natural refactoring mistake); the
+/// checker must find the window where invariant 2 is violated.
+#[derive(Debug, Clone)]
+pub struct GhostAdmission {
+    frame: Option<Frame>,
+    /// The page's ghost-list entry is still present.
+    ghosted: bool,
+    reads: u32,
+    readmissions: u32,
+    pcs: Vec<GhostPc>,
+    /// Model the deferred (non-atomic) ghost removal instead of the
+    /// real protocol.
+    buggy: bool,
+}
+
+impl GhostAdmission {
+    /// The real protocol with `threads` racing fetchers of one ghosted page.
+    pub fn correct(threads: usize) -> GhostAdmission {
+        GhostAdmission {
+            frame: None,
+            ghosted: true,
+            reads: 0,
+            readmissions: 0,
+            pcs: vec![GhostPc::Lookup; threads],
+            buggy: false,
+        }
+    }
+
+    /// The stale-ghost bug: admission publishes the frame but leaves the
+    /// ghost entry for a later, separate critical section.
+    pub fn stale_ghost_bug(threads: usize) -> GhostAdmission {
+        GhostAdmission {
+            buggy: true,
+            ..GhostAdmission::correct(threads)
+        }
+    }
+}
+
+impl Model for GhostAdmission {
+    fn threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        match self.pcs[tid] {
+            GhostPc::Done(_) => false,
+            GhostPc::AwaitData => self.frame.is_some_and(|f| !f.write_locked),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        match self.pcs[tid] {
+            GhostPc::Lookup => match &mut self.frame {
+                Some(f) => {
+                    f.pins += 1;
+                    self.pcs[tid] = GhostPc::AwaitData;
+                }
+                None => {
+                    // The table-lock critical section of the miss path.
+                    self.frame = Some(Frame {
+                        write_locked: true,
+                        filled: false,
+                        pins: 1,
+                    });
+                    if self.buggy {
+                        // Bug: admission published the frame but did not
+                        // take the ghost entry; a separate step will.
+                        self.pcs[tid] = GhostPc::StaleGhostFixup;
+                    } else {
+                        // Real protocol: `admit` calls `take_ghost` in
+                        // the same state-locked step.
+                        self.ghosted = false;
+                        self.readmissions += 1;
+                        self.pcs[tid] = GhostPc::Read;
+                    }
+                }
+            },
+            GhostPc::StaleGhostFixup => {
+                // The deferred second critical section.
+                if self.ghosted {
+                    self.ghosted = false;
+                    self.readmissions += 1;
+                }
+                self.pcs[tid] = GhostPc::Read;
+            }
+            GhostPc::Read => {
+                self.reads += 1;
+                self.pcs[tid] = GhostPc::Fill;
+            }
+            GhostPc::Fill => {
+                let f = self.frame.as_mut().expect("loader published the frame");
+                f.filled = true;
+                f.write_locked = false;
+                self.pcs[tid] = GhostPc::Done(true);
+            }
+            GhostPc::AwaitData => {
+                let f = self.frame.expect("pinned frame cannot vanish");
+                self.pcs[tid] = GhostPc::Done(f.filled);
+            }
+            GhostPc::Done(_) => unreachable!("done threads are never enabled"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pcs.iter().all(|p| matches!(p, GhostPc::Done(_)))
+    }
+
+    fn invariant(&self) -> Option<String> {
+        if self.frame.is_some() && self.ghosted {
+            return Some("page simultaneously ghosted and resident".to_string());
+        }
+        if self.reads > 1 {
+            return Some(format!("{} disk reads for one ghosted page", self.reads));
+        }
+        if self.readmissions > 1 {
+            return Some(format!(
+                "{} ghost re-admissions counted for one refault",
+                self.readmissions
+            ));
+        }
+        if self.done() {
+            if self.reads != 1 {
+                return Some(format!("{} disk reads at completion", self.reads));
+            }
+            if self.readmissions != 1 {
+                return Some(format!("{} re-admissions at completion", self.readmissions));
+            }
+            for (tid, pc) in self.pcs.iter().enumerate() {
+                if *pc != GhostPc::Done(true) {
+                    return Some(format!("thread {tid} observed an unfilled frame"));
+                }
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +411,38 @@ mod tests {
         assert!(v.message.contains("disk reads"), "{}", v.message);
         // And the counterexample replays.
         let mut m = LoadingFrame::buggy(2);
+        for &tid in &v.schedule {
+            m.step(tid);
+        }
+        assert!(m.invariant().is_some());
+    }
+
+    #[test]
+    fn racing_fetchers_of_a_ghosted_page_cost_one_read() {
+        let stats = explore(&GhostAdmission::correct(3)).unwrap_or_else(|v| {
+            panic!("ghost-admission protocol violated: {v}");
+        });
+        assert!(stats.schedules > 1, "exploration must branch");
+    }
+
+    #[test]
+    fn ghost_admission_holds_at_four_threads() {
+        explore(&GhostAdmission::correct(4)).unwrap_or_else(|v| {
+            panic!("ghost-admission protocol violated at 4 threads: {v}");
+        });
+    }
+
+    #[test]
+    fn the_checker_catches_the_stale_ghost_bug() {
+        let v = explore(&GhostAdmission::stale_ghost_bug(2))
+            .expect_err("ghosted-and-resident window must be found");
+        assert!(
+            v.message.contains("ghosted and resident"),
+            "{}",
+            v.message
+        );
+        // And the counterexample replays.
+        let mut m = GhostAdmission::stale_ghost_bug(2);
         for &tid in &v.schedule {
             m.step(tid);
         }

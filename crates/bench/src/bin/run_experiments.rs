@@ -171,6 +171,19 @@ fn main() {
             p.chosen_wall_secs
         );
     }
+    for s in &report.storage {
+        println!(
+            "{:>9}  baseline_reads={} engine_reads={} reduction={:.1}% \
+             hit_rate lru={:.3} two_q={:.3} bytes_saved={}",
+            s.cell,
+            s.baseline_reads,
+            s.engine_reads,
+            s.read_reduction * 100.0,
+            s.hit_rate_baseline,
+            s.hit_rate_engine,
+            s.compressed_bytes_saved
+        );
+    }
 
     let text = report.to_json();
     validate_bench_json(&text).expect("self-check: emitted report must validate");

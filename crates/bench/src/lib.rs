@@ -26,6 +26,7 @@ pub mod par;
 pub mod planner;
 pub mod report;
 pub mod smoke;
+pub mod storage;
 
 /// Fixed-width table printing for experiment output.
 pub mod table {

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "mode": "smoke",
 //!   "experiments": [{"name": "exp_hs_linear", "status": "ok",
 //!                    "wall_time_secs": 1.2}],
@@ -26,6 +26,10 @@
 //!                "predicted_naive": 40.0, "predicted_chosen": 12.0,
 //!                "naive_reads": 38, "chosen_reads": 11,
 //!                "naive_wall_secs": 0.02, "chosen_wall_secs": 0.008}],
+//!   "storage": [{"cell": "e16-cold", "baseline_reads": 160,
+//!                "engine_reads": 110, "read_reduction": 0.31,
+//!                "hit_rate_baseline": 0, "hit_rate_engine": 0,
+//!                "compressed_bytes_saved": 20480}],
 //!   "metrics": {"netdir_io_reads_total": 12, "...": 0}
 //! }
 //! ```
@@ -42,6 +46,7 @@ use crate::load::LoadRow;
 use crate::mutation::MutationRow;
 use crate::par::DegreeRow;
 use crate::planner::PlannerRow;
+use crate::storage::StorageRow;
 use netdir_obs::{names, MetricsRegistry, QueryTrace};
 
 /// One experiment binary's outcome in a full run.
@@ -103,6 +108,8 @@ pub struct BenchReport {
     pub load: Vec<LoadRow>,
     /// Cost-based planner sweep rows (chosen vs naive I/O).
     pub planner: Vec<PlannerRow>,
+    /// Storage-engine sweep rows (compression footprint, scan-mix).
+    pub storage: Vec<StorageRow>,
     /// Flattened metrics registry.
     pub metrics: Vec<(String, u64)>,
 }
@@ -111,8 +118,8 @@ pub struct BenchReport {
 /// Version 2 added the `parallel` degree-sweep section; version 3
 /// added the `mutation` write-path section; version 4 added the `load`
 /// overload-sweep section; version 5 added the `planner` chosen-vs-naive
-/// section.
-pub const SCHEMA_VERSION: u64 = 5;
+/// section; version 6 added the `storage` compression/scan-mix section.
+pub const SCHEMA_VERSION: u64 = 6;
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -152,6 +159,7 @@ impl BenchReport {
             mutation: Vec::new(),
             load: Vec::new(),
             planner: Vec::new(),
+            storage: Vec::new(),
             metrics: registry.flatten(),
         }
     }
@@ -261,6 +269,24 @@ impl BenchReport {
                 p.chosen_reads,
                 num(p.naive_wall_secs),
                 num(p.chosen_wall_secs),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"storage\": [\n");
+        for (i, s) in self.storage.iter().enumerate() {
+            let comma = if i + 1 < self.storage.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"cell\": \"{}\", \"baseline_reads\": {}, \
+                 \"engine_reads\": {}, \"read_reduction\": {}, \
+                 \"hit_rate_baseline\": {}, \"hit_rate_engine\": {}, \
+                 \"compressed_bytes_saved\": {}}}{comma}\n",
+                escape(&s.cell),
+                s.baseline_reads,
+                s.engine_reads,
+                num(s.read_reduction),
+                num(s.hit_rate_baseline),
+                num(s.hit_rate_engine),
+                s.compressed_bytes_saved,
             ));
         }
         out.push_str("  ],\n");
@@ -615,6 +641,52 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             ));
         }
     }
+    let storage = doc
+        .get("storage")
+        .and_then(Json::as_arr)
+        .ok_or("missing storage array")?;
+    for s in storage {
+        let cell = s
+            .get("cell")
+            .and_then(Json::as_str)
+            .filter(|c| *c == "e16-cold" || *c == "scan-mix")
+            .ok_or("storage row cell must be \"e16-cold\" or \"scan-mix\"")?;
+        for key in [
+            "baseline_reads",
+            "engine_reads",
+            "read_reduction",
+            "hit_rate_baseline",
+            "hit_rate_engine",
+            "compressed_bytes_saved",
+        ] {
+            s.get(key).and_then(Json::as_num).ok_or(format!("storage row without {key}"))?;
+        }
+        // The storage pass's claims are part of the schema: a report
+        // recording a compression win under 20% or a scan-mix hit-rate
+        // loss records a broken engine.
+        match cell {
+            "e16-cold" => {
+                let reduction =
+                    s.get("read_reduction").and_then(Json::as_num).unwrap_or(0.0);
+                if reduction < 0.2 {
+                    return Err(format!(
+                        "storage row e16-cold: read_reduction {reduction} is \
+                         below the promised 0.2"
+                    ));
+                }
+            }
+            _ => {
+                let lru = s.get("hit_rate_baseline").and_then(Json::as_num).unwrap_or(0.0);
+                let two_q = s.get("hit_rate_engine").and_then(Json::as_num).unwrap_or(0.0);
+                if two_q < lru {
+                    return Err(format!(
+                        "storage row scan-mix: hit_rate_engine {two_q} lost to \
+                         hit_rate_baseline {lru}"
+                    ));
+                }
+            }
+        }
+    }
     let metrics = doc.get("metrics").ok_or("missing metrics object")?;
     for name in names::TRACKED {
         // Histograms flatten to `<name>_count` / `<name>_sum`.
@@ -696,6 +768,24 @@ mod tests {
             naive_wall_secs: 0.02,
             chosen_wall_secs: 0.008,
         });
+        report.storage.push(StorageRow {
+            cell: "e16-cold".into(),
+            baseline_reads: 160,
+            engine_reads: 110,
+            read_reduction: 0.3125,
+            hit_rate_baseline: 0.0,
+            hit_rate_engine: 0.0,
+            compressed_bytes_saved: 20_480,
+        });
+        report.storage.push(StorageRow {
+            cell: "scan-mix".into(),
+            baseline_reads: 0,
+            engine_reads: 0,
+            read_reduction: 0.0,
+            hit_rate_baseline: 0.54,
+            hit_rate_engine: 0.97,
+            compressed_bytes_saved: 0,
+        });
         report
     }
 
@@ -724,28 +814,33 @@ mod tests {
         let text = sample_report().to_json();
         assert!(validate_bench_json(&text[..text.len() / 2]).is_err());
         // Wrong schema version.
-        let wrong = text.replace("\"schema_version\": 5", "\"schema_version\": 99");
+        let wrong = text.replace("\"schema_version\": 6", "\"schema_version\": 99");
         assert!(validate_bench_json(&wrong).is_err());
         // A v1 document (no parallel section) no longer validates.
         let v1 = text
-            .replace("\"schema_version\": 5", "\"schema_version\": 1")
+            .replace("\"schema_version\": 6", "\"schema_version\": 1")
             .replace("\"parallel\"", "\"parallel_gone\"");
         assert!(validate_bench_json(&v1).is_err());
         // A v2 document (no mutation section) no longer validates.
         let v2 = text
-            .replace("\"schema_version\": 5", "\"schema_version\": 2")
+            .replace("\"schema_version\": 6", "\"schema_version\": 2")
             .replace("\"mutation\"", "\"mutation_gone\"");
         assert!(validate_bench_json(&v2).is_err());
         // A v3 document (no load section) no longer validates.
         let v3 = text
-            .replace("\"schema_version\": 5", "\"schema_version\": 3")
+            .replace("\"schema_version\": 6", "\"schema_version\": 3")
             .replace("\"load\"", "\"load_gone\"");
         assert!(validate_bench_json(&v3).is_err());
         // A v4 document (no planner section) no longer validates.
         let v4 = text
-            .replace("\"schema_version\": 5", "\"schema_version\": 4")
+            .replace("\"schema_version\": 6", "\"schema_version\": 4")
             .replace("\"planner\"", "\"planner_gone\"");
         assert!(validate_bench_json(&v4).is_err());
+        // A v5 document (no storage section) no longer validates.
+        let v5 = text
+            .replace("\"schema_version\": 6", "\"schema_version\": 5")
+            .replace("\"storage\"", "\"storage_gone\"");
+        assert!(validate_bench_json(&v5).is_err());
         // A load row with a bogus mode is rejected.
         let bad_mode = text.replace("\"mode\": \"admission\"", "\"mode\": \"yolo\"");
         assert!(validate_bench_json(&bad_mode).is_err());
@@ -757,6 +852,18 @@ mod tests {
         // cache_hit must be a boolean, not a number.
         let bad_hit = text.replace("\"cache_hit\": false", "\"cache_hit\": 0");
         assert!(validate_bench_json(&bad_hit).is_err());
+        // A storage row whose compression win fell under the promised
+        // 20% records a broken engine and must not validate.
+        let weak = text.replace("\"read_reduction\": 0.3125", "\"read_reduction\": 0.05");
+        let err = validate_bench_json(&weak).unwrap_err();
+        assert!(err.contains("read_reduction"), "{err}");
+        // A scan-mix row where 2Q lost to LRU likewise.
+        let lost = text.replace("\"hit_rate_engine\": 0.97", "\"hit_rate_engine\": 0.4");
+        let err = validate_bench_json(&lost).unwrap_err();
+        assert!(err.contains("hit_rate_engine"), "{err}");
+        // An unknown storage cell label is rejected.
+        let bad_cell = text.replace("\"cell\": \"scan-mix\"", "\"cell\": \"mystery\"");
+        assert!(validate_bench_json(&bad_cell).is_err());
         // A tracked metric missing entirely.
         let gone = text.replace(names::NET_REQUESTS, "netdir_not_a_metric");
         let err = validate_bench_json(&gone).unwrap_err();

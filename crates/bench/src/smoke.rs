@@ -14,6 +14,7 @@ use crate::mutation;
 use crate::par::{self, SweepConfig};
 use crate::planner;
 use crate::report::{BenchReport, QueryReport};
+use crate::storage;
 use netdir_index::IndexedDirectory;
 use netdir_model::{Directory, Dn, Entry};
 use netdir_obs::{names, MetricsRegistry};
@@ -186,12 +187,18 @@ pub fn instrumented_suite_with(sweep: &SweepConfig, load_cfg: &LoadConfig) -> Be
     // never-read-more contracts asserted per cell.
     let planner_rows = planner::planner_sweep(sweep, &registry);
 
+    // Storage phase: the compression-footprint and scan-mix cells, with
+    // the storage pass's byte-identity, ≥20% cold-read reduction, and
+    // scan-resistance claims asserted per cell.
+    let storage_rows = storage::storage_sweep(sweep, &registry);
+
     let mut report = BenchReport::new("smoke", &registry);
     report.queries = queries;
     report.parallel = parallel;
     report.mutation = mutation;
     report.load = load_rows;
     report.planner = planner_rows;
+    report.storage = storage_rows;
     report
 }
 
@@ -248,5 +255,12 @@ mod tests {
         assert!(get("netdir_planner_planned_total") >= report.planner.len() as u64);
         assert!(get("netdir_planner_cache_hits_total") > 0);
         assert!(get("netdir_planner_catalog_observations_total") > 0);
+        // The storage sweep ran both cells, its claims held, and the
+        // engine replay fed the pool series.
+        assert_eq!(report.storage.len(), 2);
+        assert!(report.storage[0].read_reduction >= 0.2);
+        assert!(report.storage[1].hit_rate_engine > report.storage[1].hit_rate_baseline);
+        assert!(get("netdir_pool_hits_total") > 0);
+        assert!(get("netdir_pool_compressed_bytes_saved_total") > 0);
     }
 }

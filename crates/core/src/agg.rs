@@ -21,7 +21,7 @@
 use crate::ast::{AggAttribute, AggSelFilter, Aggregate, AttrRef, EntryAgg};
 use crate::error::{QueryError, QueryResult};
 use netdir_model::{AttrName, Entry, Value};
-use netdir_pager::record::{codec, Record};
+use netdir_pager::record::{codec, PageCtx, Record};
 use netdir_pager::PagerResult;
 
 /// Incremental state for all distributive aggregates at once.
@@ -170,6 +170,18 @@ impl WitnessState {
         }
     }
 
+    /// Fold in one witness *without* its entry. Valid only when the filter
+    /// accumulates no per-attribute witness aggregates
+    /// ([`CompiledAggFilter::needs_witness_entry`] is false) — the common
+    /// `count($2) > 0` case, where the witness never needs decoding.
+    pub fn add_anonymous_witness(&mut self) {
+        debug_assert!(
+            self.per_attr.is_empty(),
+            "anonymous witness with per-attribute accumulators"
+        );
+        self.count += 1;
+    }
+
     /// Distributive combine.
     pub fn merge(&mut self, other: &WitnessState) {
         self.count += other.count;
@@ -232,6 +244,35 @@ impl Record for Annotated {
         r.finish()?;
         Ok(Annotated { entry, wit })
     }
+
+    // v2 page hooks: the annotated record sorts and compresses by its
+    // entry's reverse-DN key; the body nests the entry's slim encoding.
+
+    fn page_key(&self) -> Option<Vec<u8>> {
+        self.entry.page_key()
+    }
+
+    fn page_key_of_encoded(bytes: &[u8]) -> PagerResult<Option<Vec<u8>>> {
+        let mut r = codec::Reader::new(bytes);
+        Entry::page_key_of_encoded(r.get_bytes()?)
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>, ctx: &PageCtx) {
+        let mut e = Vec::new();
+        self.entry.encode_body(&mut e, ctx);
+        codec::put_vbytes(&mut *out, &e);
+        let mut w = Vec::new();
+        self.wit.encode(&mut w);
+        codec::put_vbytes(&mut *out, &w);
+    }
+
+    fn decode_body(key: &[u8], body: &[u8], ctx: &PageCtx) -> PagerResult<Self> {
+        let mut r = codec::Reader::new(body);
+        let entry = Entry::decode_body(key, r.get_vbytes()?, ctx)?;
+        let wit = WitnessState::decode(r.get_vbytes()?)?;
+        r.finish()?;
+        Ok(Annotated { entry, wit })
+    }
 }
 
 /// Global (entry-set) accumulation for the second phase.
@@ -253,6 +294,10 @@ pub struct CompiledAggFilter {
     pub witness_attrs: Vec<AttrName>,
     /// Inner per-entry aggregates of the filter's entry-set aggregates.
     pub set_terms: Vec<EntryAgg>,
+    /// True iff some aggregate reads the candidate entry's own attributes
+    /// (`agg(a)` / `agg($1.a)`) — the lazy evaluation paths must decode
+    /// candidates exactly when this holds.
+    reads_entry: bool,
 }
 
 impl CompiledAggFilter {
@@ -264,6 +309,7 @@ impl CompiledAggFilter {
             filter: filter.clone(),
             witness_attrs: Vec::new(),
             set_terms: Vec::new(),
+            reads_entry: false,
         };
         for side in [&filter.lhs, &filter.rhs] {
             c.visit_attribute(side, structural)?;
@@ -312,8 +358,25 @@ impl CompiledAggFilter {
                 }
                 Ok(())
             }
-            EntryAgg::Agg(_, _) => Ok(()),
+            EntryAgg::Agg(_, AttrRef::Own(_)) | EntryAgg::Agg(_, AttrRef::Of1(_)) => {
+                self.reads_entry = true;
+                Ok(())
+            }
         }
+    }
+
+    /// Does evaluating this filter read the candidate entry's attributes?
+    /// When false, [`CompiledAggFilter::accept_lazy`] never needs the
+    /// entry decoded (witness counts and globals suffice).
+    pub fn needs_entry(&self) -> bool {
+        self.reads_entry
+    }
+
+    /// Does witness accumulation read witness entries' attributes? When
+    /// false (e.g. the plain `count($2) > 0` filter), witnesses only bump
+    /// a counter and [`WitnessState::add_anonymous_witness`] applies.
+    pub fn needs_witness_entry(&self) -> bool {
+        !self.witness_attrs.is_empty()
     }
 
     /// Does this filter reference entry-set aggregates (forcing the
@@ -326,9 +389,19 @@ impl CompiledAggFilter {
 
     /// Evaluate a per-entry aggregate on `(entry, witness-state)`.
     pub fn eval_entry_agg(&self, ea: &EntryAgg, entry: &Entry, wit: &WitnessState) -> Option<f64> {
+        self.eval_entry_agg_opt(ea, Some(entry), wit)
+    }
+
+    fn eval_entry_agg_opt(
+        &self,
+        ea: &EntryAgg,
+        entry: Option<&Entry>,
+        wit: &WitnessState,
+    ) -> Option<f64> {
         match ea {
             EntryAgg::CountWitnesses => Some(wit.count as f64),
             EntryAgg::Agg(agg, AttrRef::Own(a)) | EntryAgg::Agg(agg, AttrRef::Of1(a)) => {
+                let entry = entry.expect("filter reads candidate entry (needs_entry() is true)");
                 let mut acc = AggAcc::empty();
                 acc.add_attr_values(entry, a);
                 acc.get(*agg)
@@ -360,13 +433,13 @@ impl CompiledAggFilter {
     fn eval_attribute(
         &self,
         aa: &AggAttribute,
-        entry: &Entry,
+        entry: Option<&Entry>,
         wit: &WitnessState,
         g: &GlobalState,
     ) -> Option<f64> {
         match aa {
             AggAttribute::Const(c) => Some(*c as f64),
-            AggAttribute::Entry(ea) => self.eval_entry_agg(ea, entry, wit),
+            AggAttribute::Entry(ea) => self.eval_entry_agg_opt(ea, entry, wit),
             AggAttribute::EntrySet(agg, ea) => {
                 let idx = self
                     .set_terms
@@ -381,6 +454,14 @@ impl CompiledAggFilter {
 
     /// The selection judgement: does `(entry, wit)` pass, given globals?
     pub fn accept(&self, entry: &Entry, wit: &WitnessState, g: &GlobalState) -> bool {
+        self.accept_lazy(Some(entry), wit, g)
+    }
+
+    /// [`CompiledAggFilter::accept`] for a candidate that may remain
+    /// undecoded: pass `None` only when [`CompiledAggFilter::needs_entry`]
+    /// is false (the filter then reads witness state and globals alone).
+    pub fn accept_lazy(&self, entry: Option<&Entry>, wit: &WitnessState, g: &GlobalState) -> bool {
+        debug_assert!(entry.is_some() || !self.reads_entry);
         let (Some(lhs), Some(rhs)) = (
             self.eval_attribute(&self.filter.lhs, entry, wit, g),
             self.eval_attribute(&self.filter.rhs, entry, wit, g),

@@ -23,6 +23,10 @@ pub enum BoolOp {
 }
 
 /// Merge two sorted entry lists under `op`, producing a sorted list.
+///
+/// The merge is fully lazy: cursors compare the records' reverse-DN
+/// *page keys* (extracted without decoding) and emitted records pass
+/// through as raw bytes — no entry on either input is ever materialized.
 pub fn merge(
     pager: &Pager,
     op: BoolOp,
@@ -30,8 +34,8 @@ pub fn merge(
     l2: &PagedList<Entry>,
 ) -> PagerResult<PagedList<Entry>> {
     let mut out = ListWriter::new(pager);
-    let mut it1 = l1.iter();
-    let mut it2 = l2.iter();
+    let mut it1 = l1.iter_raw();
+    let mut it2 = l2.iter_raw();
     let mut e1 = it1.next().transpose()?;
     let mut e2 = it2.next().transpose()?;
 
@@ -40,32 +44,32 @@ pub fn merge(
             (None, None) => break,
             (Some(a), None) => {
                 if matches!(op, BoolOp::Or | BoolOp::Diff) {
-                    out.push(a)?;
+                    out.push_raw(a)?;
                 }
                 e1 = it1.next().transpose()?;
             }
             (None, Some(b)) => {
                 if matches!(op, BoolOp::Or) {
-                    out.push(b)?;
+                    out.push_raw(b)?;
                 }
                 e2 = it2.next().transpose()?;
             }
-            (Some(a), Some(b)) => match a.dn().sort_key().cmp(b.dn().sort_key()) {
+            (Some(a), Some(b)) => match a.key().cmp(b.key()) {
                 Ordering::Less => {
                     if matches!(op, BoolOp::Or | BoolOp::Diff) {
-                        out.push(a)?;
+                        out.push_raw(a)?;
                     }
                     e1 = it1.next().transpose()?;
                 }
                 Ordering::Greater => {
                     if matches!(op, BoolOp::Or) {
-                        out.push(b)?;
+                        out.push_raw(b)?;
                     }
                     e2 = it2.next().transpose()?;
                 }
                 Ordering::Equal => {
                     if matches!(op, BoolOp::And | BoolOp::Or) {
-                        out.push(a)?;
+                        out.push_raw(a)?;
                     }
                     e1 = it1.next().transpose()?;
                     e2 = it2.next().transpose()?;

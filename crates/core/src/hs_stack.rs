@@ -42,7 +42,8 @@ use crate::agg::{Annotated, CompiledAggFilter, GlobalState, WitnessState};
 use crate::ast::{HierOp, HierPathOp};
 use netdir_model::Entry;
 use netdir_pager::chain::{Chain, ChainArena};
-use netdir_pager::{ListWriter, PagedList, Pager, PagerResult};
+use netdir_pager::record::PageCtx;
+use netdir_pager::{ListWriter, PagedList, Pager, PagerResult, RawRecord};
 
 /// The six operators, unified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,16 +109,69 @@ const L1: u8 = 1;
 const L2: u8 = 2;
 const L3: u8 = 4;
 
+/// An entry that may still be raw page bytes. The engine routes, stacks
+/// and counts elements by sort key alone; the entry decodes only at the
+/// first operation that actually reads its attributes (or must re-encode
+/// it into an [`Annotated`] record).
+enum LazyEntry {
+    Raw(RawRecord<Entry>),
+    Ready(Entry),
+}
+
+impl LazyEntry {
+    /// Decode in place (idempotent).
+    fn force(&mut self, ctx: &PageCtx) -> PagerResult<()> {
+        if let LazyEntry::Raw(raw) = self {
+            *self = LazyEntry::Ready(raw.decode(ctx)?);
+        }
+        Ok(())
+    }
+
+    /// The decoded entry; caller must have [`LazyEntry::force`]d first.
+    fn get(&self) -> &Entry {
+        match self {
+            LazyEntry::Ready(e) => e,
+            LazyEntry::Raw(_) => unreachable!("LazyEntry read before force()"),
+        }
+    }
+
+    /// The decoded entry if available without I/O or decode work.
+    fn ready(&self) -> Option<&Entry> {
+        match self {
+            LazyEntry::Ready(e) => Some(e),
+            LazyEntry::Raw(_) => None,
+        }
+    }
+
+    /// Consume, decoding if still raw.
+    fn into_entry(self, ctx: &PageCtx) -> PagerResult<Entry> {
+        match self {
+            LazyEntry::Raw(raw) => raw.decode(ctx),
+            LazyEntry::Ready(e) => Ok(e),
+        }
+    }
+
+    /// Emit to an output list — raw bytes pass through undecoded.
+    fn emit(&self, out: &mut ListWriter<Entry>) -> PagerResult<()> {
+        match self {
+            LazyEntry::Raw(raw) => out.push_raw(raw),
+            LazyEntry::Ready(e) => out.push(e),
+        }
+    }
+}
+
 struct MergedElem {
     key: Vec<u8>,
     depth: usize,
     labels: u8,
-    entry: Entry,
+    entry: LazyEntry,
 }
 
 /// K-way merge of up to three sorted entry lists, coalescing equal keys.
+/// Cursors carry raw records: comparison, depth and labels all come from
+/// the page key, so merging itself decodes nothing.
 struct Merge<'a> {
-    heads: Vec<(Option<Entry>, netdir_pager::ListReader<Entry>, u8)>,
+    heads: Vec<(Option<RawRecord<Entry>>, netdir_pager::RawListReader<Entry>, u8)>,
     _lists: std::marker::PhantomData<&'a ()>,
 }
 
@@ -125,7 +179,7 @@ impl<'a> Merge<'a> {
     fn new(lists: &[(&'a PagedList<Entry>, u8)]) -> PagerResult<Merge<'a>> {
         let mut heads = Vec::with_capacity(lists.len());
         for (list, label) in lists {
-            let mut it = list.iter();
+            let mut it = list.iter_raw();
             let head = it.next().transpose()?;
             heads.push((head, it, *label));
         }
@@ -139,8 +193,8 @@ impl<'a> Merge<'a> {
         // Find the minimum key among heads.
         let mut min_key: Option<&[u8]> = None;
         for (head, _, _) in &self.heads {
-            if let Some(e) = head {
-                let k = e.dn().sort_key().as_bytes();
+            if let Some(r) = head {
+                let k = r.key();
                 if min_key.is_none_or(|m| k < m) {
                     min_key = Some(k);
                 }
@@ -150,26 +204,28 @@ impl<'a> Merge<'a> {
             return Ok(None);
         };
         let mut labels = 0u8;
-        let mut entry: Option<Entry> = None;
+        let mut entry: Option<RawRecord<Entry>> = None;
         for (head, it, label) in &mut self.heads {
             let matches = head
                 .as_ref()
-                .is_some_and(|e| e.dn().sort_key().as_bytes() == min_key.as_slice());
+                .is_some_and(|r| r.key() == min_key.as_slice());
             if matches {
                 labels |= *label;
-                let e = head.take().expect("matched head");
+                let r = head.take().expect("matched head");
                 if entry.is_none() {
-                    entry = Some(e);
+                    entry = Some(r);
                 }
                 *head = it.next().transpose()?;
             }
         }
         let entry = entry.expect("at least one list held the min key");
+        // Depth = number of 0x00 RDN separators in the reverse-DN key.
+        let depth = min_key.iter().filter(|&&b| b == 0).count();
         Ok(Some(MergedElem {
-            depth: entry.dn().depth(),
+            depth,
             key: min_key,
             labels,
-            entry,
+            entry: LazyEntry::Raw(entry),
         }))
     }
 }
@@ -178,7 +234,7 @@ struct Frame {
     key: Vec<u8>,
     depth: usize,
     labels: u8,
-    entry: Option<Entry>,
+    entry: Option<LazyEntry>,
     /// Below ops: this frame's own witness state (ancestors in L2).
     /// Above ops: accumulated witnesses among processed descendants.
     wit: WitnessState,
@@ -222,6 +278,7 @@ fn run_below(
     filter: &CompiledAggFilter,
     globals: &mut GlobalState,
 ) -> PagerResult<PagedList<Entry>> {
+    let ctx = pager.ctx();
     let mut stack: Vec<Frame> = vec![root_frame(filter)];
     let needs_globals = filter.needs_globals();
     // Without entry-set aggregates, select inline; with them, stage the
@@ -229,19 +286,29 @@ fn run_below(
     let mut direct_out: ListWriter<Entry> = ListWriter::new(pager);
     let mut staged: ListWriter<Annotated> = ListWriter::new(pager);
 
-    while let Some(elem) = merge.next()? {
+    while let Some(mut elem) = merge.next()? {
         pop_to_ancestor_below(&mut stack, &elem.key);
-        let top = stack.last().expect("root frame never pops");
-        let wit = witness_at_push(op, top, filter, &elem);
+        let top = stack.last_mut().expect("root frame never pops");
+        let wit = witness_at_push(op, top, filter, elem.depth, &ctx)?;
         if elem.labels & L1 != 0 {
-            filter.accumulate_global(globals, &elem.entry, &wit);
             if needs_globals {
+                // Global aggregates read the candidate entry on the
+                // re-scan anyway — decode once, here.
+                elem.entry.force(&ctx)?;
+                filter.accumulate_global(globals, elem.entry.get(), &wit);
                 staged.push(&Annotated {
-                    entry: elem.entry.clone(),
+                    entry: elem.entry.get().clone(),
                     wit: wit.clone(),
                 })?;
-            } else if filter.accept(&elem.entry, &wit, globals) {
-                direct_out.push(&elem.entry)?;
+            } else {
+                // Decode only if the filter reads the candidate's own
+                // attributes; selected raw records pass through verbatim.
+                if filter.needs_entry() {
+                    elem.entry.force(&ctx)?;
+                }
+                if filter.accept_lazy(elem.entry.ready(), &wit, globals) {
+                    elem.entry.emit(&mut direct_out)?;
+                }
             }
         }
         stack.push(Frame {
@@ -277,12 +344,13 @@ fn run_above(
     filter: &CompiledAggFilter,
     globals: &mut GlobalState,
 ) -> PagerResult<PagedList<Entry>> {
+    let ctx = pager.ctx();
     let mut arena: ChainArena<Annotated> = ChainArena::new(pager);
     let mut stack: Vec<Frame> = vec![root_frame(filter)];
 
-    while let Some(elem) = merge.next()? {
+    while let Some(mut elem) = merge.next()? {
         while !is_ancestor_key(&stack.last().expect("root").key, &elem.key) {
-            pop_above(op, &mut stack, &mut arena, filter, globals)?;
+            pop_above(op, &mut stack, &mut arena, filter, globals, &ctx)?;
         }
         if elem.labels & L2 != 0 {
             let top = stack.last_mut().expect("root");
@@ -291,7 +359,14 @@ fn run_above(
                 _ => true,
             };
             if counts {
-                top.wit.add_witness(filter, &elem.entry);
+                // Decode the witness only if the filter aggregates over
+                // witness attributes; count-only filters just tally.
+                if filter.needs_witness_entry() {
+                    elem.entry.force(&ctx)?;
+                    top.wit.add_witness(filter, elem.entry.get());
+                } else {
+                    top.wit.add_anonymous_witness();
+                }
             }
         }
         stack.push(Frame {
@@ -304,7 +379,7 @@ fn run_above(
         });
     }
     while stack.len() > 1 {
-        pop_above(op, &mut stack, &mut arena, filter, globals)?;
+        pop_above(op, &mut stack, &mut arena, filter, globals, &ctx)?;
     }
     let annotated = stack.pop().expect("root").pending;
 
@@ -339,29 +414,48 @@ fn pop_to_ancestor_below(stack: &mut Vec<Frame>, key: &[u8]) {
     }
 }
 
+/// Add `top`'s entry to witness state `w`, decoding it only if the
+/// filter aggregates over witness attributes.
+fn add_top_witness(
+    w: &mut WitnessState,
+    top: &mut Frame,
+    filter: &CompiledAggFilter,
+    ctx: &PageCtx,
+) -> PagerResult<()> {
+    if filter.needs_witness_entry() {
+        let e = top.entry.as_mut().expect("non-root top");
+        e.force(ctx)?;
+        w.add_witness(filter, e.get());
+    } else {
+        w.add_anonymous_witness();
+    }
+    Ok(())
+}
+
 /// Witness state of a freshly pushed element for the below-direction
 /// operators, from its nearest merge-ancestor `top` (Figures 2/4/5's
 /// `below(rl)` assignments, generalized from counts to [`WitnessState`]).
 fn witness_at_push(
     op: HsOp,
-    top: &Frame,
+    top: &mut Frame,
     filter: &CompiledAggFilter,
-    _elem: &MergedElem,
-) -> WitnessState {
+    elem_depth: usize,
+    ctx: &PageCtx,
+) -> PagerResult<WitnessState> {
     let top_in_l2 = top.labels & L2 != 0;
     let top_in_l3 = top.labels & L3 != 0;
-    match op {
+    let w = match op {
         HsOp::Parents => {
             let mut w = WitnessState::empty(filter);
-            if top_in_l2 && top.depth + 1 == _elem.depth {
-                w.add_witness(filter, top.entry.as_ref().expect("non-root top"));
+            if top_in_l2 && top.depth + 1 == elem_depth {
+                add_top_witness(&mut w, top, filter, ctx)?;
             }
             w
         }
         HsOp::Ancestors => {
             let mut w = top.wit.clone();
             if top_in_l2 {
-                w.add_witness(filter, top.entry.as_ref().expect("non-root top"));
+                add_top_witness(&mut w, top, filter, ctx)?;
             }
             w
         }
@@ -373,14 +467,15 @@ fn witness_at_push(
                 if !top_in_l3 {
                     w = top.wit.clone();
                 }
-                w.add_witness(filter, top.entry.as_ref().expect("non-root top"));
+                add_top_witness(&mut w, top, filter, ctx)?;
             } else if !top_in_l3 {
                 w = top.wit.clone();
             }
             w
         }
         _ => unreachable!("witness_at_push is for below-direction ops"),
-    }
+    };
+    Ok(w)
 }
 
 fn pop_above(
@@ -389,11 +484,14 @@ fn pop_above(
     arena: &mut ChainArena<Annotated>,
     filter: &CompiledAggFilter,
     globals: &mut GlobalState,
+    ctx: &PageCtx,
 ) -> PagerResult<()> {
-    let rt = stack.pop().expect("caller ensures non-root");
+    let mut rt = stack.pop().expect("caller ensures non-root");
     let mut out_chain = Chain::empty();
     if rt.labels & L1 != 0 {
-        let entry = rt.entry.clone().expect("L1 frame has entry");
+        // Buffered candidates re-encode into Annotated records, so the
+        // decode is unavoidable here (witness-less frames never reach it).
+        let entry = rt.entry.take().expect("L1 frame has entry").into_entry(ctx)?;
         filter.accumulate_global(globals, &entry, &rt.wit);
         out_chain = arena.push(
             out_chain,

@@ -15,8 +15,8 @@
 
 use crate::epoch::EpochRegistry;
 use netdir_model::Entry;
-use netdir_pager::record::{Record, LEN_PREFIX_BYTES};
-use netdir_pager::{PageId, PagedList, Pager, PagerError, PagerResult, PAGE_HEADER_BYTES};
+use netdir_pager::list::{read_page_records, PageBuilder};
+use netdir_pager::{PageId, PagedList, Pager, PagerError, PagerResult};
 use std::sync::Arc;
 
 /// Metadata for one live page (contents live in the pager).
@@ -58,30 +58,7 @@ impl LiveList {
         entries: impl Iterator<Item = &'a Entry>,
     ) -> PagerResult<LiveList> {
         let mut list = LiveList::new(pager, epochs);
-        let payload = pager.payload_size();
-        let mut pending: Vec<Entry> = Vec::new();
-        let mut pending_bytes = 0usize;
-        for e in entries {
-            let sz = e.encoded_len() + LEN_PREFIX_BYTES;
-            if sz > payload {
-                return Err(PagerError::RecordTooLarge {
-                    record: sz - LEN_PREFIX_BYTES,
-                    payload: payload - LEN_PREFIX_BYTES,
-                });
-            }
-            if pending_bytes + sz > payload {
-                let page = list.write_page(&pending)?;
-                list.pages.push(page);
-                pending.clear();
-                pending_bytes = 0;
-            }
-            pending_bytes += sz;
-            pending.push(e.clone());
-        }
-        if !pending.is_empty() {
-            let page = list.write_page(&pending)?;
-            list.pages.push(page);
-        }
+        list.pages = list.build_pages(entries)?;
         list.len = list.pages.iter().map(|p| u64::from(p.count)).sum();
         Ok(list)
     }
@@ -105,8 +82,7 @@ impl LiveList {
     pub fn insert(&mut self, entry: &Entry) -> PagerResult<()> {
         let key = entry_key(entry);
         if self.pages.is_empty() {
-            let page = self.write_page(std::slice::from_ref(entry))?;
-            self.pages.push(page);
+            self.pages = self.build_pages(std::iter::once(entry))?;
             self.len = 1;
             return Ok(());
         }
@@ -201,91 +177,59 @@ impl LiveList {
         Ok(self.locate(key))
     }
 
+    /// Decode every record on one live page, either page format.
     fn read_page(&self, id: PageId) -> PagerResult<Vec<Entry>> {
-        let guard = self.pager.pool().fetch(id)?;
-        guard.with(|data| {
-            let count = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
-            let mut out = Vec::with_capacity(count);
-            let mut pos = PAGE_HEADER_BYTES;
-            for _ in 0..count {
-                let len =
-                    u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-                pos += LEN_PREFIX_BYTES;
-                out.push(Entry::decode(&data[pos..pos + len])?);
-                pos += len;
-            }
-            Ok(out)
-        })
+        read_page_records(&self.pager, id)
     }
 
-    /// Write `recs` (sorted, fitting one page) to a fresh page id and
-    /// return its metadata. Reuses reclaimed ids before allocating.
-    fn write_page(&self, recs: &[Entry]) -> PagerResult<LivePage> {
-        debug_assert!(!recs.is_empty());
+    /// Build page images for `entries` (sorted) via the pager's page
+    /// format, each sealed onto a fresh id. Reuses reclaimed ids before
+    /// allocating. Packing is by *built* size — under the compressed v2
+    /// format a page holds however many records its delta-encoded frames
+    /// fit, which a per-record size formula cannot predict.
+    fn build_pages<'a>(
+        &self,
+        entries: impl Iterator<Item = &'a Entry>,
+    ) -> PagerResult<Vec<LivePage>> {
+        let ctx = self.pager.ctx();
+        let mut builder = PageBuilder::new(&self.pager);
+        let mut pages = Vec::new();
+        let mut fence: Vec<u8> = Vec::new();
+        for e in entries {
+            loop {
+                if builder.is_empty() {
+                    fence = entry_key(e);
+                }
+                if builder.push(e, &ctx)? {
+                    break;
+                }
+                pages.push(self.seal_page(&mut builder, std::mem::take(&mut fence))?);
+            }
+        }
+        if !builder.is_empty() {
+            pages.push(self.seal_page(&mut builder, std::mem::take(&mut fence))?);
+        }
+        Ok(pages)
+    }
+
+    /// Seal the builder's current image onto a fresh page id.
+    fn seal_page(&self, builder: &mut PageBuilder, fence: Vec<u8>) -> PagerResult<LivePage> {
         let id = self
             .epochs
             .take_free()
             .unwrap_or_else(|| self.pager.pool().allocate());
-        let mut body = Vec::with_capacity(self.pager.payload_size());
-        for e in recs {
-            let mut scratch = Vec::new();
-            e.encode(&mut scratch);
-            body.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
-            body.extend_from_slice(&scratch);
-        }
-        if body.len() > self.pager.payload_size() {
-            return Err(PagerError::RecordTooLarge {
-                record: body.len(),
-                payload: self.pager.payload_size(),
-            });
-        }
-        let guard = self.pager.pool().fetch_zeroed(id)?;
-        guard.with_mut(|data| {
-            // A reclaimed id may still have its stale frame resident:
-            // overwrite the whole page, not just the prefix.
-            data.fill(0);
-            data[..4].copy_from_slice(&(recs.len() as u32).to_le_bytes());
-            data[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + body.len()].copy_from_slice(&body);
-        });
-        Ok(LivePage {
-            id,
-            fence: entry_key(&recs[0]),
-            count: recs.len() as u32,
-        })
+        let count = builder.seal_to(&self.pager, id)?;
+        Ok(LivePage { id, fence, count })
     }
 
-    /// Replace page `p` with the new record set, splitting when it no
-    /// longer fits. The old page id is retired, never overwritten.
+    /// Replace page `p` with the new record set, splitting into as many
+    /// pages as the built images need. The old page id is retired, never
+    /// overwritten.
     fn rewrite(&mut self, p: usize, recs: &[Entry]) -> PagerResult<()> {
-        let payload = self.pager.payload_size();
-        let sizes: Vec<usize> = recs
-            .iter()
-            .map(|e| e.encoded_len() + LEN_PREFIX_BYTES)
-            .collect();
-        if let Some(&big) = sizes.iter().find(|&&s| s > payload) {
-            return Err(PagerError::RecordTooLarge {
-                record: big - LEN_PREFIX_BYTES,
-                payload: payload - LEN_PREFIX_BYTES,
-            });
-        }
-        let total: usize = sizes.iter().sum();
         let old = self.pages[p].id;
-        if total <= payload {
-            self.pages[p] = self.write_page(recs)?;
-        } else {
-            // Split: greedy-fill the left page; the remainder always
-            // fits (total ≤ old page content + one record ≤ 2·payload).
-            let mut split = 0;
-            let mut left_bytes = 0;
-            while left_bytes + sizes[split] <= payload {
-                left_bytes += sizes[split];
-                split += 1;
-            }
-            let left = self.write_page(&recs[..split])?;
-            let right = self.write_page(&recs[split..])?;
-            self.pages[p] = left;
-            self.pages.insert(p + 1, right);
-        }
+        let new_pages = self.build_pages(recs.iter())?;
+        debug_assert!(!new_pages.is_empty());
+        self.pages.splice(p..=p, new_pages);
         self.epochs.retire([old]);
         Ok(())
     }
@@ -422,6 +366,40 @@ mod tests {
             epochs.stats().free_pages > 0,
             "dropping the reader frees superseded pages"
         );
+    }
+
+    #[test]
+    fn live_list_works_on_compressed_pager() {
+        // Same workload, v2 page format: inserts, CoW snapshots, removes
+        // and fetches all go through the prefix-compressed page builder.
+        let pager = Pager::compressed(256, 8);
+        let epochs = EpochRegistry::new();
+        let mut list = LiveList::new(&pager, Arc::clone(&epochs));
+        for i in [5usize, 1, 9, 0, 7, 3, 8, 2, 6, 4] {
+            list.insert(&person(i)).unwrap();
+        }
+        let guard = epochs.pin();
+        let (snap, _) = list.snapshot();
+        let before = sorted_dns(&list);
+        for i in 10..20 {
+            list.insert(&person(i)).unwrap();
+            epochs.advance();
+        }
+        let key = person(3).dn().sort_key().as_bytes().to_vec();
+        assert!(list.fetch(&key).unwrap().is_some());
+        list.remove(&key).unwrap();
+        assert!(list.fetch(&key).unwrap().is_none());
+        let after: Vec<String> = snap
+            .to_vec()
+            .unwrap()
+            .iter()
+            .map(|e| e.dn().to_string())
+            .collect();
+        assert_eq!(after, before, "pinned snapshot changed under mutation");
+        drop(guard);
+        // The shared prefixes in these DNs compress: the pager banked
+        // real byte savings while building live pages.
+        assert!(pager.pool().metrics().compressed_bytes_saved > 0);
     }
 
     #[test]

@@ -13,8 +13,30 @@ use crate::error::{ModelError, ModelResult};
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::OBJECT_CLASS;
-use netdir_pager::record::{codec, Record};
+use netdir_pager::record::{codec, PageCtx, Record};
 use netdir_pager::{PagerError, PagerResult};
+
+/// Rebuild a DN from a reverse-DN sort key: split on the `0x00`
+/// separators (root-first canonical RDN strings), reverse to leaf-first,
+/// join with `", "`, parse. Returns `None` for malformed keys. Used by
+/// the v2 page format to avoid storing the DN twice (the page key *is*
+/// the DN, canonically).
+fn dn_from_page_key(key: &[u8]) -> Option<Dn> {
+    if key.is_empty() {
+        return None;
+    }
+    if *key.last()? != 0 {
+        return None;
+    }
+    let mut display = String::new();
+    for seg in key[..key.len() - 1].split(|&b| b == 0).rev() {
+        if !display.is_empty() {
+            display.push_str(", ");
+        }
+        display.push_str(std::str::from_utf8(seg).ok()?);
+    }
+    Dn::parse(&display).ok()
+}
 
 /// Identifier a [`crate::Directory`] assigns to an entry on insertion.
 pub type EntryId = u64;
@@ -287,6 +309,120 @@ impl Record for Entry {
         r.finish()?;
         Ok(Entry { id, dn, attrs })
     }
+
+    // ---- v2 (compressed) page hooks -------------------------------------
+    //
+    // The frozen `encode`/`decode` pair above stays the wire format (WAL
+    // records, network frames). On v2 pages the entry is split: the
+    // reverse-DN sort key becomes the page key (prefix-compressed against
+    // its on-page predecessor) and the body is slimmed — varint id, the
+    // DN only when not reconstructible from the key, and attribute names
+    // as fixed-width interned ids.
+    //
+    // The id width is deliberately fixed at 4 bytes: parallel workers may
+    // intern names in different orders, and only encoded *sizes* must be
+    // identical across parallelism degrees for the page-I/O ledger to
+    // stay degree-independent.
+
+    fn page_key(&self) -> Option<Vec<u8>> {
+        Some(self.dn.sort_key().as_bytes().to_vec())
+    }
+
+    fn page_key_of_encoded(bytes: &[u8]) -> PagerResult<Option<Vec<u8>>> {
+        let mut r = codec::Reader::new(bytes);
+        let _id = r.get_u64()?;
+        let dn_str = r.get_str()?;
+        let dn = Dn::parse(dn_str).map_err(|e| PagerError::CorruptRecord {
+            detail: format!("bad DN in entry record: {e}"),
+        })?;
+        Ok(Some(dn.sort_key().as_bytes().to_vec()))
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>, ctx: &PageCtx) {
+        codec::put_varint(&mut *out, self.id);
+        let display = self.dn.to_string();
+        let reconstructible = dn_from_page_key(self.dn.sort_key().as_bytes())
+            .is_some_and(|d| d == self.dn && d.to_string() == display);
+        if reconstructible {
+            out.push(0);
+        } else {
+            out.push(1);
+            codec::put_vstr(&mut *out, &display);
+        }
+        codec::put_varint(&mut *out, self.attrs.len() as u64);
+        for (a, v) in &self.attrs {
+            out.extend_from_slice(&ctx.interner.intern(a.as_str()).to_le_bytes());
+            match v {
+                Value::Str(s) => {
+                    out.push(0);
+                    codec::put_vstr(&mut *out, s);
+                }
+                Value::Int(i) => {
+                    out.push(1);
+                    codec::put_i64(out, *i);
+                }
+                Value::Dn(d) => {
+                    out.push(2);
+                    codec::put_vstr(&mut *out, &d.to_string());
+                }
+            }
+        }
+    }
+
+    fn decode_body(key: &[u8], body: &[u8], ctx: &PageCtx) -> PagerResult<Self> {
+        let mut r = codec::Reader::new(body);
+        let id = r.get_varint()?;
+        let dn = match r.get_u8()? {
+            0 => dn_from_page_key(key).ok_or_else(|| PagerError::CorruptRecord {
+                detail: "DN not reconstructible from page key".into(),
+            })?,
+            1 => {
+                let s = r.get_vstr()?;
+                Dn::parse(s).map_err(|e| PagerError::CorruptRecord {
+                    detail: format!("bad DN in entry record: {e}"),
+                })?
+            }
+            t => {
+                return Err(PagerError::CorruptRecord {
+                    detail: format!("unknown DN flag {t}"),
+                })
+            }
+        };
+        let n = r.get_varint()? as usize;
+        if n > body.len() {
+            return Err(PagerError::CorruptRecord {
+                detail: format!("implausible attribute count {n}"),
+            });
+        }
+        let mut attrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let attr_id = r.get_u32()?;
+            let name = ctx
+                .interner
+                .resolve(attr_id)
+                .ok_or_else(|| PagerError::CorruptRecord {
+                    detail: format!("unknown interned attribute id {attr_id}"),
+                })?;
+            let v = match r.get_u8()? {
+                0 => Value::Str(r.get_vstr()?.to_string()),
+                1 => Value::Int(r.get_i64()?),
+                2 => {
+                    let s = r.get_vstr()?;
+                    Value::Dn(Dn::parse(s).map_err(|e| PagerError::CorruptRecord {
+                        detail: format!("bad DN value: {e}"),
+                    })?)
+                }
+                t => {
+                    return Err(PagerError::CorruptRecord {
+                        detail: format!("unknown value tag {t}"),
+                    })
+                }
+            };
+            attrs.push((AttrName::new(name), v));
+        }
+        r.finish()?;
+        Ok(Entry { id, dn, attrs })
+    }
 }
 
 impl std::fmt::Display for Entry {
@@ -458,5 +594,80 @@ mod tests {
         let s = sample().to_string();
         assert!(s.starts_with("dn: uid=jag"));
         assert!(s.contains("surName: jagadish"));
+    }
+
+    #[test]
+    fn v2_body_roundtrips_through_page_key() {
+        use netdir_pager::Interner;
+        let interner = Interner::new();
+        let ctx = PageCtx {
+            interner: &interner,
+        };
+        let mut e = sample();
+        e.set_id(99);
+        let key = e.page_key().unwrap();
+        assert_eq!(key, e.dn().sort_key().as_bytes());
+        let mut body = Vec::new();
+        e.encode_body(&mut body, &ctx);
+        let back = Entry::decode_body(&key, &body, &ctx).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.id(), 99);
+        assert_eq!(back.dn().to_string(), e.dn().to_string());
+        // The slim body beats the full v1 image.
+        assert!(body.len() < e.encoded_len());
+    }
+
+    #[test]
+    fn v2_body_keeps_non_canonical_dn_rendering() {
+        // Mixed-case DN: the sort key is case-folded, so the display
+        // cannot be rebuilt from it — the body must carry it explicitly
+        // and the rendering must survive byte-for-byte.
+        use netdir_pager::Interner;
+        let interner = Interner::new();
+        let ctx = PageCtx {
+            interner: &interner,
+        };
+        let e = Entry::builder(Dn::parse("uid=Jag, dc=ATT, dc=com").unwrap())
+            .class("person")
+            .build()
+            .unwrap();
+        let key = e.page_key().unwrap();
+        let mut body = Vec::new();
+        e.encode_body(&mut body, &ctx);
+        let back = Entry::decode_body(&key, &body, &ctx).unwrap();
+        assert_eq!(back.dn().to_string(), "uid=Jag, dc=ATT, dc=com");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn v2_body_roundtrips_dn_valued_attributes() {
+        use netdir_pager::Interner;
+        let interner = Interner::new();
+        let ctx = PageCtx {
+            interner: &interner,
+        };
+        let target = Dn::parse("DSActionName=denyAll, ou=SLADSAction, dc=com").unwrap();
+        let e = Entry::builder(Dn::parse("SLAPolicyName=dso, dc=com").unwrap())
+            .class("SLAPolicyRules")
+            .attr("SLADSActRef", target.clone())
+            .attr("priority", 3i64)
+            .build()
+            .unwrap();
+        let key = e.page_key().unwrap();
+        let mut body = Vec::new();
+        e.encode_body(&mut body, &ctx);
+        let back = Entry::decode_body(&key, &body, &ctx).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.first_dn(&"sladsactref".into()), Some(&target));
+    }
+
+    #[test]
+    fn v1_raw_key_extraction_matches_sort_key() {
+        let mut e = sample();
+        e.set_id(5);
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let key = Entry::page_key_of_encoded(&buf).unwrap().unwrap();
+        assert_eq!(key, e.dn().sort_key().as_bytes());
     }
 }

@@ -13,6 +13,21 @@ pub const IO_WRITES: &str = "netdir_io_writes_total";
 /// Pages allocated. From `IoStats`.
 pub const IO_ALLOCS: &str = "netdir_io_allocs_total";
 
+/// Buffer-pool fetches served from a resident frame. From
+/// `PoolMetricsSnapshot`.
+pub const POOL_HITS: &str = "netdir_pool_hits_total";
+/// Buffer-pool fetches that admitted a new frame. From
+/// `PoolMetricsSnapshot`.
+pub const POOL_MISSES: &str = "netdir_pool_misses_total";
+/// Frames evicted to make room. From `PoolMetricsSnapshot`.
+pub const POOL_EVICTIONS: &str = "netdir_pool_evictions_total";
+/// Misses re-admitted straight to the protected queue off the ghost
+/// list. From `PoolMetricsSnapshot`.
+pub const POOL_GHOST_READMISSIONS: &str = "netdir_pool_ghost_readmissions_total";
+/// Bytes the v2 (prefix-compressed) page format saved versus v1. From
+/// `PoolMetricsSnapshot`.
+pub const POOL_COMPRESSED_BYTES_SAVED: &str = "netdir_pool_compressed_bytes_saved_total";
+
 /// Remote sub-queries issued. From `NetStats`.
 pub const NET_REQUESTS: &str = "netdir_net_requests_total";
 /// Remote responses received. From `NetStats`.
@@ -140,6 +155,11 @@ pub const TRACKED: &[&str] = &[
     IO_READS,
     IO_WRITES,
     IO_ALLOCS,
+    POOL_HITS,
+    POOL_MISSES,
+    POOL_EVICTIONS,
+    POOL_GHOST_READMISSIONS,
+    POOL_COMPRESSED_BYTES_SAVED,
     NET_REQUESTS,
     NET_RESPONSES,
     NET_ENTRIES_SHIPPED,

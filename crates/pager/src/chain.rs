@@ -21,8 +21,9 @@
 
 use crate::disk::{PageId, PAGE_HEADER_BYTES};
 use crate::error::{PagerError, PagerResult};
-use crate::record::{Record, LEN_PREFIX_BYTES};
-use crate::Pager;
+use crate::list::common_prefix_len;
+use crate::record::{codec, Record, LEN_PREFIX_BYTES};
+use crate::{PageFormat, Pager};
 use std::marker::PhantomData;
 
 const NIL: u32 = u32::MAX;
@@ -61,6 +62,12 @@ struct BlockMeta {
     used: u32,
     count: u32,
     next: u32,
+    /// Sort key of the block's last record — the delta base for the next
+    /// v2 frame appended to this block. Empty/unused under v1. A block's
+    /// *first* frame always has `shared = 0`, which is what makes the
+    /// boundary-merge in [`ChainArena::concat`] a plain byte copy: the
+    /// spliced block's frames never reference keys outside it.
+    last_key: Vec<u8>,
 }
 
 /// Arena owning the blocks of many chains.
@@ -96,6 +103,7 @@ impl<T: Record> ChainArena<T> {
             meta.used = 0;
             meta.count = 0;
             meta.next = NIL;
+            meta.last_key.clear();
             return Ok(idx);
         }
         let page = self.pager.pool().allocate();
@@ -107,12 +115,20 @@ impl<T: Record> ChainArena<T> {
             used: 0,
             count: 0,
             next: NIL,
+            last_key: Vec::new(),
         });
         Ok(idx)
     }
 
     /// Append one record to the chain's tail, returning the grown chain.
     pub fn push(&mut self, chain: Chain, item: &T) -> PagerResult<Chain> {
+        match self.pager.format() {
+            PageFormat::V1 => self.push_v1(chain, item),
+            PageFormat::V2 => self.push_v2(chain, item),
+        }
+    }
+
+    fn push_v1(&mut self, mut chain: Chain, item: &T) -> PagerResult<Chain> {
         let mut buf = Vec::new();
         item.encode(&mut buf);
         let need = buf.len() + LEN_PREFIX_BYTES;
@@ -123,7 +139,6 @@ impl<T: Record> ChainArena<T> {
                 payload: payload - LEN_PREFIX_BYTES,
             });
         }
-        let mut chain = chain;
         let tail = if chain.tail == NIL
             || (self.blocks[chain.tail as usize].used as usize) + need > payload
         {
@@ -147,6 +162,63 @@ impl<T: Record> ChainArena<T> {
         });
         meta.used += need as u32;
         meta.count += 1;
+        chain.len += 1;
+        Ok(chain)
+    }
+
+    fn push_v2(&mut self, mut chain: Chain, item: &T) -> PagerResult<Chain> {
+        let key = item.page_key().unwrap_or_default();
+        let mut body = Vec::new();
+        item.encode_body(&mut body, &self.pager.ctx());
+        let payload = self.pager.payload_size();
+        let frame_len = |shared: usize| {
+            let suffix = key.len() - shared;
+            codec::varint_len(shared as u64)
+                + codec::varint_len(suffix as u64)
+                + suffix
+                + codec::varint_len(body.len() as u64)
+                + body.len()
+        };
+        // Must fit even as the first frame of a block (shared = 0).
+        if frame_len(0) > payload {
+            return Err(PagerError::RecordTooLarge {
+                record: key.len() + body.len(),
+                payload,
+            });
+        }
+        let (tail, shared) = if chain.tail == NIL {
+            let idx = self.new_block()?;
+            chain.head = idx;
+            chain.tail = idx;
+            (idx, 0)
+        } else {
+            let meta = &self.blocks[chain.tail as usize];
+            let shared = if meta.count == 0 {
+                0
+            } else {
+                common_prefix_len(&meta.last_key, &key)
+            };
+            if meta.used as usize + frame_len(shared) <= payload {
+                (chain.tail, shared)
+            } else {
+                let idx = self.new_block()?;
+                self.blocks[chain.tail as usize].next = idx;
+                chain.tail = idx;
+                (idx, 0)
+            }
+        };
+        let mut frame = Vec::with_capacity(frame_len(shared));
+        codec::put_varint(&mut frame, shared as u64);
+        codec::put_vbytes(&mut frame, &key[shared..]);
+        codec::put_vbytes(&mut frame, &body);
+        let meta = &mut self.blocks[tail as usize];
+        let offset = PAGE_HEADER_BYTES + meta.used as usize;
+        let guard = self.pager.pool().fetch(meta.page)?;
+        guard.with_mut(|data| data[offset..offset + frame.len()].copy_from_slice(&frame));
+        meta.used += frame.len() as u32;
+        meta.count += 1;
+        meta.last_key.clear();
+        meta.last_key.extend_from_slice(&key);
         chain.len += 1;
         Ok(chain)
     }
@@ -182,9 +254,13 @@ impl<T: Record> ChainArena<T> {
                 data[PAGE_HEADER_BYTES + a_used..PAGE_HEADER_BYTES + a_used + b_used]
                     .copy_from_slice(&bytes);
             });
+            let b_last_key = std::mem::take(&mut self.blocks[b_head].last_key);
             self.blocks[a_tail].used += b_used as u32;
             self.blocks[a_tail].count += b_count;
             self.blocks[a_tail].next = b_next;
+            // The merged block now ends with b's last record; future v2
+            // frames appended here delta against b's key, not a's.
+            self.blocks[a_tail].last_key = b_last_key;
             self.free.push(b.head);
             let tail = if b_next == NIL { a.tail } else { b.tail };
             Ok(Chain {
@@ -235,12 +311,37 @@ impl<T: Record> ChainIter<'_, T> {
         let guard = self.arena.pager.pool().fetch(meta.page)?;
         let mut items = Vec::with_capacity(meta.count as usize);
         guard.with(|data| -> PagerResult<()> {
-            let mut pos = PAGE_HEADER_BYTES;
-            for _ in 0..meta.count {
-                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-                pos += LEN_PREFIX_BYTES;
-                items.push(T::decode(&data[pos..pos + len])?);
-                pos += len;
+            match self.arena.pager.format() {
+                PageFormat::V1 => {
+                    let mut pos = PAGE_HEADER_BYTES;
+                    for _ in 0..meta.count {
+                        let len =
+                            u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                        pos += LEN_PREFIX_BYTES;
+                        items.push(T::decode(&data[pos..pos + len])?);
+                        pos += len;
+                    }
+                }
+                PageFormat::V2 => {
+                    let ctx = self.arena.pager.ctx();
+                    let end = PAGE_HEADER_BYTES + meta.used as usize;
+                    let mut r = codec::Reader::new(&data[PAGE_HEADER_BYTES..end]);
+                    let mut key: Vec<u8> = Vec::new();
+                    for _ in 0..meta.count {
+                        let shared = r.get_varint()? as usize;
+                        let suffix = r.get_vbytes()?;
+                        let body = r.get_vbytes()?;
+                        if shared > key.len() {
+                            return Err(PagerError::CorruptPage {
+                                page: meta.page,
+                                detail: format!("shared prefix {shared} exceeds previous key"),
+                            });
+                        }
+                        key.truncate(shared);
+                        key.extend_from_slice(suffix);
+                        items.push(T::decode_body(&key, body, &ctx)?);
+                    }
+                }
             }
             Ok(())
         })?;
@@ -383,5 +484,98 @@ mod tests {
         let mut arena: ChainArena<Vec<u8>> = ChainArena::new(&pager);
         let err = arena.push(Chain::empty(), &vec![0u8; 4096]).unwrap_err();
         assert!(matches!(err, PagerError::RecordTooLarge { .. }));
+    }
+
+    /// Keyed record exercising v2 delta frames across chain blocks.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Keyed(String, u64);
+
+    impl Record for Keyed {
+        fn encode(&self, out: &mut Vec<u8>) {
+            codec::put_str(&mut *out, &self.0);
+            codec::put_u64(out, self.1);
+        }
+        fn decode(bytes: &[u8]) -> PagerResult<Self> {
+            let mut r = codec::Reader::new(bytes);
+            let name = r.get_str()?.to_string();
+            let v = r.get_u64()?;
+            Ok(Keyed(name, v))
+        }
+        fn page_key(&self) -> Option<Vec<u8>> {
+            Some(self.0.as_bytes().to_vec())
+        }
+        fn encode_body(&self, out: &mut Vec<u8>, _ctx: &crate::record::PageCtx) {
+            codec::put_varint(out, self.1);
+        }
+        fn decode_body(
+            key: &[u8],
+            body: &[u8],
+            _ctx: &crate::record::PageCtx,
+        ) -> PagerResult<Self> {
+            let name = String::from_utf8(key.to_vec()).map_err(|e| {
+                PagerError::CorruptRecord {
+                    detail: format!("bad key: {e}"),
+                }
+            })?;
+            let mut r = codec::Reader::new(body);
+            Ok(Keyed(name, r.get_varint()?))
+        }
+    }
+
+    fn keyed(i: u64) -> Keyed {
+        Keyed(format!("ou=dept, o=corp, item={i:04}"), i)
+    }
+
+    #[test]
+    fn v2_push_and_iterate() {
+        let pager = Pager::custom(256, crate::PoolConfig::new(8), PageFormat::V2);
+        let mut arena: ChainArena<Keyed> = ChainArena::new(&pager);
+        let mut c = Chain::empty();
+        for i in 0..200 {
+            c = arena.push(c, &keyed(i)).unwrap();
+        }
+        let got = arena.to_vec(c).unwrap();
+        assert_eq!(got, (0..200).map(keyed).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn v2_concat_boundary_merge_stays_decodable() {
+        // The merge copies b's head block bytes verbatim behind a's tail;
+        // b's first frame has shared=0 so the byte splice is decodable,
+        // and further pushes must delta against b's (carried) last key.
+        let pager = Pager::custom(256, crate::PoolConfig::new(8), PageFormat::V2);
+        let mut arena: ChainArena<Keyed> = ChainArena::new(&pager);
+        let mut a = Chain::empty();
+        let mut b = Chain::empty();
+        for i in 0..3 {
+            a = arena.push(a, &keyed(i)).unwrap();
+        }
+        for i in 3..6 {
+            b = arena.push(b, &keyed(i)).unwrap();
+        }
+        let mut c = arena.concat(a, b).unwrap();
+        for i in 6..40 {
+            c = arena.push(c, &keyed(i)).unwrap();
+        }
+        assert_eq!(arena.to_vec(c).unwrap(), (0..40).map(keyed).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn v2_many_tiny_chains_concat_into_few_blocks() {
+        let pager = Pager::custom(4096, crate::PoolConfig::new(16), PageFormat::V2);
+        let mut arena: ChainArena<Keyed> = ChainArena::new(&pager);
+        let mut acc = Chain::empty();
+        for i in 0..2000u64 {
+            let mut single = Chain::empty();
+            single = arena.push(single, &keyed(i)).unwrap();
+            acc = arena.concat(acc, single).unwrap();
+        }
+        assert_eq!(acc.len(), 2000);
+        assert_eq!(
+            arena.to_vec(acc).unwrap(),
+            (0..2000).map(keyed).collect::<Vec<_>>()
+        );
+        // Compressed frames are small; block count must stay proportional.
+        assert!(arena.num_blocks() < 60, "{} blocks", arena.num_blocks());
     }
 }

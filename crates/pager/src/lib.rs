@@ -33,6 +33,7 @@ pub mod chain;
 pub mod disk;
 pub mod error;
 pub mod extsort;
+pub mod intern;
 pub mod list;
 pub mod par;
 pub mod pool;
@@ -44,14 +45,36 @@ pub use chain::{Chain, ChainArena};
 pub use disk::{Disk, LatencyDisk, MemDisk, PageId, PAGE_HEADER_BYTES};
 pub use error::{PagerError, PagerResult};
 pub use extsort::{external_sort, external_sort_by, external_sort_by_par, ExtSortConfig};
-pub use list::{ListReader, ListWriter, PagedList};
+pub use intern::Interner;
+pub use list::{ListReader, ListWriter, PagedList, RawListReader, RawRecord};
 pub use par::{parallel_map, WorkerReport};
-pub use pool::{BufferPool, FrameGuard, PoolConfig};
-pub use record::Record;
+pub use pool::{
+    BufferPool, FrameGuard, PoolConfig, PoolMetricsSnapshot, ReplacementPolicy,
+};
+pub use record::{PageCtx, Record};
 pub use stack::PagedStack;
 pub use stats::{IoShard, IoSnapshot, IoStats, ShardGuard};
 
 use std::sync::Arc;
+
+/// On-page record layout written by the list/chain writers.
+///
+/// v1 is the seed format: a `u32` record count then `[u32 len][bytes]`
+/// records. v2 marks the header word with [`list::PAGE_V2_MARKER`] and
+/// stores each record as a prefix-delta-compressed sort key plus a slim
+/// body (attribute names interned through [`Interner`]). Readers always
+/// dispatch on the per-page header, so lists of both formats coexist on
+/// one device; the knob only selects what *writers* produce. v1 stays
+/// the default so the seed's exact blocking-factor and I/O-count
+/// contracts are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageFormat {
+    /// Length-prefixed records, no compression (the seed format).
+    #[default]
+    V1,
+    /// Prefix-compressed keys + interned attribute names.
+    V2,
+}
 
 /// Shared handle over a disk + buffer pool + I/O ledger.
 ///
@@ -66,6 +89,8 @@ pub struct Pager {
 struct PagerInner {
     pool: BufferPool,
     page_size: usize,
+    format: PageFormat,
+    interner: Interner,
 }
 
 impl Pager {
@@ -78,11 +103,26 @@ impl Pager {
     ///   memory". The linear-I/O algorithms in this repository run happily
     ///   with budgets as small as 8 frames.
     pub fn new(page_size: usize, frames: usize) -> Self {
+        Pager::custom(page_size, PoolConfig::new(frames), PageFormat::V1)
+    }
+
+    /// Create a pager writing the v2 (prefix-compressed) page format.
+    pub fn compressed(page_size: usize, frames: usize) -> Self {
+        Pager::custom(page_size, PoolConfig::new(frames), PageFormat::V2)
+    }
+
+    /// Full-control constructor: pool policy and page format.
+    pub fn custom(page_size: usize, config: PoolConfig, format: PageFormat) -> Self {
         let stats = IoStats::new();
         let disk = MemDisk::new(page_size, stats.clone());
-        let pool = BufferPool::new(Box::new(disk), PoolConfig { frames }, stats);
+        let pool = BufferPool::new(Box::new(disk), config, stats);
         Pager {
-            inner: Arc::new(PagerInner { pool, page_size }),
+            inner: Arc::new(PagerInner {
+                pool,
+                page_size,
+                format,
+                interner: Interner::new(),
+            }),
         }
     }
 
@@ -98,12 +138,45 @@ impl Pager {
         read_delay: std::time::Duration,
         write_delay: std::time::Duration,
     ) -> Self {
+        Pager::with_latency_format(page_size, frames, read_delay, write_delay, PageFormat::V1)
+    }
+
+    /// [`Pager::with_latency`] with an explicit page format.
+    pub fn with_latency_format(
+        page_size: usize,
+        frames: usize,
+        read_delay: std::time::Duration,
+        write_delay: std::time::Duration,
+        format: PageFormat,
+    ) -> Self {
         let stats = IoStats::new();
         let disk = MemDisk::new(page_size, stats.clone());
         let disk = LatencyDisk::new(Box::new(disk), read_delay, write_delay);
-        let pool = BufferPool::new(Box::new(disk), PoolConfig { frames }, stats);
+        let pool = BufferPool::new(Box::new(disk), PoolConfig::new(frames), stats);
         Pager {
-            inner: Arc::new(PagerInner { pool, page_size }),
+            inner: Arc::new(PagerInner {
+                pool,
+                page_size,
+                format,
+                interner: Interner::new(),
+            }),
+        }
+    }
+
+    /// The page format new list/chain pages are written in.
+    pub fn format(&self) -> PageFormat {
+        self.inner.format
+    }
+
+    /// The directory-wide attribute-name interner.
+    pub fn interner(&self) -> &Interner {
+        &self.inner.interner
+    }
+
+    /// Codec context for the v2 record hooks.
+    pub fn ctx(&self) -> PageCtx<'_> {
+        PageCtx {
+            interner: &self.inner.interner,
         }
     }
 

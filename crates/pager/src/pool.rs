@@ -1,4 +1,5 @@
-//! Bounded buffer pool with LRU eviction and pin accounting.
+//! Bounded buffer pool with scan-resistant (2Q) eviction and pin
+//! accounting.
 //!
 //! The pool is the enforcement point for the paper's "constant size of main
 //! memory" claims (Theorems 8.3/8.4): it holds at most `frames` pages in
@@ -6,6 +7,31 @@
 //! [`PagerError::PoolExhausted`] instead of silently using unbounded RAM.
 //! Experiments run the operators under small fixed budgets and verify both
 //! that they complete and that their I/O stays linear.
+//!
+//! ## Replacement policy
+//!
+//! The default policy is 2Q (Johnson & Shasha): a page faults into a
+//! FIFO **probation** queue; a hit while on probation promotes it to the
+//! LRU **protected** queue. Eviction prefers the probation front, so one
+//! big sequential scan — which touches every page exactly once — churns
+//! through probation without displacing the protected working set of
+//! concurrent point queries. Pages evicted from probation leave a
+//! **ghost** (id-only) trace; a refault while ghosted is evidence of
+//! reuse beyond scan order and admits the page straight to protected.
+//! A plain LRU policy is retained behind [`ReplacementPolicy::Lru`] as
+//! the measured baseline for the scan-mix benchmark cell.
+//!
+//! All queues are intrusive doubly-linked lists over one slab, so hit
+//! reordering, admission, and victim selection are O(1) — replacing the
+//! old full scan of the resident table on every miss. Pinned frames are
+//! skipped by rotating them to the queue back, so a victim search costs
+//! O(pinned-prefix), not O(resident).
+//!
+//! Policy state advances on a logical access clock (one tick per fetch,
+//! see [`BufferPool::tick`]): decisions are a pure function of the
+//! access sequence, never of wall time, which keeps eviction behavior
+//! deterministic under test and is what the seeded scan-resistance
+//! suites rely on.
 
 use crate::disk::{Disk, PageId};
 use crate::error::{PagerError, PagerResult};
@@ -16,11 +42,62 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Page replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Scan-resistant two-queue policy (the default).
+    #[default]
+    TwoQ,
+    /// Classic least-recently-used, kept as a measurable baseline.
+    Lru,
+}
+
 /// Buffer pool configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
     /// Maximum number of page frames resident in memory at once.
     pub frames: usize,
+    /// Replacement policy for unpinned frames.
+    pub policy: ReplacementPolicy,
+}
+
+impl PoolConfig {
+    /// A `frames`-frame pool under the default (2Q) policy.
+    pub fn new(frames: usize) -> PoolConfig {
+        PoolConfig {
+            frames,
+            policy: ReplacementPolicy::TwoQ,
+        }
+    }
+}
+
+/// Monotonic counters of pool behavior, separate from the page-I/O
+/// ledger ([`IoStats`] is wire-pinned in ANALYZE traces and must not
+/// grow fields). Snapshot with [`BufferPool::metrics`].
+#[derive(Default)]
+pub(crate) struct PoolMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    ghost_readmissions: AtomicU64,
+    compressed_bytes_saved: AtomicU64,
+}
+
+/// A point-in-time copy of [`PoolMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolMetricsSnapshot {
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to admit a new frame.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Misses whose page was on the ghost list (re-admitted straight to
+    /// the protected queue).
+    pub ghost_readmissions: u64,
+    /// Bytes the v2 page format saved versus the v1 encoding of the
+    /// same records (accumulated by the list/chain writers).
+    pub compressed_bytes_saved: u64,
 }
 
 struct FrameCell {
@@ -79,17 +156,151 @@ impl Drop for FrameGuard {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Intrusive queues: one node slab shared by probation/protected/ghost.
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Queue {
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl Queue {
+    const fn empty() -> Queue {
+        Queue {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+/// Slab of doubly-linked nodes. Every operation is O(1).
+struct Slab {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            nodes: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn push_back(&mut self, q: &mut Queue, page: PageId) -> usize {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Node {
+                    page,
+                    prev: q.tail,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    prev: q.tail,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        if q.tail != NIL {
+            self.nodes[q.tail].next = idx;
+        } else {
+            q.head = idx;
+        }
+        q.tail = idx;
+        q.len += 1;
+        idx
+    }
+
+    fn unlink(&mut self, q: &mut Queue, idx: usize) -> PageId {
+        let Node { page, prev, next } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            q.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            q.tail = prev;
+        }
+        q.len -= 1;
+        self.free.push(idx);
+        page
+    }
+
+    fn move_to_back(&mut self, q: &mut Queue, idx: usize) {
+        if q.tail == idx {
+            return;
+        }
+        let page = self.unlink(q, idx);
+        let new_idx = self.push_back(q, page);
+        debug_assert_eq!(new_idx, idx, "freed node is reused immediately");
+    }
+
+    fn front(&self, q: &Queue) -> Option<(usize, PageId)> {
+        if q.head == NIL {
+            None
+        } else {
+            Some((q.head, self.nodes[q.head].page))
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum QueueKind {
+    Probation,
+    Protected,
+}
+
+struct Resident {
+    cell: Arc<FrameCell>,
+    queue: QueueKind,
+    node: usize,
+}
+
 /// The pool proper. See module docs.
 pub struct BufferPool {
     disk: Box<dyn Disk>,
     config: PoolConfig,
     stats: IoStats,
+    metrics: PoolMetrics,
     state: Mutex<PoolState>,
     clock: AtomicU64,
 }
 
 struct PoolState {
-    resident: HashMap<PageId, Arc<FrameCell>>,
+    resident: HashMap<PageId, Resident>,
+    slab: Slab,
+    probation: Queue,
+    protected: Queue,
+    ghost: Queue,
+    ghost_slab: Slab,
+    ghosts: HashMap<PageId, usize>,
+}
+
+impl PoolState {
+    fn queue_mut(&mut self, kind: QueueKind) -> &mut Queue {
+        match kind {
+            QueueKind::Probation => &mut self.probation,
+            QueueKind::Protected => &mut self.protected,
+        }
+    }
 }
 
 impl BufferPool {
@@ -100,8 +311,15 @@ impl BufferPool {
             disk,
             config,
             stats,
+            metrics: PoolMetrics::default(),
             state: Mutex::new(PoolState {
                 resident: HashMap::new(),
+                slab: Slab::new(),
+                probation: Queue::empty(),
+                protected: Queue::empty(),
+                ghost: Queue::empty(),
+                ghost_slab: Slab::new(),
+                ghosts: HashMap::new(),
             }),
             clock: AtomicU64::new(0),
         }
@@ -122,6 +340,28 @@ impl BufferPool {
         &self.stats
     }
 
+    /// Snapshot of the pool-behavior counters.
+    pub fn metrics(&self) -> PoolMetricsSnapshot {
+        PoolMetricsSnapshot {
+            hits: self.metrics.hits.load(Ordering::Relaxed),
+            misses: self.metrics.misses.load(Ordering::Relaxed),
+            evictions: self.metrics.evictions.load(Ordering::Relaxed),
+            ghost_readmissions: self.metrics.ghost_readmissions.load(Ordering::Relaxed),
+            compressed_bytes_saved: self
+                .metrics
+                .compressed_bytes_saved
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Credit bytes saved by the compressed page format (called by the
+    /// list/chain writers when sealing v2 pages).
+    pub fn note_compression_saved(&self, bytes: u64) {
+        self.metrics
+            .compressed_bytes_saved
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Page size of the underlying device.
     pub fn page_size(&self) -> usize {
         self.disk.page_size()
@@ -137,8 +377,89 @@ impl BufferPool {
         self.disk.num_pages()
     }
 
+    /// Advance the logical access clock (policy time, not wall time).
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Probation stays at least this long before eviction dips into
+    /// protected: the classic 2Q "Kin ≈ 25%" sizing.
+    fn probation_target(&self) -> usize {
+        (self.config.frames / 4).max(1)
+    }
+
+    /// A resident frame was touched: reorder its queue node. Probation
+    /// hits promote to protected (2Q); under LRU everything lives in the
+    /// protected queue and a touch moves it to the back.
+    fn touch(&self, state: &mut PoolState, page: PageId) {
+        let Some(res) = state.resident.get(&page) else {
+            return;
+        };
+        let (queue, node) = (res.queue, res.node);
+        match queue {
+            QueueKind::Probation => {
+                let q = state.queue_mut(QueueKind::Probation);
+                let mut q_copy = *q;
+                state.slab.unlink(&mut q_copy, node);
+                *state.queue_mut(QueueKind::Probation) = q_copy;
+                let mut prot = state.protected;
+                let new_node = state.slab.push_back(&mut prot, page);
+                state.protected = prot;
+                let res = state.resident.get_mut(&page).expect("still resident");
+                res.queue = QueueKind::Protected;
+                res.node = new_node;
+            }
+            QueueKind::Protected => {
+                let mut prot = state.protected;
+                state.slab.move_to_back(&mut prot, node);
+                state.protected = prot;
+            }
+        }
+    }
+
+    /// Remove `page` from the ghost list if present. Returns whether it
+    /// was ghosted (a re-admission signal).
+    fn take_ghost(&self, state: &mut PoolState, page: PageId) -> bool {
+        let Some(node) = state.ghosts.remove(&page) else {
+            return false;
+        };
+        let mut q = state.ghost;
+        state.ghost_slab.unlink(&mut q, node);
+        state.ghost = q;
+        true
+    }
+
+    /// Admit a freshly missed page: choose its queue (2Q: ghost hits go
+    /// straight to protected, everything else starts on probation; LRU:
+    /// one queue) and link it. Ghost removal happens in the same
+    /// state-locked step as admission, so a page is never simultaneously
+    /// ghosted and resident — the invariant the interleaving model checks.
+    fn admit(&self, state: &mut PoolState, page: PageId, cell: Arc<FrameCell>) {
+        let ghosted = self.take_ghost(state, page);
+        let queue = match self.config.policy {
+            ReplacementPolicy::Lru => QueueKind::Protected,
+            ReplacementPolicy::TwoQ => {
+                if ghosted {
+                    self.metrics.ghost_readmissions.fetch_add(1, Ordering::Relaxed);
+                    QueueKind::Protected
+                } else {
+                    QueueKind::Probation
+                }
+            }
+        };
+        let mut q = *state.queue_mut(queue);
+        let node = state.slab.push_back(&mut q, page);
+        *state.queue_mut(queue) = q;
+        state.resident.insert(page, Resident { cell, queue, node });
+    }
+
+    /// Unlink an evicted/cleared frame from its queue and the table.
+    fn remove_resident(&self, state: &mut PoolState, page: PageId) -> Option<Arc<FrameCell>> {
+        let res = state.resident.remove(&page)?;
+        let mut q = *state.queue_mut(res.queue);
+        state.slab.unlink(&mut q, res.node);
+        *state.queue_mut(res.queue) = q;
+        Some(res.cell)
     }
 
     /// Pin `page` into a frame, reading it from disk on a miss.
@@ -156,14 +477,17 @@ impl BufferPool {
         {
             let mut state = self.state.lock();
             if let Some(hit) = state.resident.get(&page) {
-                hit.pins.fetch_add(1, Ordering::AcqRel);
-                hit.last_used.store(self.tick(), Ordering::Relaxed);
-                let cell = hit.clone();
+                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                hit.cell.pins.fetch_add(1, Ordering::AcqRel);
+                hit.cell.last_used.store(self.tick(), Ordering::Relaxed);
+                let cell = hit.cell.clone();
+                self.touch(&mut state, page);
                 drop(state);
                 // Wait out an in-flight load (no-op for settled frames).
                 drop(cell.data.read());
                 return Ok(FrameGuard { cell });
             }
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
             self.make_room(&mut state)?;
             cell = Arc::new(FrameCell {
                 page,
@@ -178,7 +502,7 @@ impl BufferPool {
             // The frame is born pinned, so mid-load it can be neither an
             // eviction victim nor a flush candidate (it is not dirty).
             loading = cell.data.write();
-            state.resident.insert(page, cell.clone());
+            self.admit(&mut state, page, cell.clone());
         }
         match self.disk.read_page(page) {
             Ok(data) => {
@@ -191,7 +515,7 @@ impl BufferPool {
                 // un-publish the frame so later fetches retry the device.
                 loading.resize(self.disk.page_size(), 0);
                 drop(loading);
-                self.state.lock().resident.remove(&page);
+                let _ = self.remove_resident(&mut self.state.lock(), page);
                 cell.pins.fetch_sub(1, Ordering::AcqRel);
                 Err(e)
             }
@@ -203,11 +527,15 @@ impl BufferPool {
     /// a real system would also avoid.
     pub fn fetch_zeroed(&self, page: PageId) -> PagerResult<FrameGuard> {
         let mut state = self.state.lock();
-        if let Some(cell) = state.resident.get(&page) {
-            cell.pins.fetch_add(1, Ordering::AcqRel);
-            cell.last_used.store(self.tick(), Ordering::Relaxed);
-            return Ok(FrameGuard { cell: cell.clone() });
+        if let Some(hit) = state.resident.get(&page) {
+            self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+            hit.cell.pins.fetch_add(1, Ordering::AcqRel);
+            hit.cell.last_used.store(self.tick(), Ordering::Relaxed);
+            let cell = hit.cell.clone();
+            self.touch(&mut state, page);
+            return Ok(FrameGuard { cell });
         }
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
         self.make_room(&mut state)?;
         let cell = Arc::new(FrameCell {
             page,
@@ -216,28 +544,96 @@ impl BufferPool {
             pins: AtomicU32::new(1),
             last_used: AtomicU64::new(self.tick()),
         });
-        state.resident.insert(page, cell.clone());
+        self.admit(&mut state, page, cell.clone());
         Ok(FrameGuard { cell })
     }
 
-    /// Evict the least-recently-used unpinned frame if the pool is full.
+    /// Pop the front-most unpinned frame of `kind`'s queue, rotating
+    /// pinned frames to the back (bounded by the queue length, so the
+    /// search is O(pinned), not O(resident)).
+    fn pop_unpinned(&self, state: &mut PoolState, kind: QueueKind) -> Option<Arc<FrameCell>> {
+        let mut rotated = 0;
+        let len = match kind {
+            QueueKind::Probation => state.probation.len,
+            QueueKind::Protected => state.protected.len,
+        };
+        while rotated < len {
+            let q = *state.queue_mut(kind);
+            let (node, page) = state.slab.front(&q)?;
+            let pinned = state.resident[&page].cell.pins.load(Ordering::Acquire) > 0;
+            if pinned {
+                let mut q = q;
+                state.slab.move_to_back(&mut q, node);
+                *state.queue_mut(kind) = q;
+                rotated += 1;
+                continue;
+            }
+            return self.remove_resident(state, page);
+        }
+        None
+    }
+
+    /// Evict until a frame is free, preferring the probation front (2Q)
+    /// or the single LRU queue. Ghosts remember probation evictions.
     fn make_room(&self, state: &mut PoolState) -> PagerResult<()> {
         while state.resident.len() >= self.config.frames {
-            let victim = state
-                .resident
-                .values()
-                .filter(|c| c.pins.load(Ordering::Acquire) == 0)
-                .min_by_key(|c| c.last_used.load(Ordering::Relaxed))
-                .map(|c| c.page);
-            let Some(victim) = victim else {
+            let order: [QueueKind; 2] = match self.config.policy {
+                ReplacementPolicy::Lru => [QueueKind::Protected, QueueKind::Probation],
+                ReplacementPolicy::TwoQ => {
+                    if state.probation.len >= self.probation_target()
+                        || state.protected.len == 0
+                    {
+                        [QueueKind::Probation, QueueKind::Protected]
+                    } else {
+                        [QueueKind::Protected, QueueKind::Probation]
+                    }
+                }
+            };
+            let mut victim = None;
+            let mut victim_queue = order[0];
+            for kind in order {
+                if let Some(cell) = self.pop_unpinned(state, kind) {
+                    victim = Some(cell);
+                    victim_queue = kind;
+                    break;
+                }
+            }
+            let Some(cell) = victim else {
                 return Err(PagerError::PoolExhausted {
                     frames: self.config.frames,
                 });
             };
-            let cell = state.resident.remove(&victim).expect("victim resident");
+            self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+            if self.config.policy == ReplacementPolicy::TwoQ
+                && victim_queue == QueueKind::Probation
+            {
+                self.remember_ghost(state, cell.page);
+            }
             self.write_back(&cell)?;
         }
         Ok(())
+    }
+
+    /// Record a probation eviction on the ghost list (id only, no data),
+    /// capped at `frames` entries FIFO.
+    fn remember_ghost(&self, state: &mut PoolState, page: PageId) {
+        // A page re-admitted and re-evicted was un-ghosted at admission,
+        // but never double-book defensively.
+        let _ = self.take_ghost(state, page);
+        let mut q = state.ghost;
+        let node = state.ghost_slab.push_back(&mut q, page);
+        state.ghost = q;
+        state.ghosts.insert(page, node);
+        while state.ghost.len > self.config.frames {
+            let mut q = state.ghost;
+            let (node, old) = state
+                .ghost_slab
+                .front(&q)
+                .expect("non-empty ghost queue");
+            state.ghost_slab.unlink(&mut q, node);
+            state.ghost = q;
+            state.ghosts.remove(&old);
+        }
     }
 
     fn write_back(&self, cell: &FrameCell) -> PagerResult<()> {
@@ -251,25 +647,32 @@ impl BufferPool {
     /// Write back every dirty resident frame (frames stay resident).
     pub fn flush_all(&self) -> PagerResult<()> {
         let state = self.state.lock();
-        for cell in state.resident.values() {
-            self.write_back(cell)?;
+        for res in state.resident.values() {
+            self.write_back(&res.cell)?;
         }
         Ok(())
     }
 
-    /// Drop every unpinned frame, writing dirty ones back. Between
-    /// experiment phases this gives a cold cache.
+    /// Drop every unpinned frame, writing dirty ones back, and forget
+    /// the ghost list. Between experiment phases this gives a cold
+    /// cache with no policy memory.
     pub fn clear_cache(&self) -> PagerResult<()> {
         let mut state = self.state.lock();
         let victims: Vec<PageId> = state
             .resident
             .values()
-            .filter(|c| c.pins.load(Ordering::Acquire) == 0)
-            .map(|c| c.page)
+            .filter(|r| r.cell.pins.load(Ordering::Acquire) == 0)
+            .map(|r| r.cell.page)
             .collect();
         for page in victims {
-            let cell = state.resident.remove(&page).expect("victim resident");
+            let cell = self
+                .remove_resident(&mut state, page)
+                .expect("victim resident");
             self.write_back(&cell)?;
+        }
+        let ghosts: Vec<PageId> = state.ghosts.keys().copied().collect();
+        for page in ghosts {
+            self.take_ghost(&mut state, page);
         }
         Ok(())
     }
@@ -280,10 +683,14 @@ mod tests {
     use super::*;
     use crate::disk::MemDisk;
 
-    fn pool(frames: usize) -> BufferPool {
+    fn pool_with(frames: usize, policy: ReplacementPolicy) -> BufferPool {
         let stats = IoStats::new();
         let disk = MemDisk::new(128, stats.clone());
-        BufferPool::new(Box::new(disk), PoolConfig { frames }, stats)
+        BufferPool::new(Box::new(disk), PoolConfig { frames, policy }, stats)
+    }
+
+    fn pool(frames: usize) -> BufferPool {
+        pool_with(frames, ReplacementPolicy::TwoQ)
     }
 
     #[test]
@@ -324,8 +731,8 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_coldest() {
-        let p = pool(2);
+    fn lru_policy_evicts_coldest() {
+        let p = pool_with(2, ReplacementPolicy::Lru);
         let a = p.allocate();
         let b = p.allocate();
         let c = p.allocate();
@@ -338,6 +745,117 @@ mod tests {
         assert_eq!(p.stats().snapshot().since(before).reads, 0);
         drop(p.fetch(b).unwrap()); // miss
         assert_eq!(p.stats().snapshot().since(before).reads, 1);
+    }
+
+    #[test]
+    fn scan_does_not_evict_protected_pages() {
+        // Working set of 2 pages, touched twice each → protected. A long
+        // one-touch scan then churns probation only: re-fetching the
+        // working set stays hit.
+        let p = pool(8);
+        let hot: Vec<_> = (0..2).map(|_| p.allocate()).collect();
+        for &h in &hot {
+            drop(p.fetch_zeroed(h).unwrap());
+        }
+        for &h in &hot {
+            drop(p.fetch(h).unwrap()); // promote to protected
+        }
+        for _ in 0..64 {
+            let q = p.allocate();
+            drop(p.fetch_zeroed(q).unwrap());
+        }
+        let before = p.stats().snapshot();
+        for &h in &hot {
+            drop(p.fetch(h).unwrap());
+        }
+        assert_eq!(
+            p.stats().snapshot().since(before).reads,
+            0,
+            "scan displaced the protected working set"
+        );
+    }
+
+    #[test]
+    fn ghost_refault_readmits_to_protected() {
+        let p = pool(4);
+        let victim = p.allocate();
+        drop(p.fetch_zeroed(victim).unwrap());
+        // Push `victim` out of probation (one touch only → never
+        // promoted); few enough follow-on evictions that its ghost
+        // survives the FIFO cap.
+        for _ in 0..4 {
+            drop(p.fetch_zeroed(p.allocate()).unwrap());
+        }
+        let m0 = p.metrics();
+        assert!(m0.evictions > 0);
+        assert_eq!(m0.ghost_readmissions, 0);
+        // Refault: the ghost list remembers it → protected admission.
+        drop(p.fetch(victim).unwrap());
+        let m1 = p.metrics();
+        assert_eq!(m1.ghost_readmissions, 1);
+        // Now a long scan must not displace it.
+        for _ in 0..16 {
+            drop(p.fetch_zeroed(p.allocate()).unwrap());
+        }
+        let before = p.stats().snapshot();
+        drop(p.fetch(victim).unwrap());
+        assert_eq!(p.stats().snapshot().since(before).reads, 0);
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_evictions() {
+        let p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        drop(p.fetch_zeroed(a).unwrap()); // miss
+        drop(p.fetch(a).unwrap()); // hit
+        drop(p.fetch_zeroed(b).unwrap()); // miss
+        drop(p.fetch_zeroed(c).unwrap()); // miss + eviction
+        let m = p.metrics();
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.misses, 3);
+        assert!(m.evictions >= 1);
+    }
+
+    #[test]
+    fn victim_search_is_not_a_full_scan() {
+        // Regression for the old O(resident) victim scan: with a large
+        // pool, a miss-heavy churn loop must stay fast. This asserts the
+        // behavioral contract (eviction picks an unpinned frame and the
+        // pool never exceeds its budget) on a pool big enough that a
+        // quadratic scan would be visibly pathological.
+        let frames = 4096;
+        let p = pool(frames);
+        let pages: Vec<_> = (0..frames * 2).map(|_| p.allocate()).collect();
+        for &pg in &pages {
+            drop(p.fetch_zeroed(pg).unwrap());
+            assert!(p.resident() <= frames);
+        }
+        // Second pass over the first half: all were evicted or resident,
+        // either way fetch must succeed and respect the budget.
+        for &pg in &pages[..frames] {
+            drop(p.fetch(pg).unwrap());
+            assert!(p.resident() <= frames);
+        }
+        let m = p.metrics();
+        assert_eq!(m.misses + m.hits, (frames * 3) as u64);
+        assert!(m.evictions >= frames as u64);
+    }
+
+    #[test]
+    fn pinned_frames_are_rotated_not_evicted() {
+        let p = pool(4);
+        let keep = p.allocate();
+        let g = p.fetch_zeroed(keep).unwrap();
+        for _ in 0..16 {
+            drop(p.fetch_zeroed(p.allocate()).unwrap());
+        }
+        // The pinned frame survived the churn.
+        assert_eq!(g.page(), keep);
+        let before = p.stats().snapshot();
+        drop(p.fetch(keep).unwrap());
+        assert_eq!(p.stats().snapshot().since(before).reads, 0);
     }
 
     #[test]
@@ -369,5 +887,23 @@ mod tests {
         let before = p.stats().snapshot();
         drop(p.fetch(a).unwrap());
         assert_eq!(p.stats().snapshot().since(before).reads, 1);
+    }
+
+    #[test]
+    fn clear_cache_forgets_ghosts() {
+        let p = pool(2);
+        let a = p.allocate();
+        drop(p.fetch_zeroed(a).unwrap());
+        for _ in 0..4 {
+            drop(p.fetch_zeroed(p.allocate()).unwrap());
+        }
+        p.clear_cache().unwrap();
+        let before = p.metrics();
+        drop(p.fetch(a).unwrap());
+        assert_eq!(
+            p.metrics().ghost_readmissions,
+            before.ghost_readmissions,
+            "cleared cache must not re-admit from stale ghosts"
+        );
     }
 }

@@ -6,14 +6,33 @@
 //! byte-level control instead of pulling in a serialization framework.
 
 use crate::error::{PagerError, PagerResult};
+use crate::intern::Interner;
 
 /// Bytes used for each record's length prefix on a page.
 pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Context threaded through the v2 (compressed) page codec.
+///
+/// The interner maps attribute names to fixed-width ids directory-wide;
+/// it lives on the [`crate::Pager`] so every list written through one
+/// pager shares a single table.
+pub struct PageCtx<'a> {
+    /// Directory-wide attribute-name interner.
+    pub interner: &'a Interner,
+}
 
 /// A value that can be stored on pages.
 ///
 /// `encode` must be the exact inverse of `decode`; the property tests in
 /// this crate and in `netdir-model` check round-tripping.
+///
+/// The `page_*` / `*_body` hooks feed the v2 compressed page format
+/// (see `list.rs`): a record may expose a reverse-DN sort key that the
+/// page stores prefix-delta-compressed against its predecessor, plus a
+/// slimmer body encoding that omits whatever the key already carries.
+/// The defaults make every record keyless with `encode` as its body, so
+/// v1-only record types need no changes. These hooks never alter
+/// `encode`/`decode` themselves — that wire encoding is frozen.
 pub trait Record: Sized {
     /// Append this record's bytes to `out`.
     fn encode(&self, out: &mut Vec<u8>);
@@ -26,6 +45,32 @@ pub trait Record: Sized {
         let mut buf = Vec::new();
         self.encode(&mut buf);
         buf.len()
+    }
+
+    /// Sort key stored delta-compressed on v2 pages, or `None` for
+    /// keyless records (stored with an empty key).
+    fn page_key(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Extract the sort key from a full (`encode`) image without a full
+    /// decode, for lazy iteration over v1 pages. `None` = keyless.
+    fn page_key_of_encoded(bytes: &[u8]) -> PagerResult<Option<Vec<u8>>> {
+        let _ = bytes;
+        Ok(None)
+    }
+
+    /// Body bytes stored alongside the compressed key on v2 pages.
+    /// Must round-trip through [`Record::decode_body`] given the same key.
+    fn encode_body(&self, out: &mut Vec<u8>, ctx: &PageCtx) {
+        let _ = ctx;
+        self.encode(out);
+    }
+
+    /// Inverse of [`Record::encode_body`].
+    fn decode_body(key: &[u8], body: &[u8], ctx: &PageCtx) -> PagerResult<Self> {
+        let _ = (key, ctx);
+        Self::decode(body)
     }
 }
 
@@ -57,6 +102,35 @@ pub mod codec {
     /// Append a length-prefixed UTF-8 string.
     pub fn put_str(out: &mut Vec<u8>, v: &str) {
         put_bytes(out, v.as_bytes());
+    }
+
+    /// Append a LEB128 varint (7 bits per byte, little-endian groups).
+    pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    /// Encoded size of `v` as a varint.
+    pub fn varint_len(v: u64) -> usize {
+        (1 + (64 - (v | 1).leading_zeros() as usize - 1) / 7).max(1)
+    }
+
+    /// Append a varint-length-prefixed byte string (v2 body encodings).
+    pub fn put_vbytes(out: &mut Vec<u8>, v: &[u8]) {
+        put_varint(out, v.len() as u64);
+        out.extend_from_slice(v);
+    }
+
+    /// Append a varint-length-prefixed UTF-8 string.
+    pub fn put_vstr(out: &mut Vec<u8>, v: &str) {
+        put_vbytes(out, v.as_bytes());
     }
 
     /// Cursor over encoded bytes with checked reads.
@@ -111,6 +185,39 @@ pub mod codec {
         pub fn get_bytes(&mut self) -> PagerResult<&'a [u8]> {
             let n = self.get_u32()? as usize;
             self.take(n)
+        }
+
+        /// Read a LEB128 varint.
+        pub fn get_varint(&mut self) -> PagerResult<u64> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let byte = self.get_u8()?;
+                if shift >= 64 {
+                    return Err(PagerError::CorruptRecord {
+                        detail: "varint overflows u64".into(),
+                    });
+                }
+                v |= u64::from(byte & 0x7F) << shift;
+                if byte & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+            }
+        }
+
+        /// Read a varint-length-prefixed byte string.
+        pub fn get_vbytes(&mut self) -> PagerResult<&'a [u8]> {
+            let n = self.get_varint()? as usize;
+            self.take(n)
+        }
+
+        /// Read a varint-length-prefixed UTF-8 string.
+        pub fn get_vstr(&mut self) -> PagerResult<&'a str> {
+            let b = self.get_vbytes()?;
+            std::str::from_utf8(b).map_err(|e| PagerError::CorruptRecord {
+                detail: format!("invalid utf-8: {e}"),
+            })
         }
 
         /// Read a length-prefixed UTF-8 string.
@@ -254,6 +361,47 @@ mod tests {
     #[test]
     fn invalid_utf8_rejected() {
         assert!(String::decode(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn varints_roundtrip_at_every_width() {
+        let samples: Vec<u64> = (0..64)
+            .flat_map(|b| {
+                let v = 1u64 << b;
+                [v - 1, v, v + 1]
+            })
+            .chain([0, u64::MAX])
+            .collect();
+        for v in samples {
+            let mut buf = Vec::new();
+            codec::put_varint(&mut buf, v);
+            assert_eq!(buf.len(), codec::varint_len(v), "len of {v}");
+            let mut r = codec::Reader::new(&buf);
+            assert_eq!(r.get_varint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        codec::put_varint(&mut buf, u64::MAX);
+        let mut r = codec::Reader::new(&buf[..buf.len() - 1]);
+        assert!(r.get_varint().is_err());
+        // 11 continuation bytes shift past 64 bits.
+        let too_long = [0x80u8; 11];
+        let mut r = codec::Reader::new(&too_long);
+        assert!(r.get_varint().is_err());
+    }
+
+    #[test]
+    fn vbytes_roundtrip() {
+        let mut buf = Vec::new();
+        codec::put_vstr(&mut buf, "hello");
+        assert_eq!(buf.len(), 6); // 1-byte length + 5 bytes
+        let mut r = codec::Reader::new(&buf);
+        assert_eq!(r.get_vstr().unwrap(), "hello");
+        r.finish().unwrap();
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn reads_failing_mid_scan_surface_as_errors() {
         inner: MemDisk::new(256, stats.clone()),
         reads_left: reads_left.clone(),
     };
-    let pool = BufferPool::new(Box::new(disk), PoolConfig { frames: 4 }, stats);
+    let pool = BufferPool::new(Box::new(disk), PoolConfig::new(4), stats);
     // Assemble a pager-like setup through the public pool: write a list
     // via a Pager is simpler — use a normal pager to build, then a flaky
     // one cannot share pages. Instead: drive the pool directly.

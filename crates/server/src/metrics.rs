@@ -18,7 +18,7 @@ use crate::health::BreakerTransitions;
 use crate::net::NetSnapshot;
 use crate::retry::RetrySnapshot;
 use netdir_obs::{names, MetricsRegistry};
-use netdir_pager::IoSnapshot;
+use netdir_pager::{IoSnapshot, PoolMetricsSnapshot};
 
 /// Pre-register every tracked metric so the exposition shows explicit
 /// zeros before the first sync (absent and zero are different claims).
@@ -64,6 +64,29 @@ pub fn absorb_io(reg: &MetricsRegistry, io: IoSnapshot) {
     reg.counter(names::IO_READS).add(io.reads);
     reg.counter(names::IO_WRITES).add(io.writes);
     reg.counter(names::IO_ALLOCS).add(io.allocs);
+}
+
+/// Project a cumulative buffer-pool behavior snapshot onto the registry.
+pub fn sync_pool(reg: &MetricsRegistry, pool: PoolMetricsSnapshot) {
+    reg.counter(names::POOL_HITS).set(pool.hits);
+    reg.counter(names::POOL_MISSES).set(pool.misses);
+    reg.counter(names::POOL_EVICTIONS).set(pool.evictions);
+    reg.counter(names::POOL_GHOST_READMISSIONS)
+        .set(pool.ghost_readmissions);
+    reg.counter(names::POOL_COMPRESSED_BYTES_SAVED)
+        .set(pool.compressed_bytes_saved);
+}
+
+/// Accumulate a per-query pool-behavior *delta* into the cumulative
+/// counters — the scratch-pager counterpart of [`absorb_io`].
+pub fn absorb_pool(reg: &MetricsRegistry, pool: PoolMetricsSnapshot) {
+    reg.counter(names::POOL_HITS).add(pool.hits);
+    reg.counter(names::POOL_MISSES).add(pool.misses);
+    reg.counter(names::POOL_EVICTIONS).add(pool.evictions);
+    reg.counter(names::POOL_GHOST_READMISSIONS)
+        .add(pool.ghost_readmissions);
+    reg.counter(names::POOL_COMPRESSED_BYTES_SAVED)
+        .add(pool.compressed_bytes_saved);
 }
 
 /// Project a cumulative network-shipping snapshot onto the registry.
@@ -171,6 +194,25 @@ mod tests {
             },
         );
         assert_eq!(reg.counter(names::BREAKER_OPENED).get(), 2);
+    }
+
+    #[test]
+    fn pool_sync_sets_and_absorb_accumulates() {
+        let reg = MetricsRegistry::default();
+        let snap = PoolMetricsSnapshot {
+            hits: 10,
+            misses: 4,
+            evictions: 2,
+            ghost_readmissions: 1,
+            compressed_bytes_saved: 512,
+        };
+        sync_pool(&reg, snap);
+        sync_pool(&reg, snap); // idempotent
+        assert_eq!(reg.counter(names::POOL_HITS).get(), 10);
+        assert_eq!(reg.counter(names::POOL_GHOST_READMISSIONS).get(), 1);
+        absorb_pool(&reg, snap); // delta path adds
+        assert_eq!(reg.counter(names::POOL_HITS).get(), 20);
+        assert_eq!(reg.counter(names::POOL_COMPRESSED_BYTES_SAVED).get(), 1024);
     }
 
     #[test]

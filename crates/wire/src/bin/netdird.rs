@@ -170,6 +170,7 @@ impl ClusterService {
     fn observe_query(&self, pager: &netdir_pager::Pager, elapsed_nanos: u64) {
         let io = pager.io();
         bridge::absorb_io(&self.metrics, io);
+        bridge::absorb_pool(&self.metrics, pager.pool().metrics());
         bridge::record_query(&self.metrics, elapsed_nanos, io.total());
     }
 

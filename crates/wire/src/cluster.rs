@@ -100,6 +100,7 @@ impl NodeService {
     fn observe_query(&self, pager: &Pager, elapsed_nanos: u64) {
         let io = pager.io();
         bridge::absorb_io(&self.metrics, io);
+        bridge::absorb_pool(&self.metrics, pager.pool().metrics());
         bridge::record_query(&self.metrics, elapsed_nanos, io.total());
     }
 

@@ -37,7 +37,17 @@
 #                                   byte-identity/ledger property suite,
 #                                   and the chosen-vs-naive sweep landing
 #                                   in target/BENCH_smoke.json (schema
-#                                   v5, planner section validated)
+#                                   validated, planner section included)
+#   scripts/check.sh --storage-smoke  gate + the storage-engine guards
+#                                   run explicitly: the buffer-pool unit
+#                                   tests (two-queue policy, the
+#                                   eviction no-full-scan regression),
+#                                   the seeded scan-resistance suite,
+#                                   and the compression/scan-mix sweep
+#                                   landing in target/BENCH_smoke.json
+#                                   (schema validated, the ≥20%
+#                                   cold-read reduction and the scan-mix
+#                                   hit-rate win asserted)
 #   scripts/check.sh --analysis     gate + the static/dynamic analysis
 #                                   suites run explicitly: the ndlint
 #                                   fixture tests (each lint proven to
@@ -64,6 +74,7 @@ par_smoke=0
 wal_smoke=0
 load_smoke=0
 planner_smoke=0
+storage_smoke=0
 analysis=0
 sanitize=0
 for arg in "$@"; do
@@ -74,6 +85,7 @@ for arg in "$@"; do
     --wal-smoke) wal_smoke=1 ;;
     --load-smoke) load_smoke=1 ;;
     --planner-smoke) planner_smoke=1 ;;
+    --storage-smoke) storage_smoke=1 ;;
     --analysis) analysis=1 ;;
     --sanitize) sanitize=1 ;;
     *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
@@ -140,6 +152,17 @@ if [ "$planner_smoke" = 1 ]; then
   cargo test -q -p netdir-query planner
   cargo test -q -p netdir-query --test planner_prop
   cargo test -q --release -p netdir-bench --lib planner
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --smoke --json target/BENCH_smoke.json
+  cargo run --release -q -p netdir-bench --bin run_experiments -- \
+    --validate target/BENCH_smoke.json
+fi
+
+if [ "$storage_smoke" = 1 ]; then
+  echo "check.sh: running storage-engine guards"
+  cargo test -q -p netdir-pager --lib
+  cargo test -q -p netdir-pager --test scan_resistance
+  cargo test -q --release -p netdir-bench --lib storage
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
     --smoke --json target/BENCH_smoke.json
   cargo run --release -q -p netdir-bench --bin run_experiments -- \
